@@ -1,0 +1,48 @@
+"""Helper functions shared by the benchmark modules (see conftest.py)."""
+
+from __future__ import annotations
+
+from repro.evaluation import Table1Evaluator
+
+
+def rewriting_cell(benchmark, evaluator: Table1Evaluator, system: str, query_name: str):
+    """Benchmark one (system, query) cell of Table 1 and return its measurement.
+
+    A single round is measured: the quantity the paper reports is the size /
+    length / width of the rewriting, which is deterministic; the wall-clock
+    time is recorded as supplementary information only.  The metrics are
+    attached to ``benchmark.extra_info`` so they appear in the JSON report.
+    """
+    measurement = benchmark.pedantic(
+        evaluator.measure, args=(system, query_name), rounds=1, iterations=1
+    )
+    benchmark.extra_info["workload"] = evaluator.workload.name
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["system"] = system
+    benchmark.extra_info["size"] = measurement.size
+    benchmark.extra_info["length"] = measurement.length
+    benchmark.extra_info["width"] = measurement.width
+    return measurement
+
+
+def assert_shape(row, *, elimination_helps: bool | None = None, min_collapse: float = 1.0):
+    """Qualitative Table 1 checks on a full row (all four systems).
+
+    Parameters
+    ----------
+    row:
+        A :class:`repro.evaluation.Table1Row` with QO / RQ / NY / NY* cells.
+    elimination_helps:
+        ``True`` — NY* must be at least ``min_collapse`` times smaller than
+        NY; ``False`` — NY* must equal NY (no gain); ``None`` — only the
+        universal orderings are checked.
+    min_collapse:
+        The minimum NY / NY* size ratio when *elimination_helps* is ``True``.
+    """
+    quonto, nyaya, nyaya_star = row.cell("QO"), row.cell("NY"), row.cell("NY*")
+    assert nyaya_star.size <= nyaya.size, "query elimination must never add CQs"
+    assert quonto.size >= nyaya.size, "exhaustive factorisation must not shrink the rewriting"
+    if elimination_helps is True:
+        assert nyaya_star.size * min_collapse <= nyaya.size
+    elif elimination_helps is False:
+        assert nyaya_star.size == nyaya.size

@@ -1,0 +1,34 @@
+"""Figure 1: the partial rewriting of the Stock-Exchange running example.
+
+Figure 1 of the paper shows the first steps of the naive rewriting of the
+running query: q[1] is obtained from q[0] with σ6, q[2] from q[1] with σ1,
+and q[3] from q[2] with σ8.  The benchmark times the full TGD-rewrite run on
+the running query and asserts that all four queries of the figure occur in
+the perfect rewriting.
+"""
+
+from repro.core.rewriter import TGDRewriter
+from repro.queries.ucq import QuerySet
+from repro.workloads import stock_exchange_example as running
+
+
+def test_figure1_partial_rewriting(benchmark):
+    """The queries q[0] ... q[3] of Figure 1 all appear in the rewriting."""
+    rewriter = TGDRewriter(running.theory().tgds)
+
+    result = benchmark.pedantic(
+        rewriter.rewrite, args=(running.running_query(),), rounds=1, iterations=1
+    )
+
+    store = QuerySet(result.ucq)
+    for index, figure_query in enumerate(running.figure1_queries()):
+        assert store.find_variant(figure_query) is not None, f"q[{index}] missing"
+    benchmark.extra_info["rewriting_size"] = len(result.ucq)
+
+
+def test_figure1_queries_are_pairwise_distinct(benchmark):
+    """Sanity check on the figure itself: the four queries are not variants."""
+    queries = benchmark(running.figure1_queries)
+    for i, first in enumerate(queries):
+        for second in queries[i + 1 :]:
+            assert not first.is_variant_of(second)

@@ -1,0 +1,39 @@
+"""Table 1, blocks A and AX (ADOLENA).
+
+ADOLENA sits between the extremes: query elimination removes the redundant
+``Device`` / ``PhysicalAbility`` atoms, but the rewriting stays sizeable
+because the device hierarchy keeps being expanded through the surviving
+``assistsWith`` atom.  The ``AX`` variant publishes the auxiliary predicates
+of the qualified existential axioms and is therefore at least as large.
+"""
+
+import pytest
+
+from _helpers import assert_shape, rewriting_cell
+from repro.evaluation import SYSTEMS
+
+QUERIES = ("q1", "q2", "q3", "q4", "q5")
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_adolena_cell(benchmark, evaluators, system, query_name):
+    """One (system, query) cell of the A block."""
+    measurement = rewriting_cell(benchmark, evaluators("A"), system, query_name)
+    assert measurement.size >= 1
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_adolena_x_cell(benchmark, evaluators, system, query_name):
+    """One (system, query) cell of the AX block."""
+    measurement = rewriting_cell(benchmark, evaluators("AX"), system, query_name)
+    assert measurement.size >= 1
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_adolena_row_shape(benchmark, evaluators, query_name):
+    """Elimination helps on ADOLENA, but the rewriting stays non-trivial."""
+    row = benchmark.pedantic(evaluators("A").row, args=(query_name,), rounds=1, iterations=1)
+    assert_shape(row, elimination_helps=True, min_collapse=2.0)
+    benchmark.extra_info.update(row.as_dict())

@@ -1,0 +1,61 @@
+"""Table 1, blocks P5 and P5X (Path5): the synthetic exponential blow-up.
+
+Path5 is designed so that the perfect rewriting grows exponentially with the
+length of the path query.  Query elimination cannot help (no edge atom is
+implied by another one), so ``NY`` ≈ ``NY*``; QuOnto-style exhaustive
+factorisation additionally generates every collapsed-path variant, which is
+where the very large ``QO`` numbers of the paper come from.
+"""
+
+import pytest
+
+from _helpers import assert_shape, rewriting_cell
+from repro.evaluation import SYSTEMS
+from repro.workloads import get_workload, path_query
+
+QUERIES = ("q1", "q2", "q3", "q4", "q5")
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_path5_cell(benchmark, evaluators, system, query_name):
+    """One (system, query) cell of the P5 block."""
+    measurement = rewriting_cell(benchmark, evaluators("P5"), system, query_name)
+    assert measurement.size >= 1
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_path5_x_cell(benchmark, evaluators, system, query_name):
+    """One (system, query) cell of the P5X block."""
+    measurement = rewriting_cell(benchmark, evaluators("P5X"), system, query_name)
+    assert measurement.size >= 1
+
+
+@pytest.mark.parametrize("query_name", ("q2", "q3", "q4"))
+def test_path5_elimination_is_ineffective(benchmark, evaluators, query_name):
+    """Elimination gains (almost) nothing on the synthetic path queries."""
+    row = benchmark.pedantic(evaluators("P5").row, args=(query_name,), rounds=1, iterations=1)
+    assert_shape(row)
+    assert row.cell("NY*").size >= 0.9 * row.cell("NY").size
+    benchmark.extra_info.update(row.as_dict())
+
+
+def test_path5_growth_is_exponential(benchmark, evaluators):
+    """The NY rewriting size grows at least geometrically with the path length."""
+    evaluator = evaluators("P5")
+
+    def sizes():
+        return [evaluator.measure("NY", f"q{n}").size for n in range(1, 5)]
+
+    measured = benchmark.pedantic(sizes, rounds=1, iterations=1)
+    ratios = [after / before for before, after in zip(measured, measured[1:])]
+    assert all(ratio >= 1.5 for ratio in ratios), measured
+    benchmark.extra_info["sizes"] = measured
+
+
+def test_path_query_generator_scales(benchmark):
+    """Building the length-n path query itself is linear and cheap."""
+    query = benchmark(path_query, 50)
+    assert len(query.body) == 50
+    assert get_workload("P5").query("q5").is_variant_of(path_query(5))

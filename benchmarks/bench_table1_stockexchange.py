@@ -1,0 +1,39 @@
+"""Table 1, block S (STOCKEXCHANGE): rewriting size / length / width for q1-q5.
+
+This is the headline block of the paper: the domain/range axioms of
+``hasStock`` / ``belongsToCompany`` / ``isListedIn`` make every concept atom
+of q2-q5 redundant, so ``TGD-rewrite*`` collapses the queries to a couple of
+role atoms and the rewriting shrinks by orders of magnitude, while the other
+systems keep expanding the concept hierarchies under every redundant atom.
+"""
+
+import pytest
+
+from _helpers import assert_shape, rewriting_cell
+from repro.evaluation import SYSTEMS
+
+QUERIES = ("q1", "q2", "q3", "q4", "q5")
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_stockexchange_cell(benchmark, evaluators, system, query_name):
+    """One (system, query) cell of the S block."""
+    measurement = rewriting_cell(benchmark, evaluators("S"), system, query_name)
+    assert measurement.size >= 1
+
+
+@pytest.mark.parametrize("query_name", ("q2", "q3", "q4", "q5"))
+def test_stockexchange_row_collapse(benchmark, evaluators, query_name):
+    """Elimination collapses q2-q5 by at least an order of magnitude."""
+    row = benchmark.pedantic(evaluators("S").row, args=(query_name,), rounds=1, iterations=1)
+    assert_shape(row, elimination_helps=True, min_collapse=10.0)
+    assert row.cell("NY*").size <= 8  # the paper reports 2-8 CQs after elimination
+    benchmark.extra_info.update(row.as_dict())
+
+
+def test_stockexchange_q1_plain_hierarchy(benchmark, evaluators):
+    """q1 only enumerates the StockExchangeMember hierarchy; nothing to eliminate."""
+    row = benchmark.pedantic(evaluators("S").row, args=("q1",), rounds=1, iterations=1)
+    assert_shape(row, elimination_helps=False)
+    benchmark.extra_info.update(row.as_dict())

@@ -1,0 +1,53 @@
+"""Table 1, blocks U and UX (UNIVERSITY / LUBM).
+
+``U`` and ``UX`` share the same axioms; the difference is whether the
+auxiliary predicates introduced by normalising the qualified existential
+rules (Lemmas 1 and 2) are part of the schema.  In ``U`` they are internal,
+so rewritten CQs mentioning them are discarded; in ``UX`` they count, which
+makes every rewriting at least as large.
+"""
+
+import pytest
+
+from _helpers import assert_shape, rewriting_cell
+from repro.evaluation import SYSTEMS
+
+QUERIES = ("q1", "q2", "q3", "q4", "q5")
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_university_cell(benchmark, evaluators, system, query_name):
+    """One (system, query) cell of the U block."""
+    measurement = rewriting_cell(benchmark, evaluators("U"), system, query_name)
+    assert measurement.size >= 1
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_university_x_cell(benchmark, evaluators, system, query_name):
+    """One (system, query) cell of the UX block (auxiliary predicates public)."""
+    measurement = rewriting_cell(benchmark, evaluators("UX"), system, query_name)
+    assert measurement.size >= 1
+
+
+@pytest.mark.parametrize("query_name", ("q2", "q4", "q5"))
+def test_university_row_collapse(benchmark, evaluators, query_name):
+    """Elimination collapses the concept-role-concept queries of U."""
+    row = benchmark.pedantic(evaluators("U").row, args=(query_name,), rounds=1, iterations=1)
+    assert_shape(row, elimination_helps=True, min_collapse=10.0)
+    assert row.cell("NY*").size <= 10
+    benchmark.extra_info.update(row.as_dict())
+
+
+def test_university_x_is_at_least_as_large(benchmark, evaluators):
+    """The UX rewriting of q2 is at least as large as the U rewriting."""
+
+    def both_rows():
+        return evaluators("U").row("q2"), evaluators("UX").row("q2")
+
+    plain, extended = benchmark.pedantic(both_rows, rounds=1, iterations=1)
+    assert extended.cell("NY").size >= plain.cell("NY").size
+    assert extended.cell("RQ").size >= plain.cell("RQ").size
+    benchmark.extra_info["U_NY_size"] = plain.cell("NY").size
+    benchmark.extra_info["UX_NY_size"] = extended.cell("NY").size

@@ -1,0 +1,30 @@
+"""Table 1, block V (VICODI): rewriting size / length / width for q1-q5.
+
+The paper's finding for VICODI is that query elimination brings no benefit
+(``NY`` = ``NY*``): the ontology is a pure taxonomy, so no query atom is
+implied by another one.  QuOnto-style exhaustive factorisation still pays a
+price on q4/q5, where repeated ``hasRole`` atoms unify.
+"""
+
+import pytest
+
+from _helpers import assert_shape, rewriting_cell
+from repro.evaluation import SYSTEMS
+
+QUERIES = ("q1", "q2", "q3", "q4", "q5")
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_vicodi_cell(benchmark, evaluators, system, query_name):
+    """One (system, query) cell of the V block."""
+    measurement = rewriting_cell(benchmark, evaluators("V"), system, query_name)
+    assert measurement.size >= 1
+
+
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_vicodi_row_shape(benchmark, evaluators, query_name):
+    """Qualitative shape of a whole V row: elimination gains nothing."""
+    row = benchmark.pedantic(evaluators("V").row, args=(query_name,), rounds=1, iterations=1)
+    assert_shape(row, elimination_helps=False)
+    benchmark.extra_info.update(row.as_dict())

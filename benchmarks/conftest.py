@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one experiment of the paper (a Table 1 block, a
+figure, or an ablation discussed in the text).  The per-cell machinery lives
+in :mod:`_helpers`; this conftest only provides the session-wide evaluator
+cache so that the four rewriters of a workload are constructed once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation import Table1Evaluator
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="session")
+def evaluators():
+    """Session-wide cache of Table 1 evaluators, one per workload name."""
+    cache: dict[str, Table1Evaluator] = {}
+
+    def get(name: str) -> Table1Evaluator:
+        if name not in cache:
+            cache[name] = Table1Evaluator(get_workload(name))
+        return cache[name]
+
+    return get

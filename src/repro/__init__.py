@@ -1,0 +1,139 @@
+"""repro — ontological query rewriting and optimisation for Datalog±.
+
+A from-scratch reproduction of *Gottlob, Orsi & Pieris, "Ontological Queries:
+Rewriting and Optimization", ICDE 2011* (extended version arXiv:1112.0343):
+
+* the ``TGD-rewrite`` backward-chaining UCQ rewriting algorithm with its
+  restricted factorisation step (Section 5);
+* the query-elimination optimisation for linear TGDs (``TGD-rewrite*``,
+  Section 6), built on dependency graphs, equality types and atom coverage;
+* the supporting substrates: first-order terms and unification, conjunctive
+  queries and containment, TGDs / negative constraints / key dependencies,
+  Datalog± language classifiers, the chase, an in-memory relational engine
+  with SQL export, DL-Lite_R translation, and the baseline rewriters
+  (QuOnto-style, Requiem-style, chase & back-chase) used in the evaluation.
+
+Quick start::
+
+    from repro import Atom, ConjunctiveQuery, Variable, tgd, rewrite
+
+    X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+    sigma = tgd(Atom.of("project", X), Atom.of("has_leader", X, Z))
+    query = ConjunctiveQuery([Atom.of("has_leader", X, Y)], answer_terms=(X,))
+    print(rewrite(query, [sigma]).ucq)
+"""
+
+from .api import AnswerSet, InconsistentTheoryError, OBDASystem
+from .baselines import (
+    ChaseBackchase,
+    QuOntoStyleRewriter,
+    ResolutionRewriter,
+    quonto_rewrite,
+    requiem_rewrite,
+)
+from .evaluation import SYSTEMS, Table1Evaluator, evaluate_workload, format_rows
+from .ontology import DLLiteOntology, parse_ontology, to_theory
+from .workloads import Workload, get_workload, workload_names
+from .core import (
+    CoverageChecker,
+    DependencyGraph,
+    QueryEliminator,
+    RewritingBudgetExceeded,
+    RewritingResult,
+    TGDRewriter,
+    eliminate,
+    rewrite,
+)
+from .chase import ChaseEngine, ChaseResult, certain_answers, chase
+from .database import (
+    QueryEvaluator,
+    Relation,
+    RelationalInstance,
+    RelationalSchema,
+    cq_to_sql,
+    database_from_tuples,
+    evaluate,
+    evaluate_ucq,
+    random_database,
+    ucq_to_sql,
+)
+from .dependencies import (
+    KeyDependency,
+    NegativeConstraint,
+    OntologyTheory,
+    TGD,
+    classify,
+    normalize,
+    tgd,
+    theory,
+)
+from .logic import Atom, Constant, Null, Predicate, Substitution, Variable
+from .metrics import RewritingMetrics, format_table, metrics_table_row, ucq_metrics
+from .queries import ConjunctiveQuery, UnionOfConjunctiveQueries, boolean_query, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerSet",
+    "Atom",
+    "ChaseBackchase",
+    "ChaseEngine",
+    "DLLiteOntology",
+    "QuOntoStyleRewriter",
+    "ResolutionRewriter",
+    "SYSTEMS",
+    "Table1Evaluator",
+    "Workload",
+    "evaluate_workload",
+    "format_rows",
+    "get_workload",
+    "parse_ontology",
+    "parse_query",
+    "quonto_rewrite",
+    "requiem_rewrite",
+    "to_theory",
+    "workload_names",
+    "ChaseResult",
+    "ConjunctiveQuery",
+    "Constant",
+    "CoverageChecker",
+    "DependencyGraph",
+    "InconsistentTheoryError",
+    "KeyDependency",
+    "NegativeConstraint",
+    "Null",
+    "OBDASystem",
+    "OntologyTheory",
+    "Predicate",
+    "QueryEliminator",
+    "QueryEvaluator",
+    "Relation",
+    "RelationalInstance",
+    "RelationalSchema",
+    "RewritingBudgetExceeded",
+    "RewritingMetrics",
+    "RewritingResult",
+    "Substitution",
+    "TGD",
+    "TGDRewriter",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "boolean_query",
+    "certain_answers",
+    "chase",
+    "classify",
+    "cq_to_sql",
+    "database_from_tuples",
+    "eliminate",
+    "evaluate",
+    "evaluate_ucq",
+    "format_table",
+    "metrics_table_row",
+    "normalize",
+    "random_database",
+    "rewrite",
+    "tgd",
+    "theory",
+    "ucq_metrics",
+    "ucq_to_sql",
+]

@@ -1,0 +1,149 @@
+"""High-level OBDA facade.
+
+:class:`OBDASystem` wires the pieces of the library into the workflow that
+the paper motivates (Section 1): an ontology (TGDs + NCs + KDs) sits on top
+of a relational database; conjunctive queries posed against the ontology are
+*compiled* into UCQ rewritings (optionally optimised with query elimination)
+and then executed directly on the database — or exported as SQL for an
+external RDBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .chase.chase import certain_answers as chase_certain_answers
+from .core.rewriter import RewritingResult, TGDRewriter
+from .database.evaluator import QueryEvaluator
+from .database.instance import RelationalInstance
+from .database.schema import RelationalSchema
+from .database.sql import ucq_to_sql
+from .dependencies.theory import OntologyTheory
+from .queries.conjunctive_query import ConjunctiveQuery
+
+
+class InconsistentTheoryError(RuntimeError):
+    """Raised when the database violates a negative constraint or key dependency."""
+
+
+@dataclass
+class AnswerSet:
+    """Answers of an ontological query, with the rewriting that produced them."""
+
+    query: ConjunctiveQuery
+    rewriting: RewritingResult
+    tuples: frozenset[tuple]
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __contains__(self, item) -> bool:
+        return tuple(item) in self.tuples
+
+
+class OBDASystem:
+    """Ontology-based data access over an in-memory relational database."""
+
+    def __init__(
+        self,
+        theory: OntologyTheory,
+        database: RelationalInstance | None = None,
+        use_elimination: bool = True,
+        use_nc_pruning: bool = True,
+        schema: RelationalSchema | None = None,
+    ) -> None:
+        self._theory = theory
+        self._database = database if database is not None else RelationalInstance(schema=schema)
+        self._schema = schema if schema is not None else self._database.schema
+        use_elimination = use_elimination and theory.classification.linear
+        self._rewriter = TGDRewriter(
+            theory,
+            use_elimination=use_elimination,
+            use_nc_pruning=use_nc_pruning,
+        )
+        self._rewriting_cache: dict[ConjunctiveQuery, RewritingResult] = {}
+
+    # -- data management ----------------------------------------------------------
+
+    @property
+    def theory(self) -> OntologyTheory:
+        """The ontological theory (TBox)."""
+        return self._theory
+
+    @property
+    def database(self) -> RelationalInstance:
+        """The underlying database (ABox)."""
+        return self._database
+
+    def add_fact(self, relation_name: str, values: Sequence[object]) -> None:
+        """Insert a tuple of Python values into the database."""
+        self._database.add_tuple(relation_name, values)
+
+    def add_facts(self, facts: Iterable[tuple[str, Sequence[object]]]) -> None:
+        """Insert many ``(relation, values)`` tuples."""
+        for relation_name, values in facts:
+            self.add_fact(relation_name, values)
+
+    # -- consistency ----------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Verify key dependencies and negative constraints (Section 4.2).
+
+        Keys are checked directly on the database (they are separable from
+        the TGDs when the non-conflicting criterion holds); negative
+        constraints are checked as BCQs *after* rewriting them, so that
+        constraint violations entailed through the TGDs are detected too.
+        """
+        for key in self._theory.key_dependencies:
+            if not self._database.satisfies_key(key):
+                raise InconsistentTheoryError(f"key dependency violated: {key!r}")
+        evaluator = QueryEvaluator(self._database)
+        plain_rewriter = TGDRewriter(self._theory.tgds)
+        for constraint in self._theory.negative_constraints:
+            rewriting = plain_rewriter.rewrite(constraint.as_query())
+            if evaluator.entails_ucq(rewriting.ucq):
+                raise InconsistentTheoryError(
+                    f"negative constraint violated: {constraint!r}"
+                )
+
+    def is_consistent(self) -> bool:
+        """``True`` iff the database is consistent with the theory."""
+        try:
+            self.check_consistency()
+        except InconsistentTheoryError:
+            return False
+        return True
+
+    # -- querying -------------------------------------------------------------------------
+
+    def compile(self, query: ConjunctiveQuery) -> RewritingResult:
+        """Compile an ontological query into its perfect UCQ rewriting (cached)."""
+        cached = self._rewriting_cache.get(query)
+        if cached is None:
+            cached = self._rewriter.rewrite(query)
+            self._rewriting_cache[query] = cached
+        return cached
+
+    def answer(self, query: ConjunctiveQuery) -> AnswerSet:
+        """Certain answers of *query* over the ontology and the database."""
+        rewriting = self.compile(query)
+        evaluator = QueryEvaluator(self._database)
+        tuples = evaluator.evaluate_ucq(rewriting.ucq)
+        return AnswerSet(query=query, rewriting=rewriting, tuples=tuples)
+
+    def answer_via_chase(
+        self, query: ConjunctiveQuery, max_depth: int | None = 8
+    ) -> frozenset[tuple]:
+        """Reference answers computed by materialising the chase (test oracle)."""
+        return chase_certain_answers(
+            query, self._database.facts, list(self._rewriter.rules), max_depth=max_depth
+        )
+
+    def to_sql(self, query: ConjunctiveQuery) -> str:
+        """The SQL form of the perfect rewriting of *query*."""
+        rewriting = self.compile(query)
+        return ucq_to_sql(rewriting.ucq, schema=self._schema)

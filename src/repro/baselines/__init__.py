@@ -1,0 +1,34 @@
+"""Baseline systems reproduced for the Table 1 comparison.
+
+* :class:`QuOntoStyleRewriter` — ``QO``: single-atom resolution with
+  exhaustive factorisation (Calvanese et al. / Calì–Gottlob–Pieris AMW'10);
+* :class:`ResolutionRewriter` — ``RQ``: Requiem-style resolution over
+  skolemised rules (Pérez-Urbina, Motik & Horrocks);
+* :class:`ChaseBackchase` — the chase & back-chase minimiser (Deutsch, Popa &
+  Tannen), discussed in Sections 2 and 6.
+"""
+
+from .chase_backchase import BackchaseResult, ChaseBackchase, backchase_minimize
+from .quonto import QuOntoStyleRewriter, quonto_rewrite
+from .resolution import (
+    FunctionalTerm,
+    HornClause,
+    Literal,
+    ResolutionRewriter,
+    requiem_rewrite,
+    unify_literals,
+)
+
+__all__ = [
+    "BackchaseResult",
+    "ChaseBackchase",
+    "FunctionalTerm",
+    "HornClause",
+    "Literal",
+    "QuOntoStyleRewriter",
+    "ResolutionRewriter",
+    "backchase_minimize",
+    "quonto_rewrite",
+    "requiem_rewrite",
+    "unify_literals",
+]

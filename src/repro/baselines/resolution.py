@@ -1,0 +1,504 @@
+"""Requiem-style rewriting: resolution with Skolem functional terms.
+
+This is the comparison system ``RQ`` of Table 1 (Pérez-Urbina, Motik &
+Horrocks, "Efficient query answering for OWL 2").  Instead of handling
+existential quantification through a dedicated factorisation step, the
+algorithm *skolemises* the TGDs — every existential variable becomes a
+functional term over the rule's frontier — and then saturates the query
+clause by SLD-style unfolding against the skolemised rules:
+
+1. each normalised TGD ``φ(X) → ∃Z r(X, Z)`` becomes the Horn clause
+   ``r(X, f_σ(X)) ← φ(X)``;
+2. the query becomes the clause ``q(answer) ← body``;
+3. repeatedly, a body atom of a query clause is resolved against the head of
+   a rule clause (after renaming apart), producing a new query clause; the
+   functional terms make explicit factoring unnecessary, because atoms that
+   originate from the same invented value carry the same ``f_σ(...)`` term
+   and unify on their own;
+4. at fixpoint, clauses still mentioning a function symbol cannot match any
+   database fact and are discarded; the remaining clauses form the UCQ
+   rewriting (optionally pruned of subsumed members, as Requiem's ``RQ``
+   variant does).
+
+Unification here must cope with nested functional terms (occurs check and
+decomposition), so the module carries its own small term/unification layer
+rather than reusing :mod:`repro.logic.unification`, which is deliberately
+restricted to the function-free setting of the paper's algorithms.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+from ..core.rewriter import RewritingResult, RewritingStatistics
+from ..dependencies.normalization import is_normalized, normalize
+from ..dependencies.tgd import TGD
+from ..dependencies.theory import OntologyTheory
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Constant, Term, Variable, is_variable
+from ..queries.conjunctive_query import ConjunctiveQuery
+from ..queries.ucq import QuerySet, UnionOfConjunctiveQueries
+
+
+# ---------------------------------------------------------------------------
+# Terms with Skolem functions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionalTerm:
+    """A Skolem term ``f(t1, ..., tn)`` standing for an invented value."""
+
+    function: str
+    arguments: tuple["SkolemTerm", ...]
+
+    def __repr__(self) -> str:
+        args = ", ".join(str(a) for a in self.arguments)
+        return f"{self.function}({args})"
+
+
+SkolemTerm = Union[Variable, Constant, FunctionalTerm]
+
+
+def term_depth(term: SkolemTerm) -> int:
+    """Nesting depth of functional terms (variables and constants have depth 0)."""
+    if isinstance(term, FunctionalTerm):
+        return 1 + max((term_depth(a) for a in term.arguments), default=0)
+    return 0
+
+
+def term_variables(term: SkolemTerm) -> frozenset[Variable]:
+    """Variables occurring (at any depth) in a term."""
+    if isinstance(term, Variable):
+        return frozenset({term})
+    if isinstance(term, FunctionalTerm):
+        found: set[Variable] = set()
+        for argument in term.arguments:
+            found |= term_variables(argument)
+        return frozenset(found)
+    return frozenset()
+
+
+def contains_function(term: SkolemTerm) -> bool:
+    """``True`` iff the term is or contains a functional term."""
+    return isinstance(term, FunctionalTerm)
+
+
+def substitute_term(term: SkolemTerm, mapping: Mapping[Variable, SkolemTerm]) -> SkolemTerm:
+    """Apply a variable substitution inside a (possibly functional) term."""
+    if isinstance(term, Variable):
+        return mapping.get(term, term)
+    if isinstance(term, FunctionalTerm):
+        return FunctionalTerm(
+            term.function, tuple(substitute_term(a, mapping) for a in term.arguments)
+        )
+    return term
+
+
+# ---------------------------------------------------------------------------
+# Literals and clauses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An atom whose arguments may be Skolem terms."""
+
+    predicate: Predicate
+    terms: tuple[SkolemTerm, ...]
+
+    @staticmethod
+    def from_atom(atom: Atom) -> "Literal":
+        """Lift a function-free atom into a literal."""
+        return Literal(atom.predicate, tuple(atom.terms))
+
+    def to_atom(self) -> Atom:
+        """Lower a function-free literal back to an atom (raises otherwise)."""
+        if self.has_functions():
+            raise ValueError(f"{self!r} contains functional terms")
+        return Atom(self.predicate, self.terms)
+
+    def has_functions(self) -> bool:
+        """``True`` iff some argument contains a functional term."""
+        return any(contains_function(t) for t in self.terms)
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables occurring in the literal."""
+        found: set[Variable] = set()
+        for term in self.terms:
+            found |= term_variables(term)
+        return frozenset(found)
+
+    def depth(self) -> int:
+        """Maximum functional nesting depth over the arguments."""
+        return max((term_depth(t) for t in self.terms), default=0)
+
+    def apply(self, mapping: Mapping[Variable, SkolemTerm]) -> "Literal":
+        """Apply a substitution to all arguments."""
+        return Literal(self.predicate, tuple(substitute_term(t, mapping) for t in self.terms))
+
+    def __repr__(self) -> str:
+        args = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate.name}({args})"
+
+
+@dataclass(frozen=True)
+class HornClause:
+    """A Horn clause ``head ← body`` over literals."""
+
+    head: Literal
+    body: tuple[Literal, ...]
+
+    def variables(self) -> frozenset[Variable]:
+        """All variables of the clause."""
+        found = set(self.head.variables())
+        for literal in self.body:
+            found |= literal.variables()
+        return frozenset(found)
+
+    def depth(self) -> int:
+        """Maximum functional nesting depth across all literals."""
+        depths = [self.head.depth()] + [literal.depth() for literal in self.body]
+        return max(depths)
+
+    def has_functions(self) -> bool:
+        """``True`` iff any literal carries a functional term."""
+        return self.head.has_functions() or any(l.has_functions() for l in self.body)
+
+    def apply(self, mapping: Mapping[Variable, SkolemTerm]) -> "HornClause":
+        """Apply a substitution to head and body."""
+        return HornClause(self.head.apply(mapping), tuple(l.apply(mapping) for l in self.body))
+
+    def rename(self, suffix: str) -> "HornClause":
+        """Rename every variable of the clause by appending *suffix*."""
+        mapping = {v: Variable(f"{v.name}_{suffix}") for v in self.variables()}
+        return self.apply(mapping)
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(l) for l in self.body)
+        return f"{self.head!r} <- {body}"
+
+
+# ---------------------------------------------------------------------------
+# Unification over Skolem terms
+# ---------------------------------------------------------------------------
+
+
+def unify_skolem_terms(
+    left: SkolemTerm, right: SkolemTerm, mapping: dict[Variable, SkolemTerm]
+) -> dict[Variable, SkolemTerm] | None:
+    """Extend *mapping* so that the two terms become equal, or return ``None``."""
+    left = _resolve(left, mapping)
+    right = _resolve(right, mapping)
+    if left == right:
+        return mapping
+    if isinstance(left, Variable):
+        if left in term_variables(right):
+            return None  # occurs check
+        mapping[left] = right
+        return mapping
+    if isinstance(right, Variable):
+        if right in term_variables(left):
+            return None
+        mapping[right] = left
+        return mapping
+    if isinstance(left, FunctionalTerm) and isinstance(right, FunctionalTerm):
+        if left.function != right.function or len(left.arguments) != len(right.arguments):
+            return None
+        for l_arg, r_arg in zip(left.arguments, right.arguments):
+            if unify_skolem_terms(l_arg, r_arg, mapping) is None:
+                return None
+        return mapping
+    return None  # constant vs constant / constant vs function mismatch
+
+
+def _resolve(term: SkolemTerm, mapping: Mapping[Variable, SkolemTerm]) -> SkolemTerm:
+    """Chase variable bindings (and rewrite below function symbols)."""
+    while isinstance(term, Variable) and term in mapping:
+        term = mapping[term]
+    if isinstance(term, FunctionalTerm):
+        return FunctionalTerm(term.function, tuple(_resolve(a, mapping) for a in term.arguments))
+    return term
+
+
+def unify_literals(left: Literal, right: Literal) -> dict[Variable, SkolemTerm] | None:
+    """MGU of two literals, or ``None`` if they do not unify."""
+    if left.predicate != right.predicate:
+        return None
+    mapping: dict[Variable, SkolemTerm] = {}
+    for l_term, r_term in zip(left.terms, right.terms):
+        if unify_skolem_terms(l_term, r_term, mapping) is None:
+            return None
+    # Normalise: fully resolve every binding so application is idempotent.
+    return {variable: _resolve(value, mapping) for variable, value in mapping.items()}
+
+
+# ---------------------------------------------------------------------------
+# The rewriter
+# ---------------------------------------------------------------------------
+
+
+class ResolutionRewriter:
+    """Requiem-style resolution/unfolding rewriter.
+
+    Parameters
+    ----------
+    rules:
+        The TGDs Σ (normalised automatically).
+    prune_subsumed:
+        When ``True`` (Requiem's ``RQ`` mode) subsumed CQs are removed from
+        the final UCQ; when ``False`` (the ``RQr`` mode) only variants are
+        deduplicated.
+    max_depth:
+        Bound on the nesting depth of Skolem terms in intermediate clauses; a
+        clause exceeding it is discarded.  Linear and DL-Lite rule sets never
+        need depth beyond the number of rules, so the default is generous.
+    max_clauses:
+        Safety budget on the number of generated clauses.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[TGD] | OntologyTheory,
+        prune_subsumed: bool = True,
+        max_depth: int = 10,
+        max_clauses: int = 200_000,
+    ) -> None:
+        if isinstance(rules, OntologyTheory):
+            rules = rules.tgds
+        rules = list(rules)
+        internal_predicates: frozenset = frozenset()
+        if not is_normalized(rules):
+            normalization = normalize(rules)
+            rules = list(normalization.rules)
+            internal_predicates = frozenset(normalization.auxiliary_predicates)
+        self._rules: tuple[TGD, ...] = tuple(rules)
+        # Clauses over auxiliary predicates invented by the internal
+        # normalisation can never match stored facts; they are dropped from
+        # the harvested UCQ.
+        self._internal_predicates = internal_predicates
+        self._prune_subsumed = prune_subsumed
+        self._max_depth = max_depth
+        self._max_clauses = max_clauses
+        self._rule_clauses: tuple[HornClause, ...] = tuple(
+            self._skolemize(rule, index) for index, rule in enumerate(rules)
+        )
+        self._clauses_by_head: dict[Predicate, list[HornClause]] = {}
+        for clause in self._rule_clauses:
+            self._clauses_by_head.setdefault(clause.head.predicate, []).append(clause)
+
+    @property
+    def rules(self) -> tuple[TGD, ...]:
+        """The (normalised) TGDs used for rewriting."""
+        return self._rules
+
+    @property
+    def rule_clauses(self) -> tuple[HornClause, ...]:
+        """The skolemised Horn clauses of the rule set."""
+        return self._rule_clauses
+
+    # -- skolemisation ---------------------------------------------------------
+
+    @staticmethod
+    def _skolemize(rule: TGD, index: int) -> HornClause:
+        """Turn a normalised TGD into a Horn clause with Skolem functions."""
+        head_atom = rule.head[0]
+        frontier = tuple(sorted(rule.frontier, key=str))
+        replacements: dict[Variable, SkolemTerm] = {
+            variable: FunctionalTerm(f"f{index}_{variable.name}", frontier)
+            for variable in rule.existential_variables
+        }
+        head = Literal.from_atom(head_atom).apply(replacements)
+        body = tuple(Literal.from_atom(atom) for atom in rule.body)
+        return HornClause(head, body)
+
+    # -- rewriting --------------------------------------------------------------
+
+    def rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
+        """Compute the resolution-based perfect rewriting of *query*."""
+        start = time.perf_counter()
+        statistics = RewritingStatistics()
+
+        head = Literal(
+            Predicate(query.head_name, query.arity), tuple(query.answer_terms)
+        )
+        initial = HornClause(head, tuple(Literal.from_atom(a) for a in query.body))
+
+        seen: list[HornClause] = []
+        seen_keys: set[tuple] = set()
+        worklist: list[HornClause] = [initial]
+        counter = itertools.count(1)
+
+        def register(clause: HornClause) -> bool:
+            key = _clause_key(clause)
+            if key in seen_keys:
+                return False
+            seen_keys.add(key)
+            seen.append(clause)
+            return True
+
+        register(initial)
+        while worklist:
+            clause = worklist.pop()
+            statistics.processed_queries += 1
+            for resolvent in self._resolvents(clause, next(counter)):
+                if resolvent.depth() > self._max_depth:
+                    continue
+                if self._is_dead(resolvent):
+                    statistics.pruned_by_constraints += 1
+                    continue
+                if register(resolvent):
+                    worklist.append(resolvent)
+                    statistics.generated_by_rewriting += 1
+            if len(seen) > self._max_clauses:
+                raise RuntimeError(
+                    f"resolution rewriting exceeded the budget of {self._max_clauses} clauses"
+                )
+
+        queries = self._harvest(seen, query)
+        statistics.elapsed_seconds = time.perf_counter() - start
+        return RewritingResult(
+            query=query,
+            rules=self._rules,
+            ucq=queries,
+            statistics=statistics,
+        )
+
+    def _resolvents(self, clause: HornClause, step: int) -> Iterator[HornClause]:
+        """All clauses obtained by unfolding one body literal against one rule.
+
+        Rule clauses are indexed by head predicate and renamed apart only when
+        the predicates actually match, which keeps the saturation loop cheap.
+        """
+        for position, literal in enumerate(clause.body):
+            candidates = self._clauses_by_head.get(literal.predicate, ())
+            for rule_index, rule_clause in enumerate(candidates):
+                renamed = rule_clause.rename(f"{step}_{rule_index}")
+                unifier = unify_literals(literal, renamed.head)
+                if unifier is None:
+                    continue
+                new_body = (
+                    clause.body[:position] + renamed.body + clause.body[position + 1 :]
+                )
+                resolvent = HornClause(clause.head, new_body).apply(unifier)
+                yield _dedupe_body(resolvent)
+
+    def _is_dead(self, clause: HornClause) -> bool:
+        """Sound pruning of clauses that can never yield a function-free CQ.
+
+        * A functional term in the **head** can never be removed (resolution
+          only rewrites body literals), and an answer containing an invented
+          value is never a certain answer, so the clause is useless.
+        * A **body** literal containing a functional term can never match a
+          database fact; if additionally no rule clause head unifies with it,
+          it can never be resolved away either, so the clause is dead.
+
+        Both checks are cheap (predicate-indexed) and dramatically shrink the
+        saturation space on hierarchy-heavy ontologies, where invented values
+        would otherwise be pushed pointlessly down whole concept taxonomies.
+        """
+        if clause.head.has_functions():
+            return True
+        for literal in clause.body:
+            if not literal.has_functions():
+                continue
+            candidates = self._clauses_by_head.get(literal.predicate, ())
+            if not any(
+                unify_literals(literal, candidate.rename("dead_check").head) is not None
+                for candidate in candidates
+            ):
+                return True
+        return False
+
+    def _harvest(
+        self, clauses: Sequence[HornClause], query: ConjunctiveQuery
+    ) -> UnionOfConjunctiveQueries:
+        """Keep function-free clauses, convert them to CQs and deduplicate."""
+        store = QuerySet()
+        for clause in clauses:
+            if clause.has_functions():
+                continue
+            if any(
+                literal.predicate in self._internal_predicates for literal in clause.body
+            ):
+                continue
+            body = tuple(literal.to_atom() for literal in clause.body)
+            answers = tuple(clause.head.terms)
+            store.add(ConjunctiveQuery(body, answers, query.head_name))
+        ucq = store.to_ucq()
+        if self._prune_subsumed:
+            ucq = ucq.remove_subsumed()
+        return ucq
+
+
+def _dedupe_body(clause: HornClause) -> HornClause:
+    """Collapse duplicate body literals (a conjunction is a set of atoms)."""
+    unique: list[Literal] = []
+    seen: set[Literal] = set()
+    for literal in clause.body:
+        if literal not in seen:
+            seen.add(literal)
+            unique.append(literal)
+    return HornClause(clause.head, tuple(unique))
+
+
+def _structural_tag(term: SkolemTerm) -> tuple:
+    """A renaming-invariant description of a term (every variable looks alike)."""
+    if isinstance(term, Variable):
+        return ("v",)
+    if isinstance(term, FunctionalTerm):
+        return ("f", term.function, tuple(_structural_tag(a) for a in term.arguments))
+    return ("c", str(term))
+
+
+def _literal_tag(literal: Literal) -> tuple:
+    """A renaming-invariant sort key for body literals."""
+    return (
+        literal.predicate.name,
+        literal.predicate.arity,
+        tuple(_structural_tag(t) for t in literal.terms),
+    )
+
+
+def _clause_key(clause: HornClause) -> tuple:
+    """A canonical key identifying a clause modulo variable renaming.
+
+    Body literals are first sorted by a renaming-invariant structural tag,
+    then variables are numbered in order of first occurrence (head first,
+    body next).  Two clauses that differ only by a variable renaming almost
+    always receive the same key (ties between structurally identical literals
+    can, in rare cases, keep two variants apart — which only costs a little
+    extra work, never correctness).
+    """
+    numbering: dict[Variable, int] = {}
+
+    def canonical(term: SkolemTerm):
+        if isinstance(term, Variable):
+            if term not in numbering:
+                numbering[term] = len(numbering)
+            return ("v", numbering[term])
+        if isinstance(term, FunctionalTerm):
+            return ("f", term.function, tuple(canonical(a) for a in term.arguments))
+        return ("c", str(term))
+
+    head_key = (clause.head.predicate.name, tuple(canonical(t) for t in clause.head.terms))
+    body_sorted = sorted(clause.body, key=_literal_tag)
+    body_key = tuple(
+        (literal.predicate.name, tuple(canonical(t) for t in literal.terms))
+        for literal in body_sorted
+    )
+    return (head_key, body_key)
+
+
+def requiem_rewrite(
+    query: ConjunctiveQuery,
+    rules: Sequence[TGD] | OntologyTheory,
+    prune_subsumed: bool = True,
+    max_depth: int = 10,
+) -> RewritingResult:
+    """One-shot Requiem-style rewriting."""
+    rewriter = ResolutionRewriter(rules, prune_subsumed=prune_subsumed, max_depth=max_depth)
+    return rewriter.rewrite(query)

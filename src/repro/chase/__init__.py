@@ -1,0 +1,11 @@
+"""The TGD chase: universal-model construction and chase-based query answering."""
+
+from .chase import ChaseEngine, ChaseResult, certain_answers, chase, chase_entails
+
+__all__ = [
+    "ChaseEngine",
+    "ChaseResult",
+    "certain_answers",
+    "chase",
+    "chase_entails",
+]

@@ -1,0 +1,229 @@
+"""The TGD chase procedure (Section 3.3).
+
+The chase repairs a database with respect to a set of TGDs by repeatedly
+applying the **TGD chase rule**: whenever a homomorphism ``h`` maps the body
+of a TGD into the current instance, extend ``h`` to the existential variables
+with *fresh labelled nulls* and add the image of the head.  The (possibly
+infinite) result is a *universal model*: a BCQ is entailed by ``D ∪ Σ`` iff
+it is entailed by ``chase(D, Σ)``.
+
+Two standard variants are provided:
+
+* the **oblivious** chase applies a TGD for *every* body homomorphism that
+  has not been used before (simpler, produces more atoms);
+* the **restricted** (standard) chase applies a TGD only when the head is not
+  already satisfied by an extension of the homomorphism (produces fewer
+  atoms, terminates more often).
+
+Both proceed breadth-first (level by level), as required by the paper's
+definition, and can be bounded by a maximum derivation depth and/or a maximum
+number of atoms — the bound is what makes the chase usable as a *test oracle*
+for FO-rewritability experiments even when the unbounded chase is infinite
+(e.g. the Stock-Exchange example, where ``stock ↔ stock_portf`` rules cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..logic.atoms import Atom
+from ..logic.homomorphism import find_homomorphism, homomorphisms
+from ..logic.substitution import Substitution
+from ..logic.terms import NullFactory, Term, is_variable
+from ..dependencies.tgd import TGD
+from ..queries.conjunctive_query import ConjunctiveQuery
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a (possibly truncated) chase run.
+
+    Attributes
+    ----------
+    atoms:
+        The atoms of the chase instance (database facts plus derived atoms).
+    levels:
+        Maps each atom to the chase level at which it first appeared
+        (database atoms are level 0).
+    applications:
+        Number of successful TGD-rule applications.
+    exhausted:
+        ``True`` when a fixpoint was reached (no TGD applicable any more);
+        ``False`` when the run stopped because a bound was hit.
+    """
+
+    atoms: set[Atom] = field(default_factory=set)
+    levels: dict[Atom, int] = field(default_factory=dict)
+    applications: int = 0
+    exhausted: bool = False
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self.atoms
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def atoms_at_level(self, level: int) -> frozenset[Atom]:
+        """Atoms first derived at the given chase level."""
+        return frozenset(a for a, lvl in self.levels.items() if lvl == level)
+
+    @property
+    def max_level(self) -> int:
+        """The deepest chase level reached."""
+        return max(self.levels.values(), default=0)
+
+
+class ChaseEngine:
+    """Breadth-first chase engine with optional bounds."""
+
+    def __init__(
+        self,
+        rules: Sequence[TGD],
+        variant: str = "restricted",
+        max_depth: int | None = None,
+        max_atoms: int | None = None,
+    ) -> None:
+        if variant not in {"restricted", "oblivious"}:
+            raise ValueError(f"unknown chase variant {variant!r}")
+        self._rules = list(rules)
+        self._variant = variant
+        self._max_depth = max_depth
+        self._max_atoms = max_atoms
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, database: Iterable[Atom]) -> ChaseResult:
+        """Chase *database* with the engine's rules."""
+        result = ChaseResult()
+        nulls = NullFactory()
+        for atom in database:
+            if atom not in result.atoms:
+                result.atoms.add(atom)
+                result.levels[atom] = 0
+
+        seen_triggers: set[tuple[int, tuple[tuple[Term, Term], ...]]] = set()
+        level = 0
+        frontier = set(result.atoms)
+        while frontier:
+            if self._max_depth is not None and level >= self._max_depth:
+                return result
+            level += 1
+            new_atoms: set[Atom] = set()
+            for rule_index, rule in enumerate(self._rules):
+                for trigger in self._triggers(rule, result.atoms, frontier):
+                    key = (
+                        rule_index,
+                        tuple(sorted(trigger.as_dict().items(), key=lambda kv: str(kv[0]))),
+                    )
+                    if key in seen_triggers:
+                        continue
+                    seen_triggers.add(key)
+                    if self._variant == "restricted" and self._head_satisfied(
+                        rule, trigger, result.atoms | new_atoms
+                    ):
+                        continue
+                    derived = self._apply(rule, trigger, nulls)
+                    result.applications += 1
+                    for atom in derived:
+                        if atom not in result.atoms and atom not in new_atoms:
+                            new_atoms.add(atom)
+                    if (
+                        self._max_atoms is not None
+                        and len(result.atoms) + len(new_atoms) >= self._max_atoms
+                    ):
+                        for atom in new_atoms:
+                            result.atoms.add(atom)
+                            result.levels.setdefault(atom, level)
+                        return result
+            for atom in new_atoms:
+                result.atoms.add(atom)
+                result.levels.setdefault(atom, level)
+            frontier = new_atoms
+        result.exhausted = True
+        return result
+
+    # -- internals ---------------------------------------------------------------
+
+    def _triggers(
+        self, rule: TGD, instance: set[Atom], frontier: set[Atom]
+    ) -> Iterable[Substitution]:
+        """Homomorphisms from the rule body into the instance.
+
+        To keep the breadth-first discipline efficient, only homomorphisms
+        whose image intersects the current frontier are considered after the
+        first level (others were already tried at an earlier level).
+        """
+        for hom in homomorphisms(rule.body, instance):
+            image = {hom.apply_atom(atom) for atom in rule.body}
+            if frontier is not instance and not image & frontier:
+                continue
+            yield hom.restrict(rule.body_variables)
+
+    def _head_satisfied(
+        self, rule: TGD, trigger: Substitution, instance: set[Atom]
+    ) -> bool:
+        """Restricted-chase check: does some extension of *trigger* satisfy the head?"""
+        partial = {
+            variable: trigger.apply_term(variable)
+            for variable in rule.frontier
+        }
+        return find_homomorphism(rule.head, instance, partial=partial) is not None
+
+    def _apply(
+        self, rule: TGD, trigger: Substitution, nulls: NullFactory
+    ) -> tuple[Atom, ...]:
+        """Fire the TGD chase rule for *trigger*, inventing fresh nulls."""
+        extension: dict[Term, Term] = dict(trigger.as_dict())
+        for variable in sorted(rule.existential_variables, key=str):
+            extension[variable] = nulls()
+        substitution = Substitution(extension)
+        return substitution.apply_atoms(rule.head)
+
+
+def chase(
+    database: Iterable[Atom],
+    rules: Sequence[TGD],
+    variant: str = "restricted",
+    max_depth: int | None = None,
+    max_atoms: int | None = None,
+) -> ChaseResult:
+    """Convenience wrapper around :class:`ChaseEngine`."""
+    engine = ChaseEngine(rules, variant=variant, max_depth=max_depth, max_atoms=max_atoms)
+    return engine.run(database)
+
+
+def chase_entails(
+    result: ChaseResult, query: ConjunctiveQuery
+) -> bool:
+    """``True`` iff the chase instance entails the BCQ *query*."""
+    return find_homomorphism(query.body, result.atoms) is not None
+
+
+def certain_answers(
+    query: ConjunctiveQuery,
+    database: Iterable[Atom],
+    rules: Sequence[TGD],
+    variant: str = "restricted",
+    max_depth: int | None = None,
+    max_atoms: int | None = None,
+) -> frozenset[tuple]:
+    """Certain answers of *query* over ``database ∪ rules`` via the chase.
+
+    Evaluates the query over the (possibly truncated) chase and keeps only the
+    tuples made of constants, as required by the certain-answer semantics
+    (labelled nulls are not certain values).  When the chase is truncated the
+    result is a sound under-approximation of the certain answers; with a
+    terminating (or sufficiently deep) chase it is exact.
+    """
+    from ..logic.terms import is_constant
+
+    result = chase(
+        database, rules, variant=variant, max_depth=max_depth, max_atoms=max_atoms
+    )
+    answers: set[tuple] = set()
+    for hom in homomorphisms(query.body, result.atoms):
+        answer = tuple(hom.apply_term(term) for term in query.answer_terms)
+        if all(is_constant(value) for value in answer):
+            answers.add(answer)
+    return frozenset(answers)

@@ -1,0 +1,55 @@
+"""The paper's contribution: TGD-rewrite, query elimination and their building blocks."""
+
+from .applicability import (
+    FactorizableSet,
+    applicable_atom_sets,
+    factorizable_sets,
+    is_applicable,
+    is_factorizable,
+)
+from .coverage import CoverageChecker, CoverageWitness, covers
+from .dependency_graph import DependencyEdge, DependencyGraph
+from .elimination import EliminationResult, QueryEliminator, eliminate
+from .equality_types import (
+    ConstantEquality,
+    EqualityType,
+    PositionEquality,
+    eq_subset,
+    equality_type,
+)
+from .nc_pruning import NegativeConstraintPruner, prune_unsatisfiable
+from .rewriter import (
+    RewritingBudgetExceeded,
+    RewritingResult,
+    RewritingStatistics,
+    TGDRewriter,
+    rewrite,
+)
+
+__all__ = [
+    "ConstantEquality",
+    "CoverageChecker",
+    "CoverageWitness",
+    "DependencyEdge",
+    "DependencyGraph",
+    "EliminationResult",
+    "EqualityType",
+    "FactorizableSet",
+    "NegativeConstraintPruner",
+    "PositionEquality",
+    "QueryEliminator",
+    "RewritingBudgetExceeded",
+    "RewritingResult",
+    "RewritingStatistics",
+    "TGDRewriter",
+    "applicable_atom_sets",
+    "covers",
+    "eliminate",
+    "eq_subset",
+    "equality_type",
+    "factorizable_sets",
+    "is_applicable",
+    "is_factorizable",
+    "prune_unsatisfiable",
+    "rewrite",
+]

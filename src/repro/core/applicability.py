@@ -1,0 +1,168 @@
+"""Applicability and factorizability (Definitions 1 and 2 of the paper).
+
+These two notions drive the rewriting algorithm of Section 5:
+
+* **Applicability** (Definition 1) tells when a TGD ``σ`` may be used as a
+  rewriting rule on a set ``A`` of body atoms of a query ``q``:
+  ``A ∪ {head(σ)}`` must unify, and no atom of ``A`` may hold a constant or a
+  *shared* variable of ``q`` at the existential position ``πσ`` of the head.
+  Dropping the condition makes the rewriting unsound (Example 3).
+
+* **Factorizability** (Definition 2) identifies sets of atoms whose shared
+  existential variable necessarily comes from one and the same chase atom, so
+  they can be unified without loss of information.  The restricted
+  factorisation step is what keeps the rewriting complete (Example 4) without
+  the exhaustive factorisations of QuOnto-style algorithms.
+
+Both are stated for a *normalised* TGD: single head atom, at most one
+existential variable occurring once, so ``πσ`` is well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..logic.atoms import Atom
+from ..logic.substitution import Substitution
+from ..logic.terms import Variable, is_constant, is_variable
+from ..logic.unification import mgu
+from ..dependencies.tgd import TGD
+from ..queries.conjunctive_query import ConjunctiveQuery
+
+
+def is_applicable(
+    rule: TGD, atoms: Sequence[Atom], query: ConjunctiveQuery
+) -> bool:
+    """Definition 1: is *rule* applicable to the set *atoms* ⊆ body(*query*)?
+
+    Assumes the rule is normalised and its variables are disjoint from the
+    query's (callers rename the rule apart first).
+    """
+    if not rule.is_single_head:
+        raise ValueError(f"{rule!r} must be normalised (single head atom)")
+    atoms = list(atoms)
+    if not atoms:
+        return False
+    head_atom = rule.head[0]
+    if any(atom.predicate != head_atom.predicate for atom in atoms):
+        return False
+    # Condition (i): A ∪ {head(σ)} unifies.
+    if mgu(atoms + [head_atom]) is None:
+        return False
+    # Condition (ii): no constant / shared variable of q sits at πσ.
+    existential_position = rule.existential_position
+    if existential_position is None:
+        return True
+    index = existential_position.index
+    for atom in atoms:
+        term = atom[index]
+        if is_constant(term) or query.is_shared(term):
+            return False
+    return True
+
+
+def applicable_atom_sets(
+    rule: TGD, query: ConjunctiveQuery
+) -> Iterator[tuple[Atom, ...]]:
+    """Enumerate the subsets ``A ⊆ body(q)`` to which *rule* is applicable.
+
+    Only atoms whose predicate matches the rule's head predicate can belong
+    to such a set, so the enumeration is over the non-empty subsets of those
+    candidate atoms (singletons first, then growing, in a deterministic
+    order).  In the vast majority of cases this is a handful of atoms.
+    """
+    if not rule.is_single_head:
+        raise ValueError(f"{rule!r} must be normalised (single head atom)")
+    head_predicate = rule.head[0].predicate
+    candidates = [atom for atom in query.body if atom.predicate == head_predicate]
+    if not candidates:
+        return
+    total = len(candidates)
+    # Enumerate subsets ordered by size (stable order within a size).
+    for size in range(1, total + 1):
+        for subset in _combinations(candidates, size):
+            if is_applicable(rule, subset, query):
+                yield tuple(subset)
+
+
+def _combinations(items: Sequence[Atom], size: int) -> Iterator[tuple[Atom, ...]]:
+    """Deterministic k-subsets of *items* preserving input order."""
+    from itertools import combinations
+
+    yield from combinations(items, size)
+
+
+@dataclass(frozen=True)
+class FactorizableSet:
+    """A factorizable set ``S`` together with its witnessing variable and MGU."""
+
+    atoms: tuple[Atom, ...]
+    variable: Variable
+    unifier: Substitution
+
+
+def factorizable_sets(
+    rule: TGD, query: ConjunctiveQuery
+) -> Iterator[FactorizableSet]:
+    """Enumerate the sets ``S ⊆ body(q)`` factorizable w.r.t. *rule* (Definition 2).
+
+    For a normalised rule with existential position ``πσ``, a set ``S`` is
+    factorizable iff there is a variable ``V`` occurring in every atom of
+    ``S`` *only at position* ``πσ`` and nowhere else in the query (body
+    outside ``S``, nor in the head for non-Boolean queries).  Consequently
+    ``S`` is exactly the set of body atoms containing ``V``, which makes the
+    enumeration linear in the number of query variables.
+    """
+    if not rule.is_single_head:
+        raise ValueError(f"{rule!r} must be normalised (single head atom)")
+    existential_position = rule.existential_position
+    if existential_position is None:
+        return
+    head_predicate = rule.head[0].predicate
+    index = existential_position.index
+
+    atoms_with_variable: dict[Variable, list[Atom]] = {}
+    for atom in query.body:
+        for term in set(atom.terms):
+            if is_variable(term):
+                atoms_with_variable.setdefault(term, []).append(atom)
+
+    for variable in sorted(atoms_with_variable, key=str):
+        atoms = atoms_with_variable[variable]
+        if len(atoms) < 2:
+            continue
+        if variable in query.answer_variables:
+            # For non-Boolean CQs the witnessing variable must not occur in
+            # the head, otherwise unifying would lose an answer binding.
+            continue
+        if any(atom.predicate != head_predicate for atom in atoms):
+            continue
+        # V must occur only at πσ in every atom of S.
+        occurs_elsewhere = False
+        for atom in atoms:
+            for position, term in enumerate(atom.terms, start=1):
+                if term == variable and position != index:
+                    occurs_elsewhere = True
+                    break
+            if occurs_elsewhere:
+                break
+        if occurs_elsewhere:
+            continue
+        unifier = mgu(atoms)
+        if unifier is None:
+            continue
+        yield FactorizableSet(tuple(atoms), variable, unifier)
+
+
+def is_factorizable(
+    rule: TGD, atoms: Sequence[Atom], query: ConjunctiveQuery
+) -> bool:
+    """Definition 2 membership test for an explicit candidate set *atoms*."""
+    atom_set = set(atoms)
+    if len(atom_set) < 2:
+        return False
+    for candidate in factorizable_sets(rule, query):
+        if set(candidate.atoms) == atom_set:
+            return True
+    return False

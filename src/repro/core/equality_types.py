@@ -1,0 +1,105 @@
+"""Equality types of atoms (Definition 4).
+
+The equality type ``eq(a)`` of an atom ``a = r(t1, ..., tn)`` records which
+positions of ``a`` carry the same (non-constant) term and which positions
+carry which constant:
+
+``eq(a) = {r[i] = r[j] | ti, tj ∉ Δc and ti = tj} ∪ {r[i] = c | ti = c ∈ Δc}``
+
+Equality types describe when the atom produced by firing a TGD during the
+chase is guaranteed to trigger the next TGD of a chain:
+``eq(body(σ')) ⊆ eq(head(σ))`` ensures a substitution maps ``body(σ')`` onto
+``head(σ)``, hence the chain propagates (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from ..logic.atoms import Atom
+from ..logic.terms import is_constant
+
+
+@dataclass(frozen=True)
+@total_ordering
+class PositionEquality:
+    """``r[i] = r[j]``: the same non-constant term occurs at positions *i* and *j*."""
+
+    left: int
+    right: int
+
+    def __post_init__(self) -> None:
+        if self.left >= self.right:
+            raise ValueError("PositionEquality expects left < right")
+
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, PositionEquality):
+            return (self.left, self.right) < (other.left, other.right)
+        return NotImplemented  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return f"[{self.left}]=[{self.right}]"
+
+
+@dataclass(frozen=True)
+class ConstantEquality:
+    """``r[i] = c``: the constant *c* occurs at position *i*."""
+
+    position: int
+    constant: object
+
+    def __repr__(self) -> str:
+        return f"[{self.position}]={self.constant}"
+
+
+@dataclass(frozen=True)
+class EqualityType:
+    """The equality type of an atom: its predicate plus the equalities it satisfies.
+
+    The predicate is kept so that subset comparisons between equality types of
+    atoms over *different* predicates are rejected (a chain condition such as
+    ``eq(body(σ')) ⊆ eq(head(σ))`` only makes sense when the two atoms share
+    the predicate, which is implicit in the paper's path construction).
+    """
+
+    predicate_name: str
+    arity: int
+    equalities: frozenset
+
+    def is_subset_of(self, other: "EqualityType") -> bool:
+        """``True`` iff both atoms share the predicate and the equalities are included."""
+        return (
+            self.predicate_name == other.predicate_name
+            and self.arity == other.arity
+            and self.equalities <= other.equalities
+        )
+
+    def __le__(self, other: "EqualityType") -> bool:
+        return self.is_subset_of(other)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{self.predicate_name}{e!r}" for e in sorted(self.equalities, key=repr)
+        )
+        return "{" + inner + "}"
+
+
+def equality_type(atom: Atom) -> EqualityType:
+    """Compute ``eq(atom)`` per Definition 4."""
+    equalities: set = set()
+    for i in range(1, atom.arity + 1):
+        term_i = atom[i]
+        if is_constant(term_i):
+            equalities.add(ConstantEquality(i, term_i.value))
+            continue
+        for j in range(i + 1, atom.arity + 1):
+            term_j = atom[j]
+            if not is_constant(term_j) and term_i == term_j:
+                equalities.add(PositionEquality(i, j))
+    return EqualityType(atom.name, atom.arity, frozenset(equalities))
+
+
+def eq_subset(inner: Atom, outer: Atom) -> bool:
+    """``eq(inner) ⊆ eq(outer)`` — the chain-propagation condition of Section 6."""
+    return equality_type(inner).is_subset_of(equality_type(outer))

@@ -1,0 +1,58 @@
+"""Pruning the rewriting with negative constraints (Section 5.1).
+
+Under the standing assumption that the theory ``D ∪ Σ ∪ Σ⊥`` is consistent,
+any CQ generated during the rewriting whose body embeds the body of a
+negative constraint can never be entailed by ``chase(D, Σ)`` — evaluating it
+would witness a violation of the constraint.  Such queries (and everything
+that would be generated from them) can therefore be dropped from the
+rewriting without affecting completeness, further shrinking the output.
+
+If the *input* query itself embeds a constraint body, the rewriting is the
+empty UCQ: the query is unsatisfiable w.r.t. every consistent database.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..logic.homomorphism import has_homomorphism
+from ..dependencies.constraints import NegativeConstraint
+from ..queries.conjunctive_query import ConjunctiveQuery
+
+
+class NegativeConstraintPruner:
+    """Checks queries against a set of negative constraints."""
+
+    def __init__(self, constraints: Iterable[NegativeConstraint]) -> None:
+        self._constraints = tuple(constraints)
+
+    @property
+    def constraints(self) -> tuple[NegativeConstraint, ...]:
+        """The negative constraints used for pruning."""
+        return self._constraints
+
+    def violated_by(self, query: ConjunctiveQuery) -> NegativeConstraint | None:
+        """Return a constraint whose body maps into ``body(query)``, if any.
+
+        The query's terms are frozen (its variables act as constants of the
+        canonical database), so the check is exactly "does the BCQ of the
+        constraint answer positively on the canonical database of the query".
+        """
+        frozen_body, _ = query.freeze()
+        for constraint in self._constraints:
+            if has_homomorphism(constraint.body, frozen_body):
+                return constraint
+        return None
+
+    def is_unsatisfiable(self, query: ConjunctiveQuery) -> bool:
+        """``True`` iff the query can be pruned (it embeds some constraint body)."""
+        return self.violated_by(query) is not None
+
+
+def prune_unsatisfiable(
+    queries: Sequence[ConjunctiveQuery],
+    constraints: Iterable[NegativeConstraint],
+) -> list[ConjunctiveQuery]:
+    """Filter out the queries that embed the body of some negative constraint."""
+    pruner = NegativeConstraintPruner(constraints)
+    return [query for query in queries if not pruner.is_unsatisfiable(query)]

@@ -1,0 +1,334 @@
+"""The rewriting algorithms ``TGD-rewrite`` and ``TGD-rewrite*`` (Algorithm 1).
+
+``TGD-rewrite`` compiles a (Boolean or non-Boolean) conjunctive query and a
+set of TGDs into a union of conjunctive queries — the *perfect rewriting* —
+such that evaluating the UCQ directly over any database returns exactly the
+certain answers of the original query over the database plus the TGDs
+(Theorem 6).  It alternates two steps until a fixpoint:
+
+* the **factorization step** unifies sets of atoms whose shared existential
+  variable provably originates from a single chase atom (Definition 2);
+  factorized queries are kept with label ``0``: they are *not* part of the
+  final rewriting, they only enable further rewriting steps (Example 4);
+* the **rewriting step** resolves a set of body atoms against the head of an
+  applicable TGD (Definition 1), replacing them with the TGD body; the
+  resulting queries carry label ``1`` and form the final rewriting.
+
+``TGD-rewrite*`` additionally applies **query elimination** (Section 6) after
+every step, dropping body atoms covered by other atoms, and it can exploit
+**negative constraints** (Section 5.1) to prune queries that can never be
+entailed by a consistent database.
+
+Termination is guaranteed for linear, sticky and sticky-join TGDs
+(Theorem 7); a configurable budget protects against non-terminating inputs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..logic.atoms import Atom
+from ..logic.substitution import Substitution
+from ..logic.terms import VariableFactory
+from ..logic.unification import mgu
+from ..dependencies.classifiers import is_linear
+from ..dependencies.constraints import NegativeConstraint
+from ..dependencies.normalization import is_normalized, normalize
+from ..dependencies.tgd import TGD
+from ..dependencies.theory import OntologyTheory
+from ..queries.conjunctive_query import ConjunctiveQuery
+from ..queries.ucq import QuerySet, UnionOfConjunctiveQueries
+from .applicability import applicable_atom_sets, factorizable_sets
+from .elimination import QueryEliminator
+from .nc_pruning import NegativeConstraintPruner
+
+
+class RewritingBudgetExceeded(RuntimeError):
+    """Raised when the rewriting exceeds its query budget.
+
+    This only happens for rule sets outside the FO-rewritable fragments (or
+    with an unreasonably small budget); linear, sticky and sticky-join sets
+    always terminate (Theorem 7).
+    """
+
+
+@dataclass
+class RewritingStatistics:
+    """Counters describing a rewriting run."""
+
+    generated_by_rewriting: int = 0
+    generated_by_factorization: int = 0
+    pruned_by_constraints: int = 0
+    eliminated_atoms: int = 0
+    processed_queries: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class RewritingResult:
+    """The perfect rewriting of a query together with run statistics."""
+
+    query: ConjunctiveQuery
+    rules: tuple[TGD, ...]
+    ucq: UnionOfConjunctiveQueries
+    auxiliary_queries: tuple[ConjunctiveQuery, ...] = ()
+    statistics: RewritingStatistics = field(default_factory=RewritingStatistics)
+
+    @property
+    def size(self) -> int:
+        """Number of CQs in the perfect rewriting (Table 1 "Size")."""
+        return len(self.ucq)
+
+    def __iter__(self):
+        return iter(self.ucq)
+
+    def __len__(self) -> int:
+        return len(self.ucq)
+
+
+class TGDRewriter:
+    """Backward-chaining rewriter for Datalog± ontological queries.
+
+    Parameters
+    ----------
+    rules:
+        The TGDs Σ.  They are normalised (Lemmas 1 and 2) automatically
+        unless already in normal form.
+    negative_constraints:
+        Optional NCs Σ⊥ used for pruning (Section 5.1).
+    use_elimination:
+        Enable the query-elimination optimisation (``TGD-rewrite*``); requires
+        the rule set to be linear.
+    use_nc_pruning:
+        Enable pruning with negative constraints; only meaningful when
+        *negative_constraints* is non-empty.
+    max_queries:
+        Budget on the number of distinct CQs generated; exceeding it raises
+        :class:`RewritingBudgetExceeded`.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[TGD] | OntologyTheory,
+        negative_constraints: Iterable[NegativeConstraint] = (),
+        use_elimination: bool = False,
+        use_nc_pruning: bool = False,
+        max_queries: int = 200_000,
+    ) -> None:
+        if isinstance(rules, OntologyTheory):
+            theory = rules
+            rules = theory.tgds
+            if not negative_constraints:
+                negative_constraints = theory.negative_constraints
+        rules = list(rules)
+        internal_predicates: frozenset = frozenset()
+        if not is_normalized(rules):
+            normalization = normalize(rules)
+            rules = list(normalization.rules)
+            internal_predicates = frozenset(normalization.auxiliary_predicates)
+        self._rules: tuple[TGD, ...] = tuple(rules)
+        # Auxiliary predicates introduced by the internal normalisation are
+        # not part of the caller's schema: no database ever stores facts for
+        # them, so rewritten CQs mentioning them are dropped from the output.
+        self._internal_predicates = internal_predicates
+        self._fresh = VariableFactory(prefix="W")
+        self._max_queries = max_queries
+        self._negative_constraints = tuple(negative_constraints)
+        self._pruner = (
+            NegativeConstraintPruner(self._negative_constraints)
+            if use_nc_pruning and self._negative_constraints
+            else None
+        )
+        self._eliminator: QueryEliminator | None = None
+        if use_elimination:
+            if not is_linear(self._rules):
+                raise ValueError(
+                    "query elimination (TGD-rewrite*) requires linear TGDs"
+                )
+            self._eliminator = QueryEliminator(self._rules)
+
+    # -- public API ------------------------------------------------------------------
+
+    @property
+    def rules(self) -> tuple[TGD, ...]:
+        """The (normalised) TGDs used for rewriting."""
+        return self._rules
+
+    @property
+    def uses_elimination(self) -> bool:
+        """``True`` iff the query-elimination optimisation is active."""
+        return self._eliminator is not None
+
+    def rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
+        """Compute the perfect rewriting of *query* w.r.t. the rewriter's rules."""
+        start = time.perf_counter()
+        statistics = RewritingStatistics()
+
+        store = QuerySet()
+        labels: dict[ConjunctiveQuery, int] = {}
+        worklist: list[ConjunctiveQuery] = []
+
+        initial = self._reduce(query, statistics)
+        if self._pruner is not None and self._pruner.is_unsatisfiable(initial):
+            # The input query itself violates a negative constraint: it can
+            # never be entailed by a consistent database (Section 5.1).
+            statistics.pruned_by_constraints += 1
+            statistics.elapsed_seconds = time.perf_counter() - start
+            return RewritingResult(
+                query=query,
+                rules=self._rules,
+                ucq=UnionOfConjunctiveQueries([]),
+                statistics=statistics,
+            )
+        store.add(initial)
+        labels[initial] = 1
+        worklist.append(initial)
+
+        while worklist:
+            current = worklist.pop()
+            statistics.processed_queries += 1
+            self._factorization_step(current, store, labels, worklist, statistics)
+            self._rewriting_step(current, store, labels, worklist, statistics)
+            if len(store) > self._max_queries:
+                raise RewritingBudgetExceeded(
+                    f"rewriting exceeded the budget of {self._max_queries} queries; "
+                    "the rule set is probably not FO-rewritable"
+                )
+
+        final = [
+            stored
+            for stored in store
+            if labels[stored] == 1 and not self._mentions_internal(stored)
+        ]
+        auxiliary = tuple(
+            stored
+            for stored in store
+            if labels[stored] == 0 or self._mentions_internal(stored)
+        )
+        statistics.elapsed_seconds = time.perf_counter() - start
+        return RewritingResult(
+            query=query,
+            rules=self._rules,
+            ucq=UnionOfConjunctiveQueries(final),
+            auxiliary_queries=auxiliary,
+            statistics=statistics,
+        )
+
+    def _mentions_internal(self, query: ConjunctiveQuery) -> bool:
+        """``True`` iff the query uses an auxiliary predicate of the normalisation."""
+        if not self._internal_predicates:
+            return False
+        return any(atom.predicate in self._internal_predicates for atom in query.body)
+
+    # -- the two steps of Algorithm 1 ---------------------------------------------------
+
+    def _factorization_step(
+        self,
+        current: ConjunctiveQuery,
+        store: QuerySet,
+        labels: dict[ConjunctiveQuery, int],
+        worklist: list[ConjunctiveQuery],
+        statistics: RewritingStatistics,
+    ) -> None:
+        """Apply the (restricted) factorization step to *current*."""
+        for rule in self._rules:
+            renamed = rule.rename_apart(current.variables, self._fresh)
+            for factorizable in factorizable_sets(renamed, current):
+                candidate = current.apply(factorizable.unifier)
+                candidate = self._reduce(candidate, statistics)
+                if self._pruner is not None and self._pruner.is_unsatisfiable(candidate):
+                    statistics.pruned_by_constraints += 1
+                    continue
+                existing = store.find_variant(candidate)
+                if existing is not None:
+                    continue
+                store.add(candidate)
+                labels[candidate] = 0
+                worklist.append(candidate)
+                statistics.generated_by_factorization += 1
+
+    def _rewriting_step(
+        self,
+        current: ConjunctiveQuery,
+        store: QuerySet,
+        labels: dict[ConjunctiveQuery, int],
+        worklist: list[ConjunctiveQuery],
+        statistics: RewritingStatistics,
+    ) -> None:
+        """Apply the rewriting (resolution) step to *current*."""
+        for rule in self._rules:
+            renamed = rule.rename_apart(current.variables, self._fresh)
+            for atom_set in applicable_atom_sets(renamed, current):
+                candidate = self._resolve(current, renamed, atom_set)
+                if candidate is None:
+                    continue
+                candidate = self._reduce(candidate, statistics)
+                if self._pruner is not None and self._pruner.is_unsatisfiable(candidate):
+                    statistics.pruned_by_constraints += 1
+                    continue
+                existing = store.find_variant(candidate)
+                if existing is not None:
+                    if labels.get(existing) != 1:
+                        # A factorization-only query re-derived by the
+                        # rewriting step becomes part of the final rewriting.
+                        labels[existing] = 1
+                        statistics.generated_by_rewriting += 1
+                    continue
+                store.add(candidate)
+                labels[candidate] = 1
+                worklist.append(candidate)
+                statistics.generated_by_rewriting += 1
+
+    def _resolve(
+        self,
+        query: ConjunctiveQuery,
+        rule: TGD,
+        atom_set: Sequence[Atom],
+    ) -> ConjunctiveQuery | None:
+        """``γ_{A ∪ {head(σ)}}(q[A / body(σ)])`` — the rewriting-step query.
+
+        The unifier is applied while the new body is assembled (rather than
+        building the intermediate query ``q[A / body(σ)]`` first) because the
+        intermediate query may temporarily lose an answer variable that the
+        unifier immediately reintroduces through the rule's frontier.
+        """
+        head_atom = rule.head[0]
+        unifier = mgu(list(atom_set) + [head_atom])
+        if unifier is None:  # pragma: no cover - applicability already checked
+            return None
+        removed = set(atom_set)
+        new_body = [unifier.apply_atom(a) for a in query.body if a not in removed]
+        new_body.extend(unifier.apply_atom(a) for a in rule.body)
+        new_answer = tuple(unifier.apply_term(t) for t in query.answer_terms)
+        return ConjunctiveQuery(new_body, new_answer, query.head_name)
+
+    def _reduce(
+        self, query: ConjunctiveQuery, statistics: RewritingStatistics
+    ) -> ConjunctiveQuery:
+        """Apply query elimination when enabled (``TGD-rewrite*``)."""
+        if self._eliminator is None:
+            return query
+        result = self._eliminator.eliminate_atoms(query)
+        statistics.eliminated_atoms += result.removed_count
+        return result.reduced
+
+
+def rewrite(
+    query: ConjunctiveQuery,
+    rules: Sequence[TGD] | OntologyTheory,
+    negative_constraints: Iterable[NegativeConstraint] = (),
+    use_elimination: bool = False,
+    use_nc_pruning: bool = False,
+    max_queries: int = 200_000,
+) -> RewritingResult:
+    """One-shot perfect rewriting (``TGD-rewrite`` or, with elimination, ``TGD-rewrite*``)."""
+    rewriter = TGDRewriter(
+        rules,
+        negative_constraints=negative_constraints,
+        use_elimination=use_elimination,
+        use_nc_pruning=use_nc_pruning,
+        max_queries=max_queries,
+    )
+    return rewriter.rewrite(query)

@@ -1,0 +1,21 @@
+"""In-memory relational database: schema, instances, evaluation, SQL generation."""
+
+from .evaluator import QueryEvaluator, evaluate, evaluate_ucq
+from .generator import DatabaseGenerator, random_database
+from .instance import RelationalInstance, database_from_tuples
+from .schema import Relation, RelationalSchema
+from .sql import cq_to_sql, ucq_to_sql
+
+__all__ = [
+    "DatabaseGenerator",
+    "QueryEvaluator",
+    "Relation",
+    "RelationalInstance",
+    "RelationalSchema",
+    "cq_to_sql",
+    "database_from_tuples",
+    "evaluate",
+    "evaluate_ucq",
+    "random_database",
+    "ucq_to_sql",
+]

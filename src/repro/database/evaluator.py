@@ -1,0 +1,154 @@
+"""Evaluation of CQs and UCQs over relational instances.
+
+This is the "database side" of OBDA: once a query has been compiled into a
+UCQ rewriting, the rewriting is a plain relational query and can be executed
+directly on the database, with no further reasoning.  The evaluator performs
+an index nested-loop join driven by a greedy join ordering (most selective
+atom first), using the per-(position, value) indexes of
+:class:`repro.database.instance.RelationalInstance`.
+
+Answers follow the paper's semantics: the answer to a CQ of arity *n* over an
+instance is the set of *n*-tuples of **constants** for which a homomorphism
+from the body into the instance exists (labelled nulls may witness
+existential variables but never appear in answers); a BCQ answers positively
+iff the empty tuple is an answer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..logic.atoms import Atom
+from ..logic.terms import Term, is_constant, is_variable
+from ..queries.conjunctive_query import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .instance import RelationalInstance
+
+
+class QueryEvaluator:
+    """Evaluates conjunctive queries and unions thereof over an instance."""
+
+    def __init__(self, instance: RelationalInstance) -> None:
+        self._instance = instance
+
+    # -- public API ----------------------------------------------------------------
+
+    def evaluate(self, query: ConjunctiveQuery) -> frozenset[tuple[Term, ...]]:
+        """All answers (tuples of constants) of *query* over the instance."""
+        answers: set[tuple[Term, ...]] = set()
+        for binding in self._bindings(query):
+            answer = tuple(
+                binding.get(term, term) if is_variable(term) else term
+                for term in query.answer_terms
+            )
+            if all(is_constant(value) for value in answer):
+                answers.add(answer)
+        return frozenset(answers)
+
+    def evaluate_ucq(
+        self, ucq: UnionOfConjunctiveQueries | Iterable[ConjunctiveQuery]
+    ) -> frozenset[tuple[Term, ...]]:
+        """Union of the answers of all member CQs."""
+        answers: set[tuple[Term, ...]] = set()
+        for query in ucq:
+            answers |= self.evaluate(query)
+        return frozenset(answers)
+
+    def entails(self, query: ConjunctiveQuery) -> bool:
+        """``True`` iff the (Boolean or non-Boolean) query has at least one answer.
+
+        For a BCQ this is the ``I |= q`` check of the paper; for a CQ with
+        answer variables it checks non-emptiness of the answer set.
+        """
+        for binding in self._bindings(query):
+            answer = tuple(
+                binding.get(term, term) if is_variable(term) else term
+                for term in query.answer_terms
+            )
+            if all(is_constant(value) for value in answer):
+                return True
+        return False
+
+    def entails_ucq(
+        self, ucq: UnionOfConjunctiveQueries | Iterable[ConjunctiveQuery]
+    ) -> bool:
+        """``True`` iff some member CQ has an answer."""
+        return any(self.entails(query) for query in ucq)
+
+    # -- join machinery ----------------------------------------------------------------
+
+    def _bindings(self, query: ConjunctiveQuery) -> Iterator[dict[Term, Term]]:
+        """Enumerate variable bindings satisfying the query body."""
+        atoms = self._join_order(query.body)
+        yield from self._search(atoms, 0, {})
+
+    def _join_order(self, body: Sequence[Atom]) -> list[Atom]:
+        """Greedy join ordering: start selective, then follow join variables."""
+        remaining = list(body)
+        if not remaining:
+            return []
+        ordered: list[Atom] = []
+        bound_variables: set[Term] = set()
+
+        def cost(atom: Atom) -> tuple[int, int]:
+            relation_size = len(self._instance.relation(atom.predicate))
+            bound_terms = sum(
+                1
+                for t in atom.terms
+                if is_constant(t) or t in bound_variables
+            )
+            return (-bound_terms, relation_size)
+
+        while remaining:
+            best = min(remaining, key=cost)
+            remaining.remove(best)
+            ordered.append(best)
+            bound_variables.update(t for t in best.terms if is_variable(t))
+        return ordered
+
+    def _search(
+        self, atoms: list[Atom], index: int, binding: dict[Term, Term]
+    ) -> Iterator[dict[Term, Term]]:
+        if index == len(atoms):
+            yield dict(binding)
+            return
+        atom = atoms[index]
+        bound_positions: dict[int, Term] = {}
+        for position, term in enumerate(atom.terms, start=1):
+            if is_constant(term):
+                bound_positions[position] = term
+            elif term in binding:
+                bound_positions[position] = binding[term]
+        for fact in self._instance.matching(atom.predicate, bound_positions):
+            extended = dict(binding)
+            consistent = True
+            for position, term in enumerate(atom.terms, start=1):
+                value = fact[position]
+                if is_constant(term):
+                    if term != value:
+                        consistent = False
+                        break
+                    continue
+                bound = extended.get(term)
+                if bound is None:
+                    extended[term] = value
+                elif bound != value:
+                    consistent = False
+                    break
+            if consistent:
+                yield from self._search(atoms, index + 1, extended)
+
+
+def evaluate(
+    query: ConjunctiveQuery, instance: RelationalInstance
+) -> frozenset[tuple[Term, ...]]:
+    """Evaluate a single CQ over *instance*."""
+    return QueryEvaluator(instance).evaluate(query)
+
+
+def evaluate_ucq(
+    ucq: UnionOfConjunctiveQueries | Iterable[ConjunctiveQuery],
+    instance: RelationalInstance,
+) -> frozenset[tuple[Term, ...]]:
+    """Evaluate a UCQ over *instance*."""
+    return QueryEvaluator(instance).evaluate_ucq(ucq)

@@ -1,0 +1,73 @@
+"""Synthetic database (ABox) generation.
+
+The paper's experiments measure the *size of rewritings*, which does not
+depend on data; end-to-end query answering (and our correctness tests),
+however, needs ABoxes.  This module produces random but reproducible
+instances over a given schema, optionally biased so that the relations
+mentioned by a set of TGDs share constants (which makes joins and rule
+applications actually fire instead of producing empty chases).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Constant
+from ..dependencies.tgd import TGD, schema_predicates
+from .instance import RelationalInstance
+from .schema import RelationalSchema
+
+
+class DatabaseGenerator:
+    """Reproducible random instance generator."""
+
+    def __init__(self, seed: int = 0, domain_size: int = 30) -> None:
+        self._random = random.Random(seed)
+        self._domain = [Constant(f"c{i}") for i in range(domain_size)]
+
+    def random_constant(self) -> Constant:
+        """A uniformly random constant of the generator's domain."""
+        return self._random.choice(self._domain)
+
+    def random_fact(self, predicate: Predicate) -> Atom:
+        """A random fact of the given predicate."""
+        return Atom(
+            predicate, tuple(self.random_constant() for _ in range(predicate.arity))
+        )
+
+    def populate(
+        self,
+        predicates: Iterable[Predicate],
+        facts_per_relation: int = 10,
+        schema: RelationalSchema | None = None,
+    ) -> RelationalInstance:
+        """Create an instance with roughly *facts_per_relation* facts per predicate."""
+        instance = RelationalInstance(schema=schema)
+        for predicate in sorted(predicates, key=lambda p: (p.name, p.arity)):
+            for _ in range(facts_per_relation):
+                instance.add(self.random_fact(predicate))
+        return instance
+
+    def populate_for_rules(
+        self,
+        rules: Sequence[TGD],
+        facts_per_relation: int = 10,
+        schema: RelationalSchema | None = None,
+    ) -> RelationalInstance:
+        """Create an instance covering every predicate mentioned by *rules*."""
+        return self.populate(
+            schema_predicates(rules), facts_per_relation=facts_per_relation, schema=schema
+        )
+
+
+def random_database(
+    rules: Sequence[TGD],
+    seed: int = 0,
+    facts_per_relation: int = 10,
+    domain_size: int = 30,
+) -> RelationalInstance:
+    """One-shot helper: a random instance over the schema of *rules*."""
+    generator = DatabaseGenerator(seed=seed, domain_size=domain_size)
+    return generator.populate_for_rules(rules, facts_per_relation=facts_per_relation)

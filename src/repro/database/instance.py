@@ -1,0 +1,157 @@
+"""In-memory relational instances (ABoxes / databases).
+
+A *database* is a finite set of facts ``r(c1, ..., cn)`` over constants; a
+*relational instance* may additionally contain labelled nulls (e.g. the
+result of a chase).  This module provides the storage layer used by the
+OBDA pipeline: facts are indexed per predicate and per (position, value) so
+that conjunctive queries can be evaluated with index nested-loop / hash
+joins by :mod:`repro.database.evaluator`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Sequence
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Constant, Term, is_constant
+from ..dependencies.constraints import KeyDependency
+from .schema import RelationalSchema
+
+
+class RelationalInstance:
+    """A mutable set of ground atoms with per-predicate and per-value indexes."""
+
+    def __init__(
+        self,
+        facts: Iterable[Atom] = (),
+        schema: RelationalSchema | None = None,
+    ) -> None:
+        self._schema = schema
+        self._facts: set[Atom] = set()
+        self._by_predicate: dict[Predicate, set[Atom]] = defaultdict(set)
+        self._by_position_value: dict[tuple[Predicate, int, Term], set[Atom]] = defaultdict(set)
+        for fact in facts:
+            self.add(fact)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def add(self, fact: Atom) -> bool:
+        """Insert a ground atom; returns ``True`` if it was new."""
+        if not fact.is_ground():
+            raise ValueError(f"cannot store non-ground atom {fact!r}")
+        if self._schema is not None and fact.name not in self._schema:
+            self._schema.add_predicate(fact.predicate)
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        self._by_predicate[fact.predicate].add(fact)
+        for index, term in enumerate(fact.terms, start=1):
+            self._by_position_value[(fact.predicate, index, term)].add(fact)
+        return True
+
+    def add_all(self, facts: Iterable[Atom]) -> int:
+        """Insert many atoms; returns the number of new atoms."""
+        return sum(1 for fact in facts if self.add(fact))
+
+    def add_tuple(self, relation_name: str, values: Sequence[object]) -> bool:
+        """Insert a tuple of plain Python values into the named relation."""
+        predicate = Predicate(relation_name, len(values))
+        return self.add(Atom(predicate, tuple(Constant(v) for v in values)))
+
+    # -- inspection ---------------------------------------------------------------
+
+    def __contains__(self, fact: Atom) -> bool:
+        return fact in self._facts
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    @property
+    def facts(self) -> frozenset[Atom]:
+        """All stored atoms."""
+        return frozenset(self._facts)
+
+    @property
+    def schema(self) -> RelationalSchema | None:
+        """The schema the instance was created with (if any)."""
+        return self._schema
+
+    def predicates(self) -> frozenset[Predicate]:
+        """Predicates with at least one stored atom."""
+        return frozenset(p for p, atoms in self._by_predicate.items() if atoms)
+
+    def relation(self, predicate: Predicate) -> frozenset[Atom]:
+        """All atoms of the given predicate."""
+        return frozenset(self._by_predicate.get(predicate, ()))
+
+    def relation_by_name(self, name: str, arity: int) -> frozenset[Atom]:
+        """All atoms of the predicate ``name/arity``."""
+        return self.relation(Predicate(name, arity))
+
+    def matching(self, predicate: Predicate, bound: dict[int, Term]) -> frozenset[Atom]:
+        """Atoms of *predicate* agreeing with the bound (1-based) positions.
+
+        Uses the per-(position, value) index: the candidate set is the
+        intersection of the index entries, starting from the smallest.
+        """
+        if not bound:
+            return self.relation(predicate)
+        candidate_sets = []
+        for position, value in bound.items():
+            candidates = self._by_position_value.get((predicate, position, value))
+            if not candidates:
+                return frozenset()
+            candidate_sets.append(candidates)
+        candidate_sets.sort(key=len)
+        result = set(candidate_sets[0])
+        for candidates in candidate_sets[1:]:
+            result &= candidates
+            if not result:
+                break
+        return frozenset(result)
+
+    def constants(self) -> frozenset[Constant]:
+        """The active domain of the instance (constants only)."""
+        return frozenset(
+            term for fact in self._facts for term in fact.terms if is_constant(term)
+        )
+
+    # -- integrity ------------------------------------------------------------------
+
+    def satisfies_key(self, key: KeyDependency) -> bool:
+        """``True`` iff the instance satisfies the key dependency.
+
+        Two distinct tuples of the key's relation must not agree on all key
+        positions (Section 4.2: the preliminary KD check performed before
+        dropping the keys from the reasoning problem).
+        """
+        groups: dict[tuple[Term, ...], Atom] = {}
+        for fact in self._by_predicate.get(key.predicate, ()):  # noqa: B905
+            key_values = tuple(fact[i] for i in key.key_positions)
+            other = groups.get(key_values)
+            if other is not None and other != fact:
+                return False
+            groups.setdefault(key_values, fact)
+        return True
+
+    def satisfies_keys(self, keys: Iterable[KeyDependency]) -> bool:
+        """``True`` iff all key dependencies hold."""
+        return all(self.satisfies_key(key) for key in keys)
+
+    def __repr__(self) -> str:
+        return f"RelationalInstance({len(self._facts)} facts, {len(self.predicates())} relations)"
+
+
+def database_from_tuples(
+    tuples: Iterable[tuple[str, Sequence[object]]],
+    schema: RelationalSchema | None = None,
+) -> RelationalInstance:
+    """Build an instance from ``[("stock", ("s1", "ACME", 12)), ...]`` pairs."""
+    instance = RelationalInstance(schema=schema)
+    for relation_name, values in tuples:
+        instance.add_tuple(relation_name, values)
+    return instance

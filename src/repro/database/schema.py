@@ -1,0 +1,113 @@
+"""Relational schemas.
+
+A relational schema is a set of predicate (relation) symbols with arities and
+optional attribute names (Section 3.1).  Attribute names are only used for
+readable SQL generation; the logical machinery works purely with positional
+arguments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..logic.atoms import Position, Predicate
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation symbol with optional attribute names."""
+
+    predicate: Predicate
+    attributes: tuple[str, ...] = ()
+
+    def __init__(self, predicate: Predicate, attributes: Sequence[str] = ()) -> None:
+        attributes = tuple(attributes)
+        if attributes and len(attributes) != predicate.arity:
+            raise ValueError(
+                f"{predicate!r} has arity {predicate.arity} but "
+                f"{len(attributes)} attribute names were given"
+            )
+        if not attributes:
+            attributes = tuple(f"arg{i}" for i in range(1, predicate.arity + 1))
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "attributes", attributes)
+
+    @property
+    def name(self) -> str:
+        """The relation name."""
+        return self.predicate.name
+
+    @property
+    def arity(self) -> int:
+        """The relation arity."""
+        return self.predicate.arity
+
+    def attribute_of(self, position: int) -> str:
+        """Attribute name of the 1-based *position*."""
+        return self.attributes[position - 1]
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class RelationalSchema:
+    """A collection of relations, addressable by name."""
+
+    def __init__(self, relations: Iterable[Relation] = ()) -> None:
+        self._relations: dict[str, Relation] = {}
+        for relation in relations:
+            self.add(relation)
+
+    def add(self, relation: Relation) -> None:
+        """Register a relation; re-adding the same relation is a no-op."""
+        existing = self._relations.get(relation.name)
+        if existing is not None and existing.predicate != relation.predicate:
+            raise ValueError(
+                f"relation {relation.name!r} already declared with arity "
+                f"{existing.arity}, cannot redeclare with arity {relation.arity}"
+            )
+        self._relations.setdefault(relation.name, relation)
+
+    def add_predicate(self, predicate: Predicate) -> None:
+        """Register a predicate with default attribute names."""
+        self.add(Relation(predicate))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def get(self, name: str) -> Relation | None:
+        """The relation named *name*, or ``None``."""
+        return self._relations.get(name)
+
+    def predicates(self) -> frozenset[Predicate]:
+        """All predicates of the schema."""
+        return frozenset(r.predicate for r in self._relations.values())
+
+    def positions(self) -> frozenset[Position]:
+        """All positions of the schema."""
+        return frozenset(
+            Position(r.predicate, i)
+            for r in self._relations.values()
+            for i in range(1, r.arity + 1)
+        )
+
+    @staticmethod
+    def from_spec(spec: Mapping[str, Sequence[str]]) -> "RelationalSchema":
+        """Build a schema from ``{"stock": ["id", "name", "unit_price"], ...}``."""
+        schema = RelationalSchema()
+        for name, attributes in spec.items():
+            schema.add(Relation(Predicate(name, len(attributes)), tuple(attributes)))
+        return schema
+
+    def __repr__(self) -> str:
+        return "RelationalSchema(" + ", ".join(sorted(self._relations)) + ")"

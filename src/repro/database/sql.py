@@ -1,0 +1,108 @@
+"""SQL generation for CQs and UCQs.
+
+First-order rewritability matters in practice because the perfect rewriting
+can be handed to an ordinary RDBMS as SQL and optimised there (Section 1).
+This module renders a CQ as a ``SELECT``–``FROM``–``WHERE`` block and a UCQ
+as a ``UNION`` of such blocks, using the attribute names of a
+:class:`repro.database.schema.RelationalSchema` when available.
+
+The generated SQL is standard (tested syntactically; the in-memory evaluator
+remains the executable reference implementation since no RDBMS is available
+in this environment).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..logic.terms import Term, is_constant, is_variable
+from ..queries.conjunctive_query import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .schema import RelationalSchema
+
+
+def _literal(term: Term) -> str:
+    """Render a constant as an SQL literal."""
+    value = term.value  # type: ignore[union-attr]
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return str(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _attribute(schema: RelationalSchema | None, relation: str, position: int) -> str:
+    """Attribute name for a 1-based position, falling back to ``argN``."""
+    if schema is not None:
+        stored = schema.get(relation)
+        if stored is not None:
+            return stored.attribute_of(position)
+    return f"arg{position}"
+
+
+def cq_to_sql(
+    query: ConjunctiveQuery,
+    schema: RelationalSchema | None = None,
+    answer_names: Iterable[str] | None = None,
+) -> str:
+    """Translate a single CQ into a ``SELECT`` statement.
+
+    Each body atom becomes an aliased relation in the ``FROM`` clause; shared
+    variables become equality join predicates, constants become selection
+    predicates, and the answer terms populate the ``SELECT`` list.
+    """
+    if not query.body:
+        raise ValueError("cannot translate a query with an empty body to SQL")
+    aliases: list[tuple[str, str]] = []  # (alias, relation name)
+    variable_columns: dict[Term, str] = {}
+    conditions: list[str] = []
+
+    for index, atom in enumerate(query.body):
+        alias = f"t{index}"
+        aliases.append((alias, atom.name))
+        for position, term in enumerate(atom.terms, start=1):
+            column = f"{alias}.{_attribute(schema, atom.name, position)}"
+            if is_constant(term):
+                conditions.append(f"{column} = {_literal(term)}")
+            elif is_variable(term):
+                first = variable_columns.get(term)
+                if first is None:
+                    variable_columns[term] = column
+                else:
+                    conditions.append(f"{first} = {column}")
+
+    names = list(answer_names) if answer_names is not None else [
+        f"a{i}" for i in range(1, query.arity + 1)
+    ]
+    if len(names) != query.arity:
+        raise ValueError("answer_names must match the query arity")
+
+    select_items: list[str] = []
+    for name, term in zip(names, query.answer_terms):
+        if is_constant(term):
+            select_items.append(f"{_literal(term)} AS {name}")
+        else:
+            column = variable_columns.get(term)
+            if column is None:
+                raise ValueError(f"answer variable {term!r} not bound in the body")
+            select_items.append(f"{column} AS {name}")
+    select_clause = ", ".join(select_items) if select_items else "1 AS answer"
+
+    from_clause = ", ".join(f"{relation} AS {alias}" for alias, relation in aliases)
+    sql = f"SELECT DISTINCT {select_clause} FROM {from_clause}"
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return sql
+
+
+def ucq_to_sql(
+    ucq: UnionOfConjunctiveQueries | Iterable[ConjunctiveQuery],
+    schema: RelationalSchema | None = None,
+    answer_names: Iterable[str] | None = None,
+) -> str:
+    """Translate a UCQ into a ``UNION`` of ``SELECT`` statements."""
+    queries = list(ucq)
+    if not queries:
+        raise ValueError("cannot translate an empty UCQ to SQL")
+    names = list(answer_names) if answer_names is not None else None
+    blocks = [cq_to_sql(query, schema=schema, answer_names=names) for query in queries]
+    return "\nUNION\n".join(blocks)

@@ -1,0 +1,54 @@
+"""Datalog± dependencies: TGDs, negative constraints, key dependencies, classifiers."""
+
+from .classifiers import (
+    Classification,
+    affected_positions,
+    classify,
+    is_full,
+    is_guarded,
+    is_linear,
+    is_sticky,
+    is_sticky_join,
+    is_weakly_acyclic,
+    is_weakly_guarded,
+    sticky_marking,
+)
+from .constraints import (
+    KeyDependency,
+    KeyViolationQuery,
+    NegativeConstraint,
+    is_non_conflicting,
+    non_conflicting_set,
+)
+from .normalization import NormalizationResult, is_normalized, normalize
+from .tgd import TGD, schema_positions, schema_predicates, tgd
+from .theory import NormalizedTheory, OntologyTheory, theory
+
+__all__ = [
+    "Classification",
+    "KeyDependency",
+    "KeyViolationQuery",
+    "NegativeConstraint",
+    "NormalizationResult",
+    "NormalizedTheory",
+    "OntologyTheory",
+    "TGD",
+    "affected_positions",
+    "classify",
+    "is_full",
+    "is_guarded",
+    "is_linear",
+    "is_non_conflicting",
+    "is_normalized",
+    "is_sticky",
+    "is_sticky_join",
+    "is_weakly_acyclic",
+    "is_weakly_guarded",
+    "non_conflicting_set",
+    "normalize",
+    "schema_positions",
+    "schema_predicates",
+    "sticky_marking",
+    "tgd",
+    "theory",
+]

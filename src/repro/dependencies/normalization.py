@@ -1,0 +1,167 @@
+"""Normalisation of TGDs (Lemmas 1 and 2 of the paper).
+
+The rewriting algorithm assumes, without loss of generality, that every TGD
+
+1. has **one head atom** (Lemma 1), and
+2. contains **at most one existentially quantified variable, occurring only
+   once** (Lemma 2).
+
+Both reductions introduce auxiliary predicates (``rσ`` in the paper):
+
+* Lemma 1 splits ``body → a1, ..., ak`` into ``body → rσ(X)`` plus
+  ``rσ(X) → ai`` for each head atom, where ``X`` are the head variables;
+* Lemma 2 splits a head with existential variables ``Z1, ..., Zm`` (m > 1)
+  into a chain of rules each inventing a single fresh value.
+
+The transformations preserve certain answers for every query over the
+original schema because the auxiliary predicates never occur in queries, and
+they preserve linearity / stickiness / sticky-joinness.  The experimental
+ontologies ``UX``, ``AX`` and ``P5X`` of Table 1 are exactly the normalised
+versions of ``U``, ``A`` and ``P5`` *with the auxiliary predicates considered
+part of the schema*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Variable
+from .tgd import TGD
+
+
+@dataclass
+class NormalizationResult:
+    """Outcome of normalising a set of TGDs.
+
+    Attributes
+    ----------
+    rules:
+        The normalised TGDs (single head atom, ≤ 1 existential occurrence).
+    auxiliary_predicates:
+        Auxiliary predicates introduced by the transformation; queries over
+        the original schema never mention them.
+    provenance:
+        Maps each produced rule to the label of the original rule it derives
+        from (useful for debugging and for the ``*X`` workloads).
+    """
+
+    rules: list[TGD] = field(default_factory=list)
+    auxiliary_predicates: list[Predicate] = field(default_factory=list)
+    provenance: dict[TGD, str] = field(default_factory=dict)
+
+
+def _ordered_variables(atoms: Sequence[Atom]) -> list[Variable]:
+    """Variables of *atoms* in first-occurrence order (deterministic output)."""
+    ordered: list[Variable] = []
+    seen: set[Variable] = set()
+    for atom in atoms:
+        for term in atom.terms:
+            if isinstance(term, Variable) and term not in seen:
+                seen.add(term)
+                ordered.append(term)
+    return ordered
+
+
+def split_multi_head(rule: TGD, index: int, result: NormalizationResult) -> list[TGD]:
+    """Lemma 1: replace a multi-head TGD by single-head TGDs via an auxiliary predicate."""
+    if rule.is_single_head:
+        return [rule]
+    head_variables = _ordered_variables(rule.head)
+    auxiliary = Predicate(f"aux_h{index}_{rule.label or 'tgd'}", len(head_variables))
+    result.auxiliary_predicates.append(auxiliary)
+    auxiliary_atom = Atom(auxiliary, tuple(head_variables))
+    produced = [TGD(rule.body, (auxiliary_atom,), f"{rule.label}#collect")]
+    for atom_index, head_atom in enumerate(rule.head, start=1):
+        produced.append(
+            TGD((auxiliary_atom,), (head_atom,), f"{rule.label}#project{atom_index}")
+        )
+    return produced
+
+
+def split_multi_existential(rule: TGD, index: int, result: NormalizationResult) -> list[TGD]:
+    """Lemma 2: replace multiple existential variables by a chain of single-∃ rules."""
+    head_atom = rule.head[0]
+    existential_in_head = [
+        term
+        for term in _ordered_variables([head_atom])
+        if term in rule.existential_variables
+    ]
+    occurrences = sum(
+        1 for term in head_atom.terms if term in rule.existential_variables
+    )
+    if len(existential_in_head) <= 1 and occurrences <= 1:
+        return [rule]
+    frontier = [v for v in _ordered_variables(rule.body) if v in rule.frontier]
+    produced: list[TGD] = []
+    previous_atom: Atom | None = None
+    carried: list[Variable] = list(frontier)
+    for step, existential in enumerate(existential_in_head, start=1):
+        auxiliary = Predicate(
+            f"aux_e{index}_{step}_{rule.label or 'tgd'}", len(carried) + 1
+        )
+        result.auxiliary_predicates.append(auxiliary)
+        new_atom = Atom(auxiliary, tuple(carried) + (existential,))
+        body = rule.body if previous_atom is None else (previous_atom,)
+        produced.append(
+            TGD(body, (new_atom,), f"{rule.label}#invent{step}")
+        )
+        carried = carried + [existential]
+        previous_atom = new_atom
+    assert previous_atom is not None
+    produced.append(TGD((previous_atom,), (head_atom,), f"{rule.label}#emit"))
+    return produced
+
+
+def _split_repeated_existential(rule: TGD, index: int, result: NormalizationResult) -> list[TGD]:
+    """Handle a single existential variable occurring more than once in the head.
+
+    The paper's normal form also requires the (single) existential variable to
+    occur only once; a head like ``r(X, Z, Z)`` is therefore split via an
+    auxiliary predicate that holds the invented value once.
+    """
+    head_atom = rule.head[0]
+    existential = next(iter(rule.existential_variables))
+    occurrences = sum(1 for term in head_atom.terms if term == existential)
+    if occurrences <= 1:
+        return [rule]
+    frontier = [v for v in _ordered_variables(rule.body) if v in rule.frontier]
+    auxiliary = Predicate(f"aux_r{index}_{rule.label or 'tgd'}", len(frontier) + 1)
+    result.auxiliary_predicates.append(auxiliary)
+    auxiliary_atom = Atom(auxiliary, tuple(frontier) + (existential,))
+    return [
+        TGD(rule.body, (auxiliary_atom,), f"{rule.label}#invent"),
+        TGD((auxiliary_atom,), (head_atom,), f"{rule.label}#emit"),
+    ]
+
+
+def normalize(rules: Iterable[TGD]) -> NormalizationResult:
+    """Normalise a set of TGDs to the form assumed by the rewriting algorithms.
+
+    The result's rules each have a single head atom with at most one
+    existential variable occurring exactly once (``πσ`` well defined).
+    """
+    result = NormalizationResult()
+    counter = 0
+    for rule in rules:
+        counter += 1
+        stage_one = split_multi_head(rule, counter, result)
+        stage_two: list[TGD] = []
+        for produced in stage_one:
+            counter += 1
+            if len(produced.existential_variables) > 1:
+                stage_two.extend(split_multi_existential(produced, counter, result))
+            elif len(produced.existential_variables) == 1:
+                stage_two.extend(_split_repeated_existential(produced, counter, result))
+            else:
+                stage_two.append(produced)
+        for produced in stage_two:
+            result.rules.append(produced)
+            result.provenance[produced] = rule.label or repr(rule)
+    return result
+
+
+def is_normalized(rules: Iterable[TGD]) -> bool:
+    """``True`` iff every rule is already in the normal form."""
+    return all(rule.is_normalized for rule in rules)

@@ -1,0 +1,147 @@
+"""Ontological theories: TGDs + negative constraints + key dependencies.
+
+An :class:`OntologyTheory` bundles the TBox-level knowledge of an ontology in
+Datalog± form, mirroring the setting of the paper: a set Σ of TGDs, a set Σ⊥
+of negative constraints, and a set ΣK of key dependencies.  It exposes
+
+* normalisation to the single-head / single-existential normal form assumed
+  by the rewriting algorithms (optionally keeping the auxiliary predicates in
+  the public schema, which is how the UX/AX/P5X workloads are produced);
+* language classification (linear / sticky / ... — Section 4);
+* the separability pre-check for key dependencies (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Sequence
+
+from ..logic.atoms import Predicate
+from .classifiers import Classification, classify
+from .constraints import KeyDependency, NegativeConstraint, non_conflicting_set
+from .normalization import NormalizationResult, normalize
+from .tgd import TGD, schema_predicates
+
+
+@dataclass
+class OntologyTheory:
+    """A Datalog± theory: TGDs, negative constraints and key dependencies."""
+
+    tgds: list[TGD] = field(default_factory=list)
+    negative_constraints: list[NegativeConstraint] = field(default_factory=list)
+    key_dependencies: list[KeyDependency] = field(default_factory=list)
+    name: str = "theory"
+
+    # -- construction helpers ---------------------------------------------------
+
+    def add_tgd(self, rule: TGD) -> "OntologyTheory":
+        """Add a TGD (in place) and return ``self`` for chaining."""
+        self.tgds.append(rule)
+        self.__dict__.pop("classification", None)
+        return self
+
+    def add_negative_constraint(self, constraint: NegativeConstraint) -> "OntologyTheory":
+        """Add a negative constraint (in place) and return ``self``."""
+        self.negative_constraints.append(constraint)
+        return self
+
+    def add_key(self, key: KeyDependency) -> "OntologyTheory":
+        """Add a key dependency (in place) and return ``self``."""
+        self.key_dependencies.append(key)
+        return self
+
+    def extend(self, rules: Iterable[TGD]) -> "OntologyTheory":
+        """Add several TGDs (in place) and return ``self``."""
+        for rule in rules:
+            self.add_tgd(rule)
+        return self
+
+    # -- views --------------------------------------------------------------------
+
+    @property
+    def predicates(self) -> frozenset[Predicate]:
+        """All predicates mentioned by the TGDs."""
+        return schema_predicates(self.tgds)
+
+    @cached_property
+    def classification(self) -> Classification:
+        """Language classification of the TGD set (Section 4)."""
+        return classify(self.tgds)
+
+    @property
+    def is_fo_rewritable(self) -> bool:
+        """``True`` iff a recognised FO-rewritability criterion applies."""
+        return self.classification.fo_rewritable
+
+    def keys_are_non_conflicting(self) -> bool:
+        """Check the sufficient separability criterion for all TGD/KD pairs."""
+        if not self.key_dependencies:
+            return True
+        return non_conflicting_set(self.tgds, self.key_dependencies)
+
+    # -- normalisation ---------------------------------------------------------------
+
+    def normalized(self, keep_auxiliary_in_schema: bool = False) -> "NormalizedTheory":
+        """Normalise the TGDs per Lemmas 1 and 2.
+
+        Parameters
+        ----------
+        keep_auxiliary_in_schema:
+            When ``True`` the auxiliary predicates are treated as ordinary
+            schema predicates (the ``UX``/``AX``/``P5X`` setting of Table 1);
+            otherwise they are recorded as internal.
+        """
+        result = normalize(self.tgds)
+        suffix = "X" if keep_auxiliary_in_schema else "_norm"
+        theory = OntologyTheory(
+            tgds=list(result.rules),
+            negative_constraints=list(self.negative_constraints),
+            key_dependencies=list(self.key_dependencies),
+            name=f"{self.name}{suffix}",
+        )
+        return NormalizedTheory(
+            theory=theory,
+            normalization=result,
+            auxiliary_public=keep_auxiliary_in_schema,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"OntologyTheory({self.name!r}: {len(self.tgds)} TGDs, "
+            f"{len(self.negative_constraints)} NCs, {len(self.key_dependencies)} KDs)"
+        )
+
+
+@dataclass
+class NormalizedTheory:
+    """A normalised theory plus the bookkeeping of the normalisation."""
+
+    theory: OntologyTheory
+    normalization: NormalizationResult
+    auxiliary_public: bool
+
+    @property
+    def tgds(self) -> list[TGD]:
+        """The normalised TGDs."""
+        return self.theory.tgds
+
+    @property
+    def auxiliary_predicates(self) -> list[Predicate]:
+        """Auxiliary predicates introduced by Lemmas 1 and 2."""
+        return self.normalization.auxiliary_predicates
+
+
+def theory(
+    tgds: Sequence[TGD] = (),
+    negative_constraints: Sequence[NegativeConstraint] = (),
+    key_dependencies: Sequence[KeyDependency] = (),
+    name: str = "theory",
+) -> OntologyTheory:
+    """Convenience constructor for an :class:`OntologyTheory`."""
+    return OntologyTheory(
+        tgds=list(tgds),
+        negative_constraints=list(negative_constraints),
+        key_dependencies=list(key_dependencies),
+        name=name,
+    )

@@ -1,0 +1,191 @@
+"""The Table 1 evaluation driver.
+
+Section 7 of the paper compares four systems on the size / length / width of
+the UCQ rewritings they produce:
+
+* ``QO`` — QuOnto-style rewriting (:class:`repro.baselines.QuOntoStyleRewriter`);
+* ``RQ`` — Requiem-style resolution (:class:`repro.baselines.ResolutionRewriter`);
+* ``NY`` — ``TGD-rewrite`` with restricted factorisation
+  (:class:`repro.core.TGDRewriter`);
+* ``NY*`` — ``TGD-rewrite*``: NY plus query elimination.
+
+This module wires the workloads of :mod:`repro.workloads` to the four
+rewriters and produces Table-1-style rows.  It also handles the one subtlety
+of the ``U``/``UX`` (and ``A``/``AX``, ``P5``/``P5X``) pairs: all rewriters
+normalise multi-head / multi-existential TGDs internally, which introduces
+auxiliary predicates; in the plain workloads those predicates are *internal*
+(the stored database never populates them) so every CQ of the rewriting that
+mentions one is discarded before measuring, whereas in the ``*X`` workloads
+the auxiliary predicates belong to the schema and all CQs count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from .baselines.quonto import QuOntoStyleRewriter
+from .baselines.resolution import ResolutionRewriter
+from .core.rewriter import RewritingResult, TGDRewriter
+from .dependencies.tgd import schema_predicates
+from .logic.atoms import Predicate
+from .metrics import RewritingMetrics, ucq_metrics
+from .queries.conjunctive_query import ConjunctiveQuery
+from .queries.ucq import UnionOfConjunctiveQueries
+from .workloads.registry import Workload, restrict_to_schema
+
+#: The systems of Table 1, in column order.
+SYSTEMS = ("QO", "RQ", "NY", "NY*")
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Metrics and timing of one (system, query) cell of Table 1."""
+
+    system: str
+    query_name: str
+    metrics: RewritingMetrics
+    elapsed_seconds: float
+
+    @property
+    def size(self) -> int:
+        """Number of CQs in the rewriting."""
+        return self.metrics.size
+
+    @property
+    def length(self) -> int:
+        """Total number of atoms in the rewriting."""
+        return self.metrics.length
+
+    @property
+    def width(self) -> int:
+        """Total number of joins in the rewriting."""
+        return self.metrics.width
+
+
+@dataclass
+class Table1Row:
+    """All measurements for one query of one workload."""
+
+    workload: str
+    query_name: str
+    cells: dict[str, Measurement] = field(default_factory=dict)
+
+    def cell(self, system: str) -> Measurement:
+        """The measurement of the given system."""
+        return self.cells[system]
+
+    def as_dict(self) -> dict[str, object]:
+        """Flatten the row into ``{"QO_size": ..., "QO_length": ..., ...}``."""
+        flat: dict[str, object] = {"workload": self.workload, "query": self.query_name}
+        for system, measurement in self.cells.items():
+            flat[f"{system}_size"] = measurement.size
+            flat[f"{system}_length"] = measurement.length
+            flat[f"{system}_width"] = measurement.width
+            flat[f"{system}_seconds"] = round(measurement.elapsed_seconds, 4)
+        return flat
+
+
+class Table1Evaluator:
+    """Runs the four systems of Table 1 on a workload's queries."""
+
+    def __init__(self, workload: Workload, systems: Sequence[str] = SYSTEMS) -> None:
+        unknown = set(systems) - set(SYSTEMS)
+        if unknown:
+            raise ValueError(f"unknown systems requested: {sorted(unknown)}")
+        self._workload = workload
+        self._systems = tuple(systems)
+        self._schema_predicates = schema_predicates(workload.theory.tgds)
+        rules = workload.theory.tgds
+        self._rewriters: dict[str, Callable[[ConjunctiveQuery], RewritingResult]] = {}
+        if "QO" in systems:
+            self._rewriters["QO"] = QuOntoStyleRewriter(rules).rewrite
+        if "RQ" in systems:
+            self._rewriters["RQ"] = ResolutionRewriter(rules, prune_subsumed=False).rewrite
+        if "NY" in systems:
+            self._rewriters["NY"] = TGDRewriter(rules).rewrite
+        if "NY*" in systems:
+            self._rewriters["NY*"] = TGDRewriter(rules, use_elimination=True).rewrite
+
+    @property
+    def workload(self) -> Workload:
+        """The workload under evaluation."""
+        return self._workload
+
+    @property
+    def systems(self) -> tuple[str, ...]:
+        """The systems being compared."""
+        return self._systems
+
+    # -- running ---------------------------------------------------------------
+
+    def rewrite(self, system: str, query: ConjunctiveQuery) -> UnionOfConjunctiveQueries:
+        """The (schema-restricted) UCQ rewriting a system produces for *query*."""
+        result = self._rewriters[system](query)
+        return self._visible(result.ucq, query)
+
+    def measure(self, system: str, query_name: str) -> Measurement:
+        """Run one system on one named query and collect metrics plus timing."""
+        query = self._workload.query(query_name)
+        start = time.perf_counter()
+        ucq = self.rewrite(system, query)
+        elapsed = time.perf_counter() - start
+        return Measurement(
+            system=system,
+            query_name=query_name,
+            metrics=ucq_metrics(ucq),
+            elapsed_seconds=elapsed,
+        )
+
+    def row(self, query_name: str) -> Table1Row:
+        """All systems on one named query."""
+        row = Table1Row(workload=self._workload.name, query_name=query_name)
+        for system in self._systems:
+            row.cells[system] = self.measure(system, query_name)
+        return row
+
+    def rows(self, query_names: Iterable[str] | None = None) -> list[Table1Row]:
+        """All systems on all (or the given) queries of the workload."""
+        names = list(query_names) if query_names is not None else list(self._workload.query_names)
+        return [self.row(name) for name in names]
+
+    # -- internals ------------------------------------------------------------------
+
+    def _visible(
+        self, ucq: UnionOfConjunctiveQueries, query: ConjunctiveQuery
+    ) -> UnionOfConjunctiveQueries:
+        """Drop CQs over internal auxiliary predicates unless the workload publishes them."""
+        if self._workload.auxiliary_public:
+            return ucq
+        allowed: set[Predicate] = set(self._schema_predicates)
+        allowed.update(atom.predicate for atom in query.body)
+        return restrict_to_schema(ucq, allowed)
+
+
+def evaluate_workload(
+    workload: Workload,
+    systems: Sequence[str] = SYSTEMS,
+    query_names: Iterable[str] | None = None,
+) -> list[Table1Row]:
+    """One-shot evaluation of a workload; returns one row per query."""
+    return Table1Evaluator(workload, systems=systems).rows(query_names)
+
+
+def format_rows(rows: Sequence[Table1Row], systems: Sequence[str] = SYSTEMS) -> str:
+    """Render rows as an aligned plain-text table (one block per metric)."""
+    headers = ["workload", "query"]
+    for metric in ("size", "length", "width"):
+        for system in systems:
+            headers.append(f"{system}_{metric}")
+    flat_rows = [row.as_dict() for row in rows]
+    widths = {
+        header: max(len(header), *(len(str(r.get(header, ""))) for r in flat_rows))
+        for header in headers
+    }
+    lines = ["  ".join(header.ljust(widths[header]) for header in headers)]
+    for flat in flat_rows:
+        lines.append(
+            "  ".join(str(flat.get(header, "")).ljust(widths[header]) for header in headers)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Symbolic substrate: terms, atoms, substitutions, unification, homomorphisms."""
+
+from .atoms import (
+    Atom,
+    Position,
+    Predicate,
+    atoms_constants,
+    atoms_predicates,
+    atoms_terms,
+    atoms_variables,
+    term_occurrences,
+)
+from .homomorphism import (
+    are_variants,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphisms,
+    is_homomorphism,
+    variable_bijections,
+)
+from .substitution import EMPTY_SUBSTITUTION, Substitution
+from .terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Term,
+    Variable,
+    VariableFactory,
+    is_constant,
+    is_null,
+    is_variable,
+)
+from .unification import is_unifier, mgu, rename_apart, unifiable, unify_atoms, unify_terms
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "EMPTY_SUBSTITUTION",
+    "Null",
+    "NullFactory",
+    "Position",
+    "Predicate",
+    "Substitution",
+    "Term",
+    "Variable",
+    "VariableFactory",
+    "are_variants",
+    "atoms_constants",
+    "atoms_predicates",
+    "atoms_terms",
+    "atoms_variables",
+    "find_homomorphism",
+    "has_homomorphism",
+    "homomorphisms",
+    "is_constant",
+    "is_homomorphism",
+    "is_null",
+    "is_unifier",
+    "is_variable",
+    "mgu",
+    "rename_apart",
+    "term_occurrences",
+    "unifiable",
+    "unify_atoms",
+    "unify_terms",
+    "variable_bijections",
+]

@@ -1,0 +1,188 @@
+"""Homomorphisms between sets of atoms.
+
+A homomorphism from a set of atoms ``A1`` to a set of atoms ``A2`` is a
+substitution ``h`` on the terms of ``A1`` such that (i) constants are mapped
+to themselves and (ii) ``h(a) ∈ A2`` for every ``a ∈ A1`` (Section 3.1).
+Variables and labelled nulls of ``A1`` may be mapped to arbitrary terms.
+
+Homomorphism search is NP-complete in general; the implementation below is a
+backtracking search with standard heuristics (most-constrained atom first,
+candidate indexing by predicate) which is fast for the query sizes that occur
+in ontological query rewriting (a handful of atoms).
+
+The same machinery yields:
+
+* *query containment* checks (via the canonical-database / frozen-query
+  technique);
+* *variant* checks ("the same modulo bijective variable renaming"), used to
+  deduplicate CQs inside the rewriting sets of Algorithm 1;
+* entailment of a BCQ by an instance (``I |= q``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .atoms import Atom
+from .substitution import Substitution
+from .terms import Term, is_constant, is_variable
+
+
+def _candidate_index(target: Iterable[Atom]) -> dict[object, list[Atom]]:
+    """Index the target atoms by predicate for fast candidate lookup."""
+    index: dict[object, list[Atom]] = defaultdict(list)
+    for atom in target:
+        index[atom.predicate].append(atom)
+    return index
+
+
+def _extend(
+    mapping: dict[Term, Term], source: Atom, target: Atom
+) -> dict[Term, Term] | None:
+    """Try to extend *mapping* so that it maps *source* onto *target*.
+
+    Returns the extended mapping, or ``None`` if the extension is impossible
+    (constant mismatch or conflicting variable binding).
+    """
+    if source.predicate != target.predicate:
+        return None
+    extended = dict(mapping)
+    for s_term, t_term in zip(source.terms, target.terms):
+        if is_constant(s_term):
+            if s_term != t_term:
+                return None
+            continue
+        bound = extended.get(s_term)
+        if bound is None:
+            extended[s_term] = t_term
+        elif bound != t_term:
+            return None
+    return extended
+
+
+def homomorphisms(
+    source: Sequence[Atom],
+    target: Iterable[Atom],
+    partial: Mapping[Term, Term] | None = None,
+    frozen: Iterable[Term] = (),
+) -> Iterator[Substitution]:
+    """Enumerate all homomorphisms from *source* into *target*.
+
+    Parameters
+    ----------
+    source:
+        Atoms to be mapped (e.g. the body of a query).
+    target:
+        Atoms to map into (e.g. an instance, or the frozen body of a query).
+    partial:
+        A partial mapping that every returned homomorphism must extend
+        (used e.g. to fix the answer variables of a CQ to a candidate tuple).
+    frozen:
+        Terms of *source* that must be mapped to themselves (in addition to
+        constants).  Useful when checking containment mappings where the
+        target's variables act as constants.
+    """
+    index = _candidate_index(target)
+    frozen_set = set(frozen)
+    base: dict[Term, Term] = dict(partial) if partial else {}
+    for term in frozen_set:
+        existing = base.get(term)
+        if existing is not None and existing != term:
+            return
+        base[term] = term
+
+    source_atoms = list(source)
+    # Most-constrained-first ordering: fewer candidate target atoms first,
+    # more constants/bound terms first.
+    source_atoms.sort(key=lambda a: (len(index.get(a.predicate, ())), -sum(
+        1 for t in a.terms if is_constant(t) or t in base)))
+
+    def search(position: int, mapping: dict[Term, Term]) -> Iterator[dict[Term, Term]]:
+        if position == len(source_atoms):
+            yield mapping
+            return
+        atom = source_atoms[position]
+        for candidate in index.get(atom.predicate, ()):  # noqa: B905
+            extended = _extend(mapping, atom, candidate)
+            if extended is not None:
+                yield from search(position + 1, extended)
+
+    seen: set[frozenset] = set()
+    for mapping in search(0, base):
+        key = frozenset(mapping.items())
+        if key in seen:
+            continue
+        seen.add(key)
+        yield Substitution(mapping)
+
+
+def find_homomorphism(
+    source: Sequence[Atom],
+    target: Iterable[Atom],
+    partial: Mapping[Term, Term] | None = None,
+    frozen: Iterable[Term] = (),
+) -> Substitution | None:
+    """Return one homomorphism from *source* into *target*, or ``None``."""
+    for hom in homomorphisms(source, target, partial=partial, frozen=frozen):
+        return hom
+    return None
+
+
+def has_homomorphism(
+    source: Sequence[Atom],
+    target: Iterable[Atom],
+    partial: Mapping[Term, Term] | None = None,
+    frozen: Iterable[Term] = (),
+) -> bool:
+    """``True`` iff some homomorphism from *source* into *target* exists."""
+    return find_homomorphism(source, target, partial=partial, frozen=frozen) is not None
+
+
+def is_homomorphism(
+    mapping: Mapping[Term, Term], source: Iterable[Atom], target: Iterable[Atom]
+) -> bool:
+    """Verify that *mapping* is a homomorphism from *source* into *target*."""
+    target_set = set(target)
+    substitution = Substitution(
+        {k: v for k, v in mapping.items() if not is_constant(k) or k == v}
+    )
+    for key, value in mapping.items():
+        if is_constant(key) and key != value:
+            return False
+    return all(substitution.apply_atom(atom) in target_set for atom in source)
+
+
+def variable_bijections(
+    source: Sequence[Atom], target: Sequence[Atom]
+) -> Iterator[Substitution]:
+    """Enumerate bijective variable renamings mapping *source* onto *target*.
+
+    Used for variant checks: two conjunctions of atoms are *variants* (equal
+    modulo bijective variable renaming) iff such a renaming exists and it maps
+    the source atom set onto the whole target atom set.
+    """
+    source_atoms = set(source)
+    target_atoms = set(target)
+    if len(source_atoms) != len(target_atoms):
+        return
+    source_vars = {t for a in source_atoms for t in a.terms if is_variable(t)}
+    target_vars = {t for a in target_atoms for t in a.terms if is_variable(t)}
+    if len(source_vars) != len(target_vars):
+        return
+    for hom in homomorphisms(sorted(source_atoms, key=repr), target_atoms):
+        mapping = {v: hom.apply_term(v) for v in source_vars}
+        images = set(mapping.values())
+        if len(images) != len(mapping) or not images <= target_vars:
+            continue
+        if {hom.apply_atom(a) for a in source_atoms} == target_atoms:
+            yield Substitution(mapping)
+
+
+def are_variants(source: Sequence[Atom], target: Sequence[Atom]) -> bool:
+    """``True`` iff the two atom sets are equal modulo bijective variable renaming."""
+    if set(source) == set(target):
+        return True
+    for _ in variable_bijections(source, target):
+        return True
+    return False

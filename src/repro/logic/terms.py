@@ -1,0 +1,124 @@
+"""First-order terms used throughout the library.
+
+The paper (Section 3.1) distinguishes three pairwise-disjoint sets of symbols:
+
+* **constants** (``Δc``) — the domain of a database; two distinct constants
+  always denote distinct values (unique name assumption);
+* **labelled nulls** (``Δz``) — placeholders for unknown values, introduced by
+  the chase when a tuple-generating dependency (TGD) invents a fresh value;
+* **variables** — used in queries and dependencies.
+
+Terms are immutable and hashable so they can be used freely as dictionary keys
+and members of frozensets.  Equality is structural (same kind, same name).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A first-order variable, e.g. ``X`` in ``p(X, Y)``."""
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"?{self.name}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """A constant of the database domain ``Δc``.
+
+    The ``value`` may be any hashable Python object (strings and integers in
+    practice).  Two constants are equal iff their values are equal.
+    """
+
+    value: object
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Const({self.value!r})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Null:
+    """A labelled null of ``Δz``, introduced by the chase.
+
+    Nulls behave like constants during query evaluation over an instance
+    (they can be mapped onto by query variables) but they are never part of a
+    *certain* answer and, unlike constants, a homomorphism may map a null to
+    any other term.
+    """
+
+    label: int
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Null({self.label})"
+
+    def __str__(self) -> str:
+        return f"z{self.label}"
+
+
+Term = Union[Variable, Constant, Null]
+
+
+def is_variable(term: Term) -> bool:
+    """Return ``True`` iff *term* is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+def is_constant(term: Term) -> bool:
+    """Return ``True`` iff *term* is a :class:`Constant`."""
+    return isinstance(term, Constant)
+
+
+def is_null(term: Term) -> bool:
+    """Return ``True`` iff *term* is a labelled :class:`Null`."""
+    return isinstance(term, Null)
+
+
+class VariableFactory:
+    """Generates fresh variables guaranteed not to clash with previous ones.
+
+    Rewriting and chase steps repeatedly need variables that do not occur
+    anywhere else (e.g. when renaming a TGD apart from a query).  A factory
+    keeps a monotone counter so every variable it produces is new.
+
+    >>> fresh = VariableFactory(prefix="V")
+    >>> fresh(), fresh()
+    (?V1, ?V2)
+    """
+
+    def __init__(self, prefix: str = "V", start: int = 1) -> None:
+        self._prefix = prefix
+        self._counter = itertools.count(start)
+
+    def __call__(self) -> Variable:
+        return Variable(f"{self._prefix}{next(self._counter)}")
+
+    def many(self, count: int) -> tuple[Variable, ...]:
+        """Return *count* fresh variables."""
+        return tuple(self() for _ in range(count))
+
+
+class NullFactory:
+    """Generates fresh labelled nulls for the chase procedure."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+
+    def __call__(self) -> Null:
+        return Null(next(self._counter))
+
+    def many(self, count: int) -> tuple[Null, ...]:
+        """Return *count* fresh nulls."""
+        return tuple(self() for _ in range(count))

@@ -1,0 +1,334 @@
+"""DL-Lite_R concepts, roles and TBox axioms.
+
+The evaluation of the paper (Section 7) uses DL-Lite_R ontologies: the member
+of the DL-Lite family underlying the OWL 2 QL profile.  A DL-Lite_R TBox is
+built from
+
+* *atomic concepts* ``A`` and *atomic roles* ``P``;
+* *basic roles* ``R ::= P | P⁻`` (a role or its inverse);
+* *basic concepts* ``B ::= A | ∃R`` (an atomic concept or an unqualified
+  existential restriction);
+* *concept inclusions* ``B1 ⊑ B2`` and ``B1 ⊑ ¬B2``;
+* *role inclusions* ``R1 ⊑ R2`` and ``R1 ⊑ ¬R2``;
+* (in DL-Lite_F / DL-Lite_A) *functionality assertions* ``(funct R)``.
+
+Every positive axiom corresponds to a **linear TGD** and every negative axiom
+to a **negative constraint**, which is how the paper feeds these ontologies to
+the Datalog± rewriting machinery; the translation itself lives in
+:mod:`repro.ontology.translation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence, Union
+
+
+# ---------------------------------------------------------------------------
+# Roles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AtomicRole:
+    """An atomic role (binary predicate), e.g. ``hasStock``."""
+
+    name: str
+
+    def inverse(self) -> "InverseRole":
+        """The inverse role ``name⁻``."""
+        return InverseRole(self)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class InverseRole:
+    """The inverse ``P⁻`` of an atomic role ``P``."""
+
+    role: AtomicRole
+
+    def inverse(self) -> AtomicRole:
+        """The inverse of an inverse is the original role."""
+        return self.role
+
+    @property
+    def name(self) -> str:
+        """The name of the underlying atomic role."""
+        return self.role.name
+
+    def __repr__(self) -> str:
+        return f"{self.role.name}^-"
+
+
+BasicRole = Union[AtomicRole, InverseRole]
+
+
+def is_inverse(role: BasicRole) -> bool:
+    """``True`` iff *role* is an inverse role."""
+    return isinstance(role, InverseRole)
+
+
+def role_name(role: BasicRole) -> str:
+    """The underlying predicate name of a basic role."""
+    return role.name
+
+
+# ---------------------------------------------------------------------------
+# Concepts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AtomicConcept:
+    """An atomic concept (unary predicate), e.g. ``Stock``."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ExistentialRestriction:
+    """An unqualified existential restriction ``∃R`` over a basic role ``R``."""
+
+    role: BasicRole
+
+    def __repr__(self) -> str:
+        return f"exists {self.role!r}"
+
+
+BasicConcept = Union[AtomicConcept, ExistentialRestriction]
+
+
+def exists(role: BasicRole | str) -> ExistentialRestriction:
+    """``∃R`` for a basic role (a bare string denotes an atomic role)."""
+    if isinstance(role, str):
+        role = AtomicRole(role)
+    return ExistentialRestriction(role)
+
+
+def exists_inverse(role: AtomicRole | str) -> ExistentialRestriction:
+    """``∃R⁻`` for an atomic role (a bare string denotes the role name)."""
+    if isinstance(role, str):
+        role = AtomicRole(role)
+    return ExistentialRestriction(role.inverse())
+
+
+# ---------------------------------------------------------------------------
+# Axioms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConceptInclusion:
+    """A concept inclusion ``lhs ⊑ rhs`` (or ``lhs ⊑ ¬rhs`` when *negated*)."""
+
+    lhs: BasicConcept
+    rhs: BasicConcept
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        negation = "not " if self.negated else ""
+        return f"{self.lhs!r} [= {negation}{self.rhs!r}"
+
+
+@dataclass(frozen=True)
+class RoleInclusion:
+    """A role inclusion ``lhs ⊑ rhs`` (or ``lhs ⊑ ¬rhs`` when *negated*)."""
+
+    lhs: BasicRole
+    rhs: BasicRole
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        negation = "not " if self.negated else ""
+        return f"{self.lhs!r} [= {negation}{self.rhs!r}"
+
+
+@dataclass(frozen=True)
+class Functionality:
+    """A functionality assertion ``(funct R)`` (DL-Lite_F / DL-Lite_A only)."""
+
+    role: BasicRole
+
+    def __repr__(self) -> str:
+        return f"funct({self.role!r})"
+
+
+Axiom = Union[ConceptInclusion, RoleInclusion, Functionality]
+
+
+# ---------------------------------------------------------------------------
+# Ontologies (TBoxes)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DLLiteOntology:
+    """A DL-Lite_R (optionally DL-Lite_A) TBox: a named collection of axioms."""
+
+    name: str = "ontology"
+    axioms: list[Axiom] = field(default_factory=list)
+
+    # -- construction helpers ------------------------------------------------
+
+    def add(self, axiom: Axiom) -> "DLLiteOntology":
+        """Add an axiom (in place) and return ``self`` for chaining."""
+        self.axioms.append(axiom)
+        self.__dict__.pop("atomic_concepts", None)
+        self.__dict__.pop("atomic_roles", None)
+        return self
+
+    def extend(self, axioms: Iterable[Axiom]) -> "DLLiteOntology":
+        """Add several axioms (in place) and return ``self``."""
+        for axiom in axioms:
+            self.add(axiom)
+        return self
+
+    def subclass(
+        self, lhs: BasicConcept | str, rhs: BasicConcept | str
+    ) -> "DLLiteOntology":
+        """Add the concept inclusion ``lhs ⊑ rhs`` (strings denote atomic concepts)."""
+        return self.add(ConceptInclusion(_concept(lhs), _concept(rhs)))
+
+    def disjoint_concepts(
+        self, lhs: BasicConcept | str, rhs: BasicConcept | str
+    ) -> "DLLiteOntology":
+        """Add the negative inclusion ``lhs ⊑ ¬rhs``."""
+        return self.add(ConceptInclusion(_concept(lhs), _concept(rhs), negated=True))
+
+    def subrole(self, lhs: BasicRole | str, rhs: BasicRole | str) -> "DLLiteOntology":
+        """Add the role inclusion ``lhs ⊑ rhs`` (strings denote atomic roles)."""
+        return self.add(RoleInclusion(_role(lhs), _role(rhs)))
+
+    def disjoint_roles(self, lhs: BasicRole | str, rhs: BasicRole | str) -> "DLLiteOntology":
+        """Add the negative role inclusion ``lhs ⊑ ¬rhs``."""
+        return self.add(RoleInclusion(_role(lhs), _role(rhs), negated=True))
+
+    def domain(self, role: BasicRole | str, concept: BasicConcept | str) -> "DLLiteOntology":
+        """Declare the domain of a role: ``∃R ⊑ C``."""
+        return self.add(ConceptInclusion(ExistentialRestriction(_role(role)), _concept(concept)))
+
+    def range(self, role: BasicRole | str, concept: BasicConcept | str) -> "DLLiteOntology":
+        """Declare the range of a role: ``∃R⁻ ⊑ C``."""
+        basic = _role(role)
+        inverted = basic.inverse() if isinstance(basic, AtomicRole) else basic.role
+        return self.add(ConceptInclusion(ExistentialRestriction(inverted), _concept(concept)))
+
+    def mandatory_participation(
+        self, concept: BasicConcept | str, role: BasicRole | str
+    ) -> "DLLiteOntology":
+        """Declare ``C ⊑ ∃R``: every member of *concept* participates in *role*."""
+        return self.add(ConceptInclusion(_concept(concept), ExistentialRestriction(_role(role))))
+
+    def functional(self, role: BasicRole | str) -> "DLLiteOntology":
+        """Add the functionality assertion ``(funct R)``."""
+        return self.add(Functionality(_role(role)))
+
+    # -- views ----------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Axiom]:
+        return iter(self.axioms)
+
+    def __len__(self) -> int:
+        return len(self.axioms)
+
+    @property
+    def concept_inclusions(self) -> tuple[ConceptInclusion, ...]:
+        """All concept inclusions (positive and negative)."""
+        return tuple(a for a in self.axioms if isinstance(a, ConceptInclusion))
+
+    @property
+    def role_inclusions(self) -> tuple[RoleInclusion, ...]:
+        """All role inclusions (positive and negative)."""
+        return tuple(a for a in self.axioms if isinstance(a, RoleInclusion))
+
+    @property
+    def functionality_assertions(self) -> tuple[Functionality, ...]:
+        """All functionality assertions."""
+        return tuple(a for a in self.axioms if isinstance(a, Functionality))
+
+    @property
+    def positive_axioms(self) -> tuple[Axiom, ...]:
+        """Axioms that translate to TGDs."""
+        return tuple(
+            a
+            for a in self.axioms
+            if isinstance(a, (ConceptInclusion, RoleInclusion)) and not a.negated
+        )
+
+    @property
+    def negative_axioms(self) -> tuple[Axiom, ...]:
+        """Axioms that translate to negative constraints."""
+        return tuple(
+            a
+            for a in self.axioms
+            if isinstance(a, (ConceptInclusion, RoleInclusion)) and a.negated
+        )
+
+    @cached_property
+    def atomic_concepts(self) -> frozenset[AtomicConcept]:
+        """All atomic concepts mentioned by the TBox."""
+        found: set[AtomicConcept] = set()
+        for axiom in self.axioms:
+            if isinstance(axiom, ConceptInclusion):
+                for side in (axiom.lhs, axiom.rhs):
+                    if isinstance(side, AtomicConcept):
+                        found.add(side)
+        return frozenset(found)
+
+    @cached_property
+    def atomic_roles(self) -> frozenset[AtomicRole]:
+        """All atomic roles mentioned by the TBox."""
+        found: set[AtomicRole] = set()
+        for axiom in self.axioms:
+            if isinstance(axiom, ConceptInclusion):
+                for side in (axiom.lhs, axiom.rhs):
+                    if isinstance(side, ExistentialRestriction):
+                        found.add(_atomic(side.role))
+            elif isinstance(axiom, RoleInclusion):
+                found.add(_atomic(axiom.lhs))
+                found.add(_atomic(axiom.rhs))
+            elif isinstance(axiom, Functionality):
+                found.add(_atomic(axiom.role))
+        return frozenset(found)
+
+    def is_dl_lite_r(self) -> bool:
+        """``True`` iff the TBox contains no functionality assertion."""
+        return not self.functionality_assertions
+
+    def __repr__(self) -> str:
+        return f"DLLiteOntology({self.name!r}: {len(self.axioms)} axioms)"
+
+
+def ontology(name: str, axioms: Sequence[Axiom] = ()) -> DLLiteOntology:
+    """Convenience constructor for a :class:`DLLiteOntology`."""
+    return DLLiteOntology(name=name, axioms=list(axioms))
+
+
+# ---------------------------------------------------------------------------
+# coercion helpers
+# ---------------------------------------------------------------------------
+
+
+def _concept(value: BasicConcept | str) -> BasicConcept:
+    """Coerce a string to an atomic concept; pass basic concepts through."""
+    if isinstance(value, str):
+        return AtomicConcept(value)
+    return value
+
+
+def _role(value: BasicRole | str) -> BasicRole:
+    """Coerce a string to an atomic role; pass basic roles through."""
+    if isinstance(value, str):
+        return AtomicRole(value)
+    return value
+
+
+def _atomic(role: BasicRole) -> AtomicRole:
+    """The atomic role underlying a basic role."""
+    return role.role if isinstance(role, InverseRole) else role

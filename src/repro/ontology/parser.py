@@ -1,0 +1,258 @@
+"""A compact textual syntax for DL-Lite_R TBoxes.
+
+The workloads of the evaluation are written (and can be exported) in a small
+line-oriented syntax, one axiom per line::
+
+    # VICODI excerpt
+    Country [= Location
+    Military-Person [= Person
+    exists hasRole [= Individual
+    exists hasRole- [= Role
+    Person [= exists hasRole
+    hasChildOrganisation [= related
+    Event [= not Location
+    funct hasId
+
+Grammar (one axiom per non-comment line):
+
+* ``<concept> [= <concept>`` — concept inclusion;
+* ``<concept> [= not <concept>`` — concept disjointness;
+* ``<role> [= <role>`` / ``<role> [= not <role>`` — role inclusion /
+  disjointness (a side is a *role expression* when it is declared with
+  ``role`` or ends with ``-``);
+* ``funct <role>`` — functionality assertion;
+* ``concept <name> ...`` / ``role <name> ...`` — optional explicit
+  declarations that disambiguate bare names.
+
+Concept expressions are a bare name (atomic concept) or ``exists <role>`` /
+``exists <role>-`` (unqualified existential restriction).  Role expressions
+are a bare name or ``<name>-`` (inverse).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .dl_lite import (
+    AtomicConcept,
+    AtomicRole,
+    BasicConcept,
+    BasicRole,
+    ConceptInclusion,
+    DLLiteOntology,
+    ExistentialRestriction,
+    Functionality,
+    InverseRole,
+    RoleInclusion,
+)
+
+
+class DLLiteSyntaxError(ValueError):
+    """Raised when a TBox line cannot be parsed."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_number}: {reason}: {line!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+_SUBSUMPTION = "[="
+_NEGATION = "not"
+_EXISTS = "exists"
+_FUNCT = "funct"
+
+
+def parse_ontology(text: str, name: str = "ontology") -> DLLiteOntology:
+    """Parse a whole TBox from its textual form."""
+    lines = text.splitlines()
+    declared_roles, declared_concepts = _collect_declarations(lines)
+    inferred_roles = declared_roles | _infer_roles(lines)
+    tbox = DLLiteOntology(name=name)
+    for line_number, raw in enumerate(lines, start=1):
+        line = _strip(raw)
+        if not line or line.split()[0] in ("concept", "role"):
+            continue
+        tbox.add(_parse_axiom(line, line_number, inferred_roles, declared_concepts))
+    return tbox
+
+
+def parse_axiom(line: str, roles: Iterable[str] = ()) -> object:
+    """Parse a single axiom line (role names can be supplied explicitly)."""
+    return _parse_axiom(_strip(line), 1, set(roles) | _infer_roles([line]), set())
+
+
+def ontology_to_text(tbox: DLLiteOntology) -> str:
+    """Render a TBox back into the textual syntax (round-trips with the parser)."""
+    lines: list[str] = [f"# {tbox.name}"]
+    role_names = sorted(role.name for role in tbox.atomic_roles)
+    if role_names:
+        lines.append("role " + " ".join(role_names))
+    for axiom in tbox.axioms:
+        if isinstance(axiom, ConceptInclusion):
+            rhs = _concept_to_text(axiom.rhs)
+            if axiom.negated:
+                rhs = f"{_NEGATION} {rhs}"
+            lines.append(f"{_concept_to_text(axiom.lhs)} {_SUBSUMPTION} {rhs}")
+        elif isinstance(axiom, RoleInclusion):
+            rhs = _role_to_text(axiom.rhs)
+            if axiom.negated:
+                rhs = f"{_NEGATION} {rhs}"
+            lines.append(f"{_role_to_text(axiom.lhs)} {_SUBSUMPTION} {rhs}")
+        elif isinstance(axiom, Functionality):
+            lines.append(f"{_FUNCT} {_role_to_text(axiom.role)}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _strip(raw: str) -> str:
+    """Drop comments and surrounding whitespace."""
+    return raw.split("#", 1)[0].strip()
+
+
+def _collect_declarations(lines: Iterable[str]) -> tuple[set[str], set[str]]:
+    """Names explicitly declared as roles / concepts."""
+    roles: set[str] = set()
+    concepts: set[str] = set()
+    for raw in lines:
+        line = _strip(raw)
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == "role":
+            roles.update(tokens[1:])
+        elif tokens[0] == "concept":
+            concepts.update(tokens[1:])
+    return roles, concepts
+
+
+def _infer_roles(lines: Iterable[str]) -> set[str]:
+    """Names that must denote roles: used with ``exists``, ``-`` or ``funct``."""
+    roles: set[str] = set()
+    for raw in lines:
+        line = _strip(raw)
+        if not line:
+            continue
+        tokens = line.replace(_SUBSUMPTION, " ").split()
+        for index, token in enumerate(tokens):
+            if token == _EXISTS and index + 1 < len(tokens):
+                roles.add(tokens[index + 1].rstrip("-"))
+            elif token == _FUNCT and index + 1 < len(tokens):
+                roles.add(tokens[index + 1].rstrip("-"))
+            elif token.endswith("-") and len(token) > 1:
+                roles.add(token.rstrip("-"))
+    return roles
+
+
+def _parse_axiom(
+    line: str, line_number: int, roles: set[str], concepts: set[str]
+) -> object:
+    """Parse one (stripped, non-empty) axiom line."""
+    tokens = line.split()
+    if tokens[0] == _FUNCT:
+        if len(tokens) != 2:
+            raise DLLiteSyntaxError(line_number, line, "expected 'funct <role>'")
+        return Functionality(_parse_role(tokens[1]))
+    if _SUBSUMPTION not in line:
+        raise DLLiteSyntaxError(line_number, line, f"missing '{_SUBSUMPTION}'")
+    lhs_text, rhs_text = (part.strip() for part in line.split(_SUBSUMPTION, 1))
+    if _EXISTS in (lhs_text, rhs_text):
+        raise DLLiteSyntaxError(line_number, line, "missing role after 'exists'")
+    negated = False
+    if rhs_text.startswith(_NEGATION + " "):
+        negated = True
+        rhs_text = rhs_text[len(_NEGATION) :].strip()
+    lhs_is_role = _looks_like_role(lhs_text, roles, concepts)
+    rhs_is_role = _looks_like_role(rhs_text, roles, concepts)
+    if lhs_is_role != rhs_is_role:
+        # One side is unambiguously a role; a bare, undeclared name on the
+        # other side can only make the axiom well-formed if it denotes a role
+        # too (DL-Lite has no concept/role inclusions), so coerce it.
+        lhs_is_role, rhs_is_role = _coerce_bare_side(
+            lhs_text, lhs_is_role, rhs_text, rhs_is_role, concepts
+        )
+    if lhs_is_role != rhs_is_role:
+        raise DLLiteSyntaxError(
+            line_number, line, "cannot mix a role and a concept in one inclusion"
+        )
+    if lhs_is_role:
+        return RoleInclusion(_parse_role(lhs_text), _parse_role(rhs_text), negated=negated)
+    return ConceptInclusion(
+        _parse_concept(lhs_text, line_number, line),
+        _parse_concept(rhs_text, line_number, line),
+        negated=negated,
+    )
+
+
+def _coerce_bare_side(
+    lhs_text: str,
+    lhs_is_role: bool,
+    rhs_text: str,
+    rhs_is_role: bool,
+    concepts: set[str],
+) -> tuple[bool, bool]:
+    """Promote a bare, undeclared name to a role when the other side is a role."""
+
+    def is_bare_and_undeclared(expression: str) -> bool:
+        return (
+            not expression.startswith(_EXISTS + " ")
+            and not expression.endswith("-")
+            and expression not in concepts
+        )
+
+    if rhs_is_role and not lhs_is_role and is_bare_and_undeclared(lhs_text):
+        return True, rhs_is_role
+    if lhs_is_role and not rhs_is_role and is_bare_and_undeclared(rhs_text):
+        return lhs_is_role, True
+    return lhs_is_role, rhs_is_role
+
+
+def _looks_like_role(expression: str, roles: set[str], concepts: set[str]) -> bool:
+    """Decide whether a bare side of an inclusion denotes a role."""
+    if expression.startswith(_EXISTS + " "):
+        return False
+    name = expression.rstrip("-")
+    if expression.endswith("-"):
+        return True
+    if name in concepts:
+        return False
+    return name in roles
+
+
+def _parse_role(text: str) -> BasicRole:
+    """Parse ``name`` or ``name-`` into a basic role."""
+    text = text.strip()
+    if text.endswith("-"):
+        return InverseRole(AtomicRole(text[:-1]))
+    return AtomicRole(text)
+
+
+def _parse_concept(text: str, line_number: int, line: str) -> BasicConcept:
+    """Parse ``name`` or ``exists role[-]`` into a basic concept."""
+    text = text.strip()
+    if text.startswith(_EXISTS):
+        remainder = text[len(_EXISTS) :].strip()
+        if not remainder:
+            raise DLLiteSyntaxError(line_number, line, "missing role after 'exists'")
+        return ExistentialRestriction(_parse_role(remainder))
+    if " " in text:
+        raise DLLiteSyntaxError(line_number, line, f"unexpected token in concept {text!r}")
+    return AtomicConcept(text)
+
+
+def _concept_to_text(concept: BasicConcept) -> str:
+    """Textual form of a basic concept."""
+    if isinstance(concept, AtomicConcept):
+        return concept.name
+    return f"{_EXISTS} {_role_to_text(concept.role)}"
+
+
+def _role_to_text(role: BasicRole) -> str:
+    """Textual form of a basic role."""
+    if isinstance(role, InverseRole):
+        return f"{role.name}-"
+    return role.name

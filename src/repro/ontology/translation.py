@@ -1,0 +1,231 @@
+"""Translation of DL-Lite_R TBoxes into Datalog± theories.
+
+Each positive DL-Lite axiom corresponds to exactly one **linear TGD** over
+unary (concept) and binary (role) predicates, and each negative axiom to a
+**negative constraint**; functionality assertions become key dependencies.
+The translation below is the standard one (see Section 2 and Section 4.2 of
+the paper, and Calì–Gottlob–Lukasiewicz PODS'09):
+
+====================  =============================================
+DL-Lite axiom         Datalog± rule
+====================  =============================================
+``A ⊑ B``             ``A(X) → B(X)``
+``A ⊑ ∃R``            ``A(X) → ∃Y R(X, Y)``
+``A ⊑ ∃R⁻``           ``A(X) → ∃Y R(Y, X)``
+``∃R ⊑ A``            ``R(X, Y) → A(X)``
+``∃R⁻ ⊑ A``           ``R(X, Y) → A(Y)``
+``∃R ⊑ ∃S``           ``R(X, Y) → ∃Z S(X, Z)`` (and the inverse variants)
+``R ⊑ S``             ``R(X, Y) → S(X, Y)``
+``R ⊑ S⁻``            ``R(X, Y) → S(Y, X)``
+``B1 ⊑ ¬B2``          ``atom(B1, X), atom(B2, X) → ⊥``
+``R1 ⊑ ¬R2``          ``R1(X, Y), R2(X, Y) → ⊥`` (modulo inverses)
+``(funct R)``         ``key(R) = {1}``;  ``(funct R⁻)`` → ``key(R) = {2}``
+====================  =============================================
+
+The resulting TGD set is always linear (and therefore FO-rewritable), which
+is why the DL-Lite ontologies of Table 1 can be processed by TGD-rewrite*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..dependencies.constraints import KeyDependency, NegativeConstraint
+from ..dependencies.tgd import TGD
+from ..dependencies.theory import OntologyTheory
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Variable
+from .dl_lite import (
+    AtomicConcept,
+    AtomicRole,
+    BasicConcept,
+    BasicRole,
+    ConceptInclusion,
+    DLLiteOntology,
+    ExistentialRestriction,
+    Functionality,
+    InverseRole,
+    RoleInclusion,
+)
+
+_X = Variable("X")
+_Y = Variable("Y")
+_Z = Variable("Z")
+
+
+def concept_atom(concept: BasicConcept, subject: Variable, fresh: Variable) -> Atom:
+    """The atom asserting membership of *subject* in a basic concept.
+
+    For an existential restriction the second role argument is the *fresh*
+    variable (existentially quantified when the atom occurs in a rule head,
+    plain otherwise).
+    """
+    if isinstance(concept, AtomicConcept):
+        return Atom(Predicate(concept.name, 1), (subject,))
+    role = concept.role
+    if isinstance(role, InverseRole):
+        return Atom(Predicate(role.name, 2), (fresh, subject))
+    return Atom(Predicate(role.name, 2), (subject, fresh))
+
+
+def role_atom(role: BasicRole, first: Variable, second: Variable) -> Atom:
+    """The binary atom for a basic role, swapping arguments for inverses."""
+    if isinstance(role, InverseRole):
+        return Atom(Predicate(role.name, 2), (second, first))
+    return Atom(Predicate(role.name, 2), (first, second))
+
+
+def concept_inclusion_to_tgd(axiom: ConceptInclusion, label: str = "") -> TGD:
+    """Translate a positive concept inclusion ``B1 ⊑ B2`` into a linear TGD."""
+    if axiom.negated:
+        raise ValueError(f"{axiom!r} is a negative inclusion; it yields a constraint")
+    body = concept_atom(axiom.lhs, _X, _Y)
+    head = concept_atom(axiom.rhs, _X, _Z)
+    return TGD((body,), (head,), label=label)
+
+
+def role_inclusion_to_tgd(axiom: RoleInclusion, label: str = "") -> TGD:
+    """Translate a positive role inclusion ``R1 ⊑ R2`` into a (full) linear TGD."""
+    if axiom.negated:
+        raise ValueError(f"{axiom!r} is a negative inclusion; it yields a constraint")
+    body = role_atom(axiom.lhs, _X, _Y)
+    head = role_atom(axiom.rhs, _X, _Y)
+    return TGD((body,), (head,), label=label)
+
+
+def concept_disjointness_to_constraint(
+    axiom: ConceptInclusion, label: str = ""
+) -> NegativeConstraint:
+    """Translate ``B1 ⊑ ¬B2`` into the NC ``B1(X), B2(X) → ⊥``."""
+    if not axiom.negated:
+        raise ValueError(f"{axiom!r} is a positive inclusion; it yields a TGD")
+    left = concept_atom(axiom.lhs, _X, _Y)
+    right = concept_atom(axiom.rhs, _X, _Z)
+    return NegativeConstraint((left, right), label=label)
+
+
+def role_disjointness_to_constraint(
+    axiom: RoleInclusion, label: str = ""
+) -> NegativeConstraint:
+    """Translate ``R1 ⊑ ¬R2`` into the NC ``R1(X, Y), R2(X, Y) → ⊥``."""
+    if not axiom.negated:
+        raise ValueError(f"{axiom!r} is a positive inclusion; it yields a TGD")
+    left = role_atom(axiom.lhs, _X, _Y)
+    right = role_atom(axiom.rhs, _X, _Y)
+    return NegativeConstraint((left, right), label=label)
+
+
+def functionality_to_key(axiom: Functionality, label: str = "") -> KeyDependency:
+    """Translate ``(funct R)`` into ``key(R) = {1}`` (``{2}`` for an inverse)."""
+    role = axiom.role
+    predicate = Predicate(role.name, 2)
+    position = 2 if isinstance(role, InverseRole) else 1
+    return KeyDependency(predicate, (position,), label=label)
+
+
+def to_theory(tbox: DLLiteOntology) -> OntologyTheory:
+    """Translate a whole DL-Lite TBox into an :class:`OntologyTheory`.
+
+    Every produced TGD carries a label ``<ontology>#<index>`` so that
+    rewritings and dependency graphs remain traceable to the original axioms.
+    """
+    theory = OntologyTheory(name=tbox.name)
+    for index, axiom in enumerate(tbox.axioms, start=1):
+        label = f"{tbox.name}#{index}"
+        if isinstance(axiom, ConceptInclusion):
+            if axiom.negated:
+                theory.add_negative_constraint(
+                    concept_disjointness_to_constraint(axiom, label)
+                )
+            else:
+                theory.add_tgd(concept_inclusion_to_tgd(axiom, label))
+        elif isinstance(axiom, RoleInclusion):
+            if axiom.negated:
+                theory.add_negative_constraint(
+                    role_disjointness_to_constraint(axiom, label)
+                )
+            else:
+                theory.add_tgd(role_inclusion_to_tgd(axiom, label))
+        elif isinstance(axiom, Functionality):
+            theory.add_key(functionality_to_key(axiom, label))
+        else:  # pragma: no cover - exhaustive over the Axiom union
+            raise TypeError(f"unsupported axiom type: {axiom!r}")
+    return theory
+
+
+def to_tgds(tbox: DLLiteOntology) -> list[TGD]:
+    """The TGDs of the translated TBox (ignoring NCs and keys)."""
+    return list(to_theory(tbox).tgds)
+
+
+def schema_predicates_of(tbox: DLLiteOntology) -> frozenset[Predicate]:
+    """The unary/binary predicates of the relational schema induced by a TBox."""
+    predicates: set[Predicate] = set()
+    for concept in tbox.atomic_concepts:
+        predicates.add(Predicate(concept.name, 1))
+    for role in tbox.atomic_roles:
+        predicates.add(Predicate(role.name, 2))
+    return frozenset(predicates)
+
+
+def tbox_from_tgds(rules: Iterable[TGD], name: str = "ontology") -> DLLiteOntology:
+    """Best-effort inverse translation: linear TGDs over unary/binary predicates.
+
+    Useful for round-trip tests and for exporting programmatically-built rule
+    sets in DL syntax.  Raises :class:`ValueError` for rules that have no
+    DL-Lite counterpart (higher arities, multiple body atoms, qualified
+    existentials).
+    """
+    tbox = DLLiteOntology(name=name)
+    for rule in rules:
+        tbox.add(_tgd_to_axiom(rule))
+    return tbox
+
+
+def _tgd_to_axiom(rule: TGD) -> ConceptInclusion | RoleInclusion:
+    """Translate one linear TGD back into a DL-Lite axiom (see :func:`tbox_from_tgds`)."""
+    if len(rule.body) != 1 or len(rule.head) != 1:
+        raise ValueError(f"{rule!r} is not a linear single-head TGD")
+    body, head = rule.body[0], rule.head[0]
+    if body.arity not in (1, 2) or head.arity not in (1, 2):
+        raise ValueError(f"{rule!r} uses predicates of arity > 2")
+    if body.arity == 2 and head.arity == 2 and not rule.existential_variables:
+        lhs = _role_from_atom(body, rule)
+        rhs = _role_from_atom(head, rule)
+        if set(body.terms) != set(head.terms):
+            raise ValueError(f"{rule!r} does not correspond to a role inclusion")
+        return RoleInclusion(lhs, rhs)
+    lhs_concept = _concept_from_atom(body, rule, side="body")
+    rhs_concept = _concept_from_atom(head, rule, side="head")
+    return ConceptInclusion(lhs_concept, rhs_concept)
+
+
+def _role_from_atom(atom: Atom, rule: TGD) -> BasicRole:
+    """A basic role for a binary atom, inverted when the arguments are swapped."""
+    reference = rule.body[0]
+    role = AtomicRole(atom.name)
+    if atom is reference:
+        return role
+    return role if atom.terms == reference.terms else InverseRole(role)
+
+
+def _concept_from_atom(atom: Atom, rule: TGD, side: str) -> BasicConcept:
+    """A basic concept for a body or head atom of a DL-shaped linear TGD."""
+    if atom.arity == 1:
+        return AtomicConcept(atom.name)
+    # Binary atom: ∃R or ∃R⁻ depending on where the frontier variable sits.
+    frontier = rule.frontier
+    first, second = atom.terms
+    role = AtomicRole(atom.name)
+    if side == "body":
+        # The frontier variable marks the "subject" argument.
+        if first in frontier:
+            return ExistentialRestriction(role)
+        if second in frontier:
+            return ExistentialRestriction(InverseRole(role))
+        raise ValueError(f"cannot interpret body atom {atom!r} of {rule!r}")
+    if first in frontier:
+        return ExistentialRestriction(role)
+    if second in frontier:
+        return ExistentialRestriction(InverseRole(role))
+    raise ValueError(f"cannot interpret head atom {atom!r} of {rule!r}")

@@ -1,0 +1,30 @@
+"""Conjunctive queries, unions of conjunctive queries, containment and minimisation."""
+
+from .conjunctive_query import ConjunctiveQuery, boolean_query
+from .containment import (
+    are_equivalent,
+    body_maps_into,
+    containment_mapping,
+    is_contained_in,
+)
+from .minimization import is_minimal, minimize, redundant_atoms
+from .parser import QuerySyntaxError, parse_query, parse_term
+from .ucq import QuerySet, UnionOfConjunctiveQueries, union
+
+__all__ = [
+    "ConjunctiveQuery",
+    "QuerySet",
+    "UnionOfConjunctiveQueries",
+    "are_equivalent",
+    "body_maps_into",
+    "boolean_query",
+    "containment_mapping",
+    "is_contained_in",
+    "QuerySyntaxError",
+    "is_minimal",
+    "minimize",
+    "parse_query",
+    "parse_term",
+    "redundant_atoms",
+    "union",
+]

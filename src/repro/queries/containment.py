@@ -1,0 +1,80 @@
+"""Conjunctive-query containment and equivalence.
+
+The classical Chandra–Merlin characterisation: ``q1 ⊑ q2`` (every answer of
+``q1`` over every database is an answer of ``q2``) iff there is a
+*containment mapping* from ``q2`` to ``q1``: a homomorphism from
+``body(q2)`` to ``body(q1)`` that maps the answer terms of ``q2``
+position-wise onto the answer terms of ``q1``.
+
+Containment is used to
+
+* remove subsumed CQs from a UCQ rewriting (for a fair size comparison with
+  systems that prune subsumed queries),
+* implement the chase & back-chase baseline (Section 2), and
+* state the correctness tests of the rewriting algorithms.
+"""
+
+from __future__ import annotations
+
+from ..logic.homomorphism import find_homomorphism, has_homomorphism
+from ..logic.substitution import Substitution
+from ..logic.terms import is_constant
+from .conjunctive_query import ConjunctiveQuery
+
+
+def containment_mapping(
+    container: ConjunctiveQuery, contained: ConjunctiveQuery
+) -> Substitution | None:
+    """Find a containment mapping from *container* into *contained*.
+
+    Returns a homomorphism ``h`` with ``h(body(container)) ⊆ body(contained)``
+    and ``h(head(container)) = head(contained)``, witnessing
+    ``contained ⊑ container``; ``None`` if no such mapping exists.
+
+    The terms of *contained* are treated as frozen (its variables play the
+    role of constants), which is exactly the canonical-database argument.
+    """
+    if container.arity != contained.arity:
+        return None
+    frozen_body, freezing = contained.freeze()
+    partial: dict = {}
+    for source_term, target_term in zip(container.answer_terms, contained.answer_terms):
+        frozen_target = freezing.apply_term(target_term)
+        if is_constant(source_term):
+            if source_term != frozen_target:
+                return None
+            continue
+        existing = partial.get(source_term)
+        if existing is not None and existing != frozen_target:
+            return None
+        partial[source_term] = frozen_target
+    hom = find_homomorphism(container.body, frozen_body, partial=partial)
+    if hom is None:
+        return None
+    # Translate frozen constants back to the original terms of *contained*.
+    unfreeze = {v: k for k, v in freezing.as_dict().items()}
+    mapping = {
+        key: unfreeze.get(value, value) for key, value in hom.as_dict().items()
+    }
+    return Substitution(mapping)
+
+
+def is_contained_in(query: ConjunctiveQuery, other: ConjunctiveQuery) -> bool:
+    """``True`` iff ``query ⊑ other`` (every answer of *query* is one of *other*)."""
+    return containment_mapping(other, query) is not None
+
+
+def are_equivalent(query: ConjunctiveQuery, other: ConjunctiveQuery) -> bool:
+    """``True`` iff the two CQs are logically equivalent."""
+    return is_contained_in(query, other) and is_contained_in(other, query)
+
+
+def body_maps_into(source: ConjunctiveQuery, target: ConjunctiveQuery) -> bool:
+    """``True`` iff ``body(source)`` has a homomorphism into ``body(target)``.
+
+    The answer terms are ignored; the terms of *target* are frozen.  This is
+    the check used when pruning queries whose body embeds the body of a
+    negative constraint (Section 5.1).
+    """
+    frozen_body, _ = target.freeze()
+    return has_homomorphism(source.body, frozen_body)

@@ -1,0 +1,72 @@
+"""Classical conjunctive-query minimisation (query cores).
+
+The *core* of a CQ is an equivalent sub-query with the fewest atoms; it is
+unique up to isomorphism (Chandra & Merlin).  Minimisation here is purely
+constraint-free — it removes atoms that are redundant because of the query's
+own structure (a fold onto the remaining atoms that fixes the answer terms),
+not because of TGDs.  Constraint-aware minimisation is the job of the
+chase & back-chase baseline and of the paper's query-elimination step.
+"""
+
+from __future__ import annotations
+
+from ..logic.atoms import Atom
+from ..logic.homomorphism import find_homomorphism
+from ..logic.terms import is_variable
+from .conjunctive_query import ConjunctiveQuery
+
+
+def _folds_onto(query: ConjunctiveQuery, candidate_body: tuple[Atom, ...]) -> bool:
+    """Check that the whole body folds onto *candidate_body* fixing answer terms.
+
+    A fold is a homomorphism from ``body(query)`` to *candidate_body* that is
+    the identity on answer variables and constants (i.e. the restriction of an
+    endomorphism of the query).
+    """
+    frozen = {t for t in query.answer_terms if is_variable(t)}
+    hom = find_homomorphism(query.body, candidate_body, frozen=frozen)
+    return hom is not None
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Return the core of *query* (an equivalent query with minimal body).
+
+    Iteratively tries to drop one atom at a time; an atom can be dropped when
+    the full body folds onto the remaining atoms while keeping answer
+    variables fixed.  The greedy one-at-a-time strategy is guaranteed to reach
+    the core because foldability is preserved under composition of folds.
+    """
+    body = list(query.body)
+    changed = True
+    while changed and len(body) > 1:
+        changed = False
+        for index in range(len(body)):
+            candidate = tuple(body[:index] + body[index + 1 :])
+            if not _atoms_cover_answer_terms(query, candidate):
+                continue
+            if _folds_onto(query, candidate):
+                body = list(candidate)
+                changed = True
+                break
+    return query.with_body(body)
+
+
+def _atoms_cover_answer_terms(
+    query: ConjunctiveQuery, candidate_body: tuple[Atom, ...]
+) -> bool:
+    """Answer variables must keep at least one occurrence in the body."""
+    remaining_vars = {t for atom in candidate_body for t in atom.terms if is_variable(t)}
+    return all(
+        not is_variable(term) or term in remaining_vars for term in query.answer_terms
+    )
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """``True`` iff *query* equals its own core (no atom can be dropped)."""
+    return len(minimize(query).body) == len(query.body)
+
+
+def redundant_atoms(query: ConjunctiveQuery) -> frozenset[Atom]:
+    """The atoms removed when computing the core of *query*."""
+    core = minimize(query)
+    return frozenset(set(query.body) - set(core.body))

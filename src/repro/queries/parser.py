@@ -1,0 +1,130 @@
+"""A small textual syntax for conjunctive queries.
+
+Queries in examples, tests and the command-line interface are convenient to
+write in the Datalog-ish notation the paper itself uses::
+
+    q(A, B, C) :- fin_ins(A), stock_portf(B, A, D), list_comp(A, C)
+    q() :- t(A, B, c), r(B, c)
+
+Conventions (matching the paper's):
+
+* identifiers starting with an **upper-case letter** are variables;
+* identifiers starting with a lower-case letter or a digit are constants
+  (quoted strings ``'like this'`` are always constants, so mixed-case data
+  values remain expressible);
+* the head is optional — ``:- body`` or just ``body`` denotes a BCQ;
+* ``<-`` is accepted as a synonym for ``:-``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Constant, Term, Variable
+from .conjunctive_query import ConjunctiveQuery
+
+
+class QuerySyntaxError(ValueError):
+    """Raised when a query string cannot be parsed."""
+
+
+_ATOM_PATTERN = re.compile(r"\s*([A-Za-z_][\w.-]*)\s*\(([^)]*)\)\s*")
+_SEPARATORS = (":-", "<-")
+
+
+def parse_query(text: str, head_name: str = "q") -> ConjunctiveQuery:
+    """Parse a conjunctive query from its textual form.
+
+    >>> parse_query("q(A) :- person(A), works_for(A, acme)").arity
+    1
+    """
+    head_text, body_text = _split(text)
+    body = list(_parse_atoms(body_text))
+    if not body:
+        raise QuerySyntaxError(f"query has an empty body: {text!r}")
+    if head_text is None:
+        return ConjunctiveQuery(body, (), head_name)
+    name, answer_terms = _parse_head(head_text)
+    return ConjunctiveQuery(body, answer_terms, name or head_name)
+
+
+def parse_term(token: str) -> Term:
+    """Parse one term token (variable, quoted constant or plain constant)."""
+    token = token.strip()
+    if not token:
+        raise QuerySyntaxError("empty term")
+    if token[0] in "'\"":
+        if len(token) < 2 or token[-1] != token[0]:
+            raise QuerySyntaxError(f"unterminated quoted constant: {token!r}")
+        return Constant(token[1:-1])
+    if token[0].isalpha() and token[0].isupper():
+        return Variable(token)
+    if re.fullmatch(r"-?\d+", token):
+        return Constant(int(token))
+    return Constant(token)
+
+
+# ---------------------------------------------------------------------------
+# internals
+# ---------------------------------------------------------------------------
+
+
+def _split(text: str) -> tuple[str | None, str]:
+    """Split ``head :- body`` into its two parts (head may be absent)."""
+    stripped = text.strip()
+    if not stripped:
+        raise QuerySyntaxError("empty query")
+    for separator in _SEPARATORS:
+        if separator in stripped:
+            head_text, body_text = stripped.split(separator, 1)
+            head_text = head_text.strip()
+            return (head_text or None), body_text.strip()
+    return None, stripped
+
+
+def _parse_head(head_text: str) -> tuple[str | None, tuple[Term, ...]]:
+    """Parse ``q(A, B)`` (or a bare predicate name) into name + answer terms."""
+    match = _ATOM_PATTERN.fullmatch(head_text)
+    if match is None:
+        if re.fullmatch(r"[A-Za-z_]\w*", head_text):
+            return head_text, ()
+        raise QuerySyntaxError(f"cannot parse query head: {head_text!r}")
+    name, arguments = match.group(1), match.group(2).strip()
+    if not arguments:
+        return name, ()
+    return name, tuple(parse_term(token) for token in _split_arguments(arguments))
+
+
+def _parse_atoms(body_text: str) -> Iterable[Atom]:
+    """Parse a comma-separated conjunction of atoms."""
+    position = 0
+    while position < len(body_text):
+        match = _ATOM_PATTERN.match(body_text, position)
+        if match is None:
+            remainder = body_text[position:].strip()
+            if remainder in ("", ","):
+                return
+            raise QuerySyntaxError(f"cannot parse body near: {remainder!r}")
+        name, arguments = match.group(1), match.group(2).strip()
+        terms = (
+            tuple(parse_term(token) for token in _split_arguments(arguments))
+            if arguments
+            else ()
+        )
+        if not terms:
+            raise QuerySyntaxError(f"atom {name!r} has no arguments")
+        yield Atom(Predicate(name, len(terms)), terms)
+        position = match.end()
+        if position < len(body_text):
+            if body_text[position] != ",":
+                raise QuerySyntaxError(
+                    f"expected ',' between atoms near: {body_text[position:]!r}"
+                )
+            position += 1
+
+
+def _split_arguments(arguments: str) -> list[str]:
+    """Split an argument list on commas (quotes cannot contain commas)."""
+    return [token for token in (part.strip() for part in arguments.split(",")) if token]

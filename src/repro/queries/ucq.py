@@ -1,0 +1,143 @@
+"""Unions of conjunctive queries (UCQs).
+
+A UCQ of arity ``n`` is a set of CQs of the same arity sharing the same head
+predicate (Section 3.1).  The perfect rewriting produced by ``TGD-rewrite``
+is a UCQ; this module also provides the de-duplication ("no variant twice")
+container used by the rewriting algorithms, and subsumption-based redundancy
+removal used to compare rewritings.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Sequence
+
+from .conjunctive_query import ConjunctiveQuery
+
+
+class UnionOfConjunctiveQueries:
+    """An immutable union of CQs of equal arity."""
+
+    __slots__ = ("_queries", "_arity")
+
+    def __init__(self, queries: Iterable[ConjunctiveQuery]) -> None:
+        queries = list(queries)
+        arities = {q.arity for q in queries}
+        if len(arities) > 1:
+            raise ValueError(f"queries in a UCQ must share the same arity, got {arities}")
+        self._queries: tuple[ConjunctiveQuery, ...] = tuple(queries)
+        self._arity = arities.pop() if arities else 0
+
+    @property
+    def arity(self) -> int:
+        """The common arity of the member CQs."""
+        return self._arity
+
+    @property
+    def queries(self) -> tuple[ConjunctiveQuery, ...]:
+        """The member CQs in insertion order."""
+        return self._queries
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self._queries)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __getitem__(self, index: int) -> ConjunctiveQuery:
+        return self._queries[index]
+
+    def __repr__(self) -> str:
+        return "\n".join(repr(q) for q in self._queries) or "<empty UCQ>"
+
+    # -- set-like helpers ----------------------------------------------------
+
+    def contains_variant(self, query: ConjunctiveQuery) -> bool:
+        """``True`` iff some member is a variant of *query*."""
+        return any(member.is_variant_of(query) for member in self._queries)
+
+    def deduplicate(self) -> "UnionOfConjunctiveQueries":
+        """Return a UCQ in which no two members are variants of each other."""
+        store = QuerySet()
+        for query in self._queries:
+            store.add(query)
+        return UnionOfConjunctiveQueries(store)
+
+    def remove_subsumed(self) -> "UnionOfConjunctiveQueries":
+        """Drop members that are subsumed (contained) by another member.
+
+        A CQ ``p`` is redundant in a UCQ if some other member ``p'`` satisfies
+        ``p ⊑ p'``: every answer of ``p`` is already an answer of ``p'`` on
+        every database.  Removing subsumed members never changes the answers
+        of the UCQ.
+        """
+        from .containment import is_contained_in  # local import to avoid a cycle
+
+        survivors: list[ConjunctiveQuery] = []
+        members = list(self.deduplicate())
+        for index, query in enumerate(members):
+            subsumed = False
+            for other_index, other in enumerate(members):
+                if index == other_index:
+                    continue
+                if is_contained_in(query, other):
+                    # Break ties between equivalent queries by keeping the
+                    # earliest one only.
+                    if is_contained_in(other, query) and other_index > index:
+                        continue
+                    subsumed = True
+                    break
+            if not subsumed:
+                survivors.append(query)
+        return UnionOfConjunctiveQueries(survivors)
+
+
+class QuerySet:
+    """A mutable collection of CQs with variant-based deduplication.
+
+    ``add`` refuses to insert a query when a variant is already present;
+    lookups are accelerated with the :attr:`ConjunctiveQuery.signature`
+    invariant so most non-variants are rejected without a bijection search.
+    This is the data structure behind ``Qrew`` in Algorithm 1.
+    """
+
+    __slots__ = ("_buckets", "_order")
+
+    def __init__(self, queries: Iterable[ConjunctiveQuery] = ()) -> None:
+        self._buckets: dict[tuple, list[ConjunctiveQuery]] = defaultdict(list)
+        self._order: list[ConjunctiveQuery] = []
+        for query in queries:
+            self.add(query)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self._order)
+
+    def __contains__(self, query: ConjunctiveQuery) -> bool:
+        return self.find_variant(query) is not None
+
+    def find_variant(self, query: ConjunctiveQuery) -> ConjunctiveQuery | None:
+        """Return the stored variant of *query*, if any."""
+        for candidate in self._buckets.get(query.signature, ()):  # noqa: B905
+            if candidate.is_variant_of(query):
+                return candidate
+        return None
+
+    def add(self, query: ConjunctiveQuery) -> bool:
+        """Insert *query* unless a variant is present; return ``True`` if inserted."""
+        if self.find_variant(query) is not None:
+            return False
+        self._buckets[query.signature].append(query)
+        self._order.append(query)
+        return True
+
+    def to_ucq(self) -> UnionOfConjunctiveQueries:
+        """Freeze the collection into a UCQ."""
+        return UnionOfConjunctiveQueries(self._order)
+
+
+def union(queries: Sequence[ConjunctiveQuery]) -> UnionOfConjunctiveQueries:
+    """Build a deduplicated UCQ from a sequence of CQs."""
+    return UnionOfConjunctiveQueries(queries).deduplicate()

@@ -1,0 +1,81 @@
+"""Evaluation workloads: the paper's running example, worked examples and Table 1 ontologies.
+
+The module exposes the five Table 1 ontologies (``V``, ``S``, ``U``, ``A``,
+``P5``), their normalised ``*X`` variants (``UX``, ``AX``, ``P5X``), the
+Stock-Exchange running example of Section 1 and the small worked examples of
+Sections 5 and 6, all keyed in a :class:`~repro.workloads.registry.WorkloadRegistry`.
+
+>>> from repro.workloads import get_workload
+>>> s = get_workload("S")
+>>> sorted(s.queries)
+['q1', 'q2', 'q3', 'q4', 'q5']
+"""
+
+from . import paper_examples, stock_exchange_example
+from .adolena import workload as adolena_workload
+from .path5 import path_query, workload as path5_workload
+from .registry import Workload, WorkloadRegistry, restrict_to_schema
+from .stockexchange import workload as stockexchange_workload
+from .university import workload as university_workload
+from .vicodi import workload as vicodi_workload
+
+#: Names of the Table 1 workloads, in the order they appear in the table.
+TABLE1_WORKLOADS = ("V", "S", "U", "A", "P5", "UX", "AX", "P5X")
+
+
+def build_registry() -> WorkloadRegistry:
+    """Construct a registry holding all Table 1 workloads (base and ``*X``)."""
+    registry = WorkloadRegistry()
+    base = {
+        "V": vicodi_workload(),
+        "S": stockexchange_workload(),
+        "U": university_workload(),
+        "A": adolena_workload(),
+        "P5": path5_workload(),
+    }
+    for workload in base.values():
+        registry.register(workload)
+    for name in ("U", "A", "P5"):
+        registry.register(base[name].normalized_variant())
+    return registry
+
+
+_REGISTRY: WorkloadRegistry | None = None
+
+
+def default_registry() -> WorkloadRegistry:
+    """A lazily-constructed shared registry of all workloads."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        _REGISTRY = build_registry()
+    return _REGISTRY
+
+
+def get_workload(name: str) -> Workload:
+    """Fetch a workload (``"V"``, ``"S"``, ``"U"``, ``"A"``, ``"P5"``, ``"UX"``, ...)."""
+    return default_registry().get(name)
+
+
+def workload_names() -> tuple[str, ...]:
+    """The names of every registered workload."""
+    return default_registry().names()
+
+
+__all__ = [
+    "TABLE1_WORKLOADS",
+    "Workload",
+    "WorkloadRegistry",
+    "adolena_workload",
+    "build_registry",
+    "default_registry",
+    "get_workload",
+    "paper_examples",
+    "path5_workload",
+    "path_query",
+    "restrict_to_schema",
+    "stock_exchange_example",
+    "stockexchange_workload",
+    "university_workload",
+    "vicodi_workload",
+    "workload_names",
+]

@@ -1,0 +1,199 @@
+"""The ADOLENA (A / AX) workload: abilities, disabilities and assistive devices.
+
+ADOLENA (Abilities and Disabilities OntoLogy for ENhancing Accessibility) was
+developed for the South African National Accessibility Portal.  Its DL-Lite_R
+version combines
+
+* broad hierarchies of devices, abilities and disabilities,
+* domain/range axioms for ``assistsWith`` and ``affects``,
+* mandatory participation axioms ("every device assists with some ability",
+  "every disability affects some ability"), and
+* qualified existential axioms linking specific disabilities to the specific
+  abilities they affect (written as multi-head TGDs, hence the ``AX``
+  variant after normalisation).
+
+On this workload the rewritings stay large even after query elimination
+(Table 1): the queries return devices, and the atom ``Device(A)`` — although
+implied by ``assistsWith(A, B)`` — is replaced rather than removed, so the
+hierarchy under ``Device`` keeps being expanded.  Elimination still helps,
+just far less dramatically than on STOCKEXCHANGE or UNIVERSITY.
+"""
+
+from __future__ import annotations
+
+from ..database.instance import RelationalInstance
+from ..dependencies.tgd import TGD
+from ..logic.atoms import Atom
+from ..logic.terms import Variable
+from ..ontology.dl_lite import DLLiteOntology
+from ..ontology.translation import to_theory
+from ..queries.conjunctive_query import ConjunctiveQuery
+from .registry import Workload
+
+_A, _B, _C = Variable("A"), Variable("B"), Variable("C")
+_X, _Y = Variable("X"), Variable("Y")
+
+
+#: Direct subclasses of ``Device``.
+DEVICE_KINDS = (
+    "HearingDevice",
+    "MobilityDevice",
+    "CommunicationDevice",
+    "VisualDevice",
+    "DailyLivingDevice",
+)
+
+#: Finer device kinds (child → parent).
+DEVICE_SUBKINDS = {
+    "HearingAid": "HearingDevice",
+    "CochlearImplant": "HearingDevice",
+    "Wheelchair": "MobilityDevice",
+    "WalkingFrame": "MobilityDevice",
+    "ScreenReader": "VisualDevice",
+    "Braille": "CommunicationDevice",
+}
+
+#: Subclasses of ``PhysicalAbility``.
+PHYSICAL_ABILITY_KINDS = ("UpperLimbMobility", "LowerLimbMobility", "Hear", "See", "Speak")
+
+#: Subclasses of ``CognitiveAbility``.
+COGNITIVE_ABILITY_KINDS = ("Memory", "Attention")
+
+#: Subclasses of ``Disability``.
+DISABILITY_KINDS = ("Autism", "Quadriplegia", "Paraplegia", "Deafness", "Blindness")
+
+
+def build_tbox() -> DLLiteOntology:
+    """The DL-Lite_R part of the ADOLENA TBox."""
+    tbox = DLLiteOntology("adolena")
+    for kind in DEVICE_KINDS:
+        tbox.subclass(kind, "Device")
+    for child, parent in DEVICE_SUBKINDS.items():
+        tbox.subclass(child, parent)
+    for kind in PHYSICAL_ABILITY_KINDS:
+        tbox.subclass(kind, "PhysicalAbility")
+    for kind in COGNITIVE_ABILITY_KINDS:
+        tbox.subclass(kind, "CognitiveAbility")
+    tbox.subclass("PhysicalAbility", "Ability")
+    tbox.subclass("CognitiveAbility", "Ability")
+    for kind in DISABILITY_KINDS:
+        tbox.subclass(kind, "Disability")
+
+    # Domain / range axioms.
+    tbox.domain("assistsWith", "Device")
+    tbox.range("assistsWith", "Ability")
+    tbox.domain("affects", "Disability")
+    tbox.range("affects", "Ability")
+
+    # Mandatory participations.
+    tbox.mandatory_participation("Device", "assistsWith")
+    tbox.mandatory_participation("Disability", "affects")
+
+    # Disjointness.
+    tbox.disjoint_concepts("Device", "Ability")
+    tbox.disjoint_concepts("Device", "Disability")
+    return tbox
+
+
+def qualified_existential_rules() -> list[TGD]:
+    """Qualified existentials: specific devices/disabilities target specific abilities."""
+    return [
+        TGD(
+            (Atom.of("HearingDevice", _X),),
+            (Atom.of("assistsWith", _X, _Y), Atom.of("Hear", _Y)),
+            label="a_hearing_device_assists_hear",
+        ),
+        TGD(
+            (Atom.of("MobilityDevice", _X),),
+            (Atom.of("assistsWith", _X, _Y), Atom.of("UpperLimbMobility", _Y)),
+            label="a_mobility_device_assists_mobility",
+        ),
+        TGD(
+            (Atom.of("Deafness", _X),),
+            (Atom.of("affects", _X, _Y), Atom.of("Hear", _Y)),
+            label="a_deafness_affects_hear",
+        ),
+        TGD(
+            (Atom.of("Quadriplegia", _X),),
+            (Atom.of("affects", _X, _Y), Atom.of("UpperLimbMobility", _Y)),
+            label="a_quadriplegia_affects_mobility",
+        ),
+    ]
+
+
+def queries() -> dict[str, ConjunctiveQuery]:
+    """The five ADOLENA queries of Table 2."""
+    return {
+        "q1": ConjunctiveQuery(
+            [Atom.of("Device", _A), Atom.of("assistsWith", _A, _B)], (_A,)
+        ),
+        "q2": ConjunctiveQuery(
+            [
+                Atom.of("Device", _A),
+                Atom.of("assistsWith", _A, _B),
+                Atom.of("UpperLimbMobility", _B),
+            ],
+            (_A,),
+        ),
+        "q3": ConjunctiveQuery(
+            [
+                Atom.of("Device", _A),
+                Atom.of("assistsWith", _A, _B),
+                Atom.of("Hear", _B),
+                Atom.of("affects", _C, _B),
+                Atom.of("Autism", _C),
+            ],
+            (_A,),
+        ),
+        "q4": ConjunctiveQuery(
+            [
+                Atom.of("Device", _A),
+                Atom.of("assistsWith", _A, _B),
+                Atom.of("PhysicalAbility", _B),
+            ],
+            (_A,),
+        ),
+        "q5": ConjunctiveQuery(
+            [
+                Atom.of("Device", _A),
+                Atom.of("assistsWith", _A, _B),
+                Atom.of("PhysicalAbility", _B),
+                Atom.of("affects", _C, _B),
+                Atom.of("Quadriplegia", _C),
+            ],
+            (_A,),
+        ),
+    }
+
+
+def sample_abox(seed: int = 0, facts_per_relation: int = 10) -> RelationalInstance:
+    """A small hand-crafted ABox giving the queries non-empty certain answers."""
+    database = RelationalInstance()
+    database.add_tuple("HearingAid", ("phonak_one",))
+    database.add_tuple("Wheelchair", ("quickie_2",))
+    database.add_tuple("ScreenReader", ("jaws",))
+    database.add_tuple("assistsWith", ("jaws", "reading"))
+    database.add_tuple("See", ("reading",))
+    database.add_tuple("assistsWith", ("quickie_2", "arm_mobility"))
+    database.add_tuple("UpperLimbMobility", ("arm_mobility",))
+    database.add_tuple("affects", ("case_17", "arm_mobility"))
+    database.add_tuple("Quadriplegia", ("case_17",))
+    database.add_tuple("Autism", ("case_29",))
+    database.add_tuple("affects", ("case_29", "listening"))
+    database.add_tuple("Hear", ("listening",))
+    database.add_tuple("assistsWith", ("phonak_one", "listening"))
+    return database
+
+
+def workload() -> Workload:
+    """The assembled ADOLENA workload (the plain ``A`` variant)."""
+    theory = to_theory(build_tbox())
+    theory.extend(qualified_existential_rules())
+    theory.name = "adolena"
+    return Workload(
+        name="A",
+        theory=theory,
+        queries=queries(),
+        description="ADOLENA: abilities/disabilities/devices (elimination helps moderately)",
+        abox_factory=sample_abox,
+    )

@@ -1,0 +1,149 @@
+"""The small worked examples of the paper (Examples 1–8, Figure 2).
+
+Tests and ablation benchmarks repeatedly need the little rule sets the paper
+uses to illustrate factorisation (Example 1), the rewriting steps
+(Example 2), loss of soundness / completeness (Examples 3 and 4), NC pruning
+(Example 5), dependency graphs and equality types (Example 6 / Figure 2),
+query elimination (Example 7) and the limits of atom coverage (Example 8).
+Keeping them in one module guarantees every test exercises exactly the same
+formulation as the paper.
+"""
+
+from __future__ import annotations
+
+from ..dependencies.constraints import NegativeConstraint
+from ..dependencies.tgd import TGD, tgd
+from ..logic.atoms import Atom
+from ..logic.terms import Constant, Variable
+from ..queries.conjunctive_query import ConjunctiveQuery
+
+_A, _B, _C, _E = Variable("A"), Variable("B"), Variable("C"), Variable("E")
+_X, _Y, _Z, _V, _W = (Variable(n) for n in "XYZVW")
+
+
+# ---------------------------------------------------------------------------
+# Example 1 — factorizability
+# ---------------------------------------------------------------------------
+
+
+def example1_rule() -> TGD:
+    """``σ : s(X), r(X, Y) → ∃Z t(X, Y, Z)`` of Example 1."""
+    return TGD(
+        (Atom.of("s", _X), Atom.of("r", _X, _Y)),
+        (Atom.of("t", _X, _Y, _Z),),
+        label="ex1_sigma",
+    )
+
+
+def example1_queries() -> dict[str, ConjunctiveQuery]:
+    """The three BCQs q1, q2, q3 of Example 1 (S1 factorizable, S2/S3 not)."""
+    q1 = ConjunctiveQuery([Atom.of("t", _A, _B, _C), Atom.of("t", _A, _E, _C)], ())
+    q2 = ConjunctiveQuery(
+        [Atom.of("s", _C), Atom.of("t", _A, _B, _C), Atom.of("t", _A, _E, _C)], ()
+    )
+    q3 = ConjunctiveQuery([Atom.of("t", _A, _B, _C), Atom.of("t", _A, _C, _C)], ())
+    return {"q1": q1, "q2": q2, "q3": q3}
+
+
+# ---------------------------------------------------------------------------
+# Example 2 — the rewriting steps (and Example 3's soundness pitfalls)
+# ---------------------------------------------------------------------------
+
+
+def example2_rules() -> list[TGD]:
+    """``σ1 : s(X) → ∃Z t(X, X, Z)`` and ``σ2 : t(X, Y, Z) → r(Y, Z)``."""
+    return [
+        tgd(Atom.of("s", _X), Atom.of("t", _X, _X, _Z), "ex2_sigma1"),
+        tgd(Atom.of("t", _X, _Y, _Z), Atom.of("r", _Y, _Z), "ex2_sigma2"),
+    ]
+
+
+def example2_query() -> ConjunctiveQuery:
+    """``q() ← t(A, B, C), r(B, C)`` of Example 2."""
+    return ConjunctiveQuery([Atom.of("t", _A, _B, _C), Atom.of("r", _B, _C)], ())
+
+
+def example3_queries() -> dict[str, ConjunctiveQuery]:
+    """The two BCQs of Example 3 on which unguarded rewriting loses soundness."""
+    constant_c = Constant("c")
+    with_constant = ConjunctiveQuery([Atom.of("t", _A, _B, constant_c)], ())
+    with_shared = ConjunctiveQuery([Atom.of("t", _A, _B, _B)], ())
+    return {"constant": with_constant, "shared": with_shared}
+
+
+# ---------------------------------------------------------------------------
+# Example 4 — loss of completeness without factorisation
+# ---------------------------------------------------------------------------
+
+
+def example4_rules() -> list[TGD]:
+    """``σ1 : p(X) → ∃Y t(X, Y)`` and ``σ2 : t(X, Y) → s(Y)``."""
+    return [
+        tgd(Atom.of("p", _X), Atom.of("t", _X, _Y), "ex4_sigma1"),
+        tgd(Atom.of("t", _X, _Y), Atom.of("s", _Y), "ex4_sigma2"),
+    ]
+
+
+def example4_query() -> ConjunctiveQuery:
+    """``q() ← t(A, B), s(B)`` of Example 4."""
+    return ConjunctiveQuery([Atom.of("t", _A, _B), Atom.of("s", _B)], ())
+
+
+def example4_completeness_witness() -> ConjunctiveQuery:
+    """``q() ← p(A)``: the query that must appear in the rewriting (Example 4)."""
+    return ConjunctiveQuery([Atom.of("p", _A)], ())
+
+
+# ---------------------------------------------------------------------------
+# Example 5 — pruning with negative constraints
+# ---------------------------------------------------------------------------
+
+
+def example5_rule() -> TGD:
+    """``σ : t(X), s(Y) → ∃Z p(Y, Z)`` of Example 5."""
+    return TGD(
+        (Atom.of("t", _X), Atom.of("s", _Y)),
+        (Atom.of("p", _Y, _Z),),
+        label="ex5_sigma",
+    )
+
+
+def example5_constraint() -> NegativeConstraint:
+    """``ν : r(X, Y), s(Y) → ⊥`` of Example 5."""
+    return NegativeConstraint((Atom.of("r", _X, _Y), Atom.of("s", _Y)), label="ex5_nu")
+
+
+def example5_query() -> ConjunctiveQuery:
+    """``q() ← r(A, B), p(B, C)`` of Example 5."""
+    return ConjunctiveQuery([Atom.of("r", _A, _B), Atom.of("p", _B, _C)], ())
+
+
+# ---------------------------------------------------------------------------
+# Example 6 / Figure 2 — dependency graph and equality types
+# ---------------------------------------------------------------------------
+
+
+def example6_rules() -> list[TGD]:
+    """The three TGDs of Example 6 (whose dependency graph is Figure 2)."""
+    constant_c = Constant("c")
+    return [
+        tgd(Atom.of("p", _X, _Y), Atom.of("r", _X, _Y, _Z), "ex6_sigma1"),
+        tgd(Atom.of("r", _X, _Y, constant_c), Atom.of("s", _X, _Y, _Y), "ex6_sigma2"),
+        tgd(Atom.of("s", _X, _X, _Y), Atom.of("p", _X, _Y), "ex6_sigma3"),
+    ]
+
+
+def example7_query() -> ConjunctiveQuery:
+    """``q() ← p(A, B), r(A, B, C), s(A, A, D)`` of Example 7."""
+    _D = Variable("D")
+    return ConjunctiveQuery(
+        [Atom.of("p", _A, _B), Atom.of("r", _A, _B, _C), Atom.of("s", _A, _A, _D)], ()
+    )
+
+
+def example8_query() -> ConjunctiveQuery:
+    """``q() ← r(A, A, c), p(A, A)`` of Example 8 (implied but not covered)."""
+    constant_c = Constant("c")
+    return ConjunctiveQuery(
+        [Atom.of("r", _A, _A, constant_c), Atom.of("p", _A, _A)], ()
+    )

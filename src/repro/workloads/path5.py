@@ -1,0 +1,105 @@
+"""The Path5 (P5 / P5X) workload: a synthetic exponential-blow-up generator.
+
+Path5 is the synthetic ontology of the Requiem evaluation: the data encodes a
+directed graph through a single role ``edge`` and the test queries ask for
+the start nodes of paths of length 1 … 5.  The TBox is deliberately built so
+that
+
+* the perfect rewriting of the length-*n* query grows **exponentially in
+  n** — every ``edge`` atom can be independently replaced by each of its
+  sub-roles (and, for the last atom of the path, produced by an existential
+  axiom), so the number of CQs multiplies along the path;
+* **query elimination brings no benefit**: no edge atom of the path is
+  implied by another one (there is no axiom propagating terms from an
+  ``edge`` position back into an ``edge`` position), so ``NY`` = ``NY*``,
+  exactly the behaviour reported for P5 in Table 1;
+* exhaustive factorisation is disastrous: adjacent ``edge`` atoms always
+  unify, so a QuOnto-style rewriter additionally generates every "collapsed
+  path" variant and expands each of them — the source of the huge ``QO``
+  numbers.
+
+The qualified existential axiom (every ``Start`` node reaches some ``Target``
+node) is a multi-head TGD, so the normalised ``P5X`` variant introduces an
+auxiliary predicate and differs from ``P5``.
+"""
+
+from __future__ import annotations
+
+from ..database.instance import RelationalInstance
+from ..dependencies.tgd import TGD, tgd
+from ..dependencies.theory import OntologyTheory
+from ..logic.atoms import Atom
+from ..logic.terms import Variable
+from ..queries.conjunctive_query import ConjunctiveQuery
+from .registry import Workload
+
+_X, _Y = Variable("X"), Variable("Y")
+
+#: Maximum path length of the benchmark queries (q1 … q5).
+MAX_PATH_LENGTH = 5
+
+
+def rules() -> list[TGD]:
+    """The Path5 TGDs."""
+    return [
+        # A sub-role of edge: every edge atom of a query can be rewritten into
+        # it independently, which multiplies the rewriting size along the
+        # path.
+        tgd(Atom.of("rail", _X, _Y), Atom.of("edge", _X, _Y), "p5_rail_edge"),
+        # A start node reaches some target node (qualified existential,
+        # multi-head: this is what makes P5X differ from P5 after
+        # normalisation).
+        TGD(
+            (Atom.of("Start", _X),),
+            (Atom.of("edge", _X, _Y), Atom.of("Target", _Y)),
+            label="p5_start_edge_target",
+        ),
+        # Targets of an edge are nodes; nodes are starts of nothing — the
+        # taxonomy below only feeds the unary atoms, never the edge atoms, so
+        # it cannot be used by query elimination.
+        tgd(Atom.of("Hub", _X), Atom.of("Start", _X), "p5_hub_start"),
+        tgd(Atom.of("Terminal", _X), Atom.of("Target", _X), "p5_terminal_target"),
+    ]
+
+
+def theory() -> OntologyTheory:
+    """The Path5 theory (TGDs only, no constraints)."""
+    return OntologyTheory(tgds=rules(), name="path5")
+
+
+def path_query(length: int) -> ConjunctiveQuery:
+    """The query ``q(A0) ← edge(A0, A1), ..., edge(A_{n-1}, A_n)``."""
+    if length < 1:
+        raise ValueError("a path query needs length >= 1")
+    nodes = [Variable(f"A{i}") for i in range(length + 1)]
+    body = [Atom.of("edge", nodes[i], nodes[i + 1]) for i in range(length)]
+    return ConjunctiveQuery(body, (nodes[0],))
+
+
+def queries() -> dict[str, ConjunctiveQuery]:
+    """The five Path5 queries of Table 2 (paths of length 1 … 5)."""
+    return {f"q{n}": path_query(n) for n in range(1, MAX_PATH_LENGTH + 1)}
+
+
+def sample_abox(seed: int = 0, facts_per_relation: int = 10) -> RelationalInstance:
+    """A chain graph long enough to answer every path query."""
+    database = RelationalInstance()
+    length = max(facts_per_relation, MAX_PATH_LENGTH + 1)
+    for index in range(length):
+        source, target = f"n{index}", f"n{index + 1}"
+        relation = ("edge", "rail")[index % 2]
+        database.add_tuple(relation, (source, target))
+    database.add_tuple("Hub", ("n0",))
+    database.add_tuple("Terminal", (f"n{length}",))
+    return database
+
+
+def workload() -> Workload:
+    """The assembled Path5 workload (the plain ``P5`` variant)."""
+    return Workload(
+        name="P5",
+        theory=theory(),
+        queries=queries(),
+        description="Path5: synthetic graph queries with exponential rewritings",
+        abox_factory=sample_abox,
+    )

@@ -1,0 +1,191 @@
+"""The Stock-Exchange running example of Section 1 (and Figure 1).
+
+The relational schema ``R``::
+
+    stock(id, name, unit_price)
+    company(name, country, segment)
+    list_comp(stock, list)
+    fin_idx(name, type, ref_mkt)
+    stock_portf(company, stock, qty)
+
+is extended with the ontological constraints σ1 … σ9 (TGDs) and δ1 (negative
+constraint) exactly as printed in the paper, together with the running
+conjunctive query asking for triples ⟨a, b, c⟩ where *a* is a financial
+instrument owned by company *b* and listed on *c*.
+
+The module also provides the first four queries of the partial rewriting
+shown in Figure 1 (``q[0]`` … ``q[3]``), used by the tests and the
+``bench_figure1_running_example`` benchmark to check that TGD-rewrite
+actually produces them.
+"""
+
+from __future__ import annotations
+
+from ..database.instance import RelationalInstance
+from ..database.schema import RelationalSchema
+from ..dependencies.constraints import NegativeConstraint
+from ..dependencies.tgd import TGD, tgd
+from ..dependencies.theory import OntologyTheory
+from ..logic.atoms import Atom
+from ..logic.terms import Variable
+from ..queries.conjunctive_query import ConjunctiveQuery
+
+_A, _B, _C, _D, _E, _F, _G, _H = (Variable(n) for n in "ABCDEFGH")
+_J, _K = Variable("J"), Variable("K")
+_X, _Y, _Z, _V, _W = (Variable(n) for n in "XYZVW")
+
+
+SCHEMA = RelationalSchema.from_spec(
+    {
+        "stock": ["id", "name", "unit_price"],
+        "company": ["name", "country", "segment"],
+        "list_comp": ["stock", "list"],
+        "fin_idx": ["name", "type", "ref_mkt"],
+        "stock_portf": ["company", "stock", "qty"],
+        "has_stock": ["stock", "company"],
+        "fin_ins": ["id"],
+        "legal_person": ["name"],
+    }
+)
+"""The relational schema ``R`` of the running example (plus derived relations)."""
+
+
+def tgds() -> list[TGD]:
+    """The TGDs σ1 … σ9 of the running example, in paper order."""
+    return [
+        # σ1: stock_portf(X, Y, Z) → ∃V ∃W company(X, V, W)
+        tgd(Atom.of("stock_portf", _X, _Y, _Z), Atom.of("company", _X, _V, _W), "sigma1"),
+        # σ2: stock_portf(X, Y, Z) → ∃V ∃W stock(Y, V, W)
+        tgd(Atom.of("stock_portf", _X, _Y, _Z), Atom.of("stock", _Y, _V, _W), "sigma2"),
+        # σ3: list_comp(X, Y) → ∃Z ∃W fin_idx(Y, Z, W)
+        tgd(Atom.of("list_comp", _X, _Y), Atom.of("fin_idx", _Y, _Z, _W), "sigma3"),
+        # σ4: list_comp(X, Y) → ∃Z ∃W stock(X, Z, W)
+        tgd(Atom.of("list_comp", _X, _Y), Atom.of("stock", _X, _Z, _W), "sigma4"),
+        # σ5: stock_portf(X, Y, Z) → has_stock(Y, X)
+        tgd(Atom.of("stock_portf", _X, _Y, _Z), Atom.of("has_stock", _Y, _X), "sigma5"),
+        # σ6: has_stock(X, Y) → ∃Z stock_portf(Y, X, Z)
+        tgd(Atom.of("has_stock", _X, _Y), Atom.of("stock_portf", _Y, _X, _Z), "sigma6"),
+        # σ7: stock(X, Y, Z) → ∃V ∃W stock_portf(V, X, W)
+        tgd(Atom.of("stock", _X, _Y, _Z), Atom.of("stock_portf", _V, _X, _W), "sigma7"),
+        # σ8: stock(X, Y, Z) → fin_ins(X)
+        tgd(Atom.of("stock", _X, _Y, _Z), Atom.of("fin_ins", _X), "sigma8"),
+        # σ9: company(X, Y, Z) → legal_person(X)
+        tgd(Atom.of("company", _X, _Y, _Z), Atom.of("legal_person", _X), "sigma9"),
+    ]
+
+
+def negative_constraints() -> list[NegativeConstraint]:
+    """The negative constraint δ1: legal persons and financial instruments are disjoint."""
+    return [
+        NegativeConstraint(
+            (Atom.of("legal_person", _X), Atom.of("fin_ins", _X)), label="delta1"
+        )
+    ]
+
+
+def theory() -> OntologyTheory:
+    """The full Stock-Exchange theory: σ1 … σ9 plus δ1."""
+    return OntologyTheory(
+        tgds=tgds(),
+        negative_constraints=negative_constraints(),
+        name="stock_exchange_example",
+    )
+
+
+def running_query() -> ConjunctiveQuery:
+    """The running query of Section 1.
+
+    ``q(A, B, C) ← fin_ins(A), stock_portf(B, A, D), company(B, E, F),
+    list_comp(A, C), fin_idx(C, G, H)``
+    """
+    return ConjunctiveQuery(
+        body=[
+            Atom.of("fin_ins", _A),
+            Atom.of("stock_portf", _B, _A, _D),
+            Atom.of("company", _B, _E, _F),
+            Atom.of("list_comp", _A, _C),
+            Atom.of("fin_idx", _C, _G, _H),
+        ],
+        answer_terms=(_A, _B, _C),
+    )
+
+
+def reduced_query() -> ConjunctiveQuery:
+    """The query after eliminating the redundant atoms (end of Section 1).
+
+    ``q(A, B, C) ← stock_portf(B, A, D), list_comp(A, C)``
+    """
+    return ConjunctiveQuery(
+        body=[Atom.of("stock_portf", _B, _A, _D), Atom.of("list_comp", _A, _C)],
+        answer_terms=(_A, _B, _C),
+    )
+
+
+def expected_optimized_rewriting() -> list[ConjunctiveQuery]:
+    """The two CQs of the optimised perfect rewriting quoted in Section 1."""
+    return [
+        ConjunctiveQuery(
+            body=[Atom.of("list_comp", _A, _C), Atom.of("stock_portf", _B, _A, _D)],
+            answer_terms=(_A, _B, _C),
+        ),
+        ConjunctiveQuery(
+            body=[Atom.of("list_comp", _A, _C), Atom.of("has_stock", _A, _B)],
+            answer_terms=(_A, _B, _C),
+        ),
+    ]
+
+
+def figure1_queries() -> list[ConjunctiveQuery]:
+    """The queries ``q[0]`` … ``q[3]`` of the partial rewriting in Figure 1."""
+    q0 = running_query()
+    q1 = ConjunctiveQuery(
+        body=[
+            Atom.of("fin_ins", _A),
+            Atom.of("has_stock", _A, _B),
+            Atom.of("company", _B, _E, _F),
+            Atom.of("list_comp", _A, _C),
+            Atom.of("fin_idx", _C, _G, _H),
+        ],
+        answer_terms=(_A, _B, _C),
+    )
+    q2 = ConjunctiveQuery(
+        body=[
+            Atom.of("fin_ins", _A),
+            Atom.of("has_stock", _A, _B),
+            Atom.of("stock_portf", _B, _E, _F),
+            Atom.of("list_comp", _A, _C),
+            Atom.of("fin_idx", _C, _G, _H),
+        ],
+        answer_terms=(_A, _B, _C),
+    )
+    q3 = ConjunctiveQuery(
+        body=[
+            Atom.of("stock", _A, _J, _K),
+            Atom.of("has_stock", _A, _B),
+            Atom.of("stock_portf", _B, _E, _F),
+            Atom.of("list_comp", _A, _C),
+            Atom.of("fin_idx", _C, _G, _H),
+        ],
+        answer_terms=(_A, _B, _C),
+    )
+    return [q0, q1, q2, q3]
+
+
+def sample_database() -> RelationalInstance:
+    """A small concrete ABox over the running-example schema.
+
+    Mirrors the NASDAQ/IBM facts used in the introduction, plus a second
+    company whose portfolio is only reachable through ``has_stock`` (so that
+    the second CQ of the optimised rewriting contributes answers).
+    """
+    database = RelationalInstance(schema=SCHEMA)
+    database.add_tuple("company", ("ibm", "usa", "technology"))
+    database.add_tuple("company", ("acme", "uk", "manufacturing"))
+    database.add_tuple("stock", ("ibm_s1", "IBM common", 135))
+    database.add_tuple("stock", ("acme_s1", "ACME ordinary", 17))
+    database.add_tuple("stock_portf", ("ibm", "ibm_s1", 1000))
+    database.add_tuple("has_stock", ("acme_s1", "acme"))
+    database.add_tuple("list_comp", ("ibm_s1", "nasdaq"))
+    database.add_tuple("list_comp", ("acme_s1", "ftse"))
+    database.add_tuple("fin_idx", ("nasdaq", "composite", "new_york"))
+    return database

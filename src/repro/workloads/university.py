@@ -1,0 +1,198 @@
+"""The UNIVERSITY (U / UX) workload: a DL-Lite_R version of LUBM.
+
+LUBM (the Lehigh University Benchmark) models the organisational structure
+of universities: people, faculty ranks, students, courses, departments and
+the relations between them.  The DL-Lite_R version used by the paper (and by
+the Requiem evaluation) mixes
+
+* deep concept hierarchies (the faculty and student ranks),
+* domain/range axioms for every role, and
+* a few *qualified* existential restrictions (e.g. "every professor teaches
+  some course"), which are not expressible as a single DL-Lite axiom and are
+  therefore written directly as multi-head Datalog± TGDs.
+
+The multi-head rules are what distinguishes ``U`` from ``UX`` in Table 1:
+normalisation (Lemmas 1 and 2) introduces auxiliary predicates; in ``U`` they
+remain internal (rewritten CQs mentioning them can be discarded because the
+stored database never populates them), in ``UX`` they are considered part of
+the schema and every CQ of the rewriting counts.
+"""
+
+from __future__ import annotations
+
+from ..database.instance import RelationalInstance
+from ..dependencies.tgd import TGD
+from ..logic.atoms import Atom
+from ..logic.terms import Variable
+from ..ontology.dl_lite import DLLiteOntology
+from ..ontology.translation import to_theory
+from ..queries.conjunctive_query import ConjunctiveQuery
+from .registry import Workload
+
+_A, _B, _C = Variable("A"), Variable("B"), Variable("C")
+_X, _Y = Variable("X"), Variable("Y")
+
+
+#: Faculty ranks (subclasses of ``Professor``).
+PROFESSOR_RANKS = ("FullProfessor", "AssociateProfessor", "AssistantProfessor")
+
+#: Other faculty kinds (subclasses of ``FacultyStaff``).
+FACULTY_KINDS = ("Professor", "Lecturer", "PostDoc")
+
+#: Student kinds (subclasses of ``Student``).
+STUDENT_KINDS = ("UndergraduateStudent", "GraduateStudent", "ResearchAssistant")
+
+#: Organisation kinds (subclasses of ``Organization``).
+ORGANIZATION_KINDS = ("University", "Department", "College", "Institute", "ResearchGroup")
+
+#: Course kinds (subclasses of ``Course``).
+COURSE_KINDS = ("GraduateCourse", "Seminar")
+
+
+def build_tbox() -> DLLiteOntology:
+    """The DL-Lite_R part of the UNIVERSITY TBox."""
+    tbox = DLLiteOntology("university")
+    for rank in PROFESSOR_RANKS:
+        tbox.subclass(rank, "Professor")
+    for kind in FACULTY_KINDS:
+        tbox.subclass(kind, "FacultyStaff")
+    for kind in STUDENT_KINDS:
+        tbox.subclass(kind, "Student")
+    for kind in ORGANIZATION_KINDS:
+        tbox.subclass(kind, "Organization")
+    for kind in COURSE_KINDS:
+        tbox.subclass(kind, "Course")
+    tbox.subclass("FacultyStaff", "Employee")
+    tbox.subclass("Employee", "Person")
+    tbox.subclass("Student", "Person")
+
+    # Domain / range axioms.
+    tbox.domain("worksFor", "Employee")
+    tbox.range("worksFor", "Organization")
+    tbox.domain("teacherOf", "FacultyStaff")
+    tbox.range("teacherOf", "Course")
+    tbox.domain("takesCourse", "Student")
+    tbox.range("takesCourse", "Course")
+    tbox.domain("advisor", "Student")
+    tbox.range("advisor", "Professor")
+    tbox.domain("hasAlumnus", "University")
+    tbox.range("hasAlumnus", "Person")
+    tbox.domain("affiliatedOrganizationOf", "Organization")
+    tbox.range("affiliatedOrganizationOf", "Organization")
+
+    # Role hierarchy.
+    tbox.subrole("headOf", "worksFor")
+    tbox.subrole("memberOfResearchGroup", "worksFor")
+
+    # Mandatory participations.
+    tbox.mandatory_participation("Employee", "worksFor")
+    tbox.mandatory_participation("FacultyStaff", "teacherOf")
+    tbox.mandatory_participation("Student", "takesCourse")
+    tbox.mandatory_participation("GraduateStudent", "advisor")
+
+    # Disjointness.
+    tbox.disjoint_concepts("Person", "Organization")
+    tbox.disjoint_concepts("Course", "Person")
+    return tbox
+
+
+def qualified_existential_rules() -> list[TGD]:
+    """Qualified existential restrictions written directly as multi-head TGDs.
+
+    These are the axioms that require normalisation (Lemma 1 / Lemma 2) and
+    therefore make ``UX`` differ from ``U``:
+
+    * every professor teaches some *course*;
+    * every graduate student takes some *graduate course*;
+    * every university has some alumnus who is a *person*.
+    """
+    return [
+        TGD(
+            (Atom.of("Professor", _X),),
+            (Atom.of("teacherOf", _X, _Y), Atom.of("Course", _Y)),
+            label="u_prof_teaches_course",
+        ),
+        TGD(
+            (Atom.of("GraduateStudent", _X),),
+            (Atom.of("takesCourse", _X, _Y), Atom.of("GraduateCourse", _Y)),
+            label="u_grad_takes_gradcourse",
+        ),
+        TGD(
+            (Atom.of("University", _X),),
+            (Atom.of("hasAlumnus", _X, _Y), Atom.of("Person", _Y)),
+            label="u_university_has_alumnus",
+        ),
+    ]
+
+
+def queries() -> dict[str, ConjunctiveQuery]:
+    """The five UNIVERSITY queries of Table 2."""
+    return {
+        "q1": ConjunctiveQuery(
+            [Atom.of("worksFor", _A, _B), Atom.of("affiliatedOrganizationOf", _B, _C)],
+            (_A,),
+        ),
+        "q2": ConjunctiveQuery(
+            [Atom.of("Person", _A), Atom.of("teacherOf", _A, _B), Atom.of("Course", _B)],
+            (_A, _B),
+        ),
+        "q3": ConjunctiveQuery(
+            [
+                Atom.of("Student", _A),
+                Atom.of("advisor", _A, _B),
+                Atom.of("FacultyStaff", _B),
+                Atom.of("takesCourse", _A, _C),
+                Atom.of("teacherOf", _B, _C),
+                Atom.of("Course", _C),
+            ],
+            (_A, _B, _C),
+        ),
+        "q4": ConjunctiveQuery(
+            [Atom.of("Person", _A), Atom.of("worksFor", _A, _B), Atom.of("Organization", _B)],
+            (_A, _B),
+        ),
+        "q5": ConjunctiveQuery(
+            [
+                Atom.of("Person", _A),
+                Atom.of("worksFor", _A, _B),
+                Atom.of("University", _B),
+                Atom.of("hasAlumnus", _B, _A),
+            ],
+            (_A,),
+        ),
+    }
+
+
+def sample_abox(seed: int = 0, facts_per_relation: int = 10) -> RelationalInstance:
+    """A small hand-crafted ABox giving the queries non-empty certain answers."""
+    database = RelationalInstance()
+    database.add_tuple("FullProfessor", ("prof_may",))
+    database.add_tuple("Lecturer", ("dr_poe",))
+    database.add_tuple("GraduateStudent", ("stu_kim",))
+    database.add_tuple("UndergraduateStudent", ("stu_lee",))
+    database.add_tuple("teacherOf", ("prof_may", "databases"))
+    database.add_tuple("GraduateCourse", ("databases",))
+    database.add_tuple("takesCourse", ("stu_kim", "databases"))
+    database.add_tuple("advisor", ("stu_kim", "prof_may"))
+    database.add_tuple("worksFor", ("prof_may", "cs_department"))
+    database.add_tuple("headOf", ("dr_poe", "cs_department"))
+    database.add_tuple("Department", ("cs_department",))
+    database.add_tuple("University", ("oxbridge",))
+    database.add_tuple("affiliatedOrganizationOf", ("cs_department", "oxbridge"))
+    database.add_tuple("hasAlumnus", ("oxbridge", "prof_may"))
+    database.add_tuple("worksFor", ("prof_may", "oxbridge"))
+    return database
+
+
+def workload() -> Workload:
+    """The assembled UNIVERSITY workload (the plain ``U`` variant)."""
+    theory = to_theory(build_tbox())
+    theory.extend(qualified_existential_rules())
+    theory.name = "university"
+    return Workload(
+        name="U",
+        theory=theory,
+        queries=queries(),
+        description="UNIVERSITY: DL-Lite_R LUBM with qualified existential extras",
+        abox_factory=sample_abox,
+    )

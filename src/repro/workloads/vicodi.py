@@ -1,0 +1,168 @@
+"""The VICODI (V) workload: an ontology of European history.
+
+VICODI was developed in the EU VICODI project to annotate historical
+documents; its DL-Lite_R version is dominated by *taxonomies* — deep
+subclass hierarchies of locations, events, roles and time-dependent
+relations — with essentially no existential axioms over the predicates the
+test queries use.  Two consequences visible in Table 1:
+
+* the size of a rewriting is the product of the hierarchy sizes below the
+  concepts mentioned by the query, and
+* query elimination brings no benefit (``NY`` = ``NY*``), because no query
+  atom is implied by another one: there are no domain/range axioms linking
+  the query's roles to its concepts.
+
+The ontology here is a faithful reconstruction of that *shape* (the original
+OWL file is not shipped with the paper): the same predicates as the Table 2
+queries, populated with hierarchies of comparable — though smaller — breadth
+so the pure-Python rewriters stay fast.
+"""
+
+from __future__ import annotations
+
+from ..logic.atoms import Atom
+from ..logic.terms import Variable
+from ..ontology.dl_lite import DLLiteOntology
+from ..ontology.translation import to_theory
+from ..queries.conjunctive_query import ConjunctiveQuery
+from .registry import Workload
+
+_A, _B, _C, _D = Variable("A"), Variable("B"), Variable("C"), Variable("D")
+
+
+#: Subclasses of ``Location`` (14 of them, so ``q1`` has 15 rewritings).
+LOCATION_KINDS = (
+    "Country",
+    "City",
+    "Region",
+    "Sea",
+    "River",
+    "Mountain",
+    "Island",
+    "Province",
+    "Settlement",
+    "Territory",
+    "Continent",
+    "Lake",
+    "Harbour",
+    "Castle",
+)
+
+#: Subclasses of ``Military-Person``.
+MILITARY_PERSON_KINDS = ("Soldier", "General", "Admiral")
+
+#: Subclasses of ``Time-Dependant-Relation``.
+TIME_DEPENDANT_RELATION_KINDS = (
+    "Reign",
+    "Alliance",
+    "Occupation",
+    "Membership",
+    "Marriage",
+    "Appointment",
+)
+
+#: Subclasses of ``Event``.
+EVENT_KINDS = ("Battle", "War", "Treaty", "Revolution", "Coronation")
+
+#: Subclasses of ``Object``.
+OBJECT_KINDS = (
+    "Artifact",
+    "Document",
+    "Building",
+    "Weapon",
+    "Painting",
+    "Manuscript",
+    "Monument",
+)
+
+#: Subclasses of ``Symbol``.
+SYMBOL_KINDS = ("Flag", "Emblem", "Seal", "CoatOfArms")
+
+#: Subclasses of ``Role`` (the fillers of ``hasRole``).
+ROLE_KINDS = ("Scientist", "Discoverer", "Inventor", "Monarch", "Artist", "Politician")
+
+#: Subclasses of ``Individual``.
+INDIVIDUAL_KINDS = ("Person", "Organisation")
+
+
+def build_tbox() -> DLLiteOntology:
+    """The VICODI TBox: pure concept/role taxonomies."""
+    tbox = DLLiteOntology("vicodi")
+    for kind in LOCATION_KINDS:
+        tbox.subclass(kind, "Location")
+    for kind in MILITARY_PERSON_KINDS:
+        tbox.subclass(kind, "Military-Person")
+    for kind in TIME_DEPENDANT_RELATION_KINDS:
+        tbox.subclass(kind, "Time-Dependant-Relation")
+    for kind in EVENT_KINDS:
+        tbox.subclass(kind, "Event")
+    for kind in OBJECT_KINDS:
+        tbox.subclass(kind, "Object")
+    for kind in SYMBOL_KINDS:
+        tbox.subclass(kind, "Symbol")
+    for kind in ROLE_KINDS:
+        tbox.subclass(kind, "Role")
+    for kind in INDIVIDUAL_KINDS:
+        tbox.subclass(kind, "Individual")
+    # Cross-hierarchy links mirroring the original modelling.
+    tbox.subclass("Military-Person", "Person")
+    tbox.subclass("Scientist", "Person")
+    tbox.subclass("Symbol", "Object")
+    tbox.subclass("Location", "Flexible-Time-Unit")
+    # Role subsumptions between the relations used by the queries.
+    tbox.subrole("hasChildRelation", "related")
+    tbox.subrole("hasFounder", "hasRole")
+    tbox.subrole("hasMember", "hasRelationMember")
+    # Disjointness constraints typical of the original TBox.
+    tbox.disjoint_concepts("Event", "Location")
+    tbox.disjoint_concepts("Person", "Organisation")
+    return tbox
+
+
+def queries() -> dict[str, ConjunctiveQuery]:
+    """The five VICODI queries of Table 2."""
+    return {
+        "q1": ConjunctiveQuery([Atom.of("Location", _A)], (_A,)),
+        "q2": ConjunctiveQuery(
+            [
+                Atom.of("Military-Person", _A),
+                Atom.of("hasRole", _B, _A),
+                Atom.of("related", _A, _C),
+            ],
+            (_A, _B),
+        ),
+        "q3": ConjunctiveQuery(
+            [
+                Atom.of("Time-Dependant-Relation", _A),
+                Atom.of("hasRelationMember", _A, _B),
+                Atom.of("Event", _B),
+            ],
+            (_A, _B),
+        ),
+        "q4": ConjunctiveQuery(
+            [Atom.of("Object", _A), Atom.of("hasRole", _A, _B), Atom.of("Symbol", _B)],
+            (_A, _B),
+        ),
+        "q5": ConjunctiveQuery(
+            [
+                Atom.of("Individual", _A),
+                Atom.of("hasRole", _A, _B),
+                Atom.of("Scientist", _B),
+                Atom.of("hasRole", _A, _C),
+                Atom.of("Discoverer", _C),
+                Atom.of("hasRole", _A, _D),
+                Atom.of("Inventor", _D),
+            ],
+            (_A,),
+        ),
+    }
+
+
+def workload() -> Workload:
+    """The assembled VICODI workload."""
+    return Workload(
+        name="V",
+        theory=to_theory(build_tbox()),
+        queries=queries(),
+        description="VICODI: European-history taxonomy (no existential axioms)",
+    )

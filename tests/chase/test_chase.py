@@ -1,0 +1,158 @@
+"""Tests for the TGD chase procedure (Section 3.3)."""
+
+from hypothesis import given, settings
+
+from repro.chase.chase import ChaseEngine, certain_answers, chase, chase_entails
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable, is_null
+from repro.dependencies.tgd import TGD, tgd
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+from ..conftest import ground_atoms, linear_tgd_sets
+import hypothesis.strategies as st
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+A, B = Variable("A"), Variable("B")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestChaseRule:
+    def test_full_rule_derives_new_fact(self):
+        result = chase([Atom.of("student", a)], [tgd(Atom.of("student", X), Atom.of("person", X))])
+        assert Atom.of("person", a) in result
+        assert result.exhausted
+
+    def test_existential_rule_invents_a_null(self):
+        result = chase([Atom.of("person", a)], [tgd(Atom.of("person", X), Atom.of("has_id", X, Y))])
+        invented = [atom for atom in result.atoms if atom.name == "has_id"]
+        assert len(invented) == 1
+        assert invented[0][1] == a
+        assert is_null(invented[0][2])
+
+    def test_no_applicable_rule_leaves_database_unchanged(self):
+        result = chase([Atom.of("p", a)], [tgd(Atom.of("q", X), Atom.of("r", X))])
+        assert result.atoms == {Atom.of("p", a)}
+        assert result.applications == 0
+
+    def test_paper_inclusion_dependency_example(self):
+        # Section 1: list_comp(ibm, nasdaq) and ∃list_comp⁻ ⊑ fin_idx derive
+        # fin_idx(nasdaq).
+        rule = tgd(Atom.of("list_comp", X, Y), Atom.of("fin_idx", Y))
+        result = chase([Atom.of("list_comp", Constant("ibm"), Constant("nasdaq"))], [rule])
+        assert Atom.of("fin_idx", Constant("nasdaq")) in result
+
+    def test_multi_head_rule_adds_all_head_atoms(self):
+        rule = TGD((Atom.of("p", X),), (Atom.of("q", X, Y), Atom.of("r", Y)))
+        result = chase([Atom.of("p", a)], [rule])
+        assert any(atom.name == "q" for atom in result.atoms)
+        assert any(atom.name == "r" for atom in result.atoms)
+        # The invented value is shared between the two head atoms.
+        q_atom = next(atom for atom in result.atoms if atom.name == "q")
+        r_atom = next(atom for atom in result.atoms if atom.name == "r")
+        assert q_atom[2] == r_atom[1]
+
+
+class TestChaseVariants:
+    def test_restricted_chase_reuses_satisfied_heads(self):
+        # person(a) and has_id(a, b): the restricted chase does not invent a
+        # second identifier, the oblivious chase does.
+        rules = [tgd(Atom.of("person", X), Atom.of("has_id", X, Y))]
+        database = [Atom.of("person", a), Atom.of("has_id", a, b)]
+        restricted = chase(database, rules, variant="restricted")
+        oblivious = chase(database, rules, variant="oblivious")
+        assert len(restricted) == 2
+        assert len(oblivious) == 3
+
+    def test_unknown_variant_is_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ChaseEngine([], variant="lazy")
+
+    def test_oblivious_chase_applies_each_trigger_once(self):
+        rules = [tgd(Atom.of("p", X), Atom.of("q", X, Y))]
+        result = chase([Atom.of("p", a)], rules, variant="oblivious", max_depth=5)
+        assert sum(1 for atom in result.atoms if atom.name == "q") == 1
+
+
+class TestTermination:
+    def test_weakly_acyclic_set_terminates(self):
+        rules = [
+            tgd(Atom.of("student", X), Atom.of("person", X)),
+            tgd(Atom.of("person", X), Atom.of("has_id", X, Y)),
+        ]
+        result = chase([Atom.of("student", a), Atom.of("student", b)], rules)
+        assert result.exhausted
+        assert len(result) == 6
+
+    def test_infinite_chase_is_truncated_by_depth(self):
+        # person(X) -> ∃Y parent(X, Y); parent(X, Y) -> person(Y).
+        rules = [
+            tgd(Atom.of("person", X), Atom.of("parent", X, Y)),
+            tgd(Atom.of("parent", X, Y), Atom.of("person", Y)),
+        ]
+        result = chase([Atom.of("person", a)], rules, max_depth=4)
+        assert not result.exhausted
+        assert result.max_level <= 4
+
+    def test_max_atoms_bound(self):
+        rules = [
+            tgd(Atom.of("person", X), Atom.of("parent", X, Y)),
+            tgd(Atom.of("parent", X, Y), Atom.of("person", Y)),
+        ]
+        result = chase([Atom.of("person", a)], rules, max_atoms=10)
+        assert 10 <= len(result) <= 12
+
+    def test_levels_track_derivation_depth(self):
+        rules = [
+            tgd(Atom.of("s", X), Atom.of("t", X)),
+            tgd(Atom.of("t", X), Atom.of("u", X)),
+        ]
+        result = chase([Atom.of("s", a)], rules)
+        assert result.levels[Atom.of("s", a)] == 0
+        assert result.levels[Atom.of("t", a)] == 1
+        assert result.levels[Atom.of("u", a)] == 2
+        assert result.atoms_at_level(2) == {Atom.of("u", a)}
+
+
+class TestChaseQueryAnswering:
+    def test_chase_entails_boolean_query(self):
+        rules = [tgd(Atom.of("student", X), Atom.of("person", X))]
+        result = chase([Atom.of("student", a)], rules)
+        assert chase_entails(result, ConjunctiveQuery([Atom.of("person", A)], ()))
+        assert not chase_entails(result, ConjunctiveQuery([Atom.of("course", A)], ()))
+
+    def test_certain_answers_exclude_nulls(self):
+        rules = [tgd(Atom.of("person", X), Atom.of("parent", X, Y))]
+        query = ConjunctiveQuery([Atom.of("parent", A, B)], (A, B))
+        answers = certain_answers(query, [Atom.of("person", a)], rules)
+        # The only parent fact has a null in the second position, so no tuple
+        # of constants is a certain answer.
+        assert answers == frozenset()
+
+    def test_certain_answers_project_constants(self):
+        rules = [tgd(Atom.of("person", X), Atom.of("parent", X, Y))]
+        query = ConjunctiveQuery([Atom.of("parent", A, B)], (A,))
+        answers = certain_answers(query, [Atom.of("person", a)], rules)
+        assert answers == {(a,)}
+
+    def test_example4_entailment(self):
+        from repro.workloads.paper_examples import example4_query, example4_rules
+
+        result = chase([Atom.of("p", a)], example4_rules())
+        assert chase_entails(result, example4_query())
+
+
+class TestChaseProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ground_atoms(), min_size=1, max_size=5), linear_tgd_sets())
+    def test_chase_contains_the_database(self, database, rules):
+        result = chase(database, rules, max_depth=3, max_atoms=200)
+        assert set(database) <= result.atoms
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(ground_atoms(), min_size=1, max_size=4), linear_tgd_sets())
+    def test_restricted_chase_is_no_larger_than_oblivious(self, database, rules):
+        restricted = chase(database, rules, variant="restricted", max_depth=3, max_atoms=300)
+        oblivious = chase(database, rules, variant="oblivious", max_depth=3, max_atoms=300)
+        assert len(restricted) <= len(oblivious)

@@ -1,0 +1,129 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.terms import Constant, Variable
+from repro.dependencies.tgd import TGD
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+
+# ---------------------------------------------------------------------------
+# Plain fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def variables():
+    """A small pool of named variables used across tests."""
+    return {name: Variable(name) for name in "ABCDEXYZVW"}
+
+
+@pytest.fixture()
+def example2_rules():
+    """The two TGDs of Example 2 (σ1: s(X) → ∃Z t(X,X,Z); σ2: t(X,Y,Z) → r(Y,Z))."""
+    from repro.workloads.paper_examples import example2_rules as build
+
+    return build()
+
+
+@pytest.fixture()
+def example6_rules():
+    """The three TGDs of Example 6 / Figure 2."""
+    from repro.workloads.paper_examples import example6_rules as build
+
+    return build()
+
+
+@pytest.fixture()
+def stock_exchange_theory():
+    """The running-example theory (σ1 … σ9 plus δ1)."""
+    from repro.workloads import stock_exchange_example
+
+    return stock_exchange_example.theory()
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+#: Small alphabet of variable names, so joins actually happen.
+variable_names = st.sampled_from(["X", "Y", "Z", "U", "V", "W"])
+
+#: Small alphabet of constants.
+constant_values = st.sampled_from(["a", "b", "c", "d"])
+
+#: Small alphabet of predicates with arities 1-3.
+predicate_pool = st.sampled_from(
+    [Predicate("p", 1), Predicate("q", 2), Predicate("r", 2), Predicate("s", 3)]
+)
+
+
+@st.composite
+def terms(draw):
+    """A random variable or constant."""
+    if draw(st.booleans()):
+        return Variable(draw(variable_names))
+    return Constant(draw(constant_values))
+
+
+@st.composite
+def atoms(draw):
+    """A random atom over the small predicate/term pools."""
+    predicate = draw(predicate_pool)
+    atom_terms = tuple(draw(terms()) for _ in range(predicate.arity))
+    return Atom(predicate, atom_terms)
+
+
+@st.composite
+def ground_atoms(draw):
+    """A random ground atom (constants only)."""
+    predicate = draw(predicate_pool)
+    atom_terms = tuple(Constant(draw(constant_values)) for _ in range(predicate.arity))
+    return Atom(predicate, atom_terms)
+
+
+@st.composite
+def atom_sets(draw, min_size: int = 1, max_size: int = 4):
+    """A small set of random atoms."""
+    return draw(st.lists(atoms(), min_size=min_size, max_size=max_size))
+
+
+@st.composite
+def boolean_queries(draw, max_atoms: int = 4):
+    """A random Boolean conjunctive query."""
+    body = draw(st.lists(atoms(), min_size=1, max_size=max_atoms))
+    return ConjunctiveQuery(body, ())
+
+
+@st.composite
+def linear_tgds(draw):
+    """A random linear TGD over the small pools.
+
+    The head reuses a subset of the body variables (the frontier) and may add
+    one fresh existential variable.
+    """
+    body_predicate = draw(predicate_pool)
+    body_terms = tuple(
+        Variable(draw(variable_names)) for _ in range(body_predicate.arity)
+    )
+    body_atom = Atom(body_predicate, body_terms)
+
+    head_predicate = draw(predicate_pool)
+    head_terms = []
+    for _ in range(head_predicate.arity):
+        if body_terms and draw(st.booleans()):
+            head_terms.append(draw(st.sampled_from(list(body_terms))))
+        else:
+            head_terms.append(Variable("E0"))
+    head_atom = Atom(head_predicate, tuple(head_terms))
+    return TGD((body_atom,), (head_atom,))
+
+
+@st.composite
+def linear_tgd_sets(draw, max_rules: int = 4):
+    """A random set of linear TGDs."""
+    return draw(st.lists(linear_tgds(), min_size=1, max_size=max_rules))

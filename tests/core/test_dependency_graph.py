@@ -1,0 +1,94 @@
+"""Tests for the dependency graph (Definition 3, Figure 2)."""
+
+from repro.core.dependency_graph import DependencyGraph
+from repro.logic.atoms import Atom, Position, Predicate
+from repro.logic.terms import Variable
+from repro.dependencies.tgd import tgd
+from repro.workloads.paper_examples import example6_rules
+
+X, Y = Variable("X"), Variable("Y")
+
+P = Predicate("p", 2)
+R = Predicate("r", 3)
+S = Predicate("s", 3)
+
+
+class TestFigure2:
+    """The dependency graph of Example 6 must match Figure 2 exactly."""
+
+    def setup_method(self):
+        self.rules = example6_rules()
+        self.sigma1, self.sigma2, self.sigma3 = self.rules
+        self.graph = DependencyGraph(self.rules)
+
+    def test_nodes_cover_all_schema_positions(self):
+        expected = {
+            Position(P, 1), Position(P, 2),
+            Position(R, 1), Position(R, 2), Position(R, 3),
+            Position(S, 1), Position(S, 2), Position(S, 3),
+        }
+        assert expected <= self.graph.nodes
+
+    def test_sigma1_edges(self):
+        # σ1 : p(X, Y) -> ∃Z r(X, Y, Z): p[1] -> r[1] and p[2] -> r[2].
+        assert self.graph.has_edge(Position(P, 1), Position(R, 1), self.sigma1)
+        assert self.graph.has_edge(Position(P, 2), Position(R, 2), self.sigma1)
+        assert not self.graph.has_edge(Position(P, 1), Position(R, 3), self.sigma1)
+
+    def test_sigma2_edges(self):
+        # σ2 : r(X, Y, c) -> s(X, Y, Y): r[1] -> s[1], r[2] -> s[2], r[2] -> s[3].
+        assert self.graph.has_edge(Position(R, 1), Position(S, 1), self.sigma2)
+        assert self.graph.has_edge(Position(R, 2), Position(S, 2), self.sigma2)
+        assert self.graph.has_edge(Position(R, 2), Position(S, 3), self.sigma2)
+        assert not self.graph.has_edge(Position(R, 3), Position(S, 1), self.sigma2)
+
+    def test_sigma3_edges(self):
+        # σ3 : s(X, X, Y) -> p(X, Y): s[1] -> p[1], s[2] -> p[1], s[3] -> p[2].
+        assert self.graph.has_edge(Position(S, 1), Position(P, 1), self.sigma3)
+        assert self.graph.has_edge(Position(S, 2), Position(P, 1), self.sigma3)
+        assert self.graph.has_edge(Position(S, 3), Position(P, 2), self.sigma3)
+
+    def test_total_edge_count_matches_figure2(self):
+        assert len(self.graph.edges) == 8
+
+    def test_edges_labelled_by_rule(self):
+        assert len(self.graph.edges_labelled(self.sigma1)) == 2
+        assert len(self.graph.edges_labelled(self.sigma2)) == 3
+        assert len(self.graph.edges_labelled(self.sigma3)) == 3
+
+    def test_successors_follow_one_labelled_edge(self):
+        successors = self.graph.successors({Position(P, 1)}, self.sigma1)
+        assert successors == {Position(R, 1)}
+
+    def test_walk_enumerates_labelled_paths(self):
+        # p[1] --σ1--> r[1] --σ2--> s[1] --σ3--> p[1]
+        paths = list(
+            self.graph.walk(Position(P, 1), [self.sigma1, self.sigma2, self.sigma3])
+        )
+        assert (Position(P, 1), Position(R, 1), Position(S, 1), Position(P, 1)) in paths
+
+    def test_to_dot_renders_every_edge(self):
+        dot = self.graph.to_dot()
+        assert dot.startswith("digraph")
+        assert dot.count("->") == len(self.graph.edges)
+
+
+class TestGeneralGraphs:
+    def test_existential_positions_have_no_incoming_edges_from_body(self):
+        rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
+        graph = DependencyGraph([rule])
+        assert graph.edges_from(Position(Predicate("p", 1), 1)) == (
+            graph.edges[0],
+        )
+        assert graph.edges[0].target == Position(Predicate("q", 2), 1)
+
+    def test_constants_induce_no_edges(self):
+        from repro.logic.terms import Constant
+
+        rule = tgd(Atom.of("p", Constant("a"), X), Atom.of("q", Constant("a"), X))
+        graph = DependencyGraph([rule])
+        assert len(graph.edges) == 1  # only the X edge
+
+    def test_repr_summarises_size(self):
+        graph = DependencyGraph(example6_rules())
+        assert "8 edges" in repr(graph)

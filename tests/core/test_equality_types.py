@@ -1,0 +1,84 @@
+"""Tests for equality types (Definition 4, Example 6)."""
+
+import pytest
+
+from repro.core.equality_types import (
+    ConstantEquality,
+    PositionEquality,
+    eq_subset,
+    equality_type,
+)
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.workloads.paper_examples import example6_rules
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+c = Constant("c")
+
+
+class TestEqualityType:
+    def test_atom_without_repetitions_has_empty_type(self):
+        assert equality_type(Atom.of("p", X, Y)).equalities == frozenset()
+
+    def test_repeated_variable_produces_position_equality(self):
+        eq = equality_type(Atom.of("s", X, X, Y))
+        assert eq.equalities == {PositionEquality(1, 2)}
+
+    def test_constant_produces_constant_equality(self):
+        eq = equality_type(Atom.of("r", X, Y, c))
+        assert eq.equalities == {ConstantEquality(3, "c")}
+
+    def test_repeated_constants_do_not_produce_position_equalities(self):
+        # Definition 4 only relates positions holding the same non-constant
+        # term; two occurrences of the same constant yield two constant
+        # equalities instead.
+        eq = equality_type(Atom.of("r", c, c))
+        assert eq.equalities == {ConstantEquality(1, "c"), ConstantEquality(2, "c")}
+
+    def test_triple_repetition_produces_all_pairs(self):
+        eq = equality_type(Atom.of("t", X, X, X))
+        assert eq.equalities == {
+            PositionEquality(1, 2),
+            PositionEquality(1, 3),
+            PositionEquality(2, 3),
+        }
+
+    def test_example6_equality_types(self):
+        sigma1, sigma2, sigma3 = example6_rules()
+        assert equality_type(sigma1.body[0]).equalities == frozenset()
+        assert equality_type(sigma1.head[0]).equalities == frozenset()
+        assert equality_type(sigma2.body[0]).equalities == {ConstantEquality(3, "c")}
+        assert equality_type(sigma2.head[0]).equalities == {PositionEquality(2, 3)}
+        assert equality_type(sigma3.body[0]).equalities == {PositionEquality(1, 2)}
+        assert equality_type(sigma3.head[0]).equalities == frozenset()
+
+    def test_position_equality_orientation_is_validated(self):
+        with pytest.raises(ValueError):
+            PositionEquality(2, 1)
+
+
+class TestEqSubset:
+    def test_subset_requires_same_predicate(self):
+        assert not eq_subset(Atom.of("p", X, Y), Atom.of("q", X, X))
+
+    def test_empty_type_is_subset_of_anything_with_same_predicate(self):
+        assert eq_subset(Atom.of("s", X, Y, Z), Atom.of("s", X, X, Y))
+
+    def test_example6_chain_conditions(self):
+        sigma1, sigma2, sigma3 = example6_rules()
+        # eq(body(σ3)) = {s[1]=s[2]} is NOT a subset of eq(head(σ2)) = {s[2]=s[3]}
+        # (Example 8 relies on exactly this failure).
+        assert not eq_subset(sigma3.body[0], sigma2.head[0])
+        # eq(body(σ2)) = {r[3]=c} is not implied by eq(head(σ1)) = {}.
+        assert not eq_subset(sigma2.body[0], sigma1.head[0])
+        # The empty type of body(σ1) is a subset of the empty type of head(σ3).
+        assert eq_subset(sigma1.body[0], sigma3.head[0])
+
+    def test_subset_with_constants(self):
+        specific = Atom.of("r", X, Y, c)
+        more_specific = Atom.of("r", X, X, c)
+        assert eq_subset(specific, more_specific)
+        assert not eq_subset(more_specific, specific)
+
+    def test_ordering_operator(self):
+        assert equality_type(Atom.of("r", X, Y)) <= equality_type(Atom.of("r", X, X))

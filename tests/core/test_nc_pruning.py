@@ -1,0 +1,76 @@
+"""Tests for pruning with negative constraints (Section 5.1, Example 5)."""
+
+from repro.core.nc_pruning import NegativeConstraintPruner, prune_unsatisfiable
+from repro.core.rewriter import TGDRewriter
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable
+from repro.dependencies.constraints import NegativeConstraint
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.workloads.paper_examples import (
+    example5_constraint,
+    example5_query,
+    example5_rule,
+)
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestPruner:
+    def test_query_embedding_a_constraint_body_is_unsatisfiable(self):
+        pruner = NegativeConstraintPruner([example5_constraint()])
+        violating = ConjunctiveQuery(
+            [Atom.of("r", A, B), Atom.of("t", C), Atom.of("s", B)], ()
+        )
+        assert pruner.is_unsatisfiable(violating)
+        assert pruner.violated_by(violating) is example5_constraint() or (
+            pruner.violated_by(violating).label == "ex5_nu"
+        )
+
+    def test_query_not_embedding_any_constraint_is_kept(self):
+        pruner = NegativeConstraintPruner([example5_constraint()])
+        assert not pruner.is_unsatisfiable(example5_query())
+
+    def test_constraint_variables_are_matched_homomorphically(self):
+        constraint = NegativeConstraint((Atom.of("p", X, X),))
+        pruner = NegativeConstraintPruner([constraint])
+        assert pruner.is_unsatisfiable(ConjunctiveQuery([Atom.of("p", A, A)], ()))
+        assert not pruner.is_unsatisfiable(ConjunctiveQuery([Atom.of("p", A, B)], ()))
+
+    def test_prune_unsatisfiable_helper(self):
+        queries = [
+            example5_query(),
+            ConjunctiveQuery([Atom.of("r", A, B), Atom.of("s", B)], ()),
+        ]
+        kept = prune_unsatisfiable(queries, [example5_constraint()])
+        assert kept == [example5_query()]
+
+
+class TestExample5EndToEnd:
+    def test_nc_pruning_removes_the_spurious_query(self):
+        """The query r(A,B), t(V1), s(B) of Example 5 is pruned from the rewriting."""
+        rules = [example5_rule()]
+        constraint = example5_constraint()
+        query = example5_query()
+
+        without_pruning = TGDRewriter(rules).rewrite(query)
+        with_pruning = TGDRewriter(
+            rules, negative_constraints=[constraint], use_nc_pruning=True
+        ).rewrite(query)
+
+        def violates(cq):
+            return NegativeConstraintPruner([constraint]).is_unsatisfiable(cq)
+
+        assert any(violates(cq) for cq in without_pruning.ucq)
+        assert not any(violates(cq) for cq in with_pruning.ucq)
+        assert len(with_pruning.ucq) < len(without_pruning.ucq)
+        assert with_pruning.statistics.pruned_by_constraints >= 1
+
+    def test_unsatisfiable_input_query_yields_the_empty_rewriting(self):
+        rules = [example5_rule()]
+        constraint = example5_constraint()
+        query = ConjunctiveQuery([Atom.of("r", A, B), Atom.of("s", B)], ())
+        result = TGDRewriter(
+            rules, negative_constraints=[constraint], use_nc_pruning=True
+        ).rewrite(query)
+        assert len(result.ucq) == 0

@@ -1,0 +1,42 @@
+"""Tests for the synthetic ABox generator."""
+
+from repro.database.generator import DatabaseGenerator, random_database
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.terms import Variable
+from repro.dependencies.tgd import tgd
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestDatabaseGenerator:
+    def test_generation_is_reproducible(self):
+        rules = [tgd(Atom.of("p", X), Atom.of("q", X, Y))]
+        first = random_database(rules, seed=7)
+        second = random_database(rules, seed=7)
+        assert first.facts == second.facts
+
+    def test_different_seeds_differ(self):
+        rules = [tgd(Atom.of("p", X), Atom.of("q", X, Y))]
+        assert random_database(rules, seed=1).facts != random_database(rules, seed=2).facts
+
+    def test_every_rule_predicate_is_populated(self):
+        rules = [tgd(Atom.of("p", X), Atom.of("q", X, Y))]
+        instance = random_database(rules, facts_per_relation=5)
+        assert len(instance.relation(Predicate("p", 1))) >= 1
+        assert len(instance.relation(Predicate("q", 2))) >= 1
+
+    def test_facts_per_relation_bounds_the_size(self):
+        generator = DatabaseGenerator(seed=0)
+        instance = generator.populate([Predicate("p", 1)], facts_per_relation=3)
+        assert 1 <= len(instance) <= 3  # duplicates may collapse
+
+    def test_random_fact_has_the_right_shape(self):
+        generator = DatabaseGenerator(seed=0)
+        fact = generator.random_fact(Predicate("r", 3))
+        assert fact.arity == 3
+        assert fact.is_fact()
+
+    def test_domain_size_limits_constants(self):
+        generator = DatabaseGenerator(seed=0, domain_size=2)
+        instance = generator.populate([Predicate("p", 1)], facts_per_relation=20)
+        assert len(instance.constants()) <= 2

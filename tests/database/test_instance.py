@@ -1,0 +1,101 @@
+"""Tests for in-memory relational instances."""
+
+import pytest
+
+from repro.database.instance import RelationalInstance, database_from_tuples
+from repro.database.schema import RelationalSchema
+from repro.dependencies.constraints import KeyDependency
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.terms import Constant, Variable
+
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestMutation:
+    def test_add_ground_atom(self):
+        instance = RelationalInstance()
+        assert instance.add(Atom.of("r", a, b))
+        assert not instance.add(Atom.of("r", a, b))  # duplicate
+        assert len(instance) == 1
+
+    def test_non_ground_atoms_are_rejected(self):
+        with pytest.raises(ValueError):
+            RelationalInstance().add(Atom.of("r", Variable("X"), a))
+
+    def test_add_tuple_wraps_python_values(self):
+        instance = RelationalInstance()
+        instance.add_tuple("stock", ("s1", "ACME", 12))
+        assert Atom.of("stock", Constant("s1"), Constant("ACME"), Constant(12)) in instance
+
+    def test_add_all_counts_new_facts(self):
+        instance = RelationalInstance()
+        added = instance.add_all([Atom.of("p", a), Atom.of("p", a), Atom.of("p", b)])
+        assert added == 2
+
+    def test_schema_is_extended_on_insert(self):
+        schema = RelationalSchema()
+        instance = RelationalInstance(schema=schema)
+        instance.add_tuple("r", ("x", "y"))
+        assert "r" in schema
+
+    def test_database_from_tuples(self):
+        instance = database_from_tuples([("r", ("x", "y")), ("p", ("x",))])
+        assert len(instance) == 2
+
+
+class TestInspection:
+    def setup_method(self):
+        self.instance = database_from_tuples(
+            [("r", ("a", "b")), ("r", ("a", "c")), ("p", ("a",))]
+        )
+
+    def test_relation_lookup(self):
+        assert len(self.instance.relation(Predicate("r", 2))) == 2
+        assert len(self.instance.relation_by_name("p", 1)) == 1
+        assert self.instance.relation(Predicate("missing", 1)) == frozenset()
+
+    def test_predicates(self):
+        assert {p.name for p in self.instance.predicates()} == {"r", "p"}
+
+    def test_matching_uses_position_value_index(self):
+        matches = self.instance.matching(Predicate("r", 2), {1: a})
+        assert len(matches) == 2
+        matches = self.instance.matching(Predicate("r", 2), {1: a, 2: c})
+        assert matches == {Atom.of("r", a, c)}
+        assert self.instance.matching(Predicate("r", 2), {2: Constant("zzz")}) == frozenset()
+
+    def test_matching_without_bindings_returns_whole_relation(self):
+        assert len(self.instance.matching(Predicate("r", 2), {})) == 2
+
+    def test_constants_active_domain(self):
+        assert self.instance.constants() == {a, b, c}
+
+    def test_facts_is_a_frozen_copy(self):
+        facts = self.instance.facts
+        assert isinstance(facts, frozenset)
+        assert len(facts) == 3
+
+
+class TestKeySatisfaction:
+    def test_key_violation_is_detected(self):
+        instance = database_from_tuples([("r", ("k", "x")), ("r", ("k", "y"))])
+        key = KeyDependency(Predicate("r", 2), (1,))
+        assert not instance.satisfies_key(key)
+
+    def test_key_satisfaction(self):
+        instance = database_from_tuples([("r", ("k1", "x")), ("r", ("k2", "x"))])
+        key = KeyDependency(Predicate("r", 2), (1,))
+        assert instance.satisfies_key(key)
+        assert instance.satisfies_keys([key])
+
+    def test_composite_key(self):
+        instance = database_from_tuples(
+            [("s", ("k", "1", "x")), ("s", ("k", "2", "x")), ("s", ("m", "1", "y"))]
+        )
+        # No two tuples agree on positions {1, 2}, but the first two agree on
+        # positions {1, 3}.
+        assert instance.satisfies_key(KeyDependency(Predicate("s", 3), (1, 2)))
+        assert not instance.satisfies_key(KeyDependency(Predicate("s", 3), (1, 3)))
+
+    def test_empty_relation_trivially_satisfies_keys(self):
+        assert RelationalInstance().satisfies_key(KeyDependency(Predicate("r", 2), (1,)))

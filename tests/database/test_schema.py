@@ -1,0 +1,58 @@
+"""Tests for relational schemas."""
+
+import pytest
+
+from repro.database.schema import Relation, RelationalSchema
+from repro.logic.atoms import Position, Predicate
+
+
+class TestRelation:
+    def test_attribute_names_must_match_arity(self):
+        with pytest.raises(ValueError):
+            Relation(Predicate("stock", 3), ("id", "name"))
+
+    def test_default_attribute_names(self):
+        relation = Relation(Predicate("stock", 3))
+        assert relation.attributes == ("arg1", "arg2", "arg3")
+
+    def test_attribute_of_is_one_based(self):
+        relation = Relation(Predicate("stock", 3), ("id", "name", "unit_price"))
+        assert relation.attribute_of(1) == "id"
+        assert relation.attribute_of(3) == "unit_price"
+
+    def test_name_and_arity(self):
+        relation = Relation(Predicate("stock", 3))
+        assert relation.name == "stock"
+        assert relation.arity == 3
+
+
+class TestRelationalSchema:
+    def test_from_spec(self):
+        schema = RelationalSchema.from_spec({"stock": ["id", "name", "price"], "fin_ins": ["id"]})
+        assert "stock" in schema
+        assert schema["stock"].arity == 3
+        assert len(schema) == 2
+
+    def test_redeclaration_with_same_arity_is_a_no_op(self):
+        schema = RelationalSchema()
+        schema.add(Relation(Predicate("r", 2), ("a", "b")))
+        schema.add(Relation(Predicate("r", 2)))
+        assert schema["r"].attributes == ("a", "b")
+
+    def test_redeclaration_with_different_arity_is_rejected(self):
+        schema = RelationalSchema()
+        schema.add_predicate(Predicate("r", 2))
+        with pytest.raises(ValueError):
+            schema.add_predicate(Predicate("r", 3))
+
+    def test_get_returns_none_for_unknown_relation(self):
+        assert RelationalSchema().get("missing") is None
+
+    def test_predicates_and_positions(self):
+        schema = RelationalSchema.from_spec({"r": ["a", "b"]})
+        assert schema.predicates() == {Predicate("r", 2)}
+        assert Position(Predicate("r", 2), 2) in schema.positions()
+
+    def test_iteration(self):
+        schema = RelationalSchema.from_spec({"r": ["a"], "s": ["b"]})
+        assert {relation.name for relation in schema} == {"r", "s"}

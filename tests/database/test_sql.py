@@ -1,0 +1,95 @@
+"""Tests for SQL generation from CQs and UCQs."""
+
+import pytest
+
+from repro.database.schema import RelationalSchema
+from repro.database.sql import cq_to_sql, ucq_to_sql
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+SCHEMA = RelationalSchema.from_spec(
+    {
+        "stock": ["id", "name", "unit_price"],
+        "list_comp": ["stock", "list"],
+    }
+)
+
+
+class TestCQToSQL:
+    def test_single_atom_query(self):
+        sql = cq_to_sql(ConjunctiveQuery([Atom.of("stock", A, B, C)], (A,)), SCHEMA)
+        assert sql.startswith("SELECT DISTINCT t0.id AS a1 FROM stock AS t0")
+
+    def test_join_condition_is_emitted(self):
+        query = ConjunctiveQuery(
+            [Atom.of("stock", A, B, C), Atom.of("list_comp", A, Variable("L"))], (A,)
+        )
+        sql = cq_to_sql(query, SCHEMA)
+        assert "t0.id = t1.stock" in sql
+        assert "FROM stock AS t0, list_comp AS t1" in sql
+
+    def test_constant_selection_is_emitted(self):
+        query = ConjunctiveQuery([Atom.of("list_comp", A, Constant("nasdaq"))], (A,))
+        sql = cq_to_sql(query, SCHEMA)
+        assert "t0.list = 'nasdaq'" in sql
+
+    def test_numeric_constants_are_not_quoted(self):
+        query = ConjunctiveQuery([Atom.of("stock", A, B, Constant(42))], (A,))
+        assert "t0.unit_price = 42" in cq_to_sql(query, SCHEMA)
+
+    def test_quotes_are_escaped(self):
+        query = ConjunctiveQuery([Atom.of("list_comp", A, Constant("o'hare"))], (A,))
+        assert "'o''hare'" in cq_to_sql(query, SCHEMA)
+
+    def test_boolean_query_selects_a_constant(self):
+        sql = cq_to_sql(ConjunctiveQuery([Atom.of("stock", A, B, C)], ()), SCHEMA)
+        assert "SELECT DISTINCT 1 AS answer" in sql
+
+    def test_missing_schema_falls_back_to_positional_names(self):
+        sql = cq_to_sql(ConjunctiveQuery([Atom.of("unknown", A, B)], (A,)))
+        assert "t0.arg1" in sql
+
+    def test_answer_names_can_be_customised(self):
+        sql = cq_to_sql(
+            ConjunctiveQuery([Atom.of("stock", A, B, C)], (A, B)),
+            SCHEMA,
+            answer_names=["stock_id", "stock_name"],
+        )
+        assert "AS stock_id" in sql and "AS stock_name" in sql
+
+    def test_wrong_number_of_answer_names_is_rejected(self):
+        with pytest.raises(ValueError):
+            cq_to_sql(
+                ConjunctiveQuery([Atom.of("stock", A, B, C)], (A,)),
+                SCHEMA,
+                answer_names=["x", "y"],
+            )
+
+    def test_empty_body_is_rejected(self):
+        with pytest.raises(ValueError):
+            cq_to_sql(ConjunctiveQuery([Atom.of("stock", A, B, C)], ()).with_body([]), SCHEMA)
+
+    def test_constant_answer_term(self):
+        sql = cq_to_sql(ConjunctiveQuery([Atom.of("stock", A, B, C)], (Constant("x"),)), SCHEMA)
+        assert "'x' AS a1" in sql
+
+
+class TestUCQToSQL:
+    def test_union_of_blocks(self):
+        ucq = UnionOfConjunctiveQueries(
+            [
+                ConjunctiveQuery([Atom.of("stock", A, B, C)], (A,)),
+                ConjunctiveQuery([Atom.of("list_comp", A, B)], (A,)),
+            ]
+        )
+        sql = ucq_to_sql(ucq, SCHEMA)
+        assert sql.count("SELECT DISTINCT") == 2
+        assert "\nUNION\n" in sql
+
+    def test_empty_ucq_is_rejected(self):
+        with pytest.raises(ValueError):
+            ucq_to_sql([], SCHEMA)

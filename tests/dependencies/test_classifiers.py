@@ -1,0 +1,175 @@
+"""Tests for the Datalog± language classifiers (Section 4)."""
+
+from repro.logic.atoms import Atom, Position, Predicate
+from repro.logic.terms import Variable
+from repro.dependencies.classifiers import (
+    affected_positions,
+    classify,
+    is_full,
+    is_guarded,
+    is_linear,
+    is_sticky,
+    is_sticky_join,
+    is_weakly_acyclic,
+    is_weakly_guarded,
+    sticky_marking,
+)
+from repro.dependencies.tgd import TGD, tgd
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+def _r(name, *terms):
+    return Atom.of(name, *terms)
+
+
+class TestLinearAndGuarded:
+    def test_linear_requires_single_body_atoms(self):
+        assert is_linear([tgd(_r("p", X), _r("q", X, Y))])
+        assert not is_linear([TGD((_r("p", X), _r("q", X, Y)), (_r("s", X),))])
+
+    def test_paper_guardedness_examples(self):
+        guarded = TGD((_r("r", X, Y), _r("s", X, Y, Z)), (_r("s", Z, X, W),))
+        transitive = TGD((_r("r", X, Y), _r("r", Y, Z)), (_r("r", X, Z),))
+        assert is_guarded([guarded])
+        assert not is_guarded([transitive])
+
+    def test_linear_rules_are_trivially_guarded(self):
+        rules = [tgd(_r("p", X), _r("q", X, Y))]
+        assert is_guarded(rules)
+
+    def test_full_rules(self):
+        assert is_full([tgd(_r("p", X), _r("q", X))])
+        assert not is_full([tgd(_r("p", X), _r("q", X, Y))])
+
+
+class TestAffectedPositionsAndWeakGuardedness:
+    def test_existential_head_positions_are_affected(self):
+        rules = [tgd(_r("p", X), _r("q", X, Y))]
+        assert Position(Predicate("q", 2), 2) in affected_positions(rules)
+        assert Position(Predicate("q", 2), 1) not in affected_positions(rules)
+
+    def test_affectedness_propagates_through_rules(self):
+        rules = [
+            tgd(_r("p", X), _r("q", X, Y)),
+            tgd(_r("q", X, Y), _r("s", Y)),
+        ]
+        assert Position(Predicate("s", 1), 1) in affected_positions(rules)
+
+    def test_guarded_sets_are_weakly_guarded(self):
+        rules = [TGD((_r("r", X, Y), _r("s", X, Y, Z)), (_r("s", Z, X, W),))]
+        assert is_weakly_guarded(rules)
+
+    def test_transitivity_alone_is_weakly_guarded(self):
+        # Without existential rules feeding r, no position is affected, so the
+        # unguarded transitivity rule is still weakly guarded.
+        rules = [TGD((_r("r", X, Y), _r("r", Y, Z)), (_r("r", X, Z),))]
+        assert is_weakly_guarded(rules)
+
+    def test_weak_guardedness_can_fail(self):
+        rules = [
+            tgd(_r("p", X), _r("r", X, Y)),
+            tgd(_r("p", X), _r("r", Y, X)),
+            TGD((_r("r", X, Y), _r("r", Y, Z)), (_r("r", X, Z),)),
+        ]
+        assert not is_weakly_guarded(rules)
+
+
+class TestWeakAcyclicity:
+    def test_acyclic_hierarchy_is_weakly_acyclic(self):
+        rules = [
+            tgd(_r("student", X), _r("person", X)),
+            tgd(_r("person", X), _r("has_id", X, Y)),
+        ]
+        assert is_weakly_acyclic(rules)
+
+    def test_existential_cycle_is_not_weakly_acyclic(self):
+        # person(X) -> ∃Y parent(X, Y); parent(X, Y) -> person(Y): the classic
+        # infinite-chase example.
+        rules = [
+            tgd(_r("person", X), _r("parent", X, Y)),
+            tgd(_r("parent", X, Y), _r("person", Y)),
+        ]
+        assert not is_weakly_acyclic(rules)
+
+    def test_full_cycle_is_weakly_acyclic(self):
+        rules = [
+            tgd(_r("r", X, Y), _r("s", X, Y)),
+            tgd(_r("s", X, Y), _r("r", X, Y)),
+        ]
+        assert is_weakly_acyclic(rules)
+
+    def test_stock_exchange_rules_are_weakly_acyclic(self):
+        from repro.workloads import stock_exchange_example
+
+        # stock and stock_portf regenerate each other, but the cycle only
+        # moves the stock identifier (positions stock[1] / stock_portf[2]);
+        # fresh nulls never feed back into the cycle, so no special edge lies
+        # on a cycle and the set is weakly acyclic.
+        assert is_weakly_acyclic(stock_exchange_example.tgds())
+
+
+class TestStickiness:
+    def test_marking_marks_dropped_variables(self):
+        # In r(X,Y) -> s(X), the variable Y does not appear in the head and is
+        # therefore marked.
+        rules = [tgd(_r("r", X, Y), _r("s", X))]
+        marking = sticky_marking(rules)
+        assert Y in marking[0]
+        assert X not in marking[0]
+
+    def test_join_on_unmarked_variable_is_sticky(self):
+        rules = [TGD((_r("r", X, Y), _r("s", Y, Z)), (_r("t", X, Y, Z),))]
+        assert is_sticky(rules)
+
+    def test_join_on_marked_variable_is_not_sticky(self):
+        # Y is joined in the body but dropped from the head.
+        rules = [TGD((_r("r", X, Y), _r("s", Y, Z)), (_r("t", X, Z),))]
+        assert not is_sticky(rules)
+
+    def test_marking_propagates_backwards(self):
+        rules = [
+            TGD((_r("r", X, Y), _r("s", Y, Z)), (_r("t", X, Z),)),
+            tgd(_r("u", X, Y), _r("r", X, Y)),
+        ]
+        marking = sticky_marking(rules)
+        # Y of the second rule is propagated to a marked position of t? No —
+        # r[2] is marked through the first rule, so Y (which the second rule
+        # sends to r[2]) must be marked in the second rule as well.
+        assert Y in marking[1]
+
+    def test_linear_sets_are_sticky_join(self):
+        rules = [tgd(_r("p", X), _r("q", X, Y))]
+        assert is_sticky_join(rules)
+
+    def test_sticky_sets_are_sticky_join(self):
+        rules = [TGD((_r("r", X, Y), _r("s", Y, Z)), (_r("t", X, Y, Z),))]
+        assert is_sticky_join(rules)
+
+    def test_non_sticky_non_linear_is_not_recognised(self):
+        rules = [TGD((_r("r", X, Y), _r("s", Y, Z)), (_r("t", X, Z),))]
+        assert not is_sticky_join(rules)
+
+
+class TestClassification:
+    def test_stock_exchange_classification(self):
+        from repro.workloads import stock_exchange_example
+
+        summary = classify(stock_exchange_example.tgds())
+        assert summary.linear
+        assert summary.guarded
+        assert summary.sticky
+        assert summary.fo_rewritable
+        assert not summary.full
+
+    def test_fo_rewritable_via_stickiness_only(self):
+        rules = [TGD((_r("r", X, Y), _r("s", Y, Z)), (_r("t", X, Y, Z),))]
+        summary = classify(rules)
+        assert not summary.linear
+        assert summary.sticky
+        assert summary.fo_rewritable
+
+    def test_not_fo_rewritable(self):
+        rules = [TGD((_r("r", X, Y), _r("s", Y, Z)), (_r("t", X, Z),))]
+        summary = classify(rules)
+        assert not summary.fo_rewritable

@@ -1,0 +1,96 @@
+"""Tests for the Lemma 1 / Lemma 2 normalisation of TGDs."""
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.dependencies.classifiers import is_linear, is_sticky
+from repro.dependencies.normalization import is_normalized, normalize
+from repro.dependencies.tgd import TGD, tgd
+from repro.chase.chase import chase, chase_entails
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+X, Y, Z, V, W = (Variable(n) for n in "XYZVW")
+A, B = Variable("A"), Variable("B")
+
+
+class TestLemma1MultiHead:
+    def test_multi_head_rule_is_split(self):
+        rule = TGD((Atom.of("p", X),), (Atom.of("q", X, Y), Atom.of("r", Y)))
+        result = normalize([rule])
+        assert is_normalized(result.rules)
+        assert len(result.auxiliary_predicates) >= 1
+        # One collector rule plus one projection per original head atom.
+        assert len(result.rules) == 3
+
+    def test_auxiliary_predicate_carries_all_head_variables(self):
+        rule = TGD((Atom.of("p", X),), (Atom.of("q", X, Y), Atom.of("r", Y)))
+        result = normalize([rule])
+        auxiliary = result.auxiliary_predicates[0]
+        assert auxiliary.arity == 2  # X and Y
+
+    def test_normalisation_preserves_query_answers(self):
+        rule = TGD((Atom.of("p", X),), (Atom.of("q", X, Y), Atom.of("r", Y)))
+        database = [Atom.of("p", Constant("c"))]
+        query = ConjunctiveQuery([Atom.of("q", A, B), Atom.of("r", B)], ())
+        original = chase_entails(chase(database, [rule], max_depth=4), query)
+        normalised = chase_entails(chase(database, normalize([rule]).rules, max_depth=6), query)
+        assert original == normalised is True
+
+
+class TestLemma2MultiExistential:
+    def test_two_existentials_become_a_chain(self):
+        rule = tgd(Atom.of("stock_portf", X, Y, Z), Atom.of("stock", Y, V, W))
+        result = normalize([rule])
+        assert is_normalized(result.rules)
+        assert all(len(r.existential_variables) <= 1 for r in result.rules)
+        assert len(result.rules) == 3  # two inventions plus the final emit
+
+    def test_repeated_existential_occurrence_is_split(self):
+        rule = tgd(Atom.of("p", X), Atom.of("r", X, Z, Z))
+        result = normalize([rule])
+        assert is_normalized(result.rules)
+        assert len(result.rules) == 2
+
+    def test_normalised_rules_are_returned_unchanged(self):
+        rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
+        result = normalize([rule])
+        assert result.rules == [rule]
+        assert result.auxiliary_predicates == []
+
+
+class TestNormalisationInvariants:
+    def test_is_normalized_predicate(self):
+        assert is_normalized([tgd(Atom.of("p", X), Atom.of("q", X, Y))])
+        assert not is_normalized(
+            [TGD((Atom.of("p", X),), (Atom.of("q", X), Atom.of("r", X)))]
+        )
+
+    def test_normalisation_preserves_linearity(self):
+        rules = [
+            tgd(Atom.of("list_comp", X, Y), Atom.of("fin_idx", Y, Z, W)),
+            TGD((Atom.of("p", X),), (Atom.of("q", X, Y), Atom.of("r", Y))),
+        ]
+        result = normalize(rules)
+        assert is_linear(result.rules)
+
+    def test_normalisation_preserves_stickiness_on_stock_exchange(self):
+        from repro.workloads import stock_exchange_example
+
+        rules = stock_exchange_example.tgds()
+        result = normalize(rules)
+        assert is_sticky(result.rules) == is_sticky(rules)
+
+    def test_provenance_maps_back_to_original_labels(self):
+        rule = tgd(Atom.of("p", X), Atom.of("r", X, Y, Z), "orig")
+        result = normalize([rule])
+        assert set(result.provenance.values()) == {"orig"}
+
+    def test_stock_exchange_normalisation_counts(self):
+        from repro.workloads import stock_exchange_example
+
+        rules = stock_exchange_example.tgds()
+        result = normalize(rules)
+        # σ1-σ4 and σ7 have two existential variables each and are split into
+        # three rules (two inventions plus the emit, introducing two auxiliary
+        # predicates each); σ5, σ6, σ8, σ9 stay as they are.
+        assert len(result.rules) == 5 * 3 + 4
+        assert len(result.auxiliary_predicates) == 10

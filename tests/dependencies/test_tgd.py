@@ -1,0 +1,132 @@
+"""Tests for tuple-generating dependencies."""
+
+import pytest
+
+from repro.logic.atoms import Atom, Position, Predicate
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable, VariableFactory
+from repro.dependencies.tgd import TGD, schema_positions, schema_predicates, tgd
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+
+
+class TestConstruction:
+    def test_empty_body_or_head_is_rejected(self):
+        with pytest.raises(ValueError):
+            TGD((), (Atom.of("p", X),))
+        with pytest.raises(ValueError):
+            TGD((Atom.of("p", X),), ())
+
+    def test_convenience_constructor_accepts_single_atoms(self):
+        rule = tgd(Atom.of("p", X), Atom.of("q", X, Y), "label")
+        assert rule.body == (Atom.of("p", X),)
+        assert rule.head == (Atom.of("q", X, Y),)
+        assert rule.label == "label"
+
+    def test_repr_mentions_existentials(self):
+        rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
+        assert "∃" in repr(rule)
+
+
+class TestVariableClassification:
+    def test_frontier_and_existential_variables(self):
+        rule = TGD((Atom.of("r", X, Y),), (Atom.of("s", Y, Z),))
+        assert rule.frontier == {Y}
+        assert rule.existential_variables == {Z}
+        assert rule.body_variables == {X, Y}
+        assert rule.head_variables == {Y, Z}
+
+    def test_full_tgd_has_no_existentials(self):
+        rule = tgd(Atom.of("r", X, Y), Atom.of("s", Y, X))
+        assert rule.is_full
+        assert rule.existential_variables == frozenset()
+
+    def test_constants_and_predicates(self):
+        rule = tgd(Atom.of("r", X, Constant("c")), Atom.of("s", X))
+        assert rule.constants == {Constant("c")}
+        assert rule.predicates == {Predicate("r", 2), Predicate("s", 1)}
+
+
+class TestShapePredicates:
+    def test_linear_requires_single_body_atom(self):
+        assert tgd(Atom.of("p", X), Atom.of("q", X)).is_linear
+        assert not TGD((Atom.of("p", X), Atom.of("r", X, Y)), (Atom.of("q", X),)).is_linear
+
+    def test_guard_detection(self):
+        # The paper's guarded example: r(X,Y), s(X,Y,Z) -> ∃W s(Z,X,W).
+        guarded = TGD(
+            (Atom.of("r", X, Y), Atom.of("s", X, Y, Z)), (Atom.of("s", Z, X, W),)
+        )
+        assert guarded.is_guarded
+        assert guarded.guard == Atom.of("s", X, Y, Z)
+        # The transitivity rule is not guarded.
+        transitive = TGD(
+            (Atom.of("r", X, Y), Atom.of("r", Y, Z)), (Atom.of("r", X, Z),)
+        )
+        assert not transitive.is_guarded
+
+    def test_single_head_and_normal_form(self):
+        multi_head = TGD((Atom.of("p", X),), (Atom.of("q", X), Atom.of("r", X, Y)))
+        assert not multi_head.is_single_head
+        assert not multi_head.is_normalized
+        two_existentials = tgd(Atom.of("p", X), Atom.of("r", X, Y, Z))
+        assert two_existentials.is_single_head
+        assert not two_existentials.is_normalized
+        normalised = tgd(Atom.of("p", X), Atom.of("r", X, Y))
+        assert normalised.is_normalized
+
+
+class TestExistentialPosition:
+    def test_position_of_single_existential(self):
+        rule = tgd(Atom.of("p", X), Atom.of("r", X, Y))
+        assert rule.existential_position == Position(Predicate("r", 2), 2)
+
+    def test_full_rule_has_no_position(self):
+        assert tgd(Atom.of("p", X), Atom.of("q", X)).existential_position is None
+
+    def test_multi_head_rule_is_rejected(self):
+        rule = TGD((Atom.of("p", X),), (Atom.of("q", X), Atom.of("r", X)))
+        with pytest.raises(ValueError):
+            rule.existential_position
+
+    def test_repeated_existential_is_rejected(self):
+        rule = tgd(Atom.of("p", X), Atom.of("r", X, Y, Y))
+        with pytest.raises(ValueError):
+            rule.existential_position
+
+
+class TestTransformations:
+    def test_apply_substitution(self):
+        rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
+        image = rule.apply(Substitution({X: Z}))
+        assert image.body == (Atom.of("p", Z),)
+        assert image.head == (Atom.of("q", Z, Y),)
+
+    def test_rename_apart_only_touches_clashing_variables(self):
+        rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
+        fresh = VariableFactory(prefix="F")
+        renamed = rule.rename_apart([X], fresh)
+        assert X not in renamed.body_variables
+        assert Y in renamed.head_variables
+
+    def test_rename_apart_without_clash_returns_same_rule(self):
+        rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
+        assert rule.rename_apart([Z], VariableFactory()) is rule
+
+    def test_refresh_renames_everything(self):
+        rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
+        refreshed = rule.refresh(VariableFactory(prefix="G"))
+        assert refreshed.body_variables.isdisjoint({X, Y})
+        assert refreshed.label == rule.label
+
+
+class TestSchemaHelpers:
+    def test_schema_predicates(self):
+        rules = [tgd(Atom.of("p", X), Atom.of("q", X, Y))]
+        assert schema_predicates(rules) == {Predicate("p", 1), Predicate("q", 2)}
+
+    def test_schema_positions(self):
+        rules = [tgd(Atom.of("p", X), Atom.of("q", X, Y))]
+        positions = schema_positions(rules)
+        assert Position(Predicate("q", 2), 2) in positions
+        assert len(positions) == 3

@@ -1,0 +1,91 @@
+"""Tests for ontological theories (TGDs + NCs + KDs bundles)."""
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.terms import Variable
+from repro.dependencies.constraints import KeyDependency, NegativeConstraint
+from repro.dependencies.tgd import TGD, tgd
+from repro.dependencies.theory import OntologyTheory, theory
+
+X, Y = Variable("X"), Variable("Y")
+
+
+class TestConstruction:
+    def test_builder_methods_chain(self):
+        built = (
+            OntologyTheory(name="t")
+            .add_tgd(tgd(Atom.of("p", X), Atom.of("q", X)))
+            .add_negative_constraint(NegativeConstraint((Atom.of("p", X), Atom.of("r", X)),))
+            .add_key(KeyDependency(Predicate("q", 1), (1,)))
+        )
+        assert len(built.tgds) == 1
+        assert len(built.negative_constraints) == 1
+        assert len(built.key_dependencies) == 1
+
+    def test_extend_adds_many_rules(self):
+        built = OntologyTheory().extend(
+            [tgd(Atom.of("p", X), Atom.of("q", X)), tgd(Atom.of("q", X), Atom.of("r", X))]
+        )
+        assert len(built.tgds) == 2
+
+    def test_theory_helper(self):
+        built = theory(tgds=[tgd(Atom.of("p", X), Atom.of("q", X))], name="helper")
+        assert built.name == "helper"
+        assert len(built.tgds) == 1
+
+    def test_predicates_view(self):
+        built = theory(tgds=[tgd(Atom.of("p", X), Atom.of("q", X, Y))])
+        assert built.predicates == {Predicate("p", 1), Predicate("q", 2)}
+
+
+class TestClassificationCache:
+    def test_classification_is_cached_and_invalidated(self):
+        built = theory(tgds=[tgd(Atom.of("p", X), Atom.of("q", X))])
+        assert built.classification.linear
+        built.add_tgd(
+            TGD((Atom.of("q", X), Atom.of("r", X, Y)), (Atom.of("s", X),))
+        )
+        assert not built.classification.linear
+
+    def test_fo_rewritable_shortcut(self):
+        built = theory(tgds=[tgd(Atom.of("p", X), Atom.of("q", X, Y))])
+        assert built.is_fo_rewritable
+
+
+class TestKeys:
+    def test_keys_are_non_conflicting_when_absent(self):
+        assert theory(tgds=[tgd(Atom.of("p", X), Atom.of("q", X))]).keys_are_non_conflicting()
+
+    def test_conflicting_keys_are_detected(self):
+        built = theory(
+            tgds=[tgd(Atom.of("r", X, Y), Atom.of("s", X, Y))],
+            key_dependencies=[KeyDependency(Predicate("s", 2), (1,))],
+        )
+        assert not built.keys_are_non_conflicting()
+
+
+class TestNormalisation:
+    def test_normalized_produces_normal_form(self):
+        built = theory(
+            tgds=[TGD((Atom.of("p", X),), (Atom.of("q", X, Y), Atom.of("r", Y)))],
+            name="multi",
+        )
+        normalised = built.normalized()
+        assert all(rule.is_normalized for rule in normalised.tgds)
+        assert normalised.theory.name == "multi_norm"
+        assert normalised.auxiliary_predicates
+
+    def test_x_variant_naming(self):
+        built = theory(
+            tgds=[TGD((Atom.of("p", X),), (Atom.of("q", X, Y), Atom.of("r", Y)))],
+            name="U",
+        )
+        normalised = built.normalized(keep_auxiliary_in_schema=True)
+        assert normalised.theory.name == "UX"
+        assert normalised.auxiliary_public
+
+    def test_constraints_are_carried_over(self):
+        built = theory(
+            tgds=[tgd(Atom.of("p", X), Atom.of("q", X))],
+            negative_constraints=[NegativeConstraint((Atom.of("p", X), Atom.of("z", X)),)],
+        )
+        assert len(built.normalized().theory.negative_constraints) == 1

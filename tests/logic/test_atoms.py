@@ -1,0 +1,131 @@
+"""Tests for atoms, predicates and positions."""
+
+import pytest
+
+from repro.logic.atoms import (
+    Atom,
+    Position,
+    Predicate,
+    atoms_constants,
+    atoms_predicates,
+    atoms_terms,
+    atoms_variables,
+    term_occurrences,
+)
+from repro.logic.terms import Constant, Null, Variable
+
+X, Y = Variable("X"), Variable("Y")
+a, b = Constant("a"), Constant("b")
+
+
+class TestPredicateAndPosition:
+    def test_predicate_identity(self):
+        assert Predicate("r", 2) == Predicate("r", 2)
+        assert Predicate("r", 2) != Predicate("r", 3)
+
+    def test_predicate_getitem_builds_position(self):
+        assert Predicate("r", 2)[1] == Position(Predicate("r", 2), 1)
+
+    def test_position_bounds_are_validated(self):
+        with pytest.raises(ValueError):
+            Position(Predicate("r", 2), 0)
+        with pytest.raises(ValueError):
+            Position(Predicate("r", 2), 3)
+
+    def test_position_repr_uses_paper_notation(self):
+        assert repr(Position(Predicate("stock", 3), 2)) == "stock[2]"
+
+
+class TestAtomConstruction:
+    def test_of_infers_arity(self):
+        atom = Atom.of("r", X, a)
+        assert atom.predicate == Predicate("r", 2)
+        assert atom.terms == (X, a)
+
+    def test_arity_mismatch_is_rejected(self):
+        with pytest.raises(ValueError):
+            Atom(Predicate("r", 2), (X,))
+
+    def test_atoms_are_hashable_and_structural(self):
+        assert Atom.of("r", X, a) == Atom.of("r", X, a)
+        assert len({Atom.of("r", X, a), Atom.of("r", X, a)}) == 1
+
+    def test_repr(self):
+        assert repr(Atom.of("r", X, a)) == "r(X, a)"
+
+
+class TestAtomAccessors:
+    def setup_method(self):
+        self.atom = Atom.of("t", X, a, X, Null(1))
+
+    def test_one_based_indexing(self):
+        assert self.atom[1] == X
+        assert self.atom[2] == a
+        assert self.atom[4] == Null(1)
+        with pytest.raises(IndexError):
+            self.atom[0]
+        with pytest.raises(IndexError):
+            self.atom[5]
+
+    def test_positions_of_term(self):
+        positions = self.atom.positions_of(X)
+        assert {p.index for p in positions} == {1, 3}
+
+    def test_positions_enumeration(self):
+        assert [p.index for p in self.atom.positions()] == [1, 2, 3, 4]
+
+    def test_variable_constant_null_projections(self):
+        assert self.atom.variables() == {X}
+        assert self.atom.constants() == {a}
+        assert self.atom.nulls() == {Null(1)}
+
+    def test_groundness(self):
+        assert not self.atom.is_ground()
+        assert Atom.of("r", a, Null(1)).is_ground()
+        assert not Atom.of("r", a, Null(1)).is_fact()
+        assert Atom.of("r", a, b).is_fact()
+
+    def test_iteration(self):
+        assert list(self.atom) == [X, a, X, Null(1)]
+
+
+class TestAtomTransformation:
+    def test_apply_mapping(self):
+        atom = Atom.of("r", X, Y)
+        assert atom.apply({X: a}) == Atom.of("r", a, Y)
+
+    def test_apply_ignores_unmapped_terms(self):
+        atom = Atom.of("r", X, Y)
+        assert atom.apply({}) == atom
+
+    def test_rename_predicate(self):
+        renamed = Atom.of("r", X, Y).rename_predicate("s")
+        assert renamed.name == "s"
+        assert renamed.terms == (X, Y)
+
+
+class TestAtomCollections:
+    def setup_method(self):
+        self.atoms = [Atom.of("r", X, a), Atom.of("s", Y, Y, b), Atom.of("p", a)]
+
+    def test_atoms_variables(self):
+        assert atoms_variables(self.atoms) == {X, Y}
+
+    def test_atoms_constants(self):
+        assert atoms_constants(self.atoms) == {a, b}
+
+    def test_atoms_terms(self):
+        assert atoms_terms(self.atoms) == {X, Y, a, b}
+
+    def test_atoms_predicates(self):
+        assert atoms_predicates(self.atoms) == {
+            Predicate("r", 2),
+            Predicate("s", 3),
+            Predicate("p", 1),
+        }
+
+    def test_term_occurrences_count_multiplicity(self):
+        counts = term_occurrences(self.atoms)
+        assert counts[Y] == 2
+        assert counts[a] == 2
+        assert counts[X] == 1

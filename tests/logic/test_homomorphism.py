@@ -1,0 +1,116 @@
+"""Tests for homomorphisms, variant checks and containment machinery."""
+
+from hypothesis import given
+
+from repro.logic.atoms import Atom
+from repro.logic.homomorphism import (
+    are_variants,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphisms,
+    is_homomorphism,
+    variable_bijections,
+)
+from repro.logic.terms import Constant, Null, Variable
+
+from ..conftest import ground_atoms, atom_sets
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+class TestBasicHomomorphisms:
+    def test_simple_match(self):
+        hom = find_homomorphism([Atom.of("r", X, Y)], [Atom.of("r", a, b)])
+        assert hom is not None
+        assert hom.apply_term(X) == a
+        assert hom.apply_term(Y) == b
+
+    def test_constants_must_be_preserved(self):
+        assert not has_homomorphism([Atom.of("r", a, X)], [Atom.of("r", b, c)])
+        assert has_homomorphism([Atom.of("r", a, X)], [Atom.of("r", a, c)])
+
+    def test_join_variable_must_be_consistent(self):
+        source = [Atom.of("r", X, Y), Atom.of("s", Y, Z)]
+        target_ok = [Atom.of("r", a, b), Atom.of("s", b, c)]
+        target_bad = [Atom.of("r", a, b), Atom.of("s", c, c)]
+        assert has_homomorphism(source, target_ok)
+        assert not has_homomorphism(source, target_bad)
+
+    def test_nulls_can_be_mapped(self):
+        # A null behaves like a variable on the source side of a homomorphism.
+        assert has_homomorphism([Atom.of("r", Null(1), Null(1))], [Atom.of("r", a, a)])
+        assert not has_homomorphism([Atom.of("r", Null(1), Null(1))], [Atom.of("r", a, b)])
+
+    def test_missing_predicate_means_no_homomorphism(self):
+        assert not has_homomorphism([Atom.of("p", X)], [Atom.of("r", a, b)])
+
+    def test_enumeration_yields_all_distinct_homomorphisms(self):
+        source = [Atom.of("r", X, Y)]
+        target = [Atom.of("r", a, b), Atom.of("r", a, c)]
+        found = list(homomorphisms(source, target))
+        assert len(found) == 2
+
+    def test_partial_mapping_constrains_search(self):
+        source = [Atom.of("r", X, Y)]
+        target = [Atom.of("r", a, b), Atom.of("r", c, b)]
+        found = list(homomorphisms(source, target, partial={X: c}))
+        assert len(found) == 1
+        assert found[0].apply_term(X) == c
+
+    def test_frozen_terms_must_map_to_themselves(self):
+        source = [Atom.of("r", X, Y)]
+        target = [Atom.of("r", X, b)]
+        assert has_homomorphism(source, target, frozen=[X])
+        assert not has_homomorphism(source, [Atom.of("r", a, b)], frozen=[X])
+
+    def test_is_homomorphism_validates_mappings(self):
+        source = [Atom.of("r", X, Y)]
+        target = [Atom.of("r", a, b)]
+        assert is_homomorphism({X: a, Y: b}, source, target)
+        assert not is_homomorphism({X: a, Y: c}, source, target)
+        assert not is_homomorphism({a: b, X: a, Y: b}, source, target)
+
+
+class TestVariants:
+    def test_renamed_atom_sets_are_variants(self):
+        first = [Atom.of("r", X, Y), Atom.of("p", X)]
+        second = [Atom.of("r", Z, Variable("W")), Atom.of("p", Z)]
+        assert are_variants(first, second)
+
+    def test_different_shapes_are_not_variants(self):
+        assert not are_variants([Atom.of("r", X, Y)], [Atom.of("r", X, X)])
+        assert not are_variants([Atom.of("r", X, Y)], [Atom.of("s", X, Y)])
+        assert not are_variants(
+            [Atom.of("r", X, Y)], [Atom.of("r", X, Y), Atom.of("p", X)]
+        )
+
+    def test_constants_must_match_exactly_in_variants(self):
+        assert are_variants([Atom.of("r", X, a)], [Atom.of("r", Y, a)])
+        assert not are_variants([Atom.of("r", X, a)], [Atom.of("r", Y, b)])
+
+    def test_variable_bijections_are_injective(self):
+        first = [Atom.of("r", X, Y)]
+        second = [Atom.of("r", Z, Z)]
+        assert list(variable_bijections(first, second)) == []
+
+    def test_identical_sets_are_variants(self):
+        atoms = [Atom.of("r", X, Y)]
+        assert are_variants(atoms, atoms)
+
+
+class TestHomomorphismProperties:
+    @given(atom_sets(max_size=3))
+    def test_every_atom_set_maps_into_itself(self, atoms):
+        assert has_homomorphism(atoms, atoms)
+
+    @given(atom_sets(max_size=3), ground_atoms())
+    def test_extending_the_target_preserves_homomorphisms(self, atoms, extra):
+        if has_homomorphism(atoms, atoms):
+            assert has_homomorphism(atoms, list(atoms) + [extra])
+
+    @given(atom_sets(max_size=3))
+    def test_variant_relation_is_reflexive_and_symmetric(self, atoms):
+        assert are_variants(atoms, atoms)
+        shuffled = list(reversed(atoms))
+        assert are_variants(atoms, shuffled) == are_variants(shuffled, atoms)

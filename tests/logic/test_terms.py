@@ -1,0 +1,101 @@
+"""Tests for first-order terms and the fresh-symbol factories."""
+
+import pytest
+
+from repro.logic.terms import (
+    Constant,
+    Null,
+    NullFactory,
+    Variable,
+    VariableFactory,
+    is_constant,
+    is_null,
+    is_variable,
+)
+
+
+class TestTermIdentity:
+    def test_variables_equal_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_constants_equal_by_value(self):
+        assert Constant("a") == Constant("a")
+        assert Constant("a") != Constant("b")
+        assert Constant(1) != Constant("1")
+
+    def test_nulls_equal_by_label(self):
+        assert Null(3) == Null(3)
+        assert Null(3) != Null(4)
+
+    def test_kinds_are_pairwise_distinct(self):
+        assert Variable("a") != Constant("a")
+        assert Constant(1) != Null(1)
+        assert Variable("z1") != Null(1)
+
+    def test_terms_are_hashable(self):
+        pool = {Variable("X"), Constant("X"), Null(1), Variable("X")}
+        assert len(pool) == 3
+
+    def test_string_forms(self):
+        assert str(Variable("X")) == "X"
+        assert str(Constant("nasdaq")) == "nasdaq"
+        assert str(Null(7)) == "z7"
+
+
+class TestKindPredicates:
+    def test_is_variable(self):
+        assert is_variable(Variable("X"))
+        assert not is_variable(Constant("a"))
+        assert not is_variable(Null(1))
+
+    def test_is_constant(self):
+        assert is_constant(Constant("a"))
+        assert not is_constant(Variable("X"))
+        assert not is_constant(Null(1))
+
+    def test_is_null(self):
+        assert is_null(Null(1))
+        assert not is_null(Variable("X"))
+        assert not is_null(Constant("a"))
+
+
+class TestFactories:
+    def test_variable_factory_produces_distinct_variables(self):
+        fresh = VariableFactory(prefix="T")
+        produced = [fresh() for _ in range(50)]
+        assert len(set(produced)) == 50
+        assert all(v.name.startswith("T") for v in produced)
+
+    def test_variable_factory_many(self):
+        fresh = VariableFactory()
+        batch = fresh.many(5)
+        assert len(batch) == 5
+        assert len(set(batch)) == 5
+
+    def test_variable_factory_respects_start(self):
+        fresh = VariableFactory(prefix="V", start=10)
+        assert fresh() == Variable("V10")
+
+    def test_null_factory_produces_distinct_nulls(self):
+        fresh = NullFactory()
+        produced = [fresh() for _ in range(20)]
+        assert len(set(produced)) == 20
+
+    def test_null_factory_many(self):
+        fresh = NullFactory(start=5)
+        assert fresh.many(3) == (Null(5), Null(6), Null(7))
+
+    def test_independent_factories_do_not_share_state(self):
+        first, second = VariableFactory(prefix="A"), VariableFactory(prefix="A")
+        assert first() == second()
+
+
+class TestImmutability:
+    def test_variable_is_frozen(self):
+        with pytest.raises(Exception):
+            Variable("X").name = "Y"
+
+    def test_constant_is_frozen(self):
+        with pytest.raises(Exception):
+            Constant("a").value = "b"

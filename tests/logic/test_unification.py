@@ -1,0 +1,114 @@
+"""Tests for most general unifiers (Section 5 preliminaries)."""
+
+from hypothesis import given
+
+from repro.logic.atoms import Atom
+from repro.logic.substitution import Substitution
+from repro.logic.terms import Constant, Variable, VariableFactory
+from repro.logic.unification import (
+    is_unifier,
+    mgu,
+    rename_apart,
+    unifiable,
+    unify_atoms,
+    unify_terms,
+)
+
+from ..conftest import atoms as atoms_strategy
+
+X, Y, Z, W = Variable("X"), Variable("Y"), Variable("Z"), Variable("W")
+a, b = Constant("a"), Constant("b")
+
+
+class TestBasicUnification:
+    def test_identical_atoms_unify_with_identity(self):
+        unifier = mgu([Atom.of("r", X, a), Atom.of("r", X, a)])
+        assert unifier == Substitution()
+
+    def test_variable_binds_to_constant(self):
+        unifier = mgu([Atom.of("r", X), Atom.of("r", a)])
+        assert unifier is not None
+        assert unifier.apply_term(X) == a
+
+    def test_variable_chains_collapse(self):
+        unifier = mgu([Atom.of("r", X, Y), Atom.of("r", Y, Z)])
+        assert unifier is not None
+        images = {unifier.apply_term(t) for t in (X, Y, Z)}
+        assert len(images) == 1
+
+    def test_different_predicates_do_not_unify(self):
+        assert mgu([Atom.of("r", X), Atom.of("s", X)]) is None
+
+    def test_clashing_constants_do_not_unify(self):
+        assert mgu([Atom.of("r", a), Atom.of("r", b)]) is None
+
+    def test_indirect_constant_clash(self):
+        # X must equal both a and b through the chain X=Y, Y=a, X=b.
+        assert unify_terms([(X, Y), (Y, a), (X, b)]) is None
+
+    def test_singleton_and_empty_sets_give_identity(self):
+        assert mgu([Atom.of("r", X, a)]) == Substitution()
+        assert mgu([]) == Substitution()
+
+    def test_three_way_unification(self):
+        unifier = mgu([Atom.of("t", X, Y), Atom.of("t", Y, Z), Atom.of("t", Z, a)])
+        assert unifier is not None
+        assert {unifier.apply_term(t) for t in (X, Y, Z)} == {a}
+
+    def test_unifiable_and_unify_atoms_helpers(self):
+        assert unifiable([Atom.of("r", X), Atom.of("r", a)])
+        assert not unifiable([Atom.of("r", a), Atom.of("r", b)])
+        assert unify_atoms(Atom.of("r", X), Atom.of("r", b)).apply_term(X) == b
+
+
+class TestUnifierValidation:
+    def test_is_unifier_accepts_valid_unifier(self):
+        atoms = [Atom.of("r", X, Y), Atom.of("r", a, Z)]
+        unifier = mgu(atoms)
+        assert is_unifier(unifier, atoms)
+
+    def test_is_unifier_rejects_non_unifier(self):
+        atoms = [Atom.of("r", X, Y), Atom.of("r", a, Z)]
+        assert not is_unifier(Substitution({X: b}), atoms)
+
+    def test_mgu_is_most_general(self):
+        # Any specific unifier must factor through the MGU.
+        atoms = [Atom.of("r", X, Y), Atom.of("r", Y, Z)]
+        most_general = mgu(atoms)
+        specific = Substitution({X: a, Y: a, Z: a})
+        assert is_unifier(specific, atoms)
+        # Composing the MGU with a further substitution reproduces `specific`.
+        representative = most_general.apply_term(X)
+        completion = Substitution({representative: a})
+        assert most_general.compose(completion).apply_atom(atoms[0]) == Atom.of("r", a, a)
+
+
+class TestRenameApart:
+    def test_clashing_variables_are_renamed(self):
+        fresh = VariableFactory(prefix="F")
+        renamed, renaming = rename_apart([Atom.of("r", X, Y)], avoid=[X], fresh_factory=fresh)
+        assert renamed[0][2] == Y  # Y did not clash, so it is untouched
+        assert renamed[0][1] != X
+        assert renaming.apply_term(X) == renamed[0][1]
+
+    def test_no_clash_means_no_change(self):
+        fresh = VariableFactory()
+        renamed, renaming = rename_apart([Atom.of("r", X)], avoid=[Y], fresh_factory=fresh)
+        assert renamed == (Atom.of("r", X),)
+        assert len(renaming) == 0
+
+
+class TestUnificationProperties:
+    @given(atoms_strategy(), atoms_strategy())
+    def test_mgu_result_is_a_unifier(self, left, right):
+        unifier = mgu([left, right])
+        if unifier is not None:
+            assert unifier.apply_atom(left) == unifier.apply_atom(right)
+
+    @given(atoms_strategy(), atoms_strategy())
+    def test_unification_is_symmetric(self, left, right):
+        assert (mgu([left, right]) is None) == (mgu([right, left]) is None)
+
+    @given(atoms_strategy())
+    def test_atom_unifies_with_itself(self, atom):
+        assert mgu([atom, atom]) == Substitution()

@@ -1,0 +1,115 @@
+"""Tests for the DL-Lite_R syntax layer."""
+
+from repro.ontology.dl_lite import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    DLLiteOntology,
+    ExistentialRestriction,
+    Functionality,
+    InverseRole,
+    RoleInclusion,
+    exists,
+    exists_inverse,
+    is_inverse,
+    ontology,
+    role_name,
+)
+
+
+class TestRolesAndConcepts:
+    def test_inverse_of_inverse_is_the_original_role(self):
+        role = AtomicRole("hasStock")
+        assert role.inverse() == InverseRole(role)
+        assert role.inverse().inverse() == role
+
+    def test_role_name_and_is_inverse(self):
+        role = AtomicRole("hasStock")
+        assert role_name(role) == "hasStock"
+        assert role_name(role.inverse()) == "hasStock"
+        assert is_inverse(role.inverse())
+        assert not is_inverse(role)
+
+    def test_exists_helpers_accept_strings(self):
+        assert exists("hasStock") == ExistentialRestriction(AtomicRole("hasStock"))
+        assert exists_inverse("hasStock") == ExistentialRestriction(
+            InverseRole(AtomicRole("hasStock"))
+        )
+
+    def test_concepts_are_hashable(self):
+        assert len({AtomicConcept("Stock"), AtomicConcept("Stock")}) == 1
+
+
+class TestOntologyBuilders:
+    def setup_method(self):
+        self.tbox = DLLiteOntology("test")
+
+    def test_subclass(self):
+        self.tbox.subclass("Student", "Person")
+        axiom = self.tbox.axioms[0]
+        assert isinstance(axiom, ConceptInclusion)
+        assert axiom.lhs == AtomicConcept("Student")
+        assert not axiom.negated
+
+    def test_domain_and_range(self):
+        self.tbox.domain("attends", "Student").range("attends", "Course")
+        domain, range_ = self.tbox.axioms
+        assert domain.lhs == exists("attends")
+        assert range_.lhs == exists_inverse("attends")
+        assert range_.rhs == AtomicConcept("Course")
+
+    def test_mandatory_participation(self):
+        self.tbox.mandatory_participation("Student", "attends")
+        axiom = self.tbox.axioms[0]
+        assert axiom.lhs == AtomicConcept("Student")
+        assert axiom.rhs == exists("attends")
+
+    def test_disjointness(self):
+        self.tbox.disjoint_concepts("Student", "Professor")
+        self.tbox.disjoint_roles("teaches", "attends")
+        assert self.tbox.axioms[0].negated
+        assert isinstance(self.tbox.axioms[1], RoleInclusion)
+        assert self.tbox.axioms[1].negated
+
+    def test_subrole_and_functionality(self):
+        self.tbox.subrole("headOf", "worksFor").functional("hasId")
+        assert isinstance(self.tbox.axioms[0], RoleInclusion)
+        assert isinstance(self.tbox.axioms[1], Functionality)
+
+    def test_builders_chain(self):
+        result = self.tbox.subclass("A", "B").subclass("B", "C")
+        assert result is self.tbox
+        assert len(self.tbox) == 2
+
+
+class TestOntologyViews:
+    def setup_method(self):
+        self.tbox = (
+            ontology("views")
+            .subclass("Student", "Person")
+            .domain("attends", "Student")
+            .disjoint_concepts("Student", "Course")
+            .subrole("audits", "attends")
+            .functional("hasId")
+        )
+
+    def test_axiom_partitions(self):
+        assert len(self.tbox.positive_axioms) == 3
+        assert len(self.tbox.negative_axioms) == 1
+        assert len(self.tbox.functionality_assertions) == 1
+        assert len(self.tbox.concept_inclusions) == 3
+        assert len(self.tbox.role_inclusions) == 1
+
+    def test_atomic_concepts_and_roles(self):
+        assert AtomicConcept("Student") in self.tbox.atomic_concepts
+        assert AtomicConcept("Course") in self.tbox.atomic_concepts
+        assert AtomicRole("attends") in self.tbox.atomic_roles
+        assert AtomicRole("hasId") in self.tbox.atomic_roles
+
+    def test_is_dl_lite_r(self):
+        assert not self.tbox.is_dl_lite_r()  # functionality present
+        assert ontology("plain").subclass("A", "B").is_dl_lite_r()
+
+    def test_extend(self):
+        other = DLLiteOntology("other").extend(self.tbox.axioms)
+        assert len(other) == len(self.tbox)

@@ -1,0 +1,130 @@
+"""Tests for the textual DL-Lite syntax."""
+
+import pytest
+
+from repro.ontology.dl_lite import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    ExistentialRestriction,
+    Functionality,
+    InverseRole,
+    RoleInclusion,
+    exists,
+    exists_inverse,
+)
+from repro.ontology.parser import (
+    DLLiteSyntaxError,
+    ontology_to_text,
+    parse_axiom,
+    parse_ontology,
+)
+from repro.ontology.translation import to_theory
+
+
+class TestParseAxiom:
+    def test_concept_inclusion(self):
+        axiom = parse_axiom("Student [= Person")
+        assert axiom == ConceptInclusion(AtomicConcept("Student"), AtomicConcept("Person"))
+
+    def test_existential_on_the_left(self):
+        axiom = parse_axiom("exists attends [= Student")
+        assert axiom.lhs == exists("attends")
+
+    def test_inverse_existential(self):
+        axiom = parse_axiom("exists attends- [= Course")
+        assert axiom.lhs == exists_inverse("attends")
+
+    def test_mandatory_participation(self):
+        axiom = parse_axiom("Student [= exists attends")
+        assert axiom.rhs == exists("attends")
+
+    def test_concept_disjointness(self):
+        axiom = parse_axiom("Student [= not Professor")
+        assert axiom.negated
+
+    def test_role_inclusion_with_declared_role(self):
+        axiom = parse_axiom("headOf [= worksFor", roles=["headOf", "worksFor"])
+        assert isinstance(axiom, RoleInclusion)
+
+    def test_role_inclusion_with_inverse(self):
+        axiom = parse_axiom("hasAlumnus [= degreeFrom-")
+        assert isinstance(axiom, RoleInclusion)
+        assert axiom.rhs == InverseRole(AtomicRole("degreeFrom"))
+
+    def test_functionality(self):
+        axiom = parse_axiom("funct hasId")
+        assert axiom == Functionality(AtomicRole("hasId"))
+        assert parse_axiom("funct hasId-") == Functionality(InverseRole(AtomicRole("hasId")))
+
+    def test_missing_subsumption_is_an_error(self):
+        with pytest.raises(DLLiteSyntaxError):
+            parse_axiom("Student Person")
+
+    def test_mixed_role_concept_inclusion_is_an_error(self):
+        with pytest.raises(DLLiteSyntaxError):
+            parse_ontology("concept Person\nworksFor- [= Person\n")
+
+    def test_malformed_functionality_is_an_error(self):
+        with pytest.raises(DLLiteSyntaxError):
+            parse_axiom("funct a b")
+
+    def test_missing_role_after_exists_is_an_error(self):
+        with pytest.raises(DLLiteSyntaxError):
+            parse_axiom("exists [= Person")
+
+
+class TestParseOntology:
+    SAMPLE = """
+    # A small university TBox
+    role worksFor headOf
+    Student [= Person
+    exists attends [= Student
+    exists attends- [= Course
+    Student [= exists attends
+    headOf [= worksFor
+    Student [= not Course
+    funct attends
+    """
+
+    def test_all_axioms_are_parsed(self):
+        tbox = parse_ontology(self.SAMPLE, name="uni")
+        assert len(tbox) == 7
+        assert tbox.name == "uni"
+
+    def test_comments_and_blank_lines_are_ignored(self):
+        tbox = parse_ontology("# only a comment\n\nStudent [= Person\n")
+        assert len(tbox) == 1
+
+    def test_roles_are_inferred_from_usage(self):
+        tbox = parse_ontology("exists attends [= Student\naudits [= attends\n")
+        role_axioms = [a for a in tbox.axioms if isinstance(a, RoleInclusion)]
+        assert len(role_axioms) == 1
+
+    def test_parsed_ontology_translates_to_a_linear_theory(self):
+        theory = to_theory(parse_ontology(self.SAMPLE, name="uni"))
+        assert theory.classification.linear
+        assert len(theory.negative_constraints) == 1
+        assert len(theory.key_dependencies) == 1
+
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(DLLiteSyntaxError) as excinfo:
+            parse_ontology("Student [= Person\nbroken line\n")
+        assert excinfo.value.line_number == 2
+
+
+class TestRoundTrip:
+    def test_text_round_trips_through_the_parser(self):
+        original = parse_ontology(TestParseOntology.SAMPLE, name="uni")
+        text = ontology_to_text(original)
+        reparsed = parse_ontology(text, name="uni")
+        assert len(reparsed) == len(original)
+        assert [type(a) for a in reparsed.axioms] == [type(a) for a in original.axioms]
+
+    def test_workload_ontologies_round_trip(self):
+        from repro.workloads.vicodi import build_tbox
+
+        original = build_tbox()
+        reparsed = parse_ontology(ontology_to_text(original), name=original.name)
+        assert len(reparsed) == len(original)
+        assert to_theory(reparsed).classification.linear

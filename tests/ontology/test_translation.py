@@ -1,0 +1,155 @@
+"""Tests for the DL-Lite → Datalog± translation."""
+
+import pytest
+
+from repro.logic.atoms import Predicate
+from repro.ontology.dl_lite import (
+    AtomicConcept,
+    AtomicRole,
+    ConceptInclusion,
+    DLLiteOntology,
+    ExistentialRestriction,
+    Functionality,
+    InverseRole,
+    RoleInclusion,
+    exists,
+    exists_inverse,
+)
+from repro.ontology.translation import (
+    concept_disjointness_to_constraint,
+    concept_inclusion_to_tgd,
+    functionality_to_key,
+    role_disjointness_to_constraint,
+    role_inclusion_to_tgd,
+    schema_predicates_of,
+    tbox_from_tgds,
+    to_theory,
+)
+
+Student = AtomicConcept("Student")
+Person = AtomicConcept("Person")
+attends = AtomicRole("attends")
+audits = AtomicRole("audits")
+
+
+class TestConceptInclusionTranslation:
+    def test_atomic_to_atomic(self):
+        rule = concept_inclusion_to_tgd(ConceptInclusion(Student, Person))
+        assert repr(rule.body[0]) == "Student(X)"
+        assert repr(rule.head[0]) == "Person(X)"
+        assert rule.is_full
+
+    def test_atomic_to_existential(self):
+        rule = concept_inclusion_to_tgd(ConceptInclusion(Student, exists("attends")))
+        assert repr(rule.head[0]) == "attends(X, Z)"
+        assert len(rule.existential_variables) == 1
+
+    def test_atomic_to_inverse_existential(self):
+        rule = concept_inclusion_to_tgd(ConceptInclusion(Student, exists_inverse("attends")))
+        assert repr(rule.head[0]) == "attends(Z, X)"
+
+    def test_domain_axiom(self):
+        rule = concept_inclusion_to_tgd(ConceptInclusion(exists("attends"), Student))
+        assert repr(rule.body[0]) == "attends(X, Y)"
+        assert repr(rule.head[0]) == "Student(X)"
+
+    def test_range_axiom(self):
+        rule = concept_inclusion_to_tgd(ConceptInclusion(exists_inverse("attends"), Person))
+        assert repr(rule.body[0]) == "attends(Y, X)"
+        assert repr(rule.head[0]) == "Person(X)"
+
+    def test_existential_to_existential(self):
+        rule = concept_inclusion_to_tgd(
+            ConceptInclusion(exists("attends"), exists("audits"))
+        )
+        assert repr(rule.body[0]) == "attends(X, Y)"
+        assert repr(rule.head[0]) == "audits(X, Z)"
+
+    def test_negative_inclusion_is_rejected(self):
+        with pytest.raises(ValueError):
+            concept_inclusion_to_tgd(ConceptInclusion(Student, Person, negated=True))
+
+
+class TestRoleAxiomTranslation:
+    def test_plain_role_inclusion(self):
+        rule = role_inclusion_to_tgd(RoleInclusion(audits, attends))
+        assert repr(rule.body[0]) == "audits(X, Y)"
+        assert repr(rule.head[0]) == "attends(X, Y)"
+
+    def test_inverse_role_inclusion(self):
+        rule = role_inclusion_to_tgd(RoleInclusion(audits, InverseRole(attends)))
+        assert repr(rule.head[0]) == "attends(Y, X)"
+
+    def test_inverse_on_the_left(self):
+        rule = role_inclusion_to_tgd(RoleInclusion(InverseRole(audits), attends))
+        assert repr(rule.body[0]) == "audits(Y, X)"
+
+    def test_role_disjointness(self):
+        constraint = role_disjointness_to_constraint(
+            RoleInclusion(audits, attends, negated=True)
+        )
+        assert len(constraint.body) == 2
+
+    def test_concept_disjointness(self):
+        constraint = concept_disjointness_to_constraint(
+            ConceptInclusion(Student, Person, negated=True)
+        )
+        assert {atom.name for atom in constraint.body} == {"Student", "Person"}
+
+    def test_positive_inclusion_is_rejected_by_constraint_builders(self):
+        with pytest.raises(ValueError):
+            concept_disjointness_to_constraint(ConceptInclusion(Student, Person))
+        with pytest.raises(ValueError):
+            role_disjointness_to_constraint(RoleInclusion(audits, attends))
+
+
+class TestFunctionality:
+    def test_direct_functionality(self):
+        key = functionality_to_key(Functionality(attends))
+        assert key.predicate == Predicate("attends", 2)
+        assert key.key_positions == (1,)
+
+    def test_inverse_functionality(self):
+        key = functionality_to_key(Functionality(InverseRole(attends)))
+        assert key.key_positions == (2,)
+
+
+class TestWholeTheoryTranslation:
+    def setup_method(self):
+        self.tbox = (
+            DLLiteOntology("uni")
+            .subclass("Student", "Person")
+            .domain("attends", "Student")
+            .range("attends", "Course")
+            .mandatory_participation("Student", "attends")
+            .disjoint_concepts("Student", "Course")
+            .functional("attends")
+        )
+
+    def test_counts(self):
+        theory = to_theory(self.tbox)
+        assert len(theory.tgds) == 4
+        assert len(theory.negative_constraints) == 1
+        assert len(theory.key_dependencies) == 1
+
+    def test_translation_is_linear_and_fo_rewritable(self):
+        theory = to_theory(self.tbox)
+        assert theory.classification.linear
+        assert theory.is_fo_rewritable
+
+    def test_labels_are_traceable(self):
+        theory = to_theory(self.tbox)
+        assert all(rule.label.startswith("uni#") for rule in theory.tgds)
+
+    def test_schema_predicates(self):
+        predicates = schema_predicates_of(self.tbox)
+        assert Predicate("Student", 1) in predicates
+        assert Predicate("attends", 2) in predicates
+
+    def test_round_trip_through_tgds(self):
+        theory = to_theory(self.tbox)
+        recovered = tbox_from_tgds(theory.tgds, name="roundtrip")
+        # The positive axioms survive the round trip (order preserved).
+        assert len(recovered.axioms) == 4
+        retranslated = to_theory(recovered)
+        assert len(retranslated.tgds) == len(theory.tgds)

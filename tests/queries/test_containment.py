@@ -1,0 +1,103 @@
+"""Tests for Chandra–Merlin containment and equivalence of CQs."""
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.queries.containment import (
+    are_equivalent,
+    body_maps_into,
+    containment_mapping,
+    is_contained_in,
+)
+
+A, B, C, D = Variable("A"), Variable("B"), Variable("C"), Variable("D")
+a = Constant("a")
+
+
+class TestContainment:
+    def test_more_specific_query_is_contained_in_more_general(self):
+        general = ConjunctiveQuery([Atom.of("r", A, B)], (A,))
+        specific = ConjunctiveQuery([Atom.of("r", A, A)], (A,))
+        assert is_contained_in(specific, general)
+        assert not is_contained_in(general, specific)
+
+    def test_extra_atoms_make_a_query_more_specific(self):
+        small = ConjunctiveQuery([Atom.of("r", A, B)], (A,))
+        large = ConjunctiveQuery([Atom.of("r", A, B), Atom.of("p", B)], (A,))
+        assert is_contained_in(large, small)
+        assert not is_contained_in(small, large)
+
+    def test_constants_restrict_containment(self):
+        with_constant = ConjunctiveQuery([Atom.of("r", A, a)], (A,))
+        general = ConjunctiveQuery([Atom.of("r", A, B)], (A,))
+        assert is_contained_in(with_constant, general)
+        assert not is_contained_in(general, with_constant)
+
+    def test_different_arity_queries_are_incomparable(self):
+        unary = ConjunctiveQuery([Atom.of("r", A, B)], (A,))
+        binary = ConjunctiveQuery([Atom.of("r", A, B)], (A, B))
+        assert not is_contained_in(unary, binary)
+        assert not is_contained_in(binary, unary)
+
+    def test_answer_terms_must_be_preserved(self):
+        first = ConjunctiveQuery([Atom.of("r", A, B)], (A,))
+        flipped = ConjunctiveQuery([Atom.of("r", A, B)], (B,))
+        assert not is_contained_in(first, flipped)
+
+    def test_classic_path_example(self):
+        # A length-2 path query is contained in the length-1 path query (as
+        # Boolean queries) but not vice versa over the same relation.
+        path1 = ConjunctiveQuery([Atom.of("e", A, B)], ())
+        path2 = ConjunctiveQuery([Atom.of("e", A, B), Atom.of("e", B, C)], ())
+        assert is_contained_in(path2, path1)
+        assert not is_contained_in(path1, path2)
+
+    def test_cycle_is_contained_in_path(self):
+        cycle = ConjunctiveQuery([Atom.of("e", A, B), Atom.of("e", B, A)], ())
+        path = ConjunctiveQuery([Atom.of("e", A, B), Atom.of("e", B, C)], ())
+        assert is_contained_in(cycle, path)
+        assert not is_contained_in(path, cycle)
+
+
+class TestContainmentMapping:
+    def test_mapping_witnesses_containment(self):
+        general = ConjunctiveQuery([Atom.of("r", A, B)], (A,))
+        specific = ConjunctiveQuery([Atom.of("r", C, C)], (C,))
+        mapping = containment_mapping(general, specific)
+        assert mapping is not None
+        assert mapping.apply_term(A) == C
+        assert mapping.apply_term(B) == C
+
+    def test_no_mapping_when_not_contained(self):
+        general = ConjunctiveQuery([Atom.of("r", A, B)], (A,))
+        other = ConjunctiveQuery([Atom.of("s", C, C)], (C,))
+        assert containment_mapping(general, other) is None
+
+
+class TestEquivalence:
+    def test_renamed_queries_are_equivalent(self):
+        first = ConjunctiveQuery([Atom.of("r", A, B), Atom.of("p", B)], (A,))
+        second = ConjunctiveQuery([Atom.of("r", C, D), Atom.of("p", D)], (C,))
+        assert are_equivalent(first, second)
+
+    def test_redundant_atom_preserves_equivalence(self):
+        minimal = ConjunctiveQuery([Atom.of("r", A, B)], (A,))
+        redundant = ConjunctiveQuery([Atom.of("r", A, B), Atom.of("r", A, C)], (A,))
+        assert are_equivalent(minimal, redundant)
+
+    def test_non_equivalent_queries(self):
+        first = ConjunctiveQuery([Atom.of("r", A, B)], (A,))
+        second = ConjunctiveQuery([Atom.of("r", B, A)], (A,))
+        assert not are_equivalent(first, second)
+
+
+class TestBodyMapsInto:
+    def test_body_embedding_ignores_answer_terms(self):
+        source = ConjunctiveQuery([Atom.of("r", A, B)], ())
+        target = ConjunctiveQuery([Atom.of("r", C, D), Atom.of("p", C)], (C,))
+        assert body_maps_into(source, target)
+
+    def test_no_embedding_without_matching_atoms(self):
+        source = ConjunctiveQuery([Atom.of("q", A)], ())
+        target = ConjunctiveQuery([Atom.of("r", C, D)], ())
+        assert not body_maps_into(source, target)

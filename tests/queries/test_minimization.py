@@ -1,0 +1,83 @@
+"""Tests for constraint-free CQ minimisation (query cores)."""
+
+from hypothesis import given
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.queries.containment import are_equivalent
+from repro.queries.minimization import is_minimal, minimize, redundant_atoms
+
+from ..conftest import boolean_queries
+
+A, B, C, D = Variable("A"), Variable("B"), Variable("C"), Variable("D")
+a = Constant("a")
+
+
+class TestMinimize:
+    def test_duplicate_pattern_is_folded(self):
+        query = ConjunctiveQuery([Atom.of("r", A, B), Atom.of("r", A, C)], (A,))
+        core = minimize(query)
+        assert len(core.body) == 1
+        assert are_equivalent(core, query)
+
+    def test_already_minimal_query_is_unchanged(self):
+        query = ConjunctiveQuery([Atom.of("r", A, B), Atom.of("s", B, C)], (A,))
+        assert minimize(query).body == query.body
+
+    def test_answer_variables_block_folding(self):
+        # r(A, B) cannot be dropped because B is an answer variable, while the
+        # purely existential r(A, C) folds onto it and disappears.
+        query = ConjunctiveQuery([Atom.of("r", A, B), Atom.of("r", A, C)], (A, B))
+        assert minimize(query).body == (Atom.of("r", A, B),)
+
+    def test_constants_block_folding(self):
+        query = ConjunctiveQuery([Atom.of("r", A, a), Atom.of("r", A, B)], (A,))
+        core = minimize(query)
+        # r(A, B) folds onto r(A, a), but not the other way around.
+        assert core.body == (Atom.of("r", A, a),)
+
+    def test_triangle_versus_edge(self):
+        # The classic example: a triangle query is its own core.
+        triangle = ConjunctiveQuery(
+            [Atom.of("e", A, B), Atom.of("e", B, C), Atom.of("e", C, A)], ()
+        )
+        assert len(minimize(triangle).body) == 3
+
+    def test_path_with_redundant_tail(self):
+        query = ConjunctiveQuery(
+            [Atom.of("e", A, B), Atom.of("e", A, C), Atom.of("p", B)], (A,)
+        )
+        core = minimize(query)
+        assert len(core.body) == 2
+        assert Atom.of("p", B) in core.body
+
+
+class TestHelpers:
+    def test_is_minimal(self):
+        assert is_minimal(ConjunctiveQuery([Atom.of("r", A, B)], (A,)))
+        assert not is_minimal(
+            ConjunctiveQuery([Atom.of("r", A, B), Atom.of("r", A, C)], (A,))
+        )
+
+    def test_redundant_atoms_reports_dropped_atoms(self):
+        query = ConjunctiveQuery([Atom.of("r", A, B), Atom.of("r", A, C)], (A,))
+        dropped = redundant_atoms(query)
+        assert len(dropped) == 1
+        assert next(iter(dropped)).name == "r"
+
+
+class TestMinimizationProperties:
+    @given(boolean_queries())
+    def test_core_is_equivalent_to_the_query(self, query):
+        core = minimize(query)
+        assert are_equivalent(core, query)
+
+    @given(boolean_queries())
+    def test_core_never_grows(self, query):
+        assert len(minimize(query).body) <= len(query.body)
+
+    @given(boolean_queries())
+    def test_minimization_is_idempotent(self, query):
+        core = minimize(query)
+        assert len(minimize(core).body) == len(core.body)

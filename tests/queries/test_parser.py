@@ -1,0 +1,108 @@
+"""Tests for the textual conjunctive-query syntax."""
+
+import pytest
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.queries.parser import QuerySyntaxError, parse_query, parse_term
+
+A, B, C, D = Variable("A"), Variable("B"), Variable("C"), Variable("D")
+
+
+class TestParseTerm:
+    def test_uppercase_identifiers_are_variables(self):
+        assert parse_term("A") == Variable("A")
+        assert parse_term("Company") == Variable("Company")
+
+    def test_lowercase_identifiers_are_constants(self):
+        assert parse_term("acme") == Constant("acme")
+        assert parse_term("nasdaq_100") == Constant("nasdaq_100")
+
+    def test_numbers_are_integer_constants(self):
+        assert parse_term("42") == Constant(42)
+        assert parse_term("-3") == Constant(-3)
+
+    def test_quoted_strings_are_constants(self):
+        assert parse_term("'Mixed Case'") == Constant("Mixed Case")
+        assert parse_term('"IBM"') == Constant("IBM")
+
+    def test_unterminated_quote_is_an_error(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_term("'oops")
+
+    def test_empty_term_is_an_error(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_term("   ")
+
+
+class TestParseQuery:
+    def test_paper_running_query(self):
+        query = parse_query(
+            "q(A, B, C) :- fin_ins(A), stock_portf(B, A, D), company(B, E, F), "
+            "list_comp(A, C), fin_idx(C, G, H)"
+        )
+        assert query.arity == 3
+        assert len(query.body) == 5
+        assert query.answer_terms == (A, B, C)
+        assert Atom.of("stock_portf", B, A, D) in query.body
+
+    def test_boolean_query_with_separator(self):
+        query = parse_query(":- t(A, B, c), r(B, c)")
+        assert query.is_boolean
+        assert Atom.of("t", A, B, Constant("c")) in query.body
+
+    def test_boolean_query_without_separator(self):
+        query = parse_query("person(A), works_for(A, acme)")
+        assert query.is_boolean
+        assert len(query.body) == 2
+
+    def test_alternative_arrow(self):
+        query = parse_query("q(A) <- person(A)")
+        assert query.answer_terms == (A,)
+
+    def test_head_name_is_kept(self):
+        assert parse_query("answers(A) :- person(A)").head_name == "answers"
+
+    def test_bare_head_name_denotes_a_bcq(self):
+        query = parse_query("q :- person(A)")
+        assert query.is_boolean
+        assert query.head_name == "q"
+
+    def test_constants_in_the_head(self):
+        query = parse_query("q(A, acme) :- works_for(A, acme)")
+        assert query.answer_terms == (A, Constant("acme"))
+
+    def test_round_trip_with_repr_style_query(self):
+        query = parse_query("q(A, B) :- r(A, B), s(B, 'x y')")
+        assert query.constants == {Constant("x y")}
+
+    def test_empty_query_is_an_error(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("   ")
+
+    def test_empty_body_is_an_error(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(A) :- ")
+
+    def test_malformed_body_is_an_error(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(A) :- person(A) works_for(A, B)")
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(A) :- person A")
+
+    def test_atom_without_arguments_is_an_error(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("q(A) :- person(), r(A)")
+
+    def test_head_variable_must_occur_in_body(self):
+        with pytest.raises(ValueError):
+            parse_query("q(A, Z) :- person(A)")
+
+    def test_parsed_query_is_rewritable(self):
+        from repro.core.rewriter import rewrite
+        from repro.dependencies.tgd import tgd
+
+        X = Variable("X")
+        rules = [tgd(Atom.of("student", X), Atom.of("person", X))]
+        result = rewrite(parse_query("q(A) :- person(A)"), rules)
+        assert len(result.ucq) == 2

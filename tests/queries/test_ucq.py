@@ -1,0 +1,101 @@
+"""Tests for unions of conjunctive queries and the variant-deduplicating store."""
+
+import pytest
+
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.queries.ucq import QuerySet, UnionOfConjunctiveQueries, union
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+def _cq(*atoms, answers=()):
+    return ConjunctiveQuery(list(atoms), answers)
+
+
+class TestUnionOfConjunctiveQueries:
+    def test_mixed_arities_are_rejected(self):
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries(
+                [_cq(Atom.of("p", A), answers=(A,)), _cq(Atom.of("p", A))]
+            )
+
+    def test_iteration_and_indexing(self):
+        members = [_cq(Atom.of("p", A)), _cq(Atom.of("q", A, B))]
+        ucq = UnionOfConjunctiveQueries(members)
+        assert len(ucq) == 2
+        assert ucq[0] is members[0]
+        assert list(ucq) == members
+
+    def test_contains_variant(self):
+        ucq = UnionOfConjunctiveQueries([_cq(Atom.of("r", A, B))])
+        assert ucq.contains_variant(_cq(Atom.of("r", B, C)))
+        assert not ucq.contains_variant(_cq(Atom.of("r", A, A)))
+
+    def test_deduplicate_removes_variants(self):
+        ucq = UnionOfConjunctiveQueries(
+            [_cq(Atom.of("r", A, B)), _cq(Atom.of("r", B, C)), _cq(Atom.of("r", A, A))]
+        )
+        assert len(ucq.deduplicate()) == 2
+
+    def test_empty_union(self):
+        ucq = UnionOfConjunctiveQueries([])
+        assert len(ucq) == 0
+        assert ucq.arity == 0
+
+    def test_remove_subsumed_drops_contained_members(self):
+        general = _cq(Atom.of("r", A, B), answers=(A,))
+        specific = _cq(Atom.of("r", A, A), answers=(A,))
+        pruned = UnionOfConjunctiveQueries([general, specific]).remove_subsumed()
+        assert len(pruned) == 1
+        assert pruned[0].is_variant_of(general)
+
+    def test_remove_subsumed_keeps_incomparable_members(self):
+        first = _cq(Atom.of("p", A), answers=(A,))
+        second = _cq(Atom.of("q", A, B), answers=(A,))
+        assert len(UnionOfConjunctiveQueries([first, second]).remove_subsumed()) == 2
+
+    def test_remove_subsumed_keeps_one_of_two_equivalent_members(self):
+        first = _cq(Atom.of("r", A, B), answers=(A,))
+        second = _cq(Atom.of("r", A, C), answers=(A,))
+        assert len(UnionOfConjunctiveQueries([first, second]).remove_subsumed()) == 1
+
+
+class TestQuerySet:
+    def test_add_rejects_variants(self):
+        store = QuerySet()
+        assert store.add(_cq(Atom.of("r", A, B)))
+        assert not store.add(_cq(Atom.of("r", B, C)))
+        assert len(store) == 1
+
+    def test_add_accepts_non_variants(self):
+        store = QuerySet()
+        store.add(_cq(Atom.of("r", A, B)))
+        assert store.add(_cq(Atom.of("r", A, A)))
+        assert len(store) == 2
+
+    def test_find_variant_returns_stored_query(self):
+        stored = _cq(Atom.of("r", A, B))
+        store = QuerySet([stored])
+        assert store.find_variant(_cq(Atom.of("r", C, B))) is stored
+        assert store.find_variant(_cq(Atom.of("p", A))) is None
+
+    def test_contains_uses_variant_semantics(self):
+        store = QuerySet([_cq(Atom.of("r", A, B))])
+        assert _cq(Atom.of("r", B, A)) in store
+
+    def test_insertion_order_is_preserved(self):
+        first, second = _cq(Atom.of("p", A)), _cq(Atom.of("q", A, B))
+        store = QuerySet([first, second])
+        assert list(store) == [first, second]
+
+    def test_to_ucq_round_trip(self):
+        store = QuerySet([_cq(Atom.of("p", A))])
+        assert len(store.to_ucq()) == 1
+
+
+class TestUnionHelper:
+    def test_union_deduplicates(self):
+        result = union([_cq(Atom.of("r", A, B)), _cq(Atom.of("r", B, C))])
+        assert len(result) == 1

@@ -1,0 +1,90 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestWorkloadsCommand:
+    def test_lists_every_workload(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        for name in ("V ", "S ", "U ", "A ", "P5 "):
+            assert any(line.startswith(name) for line in output.splitlines())
+
+
+class TestTable1Command:
+    def test_single_workload_single_query(self, capsys):
+        assert main(["table1", "V", "--systems", "NY", "NY*", "--queries", "q1"]) == 0
+        output = capsys.readouterr().out
+        assert "=== V" in output
+        assert "NY_size" in output
+        assert "q1" in output
+
+    def test_invalid_system_is_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "V", "--systems", "BOGUS"])
+
+
+class TestRewriteCommand:
+    TBOX = """
+    Student [= Person
+    exists attends [= Student
+    exists attends- [= Course
+    Student [= exists attends
+    Student [= not Course
+    """
+
+    @pytest.fixture()
+    def tbox_file(self, tmp_path):
+        path = tmp_path / "university.dllite"
+        path.write_text(self.TBOX, encoding="utf-8")
+        return str(path)
+
+    def test_rewrites_a_query(self, tbox_file, capsys):
+        assert main(["rewrite", "--tbox", tbox_file, "--query", "q(A) :- Person(A)"]) == 0
+        output = capsys.readouterr().out
+        assert "perfect rewriting" in output
+        assert "Student" in output
+
+    def test_sql_output(self, tbox_file, capsys):
+        assert main(
+            ["rewrite", "--tbox", tbox_file, "--query", "q(A) :- Person(A)", "--sql"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "SELECT DISTINCT" in output
+        assert "UNION" in output
+
+    def test_no_elimination_flag(self, tbox_file, capsys):
+        assert main(
+            [
+                "rewrite",
+                "--tbox",
+                tbox_file,
+                "--query",
+                "q(A, B) :- Student(A), attends(A, B), Course(B)",
+                "--no-elimination",
+            ]
+        ) == 0
+        plain_output = capsys.readouterr().out
+        assert main(
+            [
+                "rewrite",
+                "--tbox",
+                tbox_file,
+                "--query",
+                "q(A, B) :- Student(A), attends(A, B), Course(B)",
+            ]
+        ) == 0
+        optimised_output = capsys.readouterr().out
+
+        def size(text: str) -> int:
+            return int(text.split("perfect rewriting: ")[1].split(" ")[0])
+
+        assert size(optimised_output) <= size(plain_output)
+
+
+class TestParser:
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,90 @@
+"""Tests for the Table 1 evaluation driver."""
+
+import pytest
+
+from repro.evaluation import SYSTEMS, Table1Evaluator, evaluate_workload, format_rows
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable
+from repro.dependencies.tgd import TGD, tgd
+from repro.dependencies.theory import OntologyTheory
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.workloads.registry import Workload
+
+A, B = Variable("A"), Variable("B")
+X, Y = Variable("X"), Variable("Y")
+
+
+def _workload(auxiliary_public: bool = False) -> Workload:
+    """A tiny workload whose rules require normalisation (qualified existential)."""
+    theory = OntologyTheory(
+        tgds=[
+            tgd(Atom.of("student", X), Atom.of("person", X)),
+            TGD((Atom.of("person", X),), (Atom.of("enrolled", X, Y), Atom.of("course", Y))),
+        ],
+        name="tiny",
+    )
+    queries = {
+        "q1": ConjunctiveQuery([Atom.of("person", A)], (A,)),
+        "q2": ConjunctiveQuery([Atom.of("enrolled", A, B), Atom.of("course", B)], (A,)),
+    }
+    workload = Workload(name="T", theory=theory, queries=queries)
+    if auxiliary_public:
+        return workload.normalized_variant()
+    return workload
+
+
+class TestTable1Evaluator:
+    def test_unknown_system_is_rejected(self):
+        with pytest.raises(ValueError):
+            Table1Evaluator(_workload(), systems=("XX",))
+
+    def test_measure_returns_metrics_and_timing(self):
+        evaluator = Table1Evaluator(_workload(), systems=("NY",))
+        measurement = evaluator.measure("NY", "q1")
+        assert measurement.size == 2
+        assert measurement.length == 2
+        assert measurement.elapsed_seconds >= 0
+
+    def test_row_covers_all_requested_systems(self):
+        evaluator = Table1Evaluator(_workload(), systems=("NY", "NY*"))
+        row = evaluator.row("q1")
+        assert set(row.cells) == {"NY", "NY*"}
+        assert row.cell("NY*").size <= row.cell("NY").size
+
+    def test_rows_follow_query_order(self):
+        rows = evaluate_workload(_workload(), systems=("NY",))
+        assert [row.query_name for row in rows] == ["q1", "q2"]
+
+    def test_default_systems_are_the_four_of_the_paper(self):
+        evaluator = Table1Evaluator(_workload())
+        assert evaluator.systems == SYSTEMS
+
+    def test_as_dict_flattens_metrics(self):
+        row = Table1Evaluator(_workload(), systems=("NY",)).row("q1")
+        flat = row.as_dict()
+        assert flat["workload"] == "T"
+        assert flat["NY_size"] == 2
+        assert "NY_seconds" in flat
+
+
+class TestAuxiliaryPredicateHandling:
+    def test_plain_workload_hides_auxiliary_predicates(self):
+        evaluator = Table1Evaluator(_workload(), systems=("NY",))
+        ucq = evaluator.rewrite("NY", _workload().query("q2"))
+        for cq in ucq:
+            assert all(not atom.name.startswith("aux_") for atom in cq.body)
+
+    def test_x_variant_counts_auxiliary_queries(self):
+        plain = Table1Evaluator(_workload(), systems=("NY",)).measure("NY", "q2")
+        extended = Table1Evaluator(_workload(auxiliary_public=True), systems=("NY",)).measure(
+            "NY", "q2"
+        )
+        assert extended.size >= plain.size
+
+
+class TestFormatting:
+    def test_format_rows_renders_all_metrics(self):
+        rows = evaluate_workload(_workload(), systems=("NY", "NY*"))
+        text = format_rows(rows, systems=("NY", "NY*"))
+        assert "NY_size" in text and "NY*_width" in text
+        assert "q1" in text and "q2" in text

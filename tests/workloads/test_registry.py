@@ -1,0 +1,92 @@
+"""Tests for the workload registry and schema-restriction helpers."""
+
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.terms import Variable
+from repro.dependencies.tgd import TGD, tgd
+from repro.dependencies.theory import OntologyTheory
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.queries.ucq import UnionOfConjunctiveQueries
+from repro.workloads import build_registry, default_registry, get_workload, workload_names
+from repro.workloads.registry import Workload, WorkloadRegistry, restrict_to_schema
+
+A, B = Variable("A"), Variable("B")
+X, Y = Variable("X"), Variable("Y")
+
+
+def _tiny_workload(name: str = "tiny") -> Workload:
+    theory = OntologyTheory(
+        tgds=[TGD((Atom.of("p", X),), (Atom.of("q", X, Y), Atom.of("r", Y)))],
+        name=name,
+    )
+    queries = {"q1": ConjunctiveQuery([Atom.of("q", A, B)], (A,))}
+    return Workload(name=name, theory=theory, queries=queries)
+
+
+class TestWorkload:
+    def test_query_lookup(self):
+        workload = _tiny_workload()
+        assert workload.query("q1").arity == 1
+        assert workload.query_names == ("q1",)
+
+    def test_generic_abox_covers_the_schema(self):
+        abox = _tiny_workload().abox(seed=3, facts_per_relation=4)
+        assert len(abox.relation(Predicate("p", 1))) >= 1
+
+    def test_abox_factory_is_used_when_registered(self):
+        def factory(seed, facts_per_relation):
+            from repro.database.instance import database_from_tuples
+
+            return database_from_tuples([("p", ("only",))])
+
+        workload = _tiny_workload()
+        workload.abox_factory = factory
+        assert len(workload.abox()) == 1
+
+    def test_normalized_variant_publishes_auxiliaries(self):
+        workload = _tiny_workload("W")
+        variant = workload.normalized_variant()
+        assert variant.name == "WX"
+        assert variant.auxiliary_public
+        assert all(rule.is_normalized for rule in variant.theory.tgds)
+        assert variant.queries == workload.queries
+
+
+class TestRestrictToSchema:
+    def test_queries_over_auxiliary_predicates_are_dropped(self):
+        allowed = [Predicate("q", 2)]
+        ucq = UnionOfConjunctiveQueries(
+            [
+                ConjunctiveQuery([Atom.of("q", A, B)], (A,)),
+                ConjunctiveQuery([Atom.of("aux_1", A, B)], (A,)),
+            ]
+        )
+        restricted = restrict_to_schema(ucq, allowed)
+        assert len(restricted) == 1
+        assert restricted[0].body[0].name == "q"
+
+    def test_everything_allowed_keeps_everything(self):
+        ucq = UnionOfConjunctiveQueries([ConjunctiveQuery([Atom.of("q", A, B)], (A,))])
+        assert len(restrict_to_schema(ucq, [Predicate("q", 2)])) == 1
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = WorkloadRegistry()
+        workload = registry.register(_tiny_workload())
+        assert registry.get("tiny") is workload
+        assert "tiny" in registry
+        assert len(registry) == 1
+        assert registry.names() == ("tiny",)
+
+    def test_build_registry_contains_all_table1_workloads(self):
+        registry = build_registry()
+        for name in ("V", "S", "U", "A", "P5", "UX", "AX", "P5X"):
+            assert name in registry
+
+    def test_default_registry_is_shared(self):
+        assert default_registry() is default_registry()
+        assert set(workload_names()) >= {"V", "S", "U", "A", "P5"}
+
+    def test_get_workload_round_trip(self):
+        assert get_workload("V").name == "V"
+        assert get_workload("P5X").auxiliary_public

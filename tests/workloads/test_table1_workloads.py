@@ -1,0 +1,120 @@
+"""Structural tests for the five Table 1 workloads and the evaluation driver.
+
+The reconstructed ontologies cannot match the paper's absolute numbers (the
+original OWL files are not available), but the qualitative findings of
+Table 1 must hold:
+
+* NY* ≤ NY ≤ QO in rewriting size on every workload;
+* query elimination collapses the STOCKEXCHANGE and UNIVERSITY queries to a
+  handful of CQs;
+* elimination brings (almost) nothing on VICODI and Path5;
+* the ``*X`` variants are at least as large as the plain variants.
+"""
+
+import pytest
+
+from repro.dependencies.classifiers import is_linear
+from repro.dependencies.normalization import normalize
+from repro.evaluation import Table1Evaluator, evaluate_workload
+from repro.workloads import get_workload
+
+WORKLOAD_NAMES = ("V", "S", "U", "A", "P5")
+
+
+@pytest.fixture(scope="module")
+def evaluators():
+    """One evaluator per workload, comparing NY and NY* only (fast)."""
+    return {
+        name: Table1Evaluator(get_workload(name), systems=("NY", "NY*"))
+        for name in WORKLOAD_NAMES
+    }
+
+
+class TestWorkloadShape:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_five_queries_each(self, name):
+        workload = get_workload(name)
+        assert workload.query_names == ("q1", "q2", "q3", "q4", "q5")
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_theories_are_fo_rewritable_after_normalisation(self, name):
+        workload = get_workload(name)
+        assert is_linear(list(normalize(workload.theory.tgds).rules))
+
+    @pytest.mark.parametrize("name", ("V", "S"))
+    def test_dl_lite_workloads_are_already_linear(self, name):
+        assert get_workload(name).theory.classification.linear
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_query_predicates_belong_to_the_schema(self, name):
+        workload = get_workload(name)
+        schema = {p.name for p in workload.theory.predicates}
+        for query in workload.queries.values():
+            for atom in query.body:
+                assert atom.name in schema
+
+    def test_x_variants_exist_and_are_normalised(self):
+        for name in ("UX", "AX", "P5X"):
+            workload = get_workload(name)
+            assert workload.auxiliary_public
+            assert all(rule.is_normalized for rule in workload.theory.tgds)
+
+
+class TestQualitativeTable1Shape:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    @pytest.mark.parametrize("query_name", ("q1", "q2"))
+    def test_elimination_never_increases_the_size(self, evaluators, name, query_name):
+        row = evaluators[name].row(query_name)
+        assert row.cell("NY*").size <= row.cell("NY").size
+
+    def test_stockexchange_q2_collapses(self, evaluators):
+        row = evaluators["S"].row("q2")
+        assert row.cell("NY*").size <= 2
+        assert row.cell("NY").size >= 10 * row.cell("NY*").size
+
+    def test_university_q2_collapses(self, evaluators):
+        row = evaluators["U"].row("q2")
+        assert row.cell("NY*").size <= 2
+        assert row.cell("NY").size > row.cell("NY*").size
+
+    def test_vicodi_gains_nothing_from_elimination(self, evaluators):
+        for query_name in ("q1", "q3"):
+            row = evaluators["V"].row(query_name)
+            assert row.cell("NY").size == row.cell("NY*").size
+
+    def test_path5_gains_little_from_elimination(self, evaluators):
+        row = evaluators["P5"].row("q3")
+        ratio = row.cell("NY*").size / row.cell("NY").size
+        assert ratio > 0.9
+
+    def test_quonto_is_at_least_as_large_as_tgd_rewrite(self):
+        evaluator = Table1Evaluator(get_workload("S"), systems=("QO", "NY"))
+        row = evaluator.row("q2")
+        assert row.cell("QO").size >= row.cell("NY").size
+
+    def test_x_variant_is_at_least_as_large(self):
+        plain = Table1Evaluator(get_workload("U"), systems=("NY",)).row("q2")
+        extended = Table1Evaluator(get_workload("UX"), systems=("NY",)).row("q2")
+        assert extended.cell("NY").size >= plain.cell("NY").size
+
+    def test_metrics_are_consistent(self, evaluators):
+        row = evaluators["A"].row("q1")
+        for system in ("NY", "NY*"):
+            cell = row.cell(system)
+            assert cell.length >= cell.size  # at least one atom per CQ
+            assert cell.width >= 0
+
+    def test_rows_flatten_for_reporting(self, evaluators):
+        flat = evaluators["V"].row("q1").as_dict()
+        assert flat["workload"] == "V"
+        assert "NY_size" in flat and "NY*_size" in flat
+
+
+class TestEvaluateWorkloadHelper:
+    def test_row_per_query(self):
+        rows = evaluate_workload(get_workload("V"), systems=("NY",), query_names=["q1", "q2"])
+        assert [row.query_name for row in rows] == ["q1", "q2"]
+
+    def test_unknown_system_is_rejected(self):
+        with pytest.raises(ValueError):
+            Table1Evaluator(get_workload("V"), systems=("NOPE",))
