@@ -1,0 +1,19 @@
+# Developer entry points.  `make test` is the tier-1 gate; `make smoke`
+# reruns one Table 1 benchmark block as an end-to-end sanity check.
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
+
+.PHONY: test smoke bench table1
+
+test:
+	$(PYTEST) -x -q
+
+smoke:
+	$(PYTEST) -q benchmarks/bench_table1_stockexchange.py
+
+bench:
+	$(PYTEST) -q benchmarks
+
+table1:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro table1

@@ -23,7 +23,7 @@ Quick start::
     print(rewrite(query, [sigma]).ucq)
 """
 
-from .api import AnswerSet, InconsistentTheoryError, OBDASystem
+from .api import AnswerSet, InconsistentTheoryError, OBDASystem, RewritingCacheInfo
 from .baselines import (
     ChaseBackchase,
     QuOntoStyleRewriter,
@@ -40,6 +40,8 @@ from .core import (
     QueryEliminator,
     RewritingBudgetExceeded,
     RewritingResult,
+    RewritingStatistics,
+    RuleIndex,
     TGDRewriter,
     eliminate,
     rewrite,
@@ -111,8 +113,11 @@ __all__ = [
     "RelationalInstance",
     "RelationalSchema",
     "RewritingBudgetExceeded",
+    "RewritingCacheInfo",
     "RewritingMetrics",
     "RewritingResult",
+    "RewritingStatistics",
+    "RuleIndex",
     "Substitution",
     "TGD",
     "TGDRewriter",

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from .chase.chase import certain_answers as chase_certain_answers
-from .core.rewriter import RewritingResult, TGDRewriter
+from .core.rewriter import RewritingResult, RewritingStatistics, TGDRewriter
 from .database.evaluator import QueryEvaluator
 from .database.instance import RelationalInstance
 from .database.schema import RelationalSchema
@@ -45,6 +45,15 @@ class AnswerSet:
         return tuple(item) in self.tuples
 
 
+@dataclass(frozen=True)
+class RewritingCacheInfo:
+    """Hit/miss counters of an :class:`OBDASystem`'s compilation cache."""
+
+    hits: int
+    misses: int
+    size: int
+
+
 class OBDASystem:
     """Ontology-based data access over an in-memory relational database."""
 
@@ -66,6 +75,8 @@ class OBDASystem:
             use_nc_pruning=use_nc_pruning,
         )
         self._rewriting_cache: dict[ConjunctiveQuery, RewritingResult] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # -- data management ----------------------------------------------------------
 
@@ -124,9 +135,30 @@ class OBDASystem:
         """Compile an ontological query into its perfect UCQ rewriting (cached)."""
         cached = self._rewriting_cache.get(query)
         if cached is None:
+            self._cache_misses += 1
             cached = self._rewriter.rewrite(query)
             self._rewriting_cache[query] = cached
+        else:
+            self._cache_hits += 1
         return cached
+
+    def rewriting_cache_info(self) -> RewritingCacheInfo:
+        """Hit/miss counters of the compilation cache."""
+        return RewritingCacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            size=len(self._rewriting_cache),
+        )
+
+    def rewriting_statistics(self, query: ConjunctiveQuery) -> RewritingStatistics:
+        """The :class:`RewritingStatistics` of *query*'s (cached) compilation.
+
+        Exposes the canonical-interning and rule-index counters of the
+        underlying :class:`TGDRewriter` run — how many variant lookups hit,
+        how many were proven by key equality alone, and how many TGDs the
+        head-predicate index kept off the hot path.
+        """
+        return self.compile(query).statistics
 
     def answer(self, query: ConjunctiveQuery) -> AnswerSet:
         """Certain answers of *query* over the ontology and the database."""

@@ -69,6 +69,23 @@ def _cmd_rewrite(arguments: argparse.Namespace) -> int:
     metrics = ucq_metrics(result.ucq)
     print(f"# perfect rewriting: {metrics.size} CQs, {metrics.length} atoms, "
           f"{metrics.width} joins ({result.statistics.elapsed_seconds:.3f}s)")
+    if arguments.stats:
+        statistics = result.statistics
+        total_rules = statistics.rules_considered + statistics.rules_skipped_by_index
+        print(
+            f"# rule index: {statistics.rules_considered}/{total_rules} "
+            f"candidate rules considered "
+            f"({statistics.rules_skipped_by_index} skipped by head-predicate index)"
+        )
+        print(
+            f"# interning: {statistics.variant_lookups} lookups, "
+            f"{statistics.variant_cache_hits} variant hits "
+            f"({statistics.variant_exact_hits} by canonical key alone), "
+            f"{statistics.variant_confirmations} confirmations, "
+            f"{statistics.canonical_collisions} key collisions, "
+            f"{statistics.interned_queries} queries in "
+            f"{statistics.canonical_buckets} buckets"
+        )
     if arguments.sql:
         print(ucq_to_sql(result.ucq))
     else:
@@ -101,6 +118,8 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite.add_argument("--no-elimination", action="store_true",
                          help="disable query elimination (plain TGD-rewrite)")
     rewrite.add_argument("--sql", action="store_true", help="print the rewriting as SQL")
+    rewrite.add_argument("--stats", action="store_true",
+                         help="print canonical-interning and rule-index counters")
     rewrite.set_defaults(handler=_cmd_rewrite)
     return parser
 

@@ -2,6 +2,7 @@
 
 from .applicability import (
     FactorizableSet,
+    RuleIndex,
     applicable_atom_sets,
     factorizable_sets,
     is_applicable,
@@ -41,6 +42,7 @@ __all__ = [
     "RewritingBudgetExceeded",
     "RewritingResult",
     "RewritingStatistics",
+    "RuleIndex",
     "TGDRewriter",
     "applicable_atom_sets",
     "covers",

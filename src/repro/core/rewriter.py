@@ -40,7 +40,7 @@ from ..dependencies.tgd import TGD
 from ..dependencies.theory import OntologyTheory
 from ..queries.conjunctive_query import ConjunctiveQuery
 from ..queries.ucq import QuerySet, UnionOfConjunctiveQueries
-from .applicability import applicable_atom_sets, factorizable_sets
+from .applicability import RuleIndex, applicable_atom_sets, factorizable_sets
 from .elimination import QueryEliminator
 from .nc_pruning import NegativeConstraintPruner
 
@@ -56,7 +56,14 @@ class RewritingBudgetExceeded(RuntimeError):
 
 @dataclass
 class RewritingStatistics:
-    """Counters describing a rewriting run."""
+    """Counters describing a rewriting run.
+
+    Beyond the Algorithm 1 counters, the run records how the two indexes of
+    the engine behaved: the canonical-key interning store (``variant_*`` and
+    ``canonical_*`` fields, see :class:`repro.queries.ucq.QuerySet`) and the
+    head-predicate rule index (``rules_*`` fields, see
+    :class:`repro.core.applicability.RuleIndex`).
+    """
 
     generated_by_rewriting: int = 0
     generated_by_factorization: int = 0
@@ -64,6 +71,17 @@ class RewritingStatistics:
     eliminated_atoms: int = 0
     processed_queries: int = 0
     elapsed_seconds: float = 0.0
+    # -- canonical-interning counters ------------------------------------
+    interned_queries: int = 0
+    canonical_buckets: int = 0
+    canonical_collisions: int = 0
+    variant_lookups: int = 0
+    variant_cache_hits: int = 0
+    variant_exact_hits: int = 0
+    variant_confirmations: int = 0
+    # -- rule-index counters ---------------------------------------------
+    rules_considered: int = 0
+    rules_skipped_by_index: int = 0
 
 
 @dataclass
@@ -129,6 +147,7 @@ class TGDRewriter:
             rules = list(normalization.rules)
             internal_predicates = frozenset(normalization.auxiliary_predicates)
         self._rules: tuple[TGD, ...] = tuple(rules)
+        self._rule_index = RuleIndex(self._rules)
         # Auxiliary predicates introduced by the internal normalisation are
         # not part of the caller's schema: no database ever stores facts for
         # them, so rewritten CQs mentioning them are dropped from the output.
@@ -155,6 +174,11 @@ class TGDRewriter:
     def rules(self) -> tuple[TGD, ...]:
         """The (normalised) TGDs used for rewriting."""
         return self._rules
+
+    @property
+    def rule_index(self) -> RuleIndex:
+        """The head-predicate index over the (normalised) TGDs."""
+        return self._rule_index
 
     @property
     def uses_elimination(self) -> bool:
@@ -189,8 +213,11 @@ class TGDRewriter:
         while worklist:
             current = worklist.pop()
             statistics.processed_queries += 1
-            self._factorization_step(current, store, labels, worklist, statistics)
-            self._rewriting_step(current, store, labels, worklist, statistics)
+            candidates = self._rule_index.candidate_rules(current)
+            statistics.rules_considered += len(candidates)
+            statistics.rules_skipped_by_index += len(self._rules) - len(candidates)
+            self._factorization_step(current, candidates, store, labels, worklist, statistics)
+            self._rewriting_step(current, candidates, store, labels, worklist, statistics)
             if len(store) > self._max_queries:
                 raise RewritingBudgetExceeded(
                     f"rewriting exceeded the budget of {self._max_queries} queries; "
@@ -207,6 +234,7 @@ class TGDRewriter:
             for stored in store
             if labels[stored] == 0 or self._mentions_internal(stored)
         )
+        self._finalize_statistics(statistics, store)
         statistics.elapsed_seconds = time.perf_counter() - start
         return RewritingResult(
             query=query,
@@ -215,6 +243,20 @@ class TGDRewriter:
             auxiliary_queries=auxiliary,
             statistics=statistics,
         )
+
+    @staticmethod
+    def _finalize_statistics(
+        statistics: RewritingStatistics, store: QuerySet
+    ) -> None:
+        """Copy the interning counters of the run's store into *statistics*."""
+        interning = store.statistics
+        statistics.interned_queries = len(store)
+        statistics.canonical_buckets = store.bucket_count
+        statistics.canonical_collisions = interning.collisions
+        statistics.variant_lookups = interning.lookups
+        statistics.variant_cache_hits = interning.hits
+        statistics.variant_exact_hits = interning.exact_hits
+        statistics.variant_confirmations = interning.confirmations
 
     def _mentions_internal(self, query: ConjunctiveQuery) -> bool:
         """``True`` iff the query uses an auxiliary predicate of the normalisation."""
@@ -227,13 +269,14 @@ class TGDRewriter:
     def _factorization_step(
         self,
         current: ConjunctiveQuery,
+        candidate_rules: Sequence[TGD],
         store: QuerySet,
         labels: dict[ConjunctiveQuery, int],
         worklist: list[ConjunctiveQuery],
         statistics: RewritingStatistics,
     ) -> None:
         """Apply the (restricted) factorization step to *current*."""
-        for rule in self._rules:
+        for rule in candidate_rules:
             renamed = rule.rename_apart(current.variables, self._fresh)
             for factorizable in factorizable_sets(renamed, current):
                 candidate = current.apply(factorizable.unifier)
@@ -241,24 +284,24 @@ class TGDRewriter:
                 if self._pruner is not None and self._pruner.is_unsatisfiable(candidate):
                     statistics.pruned_by_constraints += 1
                     continue
-                existing = store.find_variant(candidate)
-                if existing is not None:
+                stored, inserted = store.intern(candidate)
+                if not inserted:
                     continue
-                store.add(candidate)
-                labels[candidate] = 0
-                worklist.append(candidate)
+                labels[stored] = 0
+                worklist.append(stored)
                 statistics.generated_by_factorization += 1
 
     def _rewriting_step(
         self,
         current: ConjunctiveQuery,
+        candidate_rules: Sequence[TGD],
         store: QuerySet,
         labels: dict[ConjunctiveQuery, int],
         worklist: list[ConjunctiveQuery],
         statistics: RewritingStatistics,
     ) -> None:
         """Apply the rewriting (resolution) step to *current*."""
-        for rule in self._rules:
+        for rule in candidate_rules:
             renamed = rule.rename_apart(current.variables, self._fresh)
             for atom_set in applicable_atom_sets(renamed, current):
                 candidate = self._resolve(current, renamed, atom_set)
@@ -268,17 +311,16 @@ class TGDRewriter:
                 if self._pruner is not None and self._pruner.is_unsatisfiable(candidate):
                     statistics.pruned_by_constraints += 1
                     continue
-                existing = store.find_variant(candidate)
-                if existing is not None:
-                    if labels.get(existing) != 1:
+                stored, inserted = store.intern(candidate)
+                if not inserted:
+                    if labels.get(stored) != 1:
                         # A factorization-only query re-derived by the
                         # rewriting step becomes part of the final rewriting.
-                        labels[existing] = 1
+                        labels[stored] = 1
                         statistics.generated_by_rewriting += 1
                     continue
-                store.add(candidate)
-                labels[candidate] = 1
-                worklist.append(candidate)
+                labels[stored] = 1
+                worklist.append(stored)
                 statistics.generated_by_rewriting += 1
 
     def _resolve(

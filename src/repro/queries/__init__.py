@@ -9,10 +9,11 @@ from .containment import (
 )
 from .minimization import is_minimal, minimize, redundant_atoms
 from .parser import QuerySyntaxError, parse_query, parse_term
-from .ucq import QuerySet, UnionOfConjunctiveQueries, union
+from .ucq import InterningStatistics, QuerySet, UnionOfConjunctiveQueries, union
 
 __all__ = [
     "ConjunctiveQuery",
+    "InterningStatistics",
     "QuerySet",
     "UnionOfConjunctiveQueries",
     "are_equivalent",

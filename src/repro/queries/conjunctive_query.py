@@ -17,6 +17,11 @@ from functools import cached_property
 from typing import Iterable, Mapping, Sequence
 
 from ..logic.atoms import Atom, Predicate, atoms_constants, atoms_variables
+from ..logic.canonical import (
+    CanonicalFingerprint,
+    CanonicalKey,
+    canonical_fingerprint as _canonical_fingerprint,
+)
 from ..logic.homomorphism import variable_bijections
 from ..logic.substitution import Substitution
 from ..logic.terms import Constant, Term, Variable, is_constant, is_variable
@@ -228,6 +233,23 @@ class ConjunctiveQuery:
             "c:" + str(t) if is_constant(t) else "v" for t in self.answer_terms
         )
         return (len(self.body_set), head_profile, body_profile)
+
+    @cached_property
+    def canonical_fingerprint(self) -> CanonicalFingerprint:
+        """Interning key plus exactness flag (see :mod:`repro.logic.canonical`).
+
+        The key is invariant under variable renaming and body-atom
+        reordering, so :class:`repro.queries.ucq.QuerySet` uses it to bucket
+        queries and replace linear variant scans by a hash probe.  When the
+        flag is ``True`` the key is a complete invariant for this query: any
+        other exact query with an equal key is certainly a variant.
+        """
+        return _canonical_fingerprint(self)
+
+    @property
+    def canonical_key(self) -> CanonicalKey:
+        """The order- and renaming-invariant interning key of the query."""
+        return self.canonical_fingerprint[0]
 
     def is_variant_of(self, other: "ConjunctiveQuery") -> bool:
         """``True`` iff the two queries are equal modulo bijective variable renaming.

@@ -2,16 +2,18 @@
 
 A UCQ of arity ``n`` is a set of CQs of the same arity sharing the same head
 predicate (Section 3.1).  The perfect rewriting produced by ``TGD-rewrite``
-is a UCQ; this module also provides the de-duplication ("no variant twice")
-container used by the rewriting algorithms, and subsumption-based redundancy
-removal used to compare rewritings.
+is a UCQ; this module also provides the canonical-key interning store (the
+"no variant twice" container used by the rewriting algorithms) and
+subsumption-based redundancy removal used to compare rewritings.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
+from ..logic.atoms import atoms_predicates
+from ..logic.canonical import CanonicalKey
 from .conjunctive_query import ConjunctiveQuery
 
 
@@ -70,42 +72,83 @@ class UnionOfConjunctiveQueries:
         ``p ⊑ p'``: every answer of ``p`` is already an answer of ``p'`` on
         every database.  Removing subsumed members never changes the answers
         of the UCQ.
+
+        Candidate subsumers are drawn from predicate-signature buckets: a
+        containment mapping from ``p'`` into ``p`` sends every body atom of
+        ``p'`` onto an atom of ``p`` with the same predicate, so only members
+        whose predicate set is a subset of ``p``'s can subsume it.  Grouping
+        members by predicate set therefore prunes most candidate pairs before
+        any homomorphism search runs.
         """
         from .containment import is_contained_in  # local import to avoid a cycle
 
-        survivors: list[ConjunctiveQuery] = []
         members = list(self.deduplicate())
+        predicate_sets = [atoms_predicates(query.body) for query in members]
+        groups: dict[frozenset, list[int]] = {}
+        for index, predicates in enumerate(predicate_sets):
+            groups.setdefault(predicates, []).append(index)
+
+        survivors: list[ConjunctiveQuery] = []
         for index, query in enumerate(members):
             subsumed = False
-            for other_index, other in enumerate(members):
-                if index == other_index:
+            for group_predicates, group_indices in groups.items():
+                if not group_predicates <= predicate_sets[index]:
                     continue
-                if is_contained_in(query, other):
-                    # Break ties between equivalent queries by keeping the
-                    # earliest one only.
-                    if is_contained_in(other, query) and other_index > index:
+                for other_index in group_indices:
+                    if index == other_index:
                         continue
-                    subsumed = True
+                    other = members[other_index]
+                    if is_contained_in(query, other):
+                        # Break ties between equivalent queries by keeping the
+                        # earliest one only.
+                        if is_contained_in(other, query) and other_index > index:
+                            continue
+                        subsumed = True
+                        break
+                if subsumed:
                     break
             if not subsumed:
                 survivors.append(query)
         return UnionOfConjunctiveQueries(survivors)
 
 
-class QuerySet:
-    """A mutable collection of CQs with variant-based deduplication.
+@dataclass
+class InterningStatistics:
+    """Counters describing the behaviour of a :class:`QuerySet`.
 
-    ``add`` refuses to insert a query when a variant is already present;
-    lookups are accelerated with the :attr:`ConjunctiveQuery.signature`
-    invariant so most non-variants are rejected without a bijection search.
-    This is the data structure behind ``Qrew`` in Algorithm 1.
+    ``exact_hits`` counts hits proven by key equality alone (both queries had
+    a discrete canonical colouring, so no isomorphism search was needed);
+    ``confirmations`` counts the explicit variant checks run on the remaining
+    canonical-key bucket members; ``collisions`` counts lookups whose bucket
+    was non-empty yet held no variant (the canonical key collided with a
+    structurally symmetric non-variant).
     """
 
-    __slots__ = ("_buckets", "_order")
+    lookups: int = 0
+    hits: int = 0
+    exact_hits: int = 0
+    misses: int = 0
+    confirmations: int = 0
+    collisions: int = 0
+
+
+class QuerySet:
+    """A mutable collection of CQs with canonical-key variant interning.
+
+    ``add`` refuses to insert a query when a variant is already present.
+    Queries are bucketed by :attr:`ConjunctiveQuery.canonical_key`, an
+    invariant under variable renaming and atom reordering, so a lookup is a
+    hash probe followed by an :meth:`ConjunctiveQuery.is_variant_of`
+    confirmation on the (almost always empty or singleton) bucket.  This is
+    the data structure behind ``Qrew`` in Algorithm 1.
+    """
+
+    __slots__ = ("_buckets", "_order", "statistics")
 
     def __init__(self, queries: Iterable[ConjunctiveQuery] = ()) -> None:
-        self._buckets: dict[tuple, list[ConjunctiveQuery]] = defaultdict(list)
+        self._buckets: dict[CanonicalKey, list[ConjunctiveQuery]] = {}
         self._order: list[ConjunctiveQuery] = []
+        self.statistics = InterningStatistics()
         for query in queries:
             self.add(query)
 
@@ -118,20 +161,60 @@ class QuerySet:
     def __contains__(self, query: ConjunctiveQuery) -> bool:
         return self.find_variant(query) is not None
 
+    @property
+    def bucket_count(self) -> int:
+        """Number of distinct canonical keys stored."""
+        return len(self._buckets)
+
+    @property
+    def max_bucket_size(self) -> int:
+        """Size of the fullest canonical bucket (1 in the collision-free case)."""
+        return max(map(len, self._buckets.values()), default=0)
+
     def find_variant(self, query: ConjunctiveQuery) -> ConjunctiveQuery | None:
         """Return the stored variant of *query*, if any."""
-        for candidate in self._buckets.get(query.signature, ()):  # noqa: B905
-            if candidate.is_variant_of(query):
-                return candidate
+        statistics = self.statistics
+        statistics.lookups += 1
+        key, exact = query.canonical_fingerprint
+        bucket = self._buckets.get(key)
+        if bucket:
+            for candidate in bucket:
+                candidate_exact = candidate.canonical_fingerprint[1]
+                if exact and candidate_exact:
+                    # Two discrete colourings with the same key are provably
+                    # variants: the colour-matching renaming is forced.
+                    statistics.hits += 1
+                    statistics.exact_hits += 1
+                    return candidate
+                if exact != candidate_exact:
+                    # Exactness is itself a variant invariant, so a mismatch
+                    # proves non-varianthood without an isomorphism search.
+                    continue
+                statistics.confirmations += 1
+                if candidate.is_variant_of(query):
+                    statistics.hits += 1
+                    return candidate
+            statistics.collisions += 1
+        statistics.misses += 1
         return None
+
+    def intern(self, query: ConjunctiveQuery) -> tuple[ConjunctiveQuery, bool]:
+        """Insert *query* unless a variant is present, with a single probe.
+
+        Returns ``(stored, inserted)`` where *stored* is the representative
+        now in the set (the pre-existing variant, or *query* itself) and
+        *inserted* tells whether *query* was added.
+        """
+        existing = self.find_variant(query)
+        if existing is not None:
+            return existing, False
+        self._buckets.setdefault(query.canonical_key, []).append(query)
+        self._order.append(query)
+        return query, True
 
     def add(self, query: ConjunctiveQuery) -> bool:
         """Insert *query* unless a variant is present; return ``True`` if inserted."""
-        if self.find_variant(query) is not None:
-            return False
-        self._buckets[query.signature].append(query)
-        self._order.append(query)
-        return True
+        return self.intern(query)[1]
 
     def to_ucq(self) -> UnionOfConjunctiveQueries:
         """Freeze the collection into a UCQ."""

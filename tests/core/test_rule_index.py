@@ -1,0 +1,92 @@
+"""Tests for the head-predicate rule index driving the rewriting hot path."""
+
+import pytest
+
+from repro.core.applicability import RuleIndex
+from repro.dependencies.tgd import TGD
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.terms import Variable
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+#: σ1: s(X) → p(X, Y);  σ2: p(X, Y) → r(Y);  σ3: t(X) → p(X, X)
+SIGMA1 = TGD((Atom.of("s", X),), (Atom.of("p", X, Y),))
+SIGMA2 = TGD((Atom.of("p", X, Y),), (Atom.of("r", Y),))
+SIGMA3 = TGD((Atom.of("t", X),), (Atom.of("p", X, X),))
+
+
+def _query(*atoms):
+    return ConjunctiveQuery(list(atoms), ())
+
+
+class TestRuleIndex:
+    def test_preserves_rule_order(self):
+        index = RuleIndex([SIGMA1, SIGMA2, SIGMA3])
+        assert index.rules == (SIGMA1, SIGMA2, SIGMA3)
+        assert list(index) == [SIGMA1, SIGMA2, SIGMA3]
+        assert len(index) == 3
+
+    def test_rules_for_head_predicate(self):
+        index = RuleIndex([SIGMA1, SIGMA2, SIGMA3])
+        assert index.rules_for(Predicate("p", 2)) == (SIGMA1, SIGMA3)
+        assert index.rules_for(Predicate("r", 1)) == (SIGMA2,)
+        assert index.rules_for(Predicate("missing", 1)) == ()
+
+    def test_head_predicates(self):
+        index = RuleIndex([SIGMA1, SIGMA2, SIGMA3])
+        assert index.head_predicates == {Predicate("p", 2), Predicate("r", 1)}
+
+    def test_candidate_rules_touch_only_matching_heads(self):
+        index = RuleIndex([SIGMA1, SIGMA2, SIGMA3])
+        assert index.candidate_rules(_query(Atom.of("p", X, Y))) == [SIGMA1, SIGMA3]
+        assert index.candidate_rules(_query(Atom.of("r", X))) == [SIGMA2]
+        assert index.candidate_rules(_query(Atom.of("s", X))) == []
+
+    def test_candidate_rules_preserve_global_order_across_predicates(self):
+        index = RuleIndex([SIGMA1, SIGMA2, SIGMA3])
+        candidates = index.candidate_rules(
+            _query(Atom.of("r", X), Atom.of("p", X, Y))
+        )
+        assert candidates == [SIGMA1, SIGMA2, SIGMA3]
+
+    def test_candidate_rules_ignore_arity_mismatches(self):
+        """``p/1`` in a query must not pull in rules producing ``p/2``."""
+        index = RuleIndex([SIGMA1, SIGMA3])
+        assert index.candidate_rules(_query(Atom.of("p", X))) == []
+
+    def test_rejects_unnormalised_rules(self):
+        multi_head = TGD((Atom.of("s", X),), (Atom.of("p", X, Y), Atom.of("r", X)))
+        with pytest.raises(ValueError):
+            RuleIndex([multi_head])
+
+    def test_empty_index(self):
+        index = RuleIndex([])
+        assert len(index) == 0
+        assert index.head_predicates == frozenset()
+        assert index.candidate_rules(_query(Atom.of("p", X, Y))) == []
+
+
+class TestRewriterUsesTheIndex:
+    def test_statistics_report_skipped_rules(self):
+        from repro.core.rewriter import TGDRewriter
+
+        rewriter = TGDRewriter([SIGMA1, SIGMA2, SIGMA3])
+        result = rewriter.rewrite(_query(Atom.of("r", X)))
+        statistics = result.statistics
+        assert statistics.rules_considered > 0
+        assert statistics.rules_skipped_by_index > 0
+        assert rewriter.rule_index.rules == rewriter.rules
+
+    def test_rewriting_agrees_with_full_scan_semantics(self):
+        """The indexed engine must find every rewriting a full scan finds."""
+        from repro.core.rewriter import TGDRewriter
+
+        result = TGDRewriter([SIGMA1, SIGMA2, SIGMA3]).rewrite(
+            _query(Atom.of("r", X))
+        )
+        bodies = {frozenset(repr(a) for a in cq.body) for cq in result.ucq}
+        # r(X) ⇐ p(Y, X) ⇐ s(Y) and p(Y, X) ⇐ t(X) with X = Y.
+        assert {"r(X)"} in bodies
+        assert any("p(" in next(iter(b)) for b in bodies if len(b) == 1)
+        assert len(result.ucq) >= 4

@@ -41,6 +41,23 @@ class TestStockExchangeOBDA:
         second = self.system.compile(query)
         assert first is second
 
+    def test_rewriting_cache_info_counts_hits_and_misses(self):
+        query = stock_exchange_example.running_query()
+        self.system.compile(query)
+        self.system.compile(query)
+        info = self.system.rewriting_cache_info()
+        assert info.misses == 1
+        assert info.hits == 1
+        assert info.size == 1
+
+    def test_rewriting_statistics_expose_index_counters(self):
+        query = stock_exchange_example.running_query()
+        statistics = self.system.rewriting_statistics(query)
+        assert statistics.interned_queries > 0
+        assert statistics.variant_lookups >= statistics.variant_cache_hits
+        assert statistics.rules_skipped_by_index > 0
+        assert statistics.canonical_collisions == 0
+
     def test_sql_export_is_a_union_of_selects(self):
         sql = self.system.to_sql(stock_exchange_example.running_query())
         assert "SELECT DISTINCT" in sql

@@ -1,0 +1,105 @@
+"""Regression pins for exact rewriting sizes.
+
+The canonical-interning and rule-index rework must not change *what* the
+rewriter computes, only how fast it finds it.  These tests pin the exact
+UCQ sizes produced by ``TGD-rewrite`` (NY) and ``TGD-rewrite*`` (NY*) on the
+paper's running example and on all five Table 1 ontologies, as measured on
+the seed implementation; any semantic drift in the engine shows up here as
+an exact-number mismatch.
+"""
+
+import pytest
+
+from repro.core.rewriter import TGDRewriter
+from repro.workloads import get_workload, stock_exchange_example
+
+#: ``workload -> query -> (NY size, NY* size)`` as produced by the seed.
+EXPECTED_SIZES = {
+    "A": {  # Adolena
+        "q1": (92, 13),
+        "q2": (49, 4),
+        "q3": (13, 1),
+        "q4": (141, 12),
+        "q5": (78, 6),
+    },
+    "S": {  # StockExchange
+        "q1": (7, 7),
+        "q2": (35, 1),
+        "q3": (295, 1),
+        "q4": (70, 1),
+        "q5": (590, 1),
+    },
+    "U": {  # University (LUBM)
+        "q1": (3, 3),
+        "q2": (105, 1),
+        "q3": (270, 1),
+        "q4": (827, 3),
+        "q5": (130, 3),
+    },
+    "V": {  # Vicodi
+        "q1": (15, 15),
+        "q2": (16, 16),
+        "q3": (84, 84),
+        "q4": (138, 138),
+        "q5": (120, 120),
+    },
+    "P5": {  # Path5
+        "q1": (4, 4),
+        "q2": (9, 9),
+        "q3": (25, 24),
+        "q4": (77, 72),
+        "q5": (247, 226),
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def sizes():
+    """Compute every (workload, query) cell once per test session."""
+    cache: dict[tuple[str, str], tuple[int, int]] = {}
+
+    def get(workload_name: str, query_name: str) -> tuple[int, int]:
+        cell = (workload_name, query_name)
+        if cell not in cache:
+            workload = get_workload(workload_name)
+            query = workload.query(query_name)
+            rules = workload.theory.tgds
+            plain = TGDRewriter(rules).rewrite(query)
+            optimised = TGDRewriter(rules, use_elimination=True).rewrite(query)
+            cache[cell] = (len(plain.ucq), len(optimised.ucq))
+        return cache[cell]
+
+    return get
+
+
+class TestRunningExample:
+    def test_running_example_sizes_are_pinned(self):
+        theory = stock_exchange_example.theory()
+        query = stock_exchange_example.running_query()
+        plain = TGDRewriter(theory.tgds).rewrite(query)
+        optimised = TGDRewriter(theory.tgds, use_elimination=True).rewrite(query)
+        assert len(plain.ucq) == 100
+        assert len(optimised.ucq) == 2
+
+    def test_running_example_interning_is_collision_free(self):
+        theory = stock_exchange_example.theory()
+        query = stock_exchange_example.running_query()
+        statistics = TGDRewriter(theory.tgds).rewrite(query).statistics
+        assert statistics.canonical_collisions == 0
+        assert statistics.canonical_buckets == statistics.interned_queries
+        assert statistics.variant_cache_hits > 0
+        assert statistics.rules_skipped_by_index > 0
+
+
+@pytest.mark.parametrize(
+    ("workload_name", "query_name"),
+    [
+        (workload, query)
+        for workload, cells in EXPECTED_SIZES.items()
+        for query in cells
+    ],
+)
+class TestTable1Sizes:
+    def test_sizes_match_seed(self, sizes, workload_name, query_name):
+        expected = EXPECTED_SIZES[workload_name][query_name]
+        assert sizes(workload_name, query_name) == expected

@@ -1,0 +1,184 @@
+"""Property-style tests for the canonical-form module.
+
+The interning contract of :mod:`repro.logic.canonical` is:
+
+* canonical keys are **invariant** under body-atom reordering and bijective
+  variable renaming (the "variants never missed" direction, required for the
+  correctness of :class:`repro.queries.ucq.QuerySet`);
+* distinct non-isomorphic queries *rarely* collide, and when they do the
+  store falls back to an explicit homomorphism/bijection confirmation;
+* an ``exact`` fingerprint (discrete colouring) certifies that key equality
+  alone proves varianthood.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.atoms import Atom
+from repro.logic.canonical import (
+    canonical_fingerprint,
+    canonical_form,
+    canonical_key,
+    refine_variable_colors,
+)
+from repro.logic.terms import Constant, Variable
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.queries.ucq import QuerySet
+
+from ..conftest import boolean_queries
+
+X, Y, Z, U, V = (Variable(n) for n in "XYZUV")
+
+
+def _cq(*atoms, answers=()):
+    return ConjunctiveQuery(list(atoms), answers)
+
+
+def _rename(query: ConjunctiveQuery, suffix: str) -> ConjunctiveQuery:
+    """A variant of *query* under a fresh bijective renaming."""
+    mapping = {v: Variable(f"{v.name}_{suffix}") for v in query.variables}
+    return query.apply(mapping)
+
+
+def _shuffled(query: ConjunctiveQuery, seed: int) -> ConjunctiveQuery:
+    """The same query with its body atoms in a different order."""
+    body = list(query.body)
+    random.Random(seed).shuffle(body)
+    return ConjunctiveQuery(body, query.answer_terms, query.head_name)
+
+
+class TestInvariance:
+    def test_invariant_under_atom_reordering(self):
+        query = _cq(
+            Atom.of("p", X, Y), Atom.of("q", Y, Z), Atom.of("r", Z), answers=(X,)
+        )
+        for seed in range(10):
+            assert canonical_key(_shuffled(query, seed)) == canonical_key(query)
+
+    def test_invariant_under_renaming(self):
+        query = _cq(Atom.of("p", X, Y), Atom.of("p", Y, Z), answers=(X,))
+        assert canonical_key(_rename(query, "r")) == canonical_key(query)
+
+    def test_invariant_under_renaming_and_reordering_combined(self):
+        query = _cq(
+            Atom.of("p", X, Y),
+            Atom.of("q", Y, Z, U),
+            Atom.of("p", U, V),
+            answers=(X, V),
+        )
+        for seed in range(10):
+            variant = _shuffled(_rename(query, f"s{seed}"), seed)
+            assert canonical_key(variant) == canonical_key(query)
+
+    @settings(max_examples=200, deadline=None)
+    @given(boolean_queries(), st.integers(0, 2**16))
+    def test_random_variants_share_keys(self, query, seed):
+        variant = _shuffled(_rename(query, "h"), seed)
+        assert canonical_key(variant) == canonical_key(query)
+
+    @settings(max_examples=200, deadline=None)
+    @given(boolean_queries(), st.integers(0, 2**16))
+    def test_key_agrees_with_is_variant_of(self, query, seed):
+        """Queries recognised as variants always receive equal keys."""
+        variant = _shuffled(_rename(query, "k"), seed)
+        assert query.is_variant_of(variant)
+        assert canonical_key(query) == canonical_key(variant)
+
+
+class TestDiscrimination:
+    def test_distinct_predicates_get_distinct_keys(self):
+        assert canonical_key(_cq(Atom.of("p", X))) != canonical_key(_cq(Atom.of("q", X)))
+
+    def test_distinct_join_structure_gets_distinct_keys(self):
+        chain = _cq(Atom.of("p", X, Y), Atom.of("p", Y, Z))
+        fork = _cq(Atom.of("p", X, Y), Atom.of("p", X, Z))
+        assert canonical_key(chain) != canonical_key(fork)
+
+    def test_head_distinguishes_queries(self):
+        boolean = _cq(Atom.of("p", X, Y))
+        unary = _cq(Atom.of("p", X, Y), answers=(X,))
+        other = _cq(Atom.of("p", X, Y), answers=(Y,))
+        keys = {canonical_key(boolean), canonical_key(unary), canonical_key(other)}
+        assert len(keys) == 3
+
+    def test_constants_distinguish_queries(self):
+        with_a = _cq(Atom.of("p", X, Constant("a")))
+        with_b = _cq(Atom.of("p", X, Constant("b")))
+        assert canonical_key(with_a) != canonical_key(with_b)
+
+    def test_constant_value_types_are_not_conflated(self):
+        as_string = _cq(Atom.of("p", Constant("1")))
+        as_int = _cq(Atom.of("p", Constant(1)))
+        assert canonical_key(as_string) != canonical_key(as_int)
+
+    @settings(max_examples=150, deadline=None)
+    @given(boolean_queries(), boolean_queries())
+    def test_exact_fingerprints_never_lie(self, first, second):
+        """When both colourings are discrete, key equality ⟺ varianthood."""
+        key1, exact1 = canonical_fingerprint(first)
+        key2, exact2 = canonical_fingerprint(second)
+        if exact1 and exact2 and key1 == key2:
+            assert first.is_variant_of(second)
+
+
+class TestCollisionFallback:
+    def test_symmetric_non_variants_collide_but_are_stored_separately(self):
+        """``p(X,Y), p(Y,X)`` and ``p(X,X), p(Y,Y)`` defeat colour refinement.
+
+        Both queries are 2-atom, every variable occurs twice at both
+        positions, so the refinement ends with a single colour class and
+        identical keys — the canonical-key collision the interning store must
+        survive via its confirmation step.
+        """
+        swap = _cq(Atom.of("p", X, Y), Atom.of("p", Y, X))
+        loops = _cq(Atom.of("p", X, X), Atom.of("p", Y, Y))
+        assert not swap.is_variant_of(loops)
+        assert canonical_key(swap) == canonical_key(loops)
+        assert not canonical_fingerprint(swap)[1]  # non-exact, as expected
+
+        store = QuerySet()
+        assert store.add(swap)
+        assert store.add(loops)  # collision resolved by confirmation
+        assert len(store) == 2
+        assert store.statistics.collisions >= 1
+        assert store.find_variant(_cq(Atom.of("p", U, V), Atom.of("p", V, U))) is swap
+
+
+class TestCanonicalForm:
+    def test_form_is_a_variant_of_the_input(self):
+        query = _cq(Atom.of("p", X, Y), Atom.of("q", Y, Z), answers=(X,))
+        form = canonical_form(query)
+        assert form.is_variant_of(query)
+        assert {v.name for v in form.variables} == {"C0", "C1", "C2"}
+
+    def test_variants_with_discrete_colouring_share_forms(self):
+        query = _cq(Atom.of("p", X, Y), Atom.of("q", Y, Z), answers=(X,))
+        variant = _shuffled(_rename(query, "f"), seed=3)
+        assert canonical_form(query) == canonical_form(variant)
+
+    @settings(max_examples=100, deadline=None)
+    @given(boolean_queries())
+    def test_form_preserves_the_query(self, query):
+        assert canonical_form(query).is_variant_of(query)
+
+
+class TestRefinement:
+    def test_empty_query_has_no_colors(self):
+        assert refine_variable_colors(_cq(Atom.of("p", Constant("a")))) == {}
+
+    def test_structurally_distinct_variables_get_distinct_colors(self):
+        query = _cq(Atom.of("p", X, Y), Atom.of("q", Y, Z))
+        colors = refine_variable_colors(query)
+        assert len(set(colors.values())) == 3
+
+    def test_symmetric_variables_share_a_color(self):
+        query = _cq(Atom.of("p", X), Atom.of("p", Y))
+        colors = refine_variable_colors(query)
+        assert colors[X] == colors[Y]
+
+    def test_answer_variables_are_separated_from_existentials(self):
+        query = _cq(Atom.of("p", X), Atom.of("p", Y), answers=(X,))
+        colors = refine_variable_colors(query)
+        assert colors[X] != colors[Y]

@@ -1,4 +1,4 @@
-"""Tests for unions of conjunctive queries and the variant-deduplicating store."""
+"""Tests for unions of conjunctive queries and the variant-interning store."""
 
 import pytest
 
@@ -7,7 +7,7 @@ from repro.logic.terms import Variable
 from repro.queries.conjunctive_query import ConjunctiveQuery
 from repro.queries.ucq import QuerySet, UnionOfConjunctiveQueries, union
 
-A, B, C = Variable("A"), Variable("B"), Variable("C")
+A, B, C, D = Variable("A"), Variable("B"), Variable("C"), Variable("D")
 
 
 def _cq(*atoms, answers=()):
@@ -99,3 +99,104 @@ class TestUnionHelper:
     def test_union_deduplicates(self):
         result = union([_cq(Atom.of("r", A, B)), _cq(Atom.of("r", B, C))])
         assert len(result) == 1
+
+
+class TestUcqEdgeCases:
+    def test_empty_ucq_survives_every_operation(self):
+        empty = UnionOfConjunctiveQueries([])
+        assert len(empty.deduplicate()) == 0
+        assert len(empty.remove_subsumed()) == 0
+        assert not empty.contains_variant(_cq(Atom.of("p", A)))
+        assert repr(empty) == "<empty UCQ>"
+
+    def test_mixed_arity_rejected_even_with_variant_bodies(self):
+        unary = _cq(Atom.of("r", A, B), answers=(A,))
+        binary = _cq(Atom.of("r", A, B), answers=(A, B))
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries([unary, binary])
+
+    def test_remove_subsumed_result_is_order_independent(self):
+        """The surviving set must not depend on member presentation order."""
+        general = _cq(Atom.of("r", A, B), answers=(A,))
+        specific = _cq(Atom.of("r", A, A), answers=(A,))
+        other = _cq(Atom.of("p", A), answers=(A,))
+        forwards = UnionOfConjunctiveQueries([general, specific, other]).remove_subsumed()
+        backwards = UnionOfConjunctiveQueries([other, specific, general]).remove_subsumed()
+        assert len(forwards) == len(backwards) == 2
+        assert {repr(q) for q in forwards} == {repr(q) for q in backwards}
+
+    def test_remove_subsumed_with_chained_containments(self):
+        """Transitive subsumption keeps only the most general member."""
+        most_general = _cq(Atom.of("r", A, B), answers=(A,))
+        middle = _cq(Atom.of("r", A, B), Atom.of("r", B, C), answers=(A,))
+        most_specific = _cq(
+            Atom.of("r", A, B), Atom.of("r", B, C), Atom.of("r", C, D), answers=(A,)
+        )
+        pruned = UnionOfConjunctiveQueries(
+            [most_specific, middle, most_general]
+        ).remove_subsumed()
+        assert len(pruned) == 1
+        assert pruned[0].is_variant_of(most_general)
+
+    def test_remove_subsumed_ignores_disjoint_predicate_buckets(self):
+        """Members over unrelated predicates can never subsume each other."""
+        queries = [
+            _cq(Atom.of(name, A, B), answers=(A,)) for name in ("r", "s", "t")
+        ]
+        assert len(UnionOfConjunctiveQueries(queries).remove_subsumed()) == 3
+
+
+class TestQuerySetInterning:
+    def test_duplicate_insertion_is_idempotent(self):
+        store = QuerySet()
+        query = _cq(Atom.of("r", A, B))
+        assert store.add(query)
+        for _ in range(3):
+            assert not store.add(query)
+        assert len(store) == 1
+        assert store.statistics.hits == 3
+
+    def test_intern_returns_the_stored_representative(self):
+        store = QuerySet()
+        original = _cq(Atom.of("r", A, B))
+        stored, inserted = store.intern(original)
+        assert stored is original and inserted
+        variant = _cq(Atom.of("r", C, D))
+        stored, inserted = store.intern(variant)
+        assert stored is original and not inserted
+
+    def test_statistics_track_lookups_hits_and_misses(self):
+        store = QuerySet()
+        store.add(_cq(Atom.of("r", A, B)))          # miss, insert
+        store.add(_cq(Atom.of("r", B, C)))          # hit (variant)
+        store.find_variant(_cq(Atom.of("p", A)))    # miss
+        statistics = store.statistics
+        assert statistics.lookups == 3
+        assert statistics.hits == 1
+        assert statistics.misses == 2
+
+    def test_exact_hits_skip_confirmation(self):
+        """Queries with discrete colourings are matched by key equality only."""
+        store = QuerySet()
+        store.add(_cq(Atom.of("r", A, B), Atom.of("s", B)))
+        assert store.find_variant(_cq(Atom.of("r", C, D), Atom.of("s", D))) is not None
+        assert store.statistics.exact_hits == 1
+        assert store.statistics.confirmations == 0
+
+    def test_bucket_properties(self):
+        store = QuerySet()
+        store.add(_cq(Atom.of("r", A, B)))
+        store.add(_cq(Atom.of("r", A, A)))
+        assert store.bucket_count == 2
+        assert store.max_bucket_size == 1
+        assert QuerySet().bucket_count == 0
+        assert QuerySet().max_bucket_size == 0
+
+    def test_mixed_arity_queries_coexist_until_frozen(self):
+        """QuerySet accepts mixed arities; the UCQ freeze rejects them."""
+        store = QuerySet()
+        store.add(_cq(Atom.of("r", A, B), answers=(A,)))
+        store.add(_cq(Atom.of("r", A, B), answers=(A, B)))
+        assert len(store) == 2
+        with pytest.raises(ValueError):
+            store.to_ucq()

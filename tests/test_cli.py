@@ -47,6 +47,16 @@ class TestRewriteCommand:
         assert "perfect rewriting" in output
         assert "Student" in output
 
+    def test_stats_output(self, tbox_file, capsys):
+        assert main(
+            ["rewrite", "--tbox", tbox_file, "--query", "q(A) :- Person(A)", "--stats"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "# rule index:" in output
+        assert "skipped by head-predicate index" in output
+        assert "# interning:" in output
+        assert "key collisions" in output
+
     def test_sql_output(self, tbox_file, capsys):
         assert main(
             ["rewrite", "--tbox", tbox_file, "--query", "q(A) :- Person(A)", "--sql"]
