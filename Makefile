@@ -1,10 +1,13 @@
 # Developer entry points.  `make test` is the tier-1 gate; `make smoke`
-# reruns one Table 1 benchmark block as an end-to-end sanity check.
+# reruns one Table 1 benchmark block as an end-to-end sanity check;
+# `make cache-smoke` is the cold-then-warm persistent-cache gate used in CI.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
+REPRO   = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro
+CACHE_DIR ?= .cache-smoke
 
-.PHONY: test smoke bench table1
+.PHONY: test smoke cache-smoke bench table1
 
 test:
 	$(PYTEST) -x -q
@@ -12,8 +15,14 @@ test:
 smoke:
 	$(PYTEST) -q benchmarks/bench_table1_stockexchange.py
 
+cache-smoke:
+	rm -rf $(CACHE_DIR)
+	$(REPRO) compile --workload S --cache $(CACHE_DIR) --stats
+	$(REPRO) compile --workload S --cache $(CACHE_DIR) --stats --fail-on-miss
+	rm -rf $(CACHE_DIR)
+
 bench:
 	$(PYTEST) -q benchmarks
 
 table1:
-	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro table1
+	$(REPRO) table1

@@ -1,0 +1,94 @@
+"""Warm versus cold persistent-cache compilation over the Table 1 ontologies.
+
+The compile-once serving layer promises that re-running a whole workload
+against a warm :class:`repro.cache.store.RewritingStore` costs loading and
+deserialisation only — no ``TGD-rewrite`` work at all.  Each benchmark
+compiles a full Table 1 block (all five queries, plain *and* optimised
+engine, i.e. both the NY and NY* columns) through
+:meth:`repro.api.OBDASystem.compile_many`; the cold run starts from an
+empty store directory, the warm run re-opens the store the cold run
+filled.  Both runs must reproduce the exact sizes pinned in
+``tests/integration/test_regression_sizes.py`` — the warm run just gets
+them from disk.  Headline numbers live in ``docs/BENCHMARKS.md``.
+"""
+
+import shutil
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import OBDASystem
+from repro.workloads import get_workload
+
+# The pinned Table 1 sizes live in the test suite; make the repo root
+# importable so a bare `pytest benchmarks` finds them too.
+_ROOT = str(Path(__file__).resolve().parent.parent)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+WORKLOADS = ("V", "S", "U", "A", "P5")
+
+
+def compile_workload(name: str, cache_dir) -> dict[str, tuple[int, int]]:
+    """Compile a Table 1 block (NY and NY* engines) against *cache_dir*."""
+    workload = get_workload(name)
+    sizes: dict[str, list[int]] = {}
+    for use_elimination in (False, True):
+        system = OBDASystem(
+            workload.theory, use_elimination=use_elimination, cache=cache_dir
+        )
+        results = system.compile_many(
+            workload.query(query_name) for query_name in workload.query_names
+        )
+        for query_name, result in zip(workload.query_names, results):
+            sizes.setdefault(query_name, []).append(result.size)
+    return {query_name: tuple(pair) for query_name, pair in sizes.items()}
+
+
+@pytest.fixture()
+def expected_sizes():
+    from tests.integration.test_regression_sizes import EXPECTED_SIZES
+
+    return EXPECTED_SIZES
+
+
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_cold_compile_workload(benchmark, tmp_path, workload_name, expected_sizes):
+    """Cold run: empty store, every rewriting computed and persisted."""
+
+    def cold():
+        shutil.rmtree(tmp_path / "store", ignore_errors=True)
+        return compile_workload(workload_name, tmp_path / "store")
+
+    sizes = benchmark.pedantic(cold, rounds=1, iterations=1)
+    assert sizes == expected_sizes[workload_name]
+    benchmark.extra_info["workload"] = workload_name
+    benchmark.extra_info["mode"] = "cold"
+
+
+@pytest.mark.parametrize("workload_name", WORKLOADS)
+def test_warm_compile_workload(benchmark, tmp_path, workload_name, expected_sizes):
+    """Warm run: the store already holds every rewriting of the block."""
+    compile_workload(workload_name, tmp_path / "store")
+
+    def warm():
+        return compile_workload(workload_name, tmp_path / "store")
+
+    sizes = benchmark.pedantic(warm, rounds=1, iterations=1)
+    assert sizes == expected_sizes[workload_name]
+    benchmark.extra_info["workload"] = workload_name
+    benchmark.extra_info["mode"] = "warm"
+
+
+def test_warm_run_serves_everything_from_the_store(tmp_path):
+    """No rewriting happens on the warm pass: every result is a store hit."""
+    workload = get_workload("S")
+    compile_workload("S", tmp_path / "store")
+    system = OBDASystem(workload.theory, cache=tmp_path / "store")
+    results = system.compile_many(
+        workload.query(query_name) for query_name in workload.query_names
+    )
+    assert all(result.statistics.persistent_cache_hits == 1 for result in results)
+    info = system.rewriting_cache_info()
+    assert info.persistent_misses == 0

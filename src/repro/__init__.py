@@ -24,6 +24,7 @@ Quick start::
 """
 
 from .api import AnswerSet, InconsistentTheoryError, OBDASystem, RewritingCacheInfo
+from .cache import RewritingStore, theory_fingerprint
 from .baselines import (
     ChaseBackchase,
     QuOntoStyleRewriter,
@@ -115,6 +116,8 @@ __all__ = [
     "RewritingBudgetExceeded",
     "RewritingCacheInfo",
     "RewritingMetrics",
+    "RewritingStore",
+    "theory_fingerprint",
     "RewritingResult",
     "RewritingStatistics",
     "RuleIndex",

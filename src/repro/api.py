@@ -6,13 +6,29 @@ of a relational database; conjunctive queries posed against the ontology are
 *compiled* into UCQ rewritings (optionally optimised with query elimination)
 and then executed directly on the database — or exported as SQL for an
 external RDBMS.
+
+Compilation is served through three cache layers, checked in order:
+
+1. an in-process dict keyed by the exact query object (``compile`` called
+   twice returns the same result instance);
+2. the optional **persistent store** (``cache=`` argument): a
+   :class:`repro.cache.store.RewritingStore` keyed by ``(canonical query
+   key, theory fingerprint)`` that survives process restarts and is shared
+   by every system compiled against an equal theory;
+3. the rewriting engine itself, whose rename-apart and applicability memos
+   persist across queries, so a whole workload compiled through
+   :meth:`OBDASystem.compile_many` shares the interning, memo and
+   persistent layers in one pass.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from .cache.fingerprint import theory_fingerprint
+from .cache.store import RewritingStore
 from .chase.chase import certain_answers as chase_certain_answers
 from .core.rewriter import RewritingResult, RewritingStatistics, TGDRewriter
 from .database.evaluator import QueryEvaluator
@@ -47,15 +63,41 @@ class AnswerSet:
 
 @dataclass(frozen=True)
 class RewritingCacheInfo:
-    """Hit/miss counters of an :class:`OBDASystem`'s compilation cache."""
+    """Hit/miss counters of an :class:`OBDASystem`'s compilation caches.
+
+    ``hits``/``misses``/``size`` describe the in-process layer (exact
+    query objects); the ``persistent_*`` fields describe the optional
+    disk-backed :class:`~repro.cache.store.RewritingStore` and stay zero
+    when no store is attached.
+    """
 
     hits: int
     misses: int
     size: int
+    persistent_hits: int = 0
+    persistent_misses: int = 0
+    persistent_size: int = 0
 
 
 class OBDASystem:
-    """Ontology-based data access over an in-memory relational database."""
+    """Ontology-based data access over an in-memory relational database.
+
+    Parameters
+    ----------
+    theory:
+        The ontological theory (TGDs, NCs, KDs).
+    database:
+        The underlying instance; an empty one is created when omitted.
+    use_elimination / use_nc_pruning:
+        Engine optimisations (``TGD-rewrite*``); elimination is silently
+        dropped for non-linear theories, where it is not available.
+    cache:
+        Optional persistent rewriting cache: a
+        :class:`~repro.cache.store.RewritingStore`, or a directory path
+        from which one is opened.  Compiled rewritings are persisted there
+        and served back — across process restarts and to any other system
+        whose theory fingerprint matches.
+    """
 
     def __init__(
         self,
@@ -64,6 +106,7 @@ class OBDASystem:
         use_elimination: bool = True,
         use_nc_pruning: bool = True,
         schema: RelationalSchema | None = None,
+        cache: RewritingStore | str | os.PathLike | None = None,
     ) -> None:
         self._theory = theory
         self._database = database if database is not None else RelationalInstance(schema=schema)
@@ -77,6 +120,15 @@ class OBDASystem:
         self._rewriting_cache: dict[ConjunctiveQuery, RewritingResult] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        if cache is not None and not isinstance(cache, RewritingStore):
+            cache = RewritingStore(cache)
+        self._store: RewritingStore | None = cache
+        self._fingerprint = theory_fingerprint(
+            theory.tgds,
+            theory.negative_constraints,
+            use_elimination=use_elimination,
+            use_nc_pruning=use_nc_pruning,
+        )
 
     # -- data management ----------------------------------------------------------
 
@@ -131,23 +183,77 @@ class OBDASystem:
 
     # -- querying -------------------------------------------------------------------------
 
+    @property
+    def rewriting_store(self) -> RewritingStore | None:
+        """The attached persistent rewriting store, if any."""
+        return self._store
+
+    @property
+    def theory_fingerprint(self) -> str:
+        """Fingerprint keying this system's entries in a persistent store.
+
+        Covers the TGDs (modulo rule order and variable renaming), the
+        negative constraints (when pruning is on), the resolved engine
+        options and the engine version — everything a cached rewriting's
+        content depends on (see :mod:`repro.cache.fingerprint`).
+        """
+        return self._fingerprint
+
     def compile(self, query: ConjunctiveQuery) -> RewritingResult:
-        """Compile an ontological query into its perfect UCQ rewriting (cached)."""
+        """Compile an ontological query into its perfect UCQ rewriting (cached).
+
+        Served, in order, from the in-process cache (exact query), the
+        persistent store when one is attached (any *variant* of the query
+        under this theory's fingerprint), and finally the rewriting
+        engine; a freshly computed rewriting is persisted before being
+        returned.  The result's statistics record which persistent path
+        was taken (``persistent_cache_hits`` / ``persistent_cache_misses``).
+        """
         cached = self._rewriting_cache.get(query)
-        if cached is None:
-            self._cache_misses += 1
-            cached = self._rewriter.rewrite(query)
-            self._rewriting_cache[query] = cached
-        else:
+        if cached is not None:
             self._cache_hits += 1
-        return cached
+            return cached
+        self._cache_misses += 1
+        result: RewritingResult | None = None
+        if self._store is not None:
+            result = self._store.get(query, self._fingerprint, rules=self._rewriter.rules)
+            if result is not None:
+                result.statistics.persistent_cache_hits += 1
+        if result is None:
+            result = self._rewriter.rewrite(query)
+            if self._store is not None:
+                # Persist before marking the miss: the stored statistics
+                # describe the engine run only, so a future warm hit
+                # reports hits=1, misses=0 rather than inheriting this
+                # process's miss.
+                self._store.put(query, self._fingerprint, result)
+                result.statistics.persistent_cache_misses += 1
+        self._rewriting_cache[query] = result
+        return result
+
+    def compile_many(
+        self, queries: Iterable[ConjunctiveQuery]
+    ) -> list[RewritingResult]:
+        """Compile a batch of queries through the shared cache layers.
+
+        All queries go through one engine — sharing its rule index,
+        rename-apart pools and applicability memo — and one persistent
+        store, so a warm store turns a whole workload run into a sequence
+        of lookups.  Results are returned in input order (duplicated or
+        variant inputs each get their — shared — result).
+        """
+        return [self.compile(query) for query in queries]
 
     def rewriting_cache_info(self) -> RewritingCacheInfo:
-        """Hit/miss counters of the compilation cache."""
+        """Hit/miss counters of the in-process and persistent caches."""
+        store = self._store
         return RewritingCacheInfo(
             hits=self._cache_hits,
             misses=self._cache_misses,
             size=len(self._rewriting_cache),
+            persistent_hits=store.statistics.hits if store is not None else 0,
+            persistent_misses=store.statistics.misses if store is not None else 0,
+            persistent_size=len(store) if store is not None else 0,
         )
 
     def rewriting_statistics(self, query: ConjunctiveQuery) -> RewritingStatistics:

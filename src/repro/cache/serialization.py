@@ -1,0 +1,134 @@
+"""Exact JSON round-tripping of queries and rewriting results.
+
+The persistent cache must hand back *the same object* it stored: the
+warm-start guarantee of :class:`repro.cache.store.RewritingStore` is that a
+reloaded rewriting compares equal to — and prints byte-identically to — the
+cold-start one.  The textual query syntax of :mod:`repro.queries.parser`
+cannot provide that (it decides variable-versus-constant from the first
+character, so a constant ``"Acme"`` would reload as a variable), hence this
+explicit tagged encoding:
+
+* terms — ``["v", name]`` for variables, ``["c", value]`` for constants
+  whose value is a JSON scalar (``str``/``int``/``float``/``bool``),
+  ``["n", label]`` for labelled nulls;
+* atoms — ``[name, [term, ...]]`` (the arity is implied);
+* conjunctive queries — ``{"head": name, "answer": [...], "body": [...]}``;
+* rewriting results — the input query, the UCQ members, the auxiliary
+  (label-0 / internal-predicate) queries and the run's statistics.
+
+Constants whose values are not JSON scalars raise
+:class:`UnserializableQueryError`; callers treat the query as uncacheable
+rather than storing a lossy encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, fields
+from typing import Sequence
+
+from ..core.rewriter import RewritingResult, RewritingStatistics
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Constant, Null, Term, Variable
+from ..queries.conjunctive_query import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+
+
+class UnserializableQueryError(ValueError):
+    """Raised when a query holds a constant that JSON cannot represent exactly."""
+
+
+_SCALARS = (str, int, float, bool)
+
+
+def term_to_json(term: Term) -> list:
+    """Encode one term as a tagged JSON list."""
+    if isinstance(term, Variable):
+        return ["v", term.name]
+    if isinstance(term, Constant):
+        if not isinstance(term.value, _SCALARS):
+            raise UnserializableQueryError(
+                f"constant value {term.value!r} is not a JSON scalar"
+            )
+        return ["c", term.value]
+    if isinstance(term, Null):
+        return ["n", term.label]
+    raise UnserializableQueryError(f"unknown term {term!r}")
+
+
+def term_from_json(payload: Sequence) -> Term:
+    """Decode one tagged term."""
+    tag, value = payload
+    if tag == "v":
+        return Variable(value)
+    if tag == "c":
+        return Constant(value)
+    if tag == "n":
+        return Null(value)
+    raise UnserializableQueryError(f"unknown term tag {tag!r}")
+
+
+def atom_to_json(atom: Atom) -> list:
+    """Encode one atom as ``[name, [terms...]]``."""
+    return [atom.name, [term_to_json(term) for term in atom.terms]]
+
+
+def atom_from_json(payload: Sequence) -> Atom:
+    """Decode one atom."""
+    name, terms = payload
+    decoded = tuple(term_from_json(term) for term in terms)
+    return Atom(Predicate(name, len(decoded)), decoded)
+
+
+def query_to_json(query: ConjunctiveQuery) -> dict:
+    """Encode a conjunctive query, preserving body order and head terms."""
+    return {
+        "head": query.head_name,
+        "answer": [term_to_json(term) for term in query.answer_terms],
+        "body": [atom_to_json(atom) for atom in query.body],
+    }
+
+
+def query_from_json(payload: dict) -> ConjunctiveQuery:
+    """Decode a conjunctive query; inverse of :func:`query_to_json`."""
+    return ConjunctiveQuery(
+        body=(atom_from_json(atom) for atom in payload["body"]),
+        answer_terms=tuple(term_from_json(term) for term in payload["answer"]),
+        head_name=payload["head"],
+    )
+
+
+def statistics_from_json(payload: dict) -> RewritingStatistics:
+    """Decode statistics, ignoring counters unknown to this version."""
+    known = {field.name for field in fields(RewritingStatistics)}
+    return RewritingStatistics(
+        **{key: value for key, value in payload.items() if key in known}
+    )
+
+
+def result_to_json(result: RewritingResult) -> dict:
+    """Encode a rewriting result (the rules are *not* stored).
+
+    The rules live in the theory fingerprint of the surrounding cache
+    entry; on reload the caller re-attaches its own (equal) rule tuple.
+    """
+    return {
+        "query": query_to_json(result.query),
+        "ucq": [query_to_json(member) for member in result.ucq],
+        "auxiliary": [query_to_json(member) for member in result.auxiliary_queries],
+        "statistics": asdict(result.statistics),
+    }
+
+
+def result_from_json(payload: dict, rules: tuple = ()) -> RewritingResult:
+    """Decode a rewriting result, attaching the caller's *rules* tuple."""
+    return RewritingResult(
+        query=query_from_json(payload["query"]),
+        rules=tuple(rules),
+        ucq=UnionOfConjunctiveQueries(
+            query_from_json(member) for member in payload["ucq"]
+        ),
+        auxiliary_queries=tuple(
+            query_from_json(member) for member in payload.get("auxiliary", ())
+        ),
+        statistics=statistics_from_json(payload.get("statistics", {})),
+    )

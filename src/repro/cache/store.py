@@ -1,0 +1,335 @@
+"""The persistent rewriting store: compile once, serve many.
+
+:class:`RewritingStore` persists finished perfect rewritings to disk so
+that later processes — or later runs of a whole workload — skip
+``TGD-rewrite`` entirely for queries they have already compiled, including
+queries that are merely *variants* (equal modulo bijective variable
+renaming) of compiled ones.
+
+Storage format
+--------------
+
+One append-only JSON-lines file, ``rewritings.jsonl``, inside the store
+directory.  Each line is a self-contained record::
+
+    {"format": 1, "digest": "...", "fingerprint": "...", "exact": true,
+     "result": {"query": ..., "ucq": [...], "auxiliary": [...],
+                "statistics": {...}}}
+
+* ``digest`` is the SHA-256 of ``(canonical query key, theory
+  fingerprint)`` — the content address of the entry.  All records sharing
+  a digest form one bucket (buckets exceed one entry only when two
+  non-variant queries collide on a non-exact canonical key).
+* ``format`` is the store's on-disk version; records written by an
+  incompatible version are skipped (and counted) at load time, never
+  misread.
+* ``fingerprint`` ties the entry to the exact theory + engine
+  configuration that produced it (see :mod:`repro.cache.fingerprint`).
+  A theory change gives new queries a new fingerprint, so stale entries
+  are unreachable by construction; :meth:`RewritingStore.prune` physically
+  removes them.
+
+Appends are flushed line-by-line, so concurrent readers in other
+processes pick up completed entries on their next load and a crash can at
+worst lose the final line (which the loader then skips as corrupt).
+
+Serving guarantees
+------------------
+
+A hit returns a result that is byte-identical (same ``repr``, same SQL)
+to the one stored.  Serving it for a *variant* of the original query is
+sound because certain answers are invariant under variant rewritings; the
+varianthood proof follows the invariants documented in
+:mod:`repro.cache`: exact canonical keys prove varianthood by equality
+alone, non-exact keys are confirmed against the stored query with
+:meth:`~repro.queries.conjunctive_query.ConjunctiveQuery.is_variant_of`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from ..core.rewriter import RewritingResult
+from ..dependencies.tgd import TGD
+from ..queries.conjunctive_query import ConjunctiveQuery
+from .serialization import (
+    UnserializableQueryError,
+    query_from_json,
+    result_from_json,
+    result_to_json,
+)
+
+
+@dataclass
+class CacheStatistics:
+    """Counters describing a :class:`RewritingStore`'s behaviour.
+
+    ``exact_hits`` counts hits proven by digest equality alone (both the
+    probe and the entry had discrete canonical colourings);
+    ``confirmations`` counts explicit variant checks against stored
+    queries; ``collisions`` counts probes whose bucket was non-empty yet
+    held no variant; ``skipped_records`` counts on-disk records ignored at
+    load time (corrupt or written by another format version).
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    exact_hits: int = 0
+    confirmations: int = 0
+    collisions: int = 0
+    misses: int = 0
+    stores: int = 0
+    uncacheable: int = 0
+    skipped_records: int = 0
+    pruned: int = 0
+
+
+class RewritingStore:
+    """A disk-backed map ``(canonical query key, theory fingerprint) → rewriting``.
+
+    Parameters
+    ----------
+    directory:
+        The store directory (created if missing).  Several theories may
+        share one store: entries are segregated by fingerprint.
+    """
+
+    #: On-disk format version; bump on any incompatible record change.
+    FORMAT_VERSION = 1
+    #: Name of the JSON-lines file inside the store directory.
+    FILENAME = "rewritings.jsonl"
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._path = self._directory / self.FILENAME
+        self._index: dict[str, list[dict]] = {}
+        self._lock = threading.Lock()
+        self.statistics = CacheStatistics()
+        self._needs_newline = False
+        self._load()
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        """Path of the underlying JSON-lines file."""
+        return self._path
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._index.values())
+
+    def __iter__(self) -> Iterator[dict]:
+        """Iterate over the raw records (diagnostics and tooling)."""
+        for digest in list(self._index):
+            yield from self._bucket(digest)
+
+    @property
+    def fingerprints(self) -> frozenset[str]:
+        """The distinct theory fingerprints present in the store."""
+        return frozenset(record["fingerprint"] for record in self)
+
+    # -- the map interface -------------------------------------------------
+
+    def get(
+        self,
+        query: ConjunctiveQuery,
+        fingerprint: str,
+        rules: Sequence[TGD] = (),
+    ) -> RewritingResult | None:
+        """Return the stored rewriting of a variant of *query*, if any.
+
+        *rules* is attached to the reloaded result (the store itself only
+        certifies them through *fingerprint*).  Returns ``None`` on a
+        miss — including the collision case where the bucket holds only
+        non-variants of *query*.
+        """
+        statistics = self.statistics
+        statistics.lookups += 1
+        key, exact = query.canonical_fingerprint
+        bucket = self._bucket(self._digest(key, fingerprint))
+        for record in bucket:
+            record_exact = bool(record["exact"])
+            if exact and record_exact:
+                statistics.hits += 1
+                statistics.exact_hits += 1
+                return result_from_json(record["result"], rules)
+            if exact != record_exact:
+                # Exactness is a variant invariant: a mismatch proves
+                # non-varianthood without deserialising the stored query.
+                continue
+            statistics.confirmations += 1
+            stored_query = query_from_json(record["result"]["query"])
+            if stored_query.is_variant_of(query):
+                statistics.hits += 1
+                return result_from_json(record["result"], rules)
+        if bucket:
+            statistics.collisions += 1
+        statistics.misses += 1
+        return None
+
+    def put(
+        self, query: ConjunctiveQuery, fingerprint: str, result: RewritingResult
+    ) -> bool:
+        """Persist *result* under *query*'s canonical key and *fingerprint*.
+
+        Returns ``True`` when a new record was written, ``False`` when an
+        entry for a variant of *query* already exists or the query is not
+        exactly serialisable (non-scalar constant values).
+        """
+        key, exact = query.canonical_fingerprint
+        digest = self._digest(key, fingerprint)
+        try:
+            payload = result_to_json(result)
+        except UnserializableQueryError:
+            self.statistics.uncacheable += 1
+            return False
+        record = {
+            "format": self.FORMAT_VERSION,
+            "digest": digest,
+            "fingerprint": fingerprint,
+            "exact": exact,
+            "result": payload,
+        }
+        with self._lock:
+            bucket = self._bucket(digest)
+            self._index[digest] = bucket
+            for existing in bucket:
+                if bool(existing["exact"]) == exact:
+                    if exact:
+                        return False
+                    stored_query = query_from_json(existing["result"]["query"])
+                    if stored_query.is_variant_of(query):
+                        return False
+            bucket.append(record)
+            with self._path.open("a", encoding="utf-8") as handle:
+                if self._needs_newline:
+                    # A previous process crashed mid-append: terminate its
+                    # torn line so only that line is lost, not this record.
+                    handle.write("\n")
+                    self._needs_newline = False
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.statistics.stores += 1
+        return True
+
+    def prune(self, keep_fingerprint: str) -> int:
+        """Physically drop every entry whose fingerprint differs.
+
+        Entries with other fingerprints are already unreachable for the
+        current theory (invalidation is structural); pruning reclaims
+        their disk space after a theory change.  Returns the number of
+        records removed.  The file is rewritten atomically.
+        """
+        with self._lock:
+            removed = 0
+            survivors: dict[str, list[dict]] = {}
+            for digest in list(self._index):
+                bucket = self._bucket(digest)
+                kept = [r for r in bucket if r["fingerprint"] == keep_fingerprint]
+                removed += len(bucket) - len(kept)
+                if kept:
+                    survivors[digest] = kept
+            if removed:
+                temporary = self._path.with_suffix(".jsonl.tmp")
+                with temporary.open("w", encoding="utf-8") as handle:
+                    for bucket in survivors.values():
+                        for record in bucket:
+                            handle.write(
+                                json.dumps(record, separators=(",", ":")) + "\n"
+                            )
+                os.replace(temporary, self._path)
+                self._index = survivors
+                self._needs_newline = False
+        self.statistics.pruned += removed
+        return removed
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _digest(canonical_key: tuple, fingerprint: str) -> str:
+        """Content address of an entry: hash of canonical key + fingerprint.
+
+        ``repr`` of a canonical key is deterministic (nested tuples of
+        strings and ints), so equal keys — and only equal keys, up to
+        SHA-256 collisions — share a digest under one fingerprint.
+        """
+        payload = f"{fingerprint}\n{canonical_key!r}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    #: Fast-path prefix of records exactly as :meth:`put` writes them; used
+    #: to index lines by digest at load time without parsing their payload.
+    _RECORD_PREFIX = re.compile(r'^\{"format":(\d+),"digest":"([0-9a-f]{64})"')
+
+    def _load(self) -> None:
+        """Index the JSON-lines file by digest, deferring payload parsing.
+
+        Entries can hold whole UCQs, so parsing every record eagerly would
+        make opening a large store as expensive as the lookups it is meant
+        to save; instead each line is indexed by the digest read from its
+        prefix and fully parsed only when its bucket is first probed
+        (:meth:`_bucket`).  Lines that do not look like records written by
+        this module fall back to a full parse here; unreadable or
+        wrong-version lines are skipped and counted, never misread.
+        """
+        if not self._path.exists():
+            return
+        with self._path.open("rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                self._needs_newline = handle.read(1) != b"\n"
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                match = self._RECORD_PREFIX.match(line)
+                if match is not None:
+                    if int(match.group(1)) != self.FORMAT_VERSION:
+                        self.statistics.skipped_records += 1
+                        continue
+                    self._index.setdefault(match.group(2), []).append(line)
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.statistics.skipped_records += 1
+                    continue
+                if (
+                    not isinstance(record, dict)
+                    or record.get("format") != self.FORMAT_VERSION
+                    or "digest" not in record
+                    or "result" not in record
+                ):
+                    self.statistics.skipped_records += 1
+                    continue
+                self._index.setdefault(record["digest"], []).append(record)
+
+    def _bucket(self, digest: str) -> list[dict]:
+        """The fully parsed records of one bucket (parsing them on first use)."""
+        bucket = self._index.get(digest)
+        if bucket is None:
+            return []
+        if all(isinstance(record, dict) for record in bucket):
+            return bucket
+        parsed: list[dict] = []
+        for record in bucket:
+            if isinstance(record, str):
+                try:
+                    record = json.loads(record)
+                except json.JSONDecodeError:
+                    self.statistics.skipped_records += 1
+                    continue
+                if not isinstance(record, dict) or "result" not in record:
+                    self.statistics.skipped_records += 1
+                    continue
+            parsed.append(record)
+        self._index[digest] = parsed
+        return parsed

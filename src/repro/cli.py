@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three small commands expose the library without writing Python:
+Four small commands expose the library without writing Python:
 
 ``workloads``
     List the registered evaluation workloads and their sizes.
@@ -12,6 +12,13 @@ Three small commands expose the library without writing Python:
     Parse a DL-Lite_R TBox (textual syntax of :mod:`repro.ontology.parser`),
     rewrite one conjunctive query and print the resulting UCQ (optionally as
     SQL).
+
+``compile (--tbox FILE | --workload NAME) [--queries FILE] [--cache DIR]``
+    Batch-compile a whole query workload through one engine — optionally
+    against a persistent rewriting cache, so a second invocation with the
+    same ``--cache`` directory serves every rewriting from disk.  With
+    ``--fail-on-miss`` the command exits non-zero unless every query was
+    served from the cache (the warm-run assertion used in CI).
 """
 
 from __future__ import annotations
@@ -21,12 +28,15 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from .api import OBDASystem
 from .core.rewriter import TGDRewriter
 from .database.sql import ucq_to_sql
+from .dependencies.theory import OntologyTheory
 from .evaluation import SYSTEMS, Table1Evaluator, format_rows
 from .metrics import ucq_metrics
 from .ontology.parser import parse_ontology
 from .ontology.translation import to_theory
+from .queries.conjunctive_query import ConjunctiveQuery
 from .queries.parser import parse_query
 from .workloads import default_registry, get_workload
 
@@ -86,11 +96,111 @@ def _cmd_rewrite(arguments: argparse.Namespace) -> int:
             f"{statistics.interned_queries} queries in "
             f"{statistics.canonical_buckets} buckets"
         )
+        print(
+            f"# memoisation: {statistics.unification_memo_hits} applicability "
+            f"hits / {statistics.unification_memo_misses} misses, "
+            f"{statistics.rename_cache_hits} rename-apart hits / "
+            f"{statistics.rename_cache_misses} misses"
+        )
     if arguments.sql:
         print(ucq_to_sql(result.ucq))
     else:
         for cq in result.ucq:
             print(cq)
+    return 0
+
+
+def _load_theory_and_queries(
+    arguments: argparse.Namespace,
+) -> tuple[OntologyTheory, list[tuple[str, ConjunctiveQuery]]]:
+    """Resolve the ``compile`` command's theory and named query list."""
+    if arguments.workload:
+        workload = get_workload(arguments.workload)
+        theory = workload.theory
+        named = [(name, workload.query(name)) for name in workload.query_names]
+    else:
+        tbox_text = Path(arguments.tbox).read_text(encoding="utf-8")
+        theory = to_theory(parse_ontology(tbox_text, name=Path(arguments.tbox).stem))
+        named = []
+    if arguments.queries:
+        named = []
+        for number, line in enumerate(
+            Path(arguments.queries).read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            named.append((f"line {number}", parse_query(line)))
+    if not named:
+        raise SystemExit(
+            "no queries to compile: pass --queries FILE (or --workload NAME, "
+            "whose q1..q5 are used by default)"
+        )
+    return theory, named
+
+
+def _cmd_compile(arguments: argparse.Namespace) -> int:
+    """Batch-compile a query workload, optionally against a persistent cache."""
+    if arguments.fail_on_miss and not arguments.cache:
+        print(
+            "error: --fail-on-miss requires --cache DIR (without a store every "
+            "query is a miss by definition)",
+            file=sys.stderr,
+        )
+        return 2
+    theory, named = _load_theory_and_queries(arguments)
+    system = OBDASystem(
+        theory,
+        use_elimination=not arguments.no_elimination,
+        use_nc_pruning=bool(theory.negative_constraints),
+        cache=arguments.cache,
+    )
+    results = system.compile_many(query for _, query in named)
+    total_seconds = 0.0
+    seen: set[int] = set()
+    for (name, _), result in zip(named, results):
+        statistics = result.statistics
+        if id(result) in seen:
+            # compile_many returns the same result object for duplicated
+            # inputs: served from memory, nothing recompiled.
+            source = "in-process hit"
+        elif statistics.persistent_cache_hits:
+            source = "cache hit"
+        elif statistics.persistent_cache_misses:
+            source = f"compiled in {statistics.elapsed_seconds:.3f}s"
+            total_seconds += statistics.elapsed_seconds
+        else:
+            source = f"compiled in {statistics.elapsed_seconds:.3f}s (no cache)"
+            total_seconds += statistics.elapsed_seconds
+        seen.add(id(result))
+        print(f"{name}: {result.size} CQs — {source}")
+    info = system.rewriting_cache_info()
+    print(
+        f"# compiled {len(results)} queries "
+        f"({info.persistent_hits} persistent hits, "
+        f"{info.persistent_misses} misses, "
+        f"{info.persistent_size} entries in store), "
+        f"{total_seconds:.3f}s rewriting"
+    )
+    if arguments.stats:
+        store = system.rewriting_store
+        if store is not None:
+            cache_statistics = store.statistics
+            print(
+                f"# store: {cache_statistics.exact_hits} exact-key hits, "
+                f"{cache_statistics.confirmations} variant confirmations, "
+                f"{cache_statistics.collisions} collisions, "
+                f"{cache_statistics.stores} new entries, "
+                f"{cache_statistics.skipped_records} skipped records"
+            )
+        print(f"# theory fingerprint: {system.theory_fingerprint}")
+    if arguments.fail_on_miss and info.persistent_misses:
+        print(
+            f"error: --fail-on-miss set but {info.persistent_misses} "
+            "queries were not served from the cache",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -121,6 +231,28 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite.add_argument("--stats", action="store_true",
                          help="print canonical-interning and rule-index counters")
     rewrite.set_defaults(handler=_cmd_rewrite)
+
+    compile_ = commands.add_parser(
+        "compile", help="batch-compile a query workload (persistent cache aware)"
+    )
+    source = compile_.add_mutually_exclusive_group(required=True)
+    source.add_argument("--tbox", help="path to a textual DL-Lite_R TBox")
+    source.add_argument("--workload", help="a registered workload name (e.g. S)")
+    compile_.add_argument(
+        "--queries",
+        help="file with one query per line ('#' comments); defaults to the "
+        "workload's q1..q5",
+    )
+    compile_.add_argument(
+        "--cache", help="directory of the persistent rewriting cache"
+    )
+    compile_.add_argument("--no-elimination", action="store_true",
+                          help="disable query elimination (plain TGD-rewrite)")
+    compile_.add_argument("--stats", action="store_true",
+                          help="print persistent-store counters and the theory fingerprint")
+    compile_.add_argument("--fail-on-miss", action="store_true",
+                          help="exit 1 unless every query was served from the cache")
+    compile_.set_defaults(handler=_cmd_compile)
     return parser
 
 

@@ -16,6 +16,19 @@ These two notions drive the rewriting algorithm of Section 5:
 
 Both are stated for a *normalised* TGD: single head atom, at most one
 existential variable occurring once, so ``πσ`` is well defined.
+
+Because the rewriter re-asks the same applicability questions for hundreds
+of structurally similar CQs, this module also houses the engine's two memo
+layers (shared across every query of a workload run):
+
+* :class:`RuleIndex` — the head-predicate index that keeps non-candidate
+  TGDs off the hot path entirely;
+* :class:`RenameApartCache` — a per-rule pool of freshly renamed rule
+  copies, so renaming a TGD apart from a query is a disjointness probe
+  instead of a substitution walk;
+* :class:`ApplicabilityMemo` — a per-``(rule, atom-set shape)`` outcome
+  table that makes repeated Definition 1 checks (including their MGU
+  attempts) a single dictionary lookup.
 """
 
 from __future__ import annotations
@@ -26,7 +39,7 @@ from typing import Iterable, Iterator, Sequence
 from ..logic.atoms import Atom, Predicate, atoms_predicates
 from ..logic.substitution import Substitution
 from ..logic.terms import Variable, is_constant, is_variable
-from ..logic.unification import mgu
+from ..logic.unification import UnificationMemo, atom_sequence_profile, mgu
 from ..dependencies.tgd import TGD
 from ..queries.conjunctive_query import ConjunctiveQuery
 
@@ -89,6 +102,106 @@ class RuleIndex:
         return [rule for _, rule in entries]
 
 
+class RenameApartCache:
+    """A per-rule pool of variable-refreshed TGD copies.
+
+    The rewriting and factorisation steps must use a rule whose variables
+    are disjoint from the query's.  Renaming on every (query, rule) pair
+    rebuilds the same substituted atoms thousands of times; instead the
+    cache keeps, per rule, a small pool of fully refreshed copies and
+    serves the first one whose variable set is disjoint from the query's —
+    a frozenset probe.  Only when every pooled copy clashes (a query
+    derived through many copies of the same rule) is a new copy minted
+    from the caller's fresh-variable factory.
+
+    Any copy whose variables avoid the query is interchangeable with the
+    output of :meth:`TGD.rename_apart` — the rewriting only ever uses the
+    renamed rule up to α-equivalence, and generated queries are interned
+    modulo variable renaming anyway.
+    """
+
+    __slots__ = ("_pools", "_pool_size", "hits", "misses")
+
+    def __init__(self, pool_size: int = 8) -> None:
+        self._pools: dict[object, list[tuple[TGD, frozenset[Variable]]]] = {}
+        self._pool_size = pool_size
+        self.hits = 0
+        self.misses = 0
+
+    def rename(
+        self, rule_key: object, rule: TGD, avoid: frozenset[Variable], factory
+    ) -> TGD:
+        """A copy of *rule* whose variables are disjoint from *avoid*.
+
+        *rule_key* must identify the rule stably across calls (the rule's
+        position in the rewriter's rule tuple); *factory* produces fresh
+        variables guaranteed new to the whole run.
+        """
+        pool = self._pools.setdefault(rule_key, [])
+        for copy, copy_variables in pool:
+            if copy_variables.isdisjoint(avoid):
+                self.hits += 1
+                return copy
+        self.misses += 1
+        refreshed = rule.refresh(factory)
+        if len(pool) < self._pool_size:
+            pool.append(
+                (refreshed, refreshed.body_variables | refreshed.head_variables)
+            )
+        return refreshed
+
+
+class ApplicabilityMemo:
+    """Memoised Definition 1 checks, keyed by ``(rule, atom-set shape)``.
+
+    The outcome of :func:`is_applicable` depends only on the rule (up to
+    renaming) and on the *shape* of the candidate atom set: its
+    predicates, its variable-equality pattern, its constants, and which of
+    its variables are shared in the surrounding query.  All of that is
+    captured by :func:`repro.logic.unification.atom_sequence_profile` with
+    the query's shared variables as the marked set — so the boolean can be
+    cached across every query of a run, and the MGU attempt inside the
+    check runs once per shape instead of once per query.
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(self) -> None:
+        self._memo = UnificationMemo()
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    @property
+    def hits(self) -> int:
+        """Number of checks answered from the table."""
+        return self._memo.hits
+
+    @property
+    def misses(self) -> int:
+        """Number of checks actually computed (and then stored)."""
+        return self._memo.misses
+
+    def is_applicable(
+        self,
+        rule_key: object,
+        rule: TGD,
+        atoms: Sequence[Atom],
+        query: ConjunctiveQuery,
+    ) -> bool:
+        """Memoised :func:`is_applicable`.
+
+        *rule_key* must stably identify *rule* up to variable renaming:
+        every call passing the same key must pass an α-equivalent rule
+        (the rewriter passes the rule's position in its rule tuple and a
+        copy from the :class:`RenameApartCache`).
+        """
+        profile = atom_sequence_profile(atoms, marked=query.shared_variables)
+        return self._memo.lookup(
+            (rule_key, profile), lambda: is_applicable(rule, atoms, query)
+        )
+
+
 def is_applicable(
     rule: TGD, atoms: Sequence[Atom], query: ConjunctiveQuery
 ) -> bool:
@@ -121,7 +234,10 @@ def is_applicable(
 
 
 def applicable_atom_sets(
-    rule: TGD, query: ConjunctiveQuery
+    rule: TGD,
+    query: ConjunctiveQuery,
+    memo: ApplicabilityMemo | None = None,
+    rule_key: object = None,
 ) -> Iterator[tuple[Atom, ...]]:
     """Enumerate the subsets ``A ⊆ body(q)`` to which *rule* is applicable.
 
@@ -129,6 +245,10 @@ def applicable_atom_sets(
     to such a set, so the enumeration is over the non-empty subsets of those
     candidate atoms (singletons first, then growing, in a deterministic
     order).  In the vast majority of cases this is a handful of atoms.
+
+    When *memo* (and its *rule_key*) is given, each Definition 1 check is
+    answered through the :class:`ApplicabilityMemo` instead of being
+    recomputed.
     """
     if not rule.is_single_head:
         raise ValueError(f"{rule!r} must be normalised (single head atom)")
@@ -140,7 +260,11 @@ def applicable_atom_sets(
     # Enumerate subsets ordered by size (stable order within a size).
     for size in range(1, total + 1):
         for subset in _combinations(candidates, size):
-            if is_applicable(rule, subset, query):
+            if memo is None:
+                applicable = is_applicable(rule, subset, query)
+            else:
+                applicable = memo.is_applicable(rule_key, rule, subset, query)
+            if applicable:
                 yield tuple(subset)
 
 

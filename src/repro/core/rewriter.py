@@ -21,6 +21,15 @@ entailed by a consistent database.
 
 Termination is guaranteed for linear, sticky and sticky-join TGDs
 (Theorem 7); a configurable budget protects against non-terminating inputs.
+
+A :class:`TGDRewriter` is a *compilation engine*, built once per theory and
+reused across queries: the head-predicate :class:`RuleIndex`, the
+:class:`~repro.core.applicability.RenameApartCache` and the
+:class:`~repro.core.applicability.ApplicabilityMemo` all live on the
+rewriter instance and keep learning across calls, so compiling a workload
+through one rewriter (:meth:`repro.api.OBDASystem.compile_many`) is faster
+than compiling each query in a fresh engine.  Every run's
+:class:`RewritingStatistics` reports the per-run share of that memo work.
 """
 
 from __future__ import annotations
@@ -40,7 +49,13 @@ from ..dependencies.tgd import TGD
 from ..dependencies.theory import OntologyTheory
 from ..queries.conjunctive_query import ConjunctiveQuery
 from ..queries.ucq import QuerySet, UnionOfConjunctiveQueries
-from .applicability import RuleIndex, applicable_atom_sets, factorizable_sets
+from .applicability import (
+    ApplicabilityMemo,
+    RenameApartCache,
+    RuleIndex,
+    applicable_atom_sets,
+    factorizable_sets,
+)
 from .elimination import QueryEliminator
 from .nc_pruning import NegativeConstraintPruner
 
@@ -82,6 +97,14 @@ class RewritingStatistics:
     # -- rule-index counters ---------------------------------------------
     rules_considered: int = 0
     rules_skipped_by_index: int = 0
+    # -- memoisation counters (this run's share of the engine memos) ------
+    rename_cache_hits: int = 0
+    rename_cache_misses: int = 0
+    unification_memo_hits: int = 0
+    unification_memo_misses: int = 0
+    # -- persistent-cache counters (set by the serving layer) -------------
+    persistent_cache_hits: int = 0
+    persistent_cache_misses: int = 0
 
 
 @dataclass
@@ -125,6 +148,11 @@ class TGDRewriter:
     max_queries:
         Budget on the number of distinct CQs generated; exceeding it raises
         :class:`RewritingBudgetExceeded`.
+    use_memoisation:
+        Keep per-rule rename-apart pools and applicability outcomes across
+        the whole lifetime of the rewriter (default).  Disabling it
+        reproduces the unmemoised engine — useful for differential testing;
+        the computed rewritings are identical either way.
     """
 
     def __init__(
@@ -134,6 +162,7 @@ class TGDRewriter:
         use_elimination: bool = False,
         use_nc_pruning: bool = False,
         max_queries: int = 200_000,
+        use_memoisation: bool = True,
     ) -> None:
         if isinstance(rules, OntologyTheory):
             theory = rules
@@ -148,6 +177,12 @@ class TGDRewriter:
             internal_predicates = frozenset(normalization.auxiliary_predicates)
         self._rules: tuple[TGD, ...] = tuple(rules)
         self._rule_index = RuleIndex(self._rules)
+        # Memo state shared across every rewrite() call of this engine.
+        # Rules are keyed by their position in the (immutable) rule tuple;
+        # id() is safe as the tuple keeps every rule alive.
+        self._rule_keys = {id(rule): position for position, rule in enumerate(self._rules)}
+        self._rename_cache = RenameApartCache() if use_memoisation else None
+        self._applicability_memo = ApplicabilityMemo() if use_memoisation else None
         # Auxiliary predicates introduced by the internal normalisation are
         # not part of the caller's schema: no database ever stores facts for
         # them, so rewritten CQs mentioning them are dropped from the output.
@@ -185,10 +220,16 @@ class TGDRewriter:
         """``True`` iff the query-elimination optimisation is active."""
         return self._eliminator is not None
 
+    @property
+    def uses_memoisation(self) -> bool:
+        """``True`` iff the rename-apart pool and applicability memo are active."""
+        return self._applicability_memo is not None
+
     def rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
         """Compute the perfect rewriting of *query* w.r.t. the rewriter's rules."""
         start = time.perf_counter()
         statistics = RewritingStatistics()
+        memo_snapshot = self._memo_counters()
 
         store = QuerySet()
         labels: dict[ConjunctiveQuery, int] = {}
@@ -199,6 +240,7 @@ class TGDRewriter:
             # The input query itself violates a negative constraint: it can
             # never be entailed by a consistent database (Section 5.1).
             statistics.pruned_by_constraints += 1
+            self._record_memo_counters(statistics, memo_snapshot)
             statistics.elapsed_seconds = time.perf_counter() - start
             return RewritingResult(
                 query=query,
@@ -235,6 +277,7 @@ class TGDRewriter:
             if labels[stored] == 0 or self._mentions_internal(stored)
         )
         self._finalize_statistics(statistics, store)
+        self._record_memo_counters(statistics, memo_snapshot)
         statistics.elapsed_seconds = time.perf_counter() - start
         return RewritingResult(
             query=query,
@@ -258,6 +301,39 @@ class TGDRewriter:
         statistics.variant_exact_hits = interning.exact_hits
         statistics.variant_confirmations = interning.confirmations
 
+    def _memo_counters(self) -> tuple[int, int, int, int]:
+        """Current absolute counters of the engine-lifetime memo tables."""
+        if self._applicability_memo is None:
+            return (0, 0, 0, 0)
+        return (
+            self._rename_cache.hits,
+            self._rename_cache.misses,
+            self._applicability_memo.hits,
+            self._applicability_memo.misses,
+        )
+
+    def _record_memo_counters(
+        self, statistics: RewritingStatistics, snapshot: tuple[int, int, int, int]
+    ) -> None:
+        """Store this run's memo-counter deltas into *statistics*.
+
+        The memo tables live for the whole engine, so a run's share is the
+        difference against the snapshot taken when the run started.
+        """
+        after = self._memo_counters()
+        statistics.rename_cache_hits = after[0] - snapshot[0]
+        statistics.rename_cache_misses = after[1] - snapshot[1]
+        statistics.unification_memo_hits = after[2] - snapshot[2]
+        statistics.unification_memo_misses = after[3] - snapshot[3]
+
+    def _rename_apart(self, rule: TGD, query: ConjunctiveQuery) -> TGD:
+        """A copy of *rule* with variables disjoint from *query*'s (memoised)."""
+        if self._rename_cache is None:
+            return rule.rename_apart(query.variables, self._fresh)
+        return self._rename_cache.rename(
+            self._rule_keys[id(rule)], rule, query.variables, self._fresh
+        )
+
     def _mentions_internal(self, query: ConjunctiveQuery) -> bool:
         """``True`` iff the query uses an auxiliary predicate of the normalisation."""
         if not self._internal_predicates:
@@ -275,10 +351,14 @@ class TGDRewriter:
         worklist: list[ConjunctiveQuery],
         statistics: RewritingStatistics,
     ) -> None:
-        """Apply the (restricted) factorization step to *current*."""
+        """Apply the (restricted) factorization step to *current*.
+
+        The rule is *not* renamed apart here: Definition 2 only consults
+        the rule's head predicate and existential position (both invariant
+        under renaming) — the unifier is built from query atoms alone.
+        """
         for rule in candidate_rules:
-            renamed = rule.rename_apart(current.variables, self._fresh)
-            for factorizable in factorizable_sets(renamed, current):
+            for factorizable in factorizable_sets(rule, current):
                 candidate = current.apply(factorizable.unifier)
                 candidate = self._reduce(candidate, statistics)
                 if self._pruner is not None and self._pruner.is_unsatisfiable(candidate):
@@ -302,8 +382,13 @@ class TGDRewriter:
     ) -> None:
         """Apply the rewriting (resolution) step to *current*."""
         for rule in candidate_rules:
-            renamed = rule.rename_apart(current.variables, self._fresh)
-            for atom_set in applicable_atom_sets(renamed, current):
+            renamed = self._rename_apart(rule, current)
+            for atom_set in applicable_atom_sets(
+                renamed,
+                current,
+                memo=self._applicability_memo,
+                rule_key=self._rule_keys[id(rule)],
+            ):
                 candidate = self._resolve(current, renamed, atom_set)
                 if candidate is None:
                     continue

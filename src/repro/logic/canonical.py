@@ -42,6 +42,18 @@ with equal keys are provably variants (the colour-matching renaming is
 forced), so the interning store can skip the confirmation step entirely.
 :func:`canonical_fingerprint` reports this as its ``exact`` flag.
 
+The same keys make rewritings **content-addressable** beyond a single
+process: the canonical key (serialised via ``repr``, which is deterministic
+for these nested tuples of strings and ints) addresses entries of the
+persistent :class:`repro.cache.store.RewritingStore`.  The invariants any
+such use must respect are exactly the two above: *variants always share a
+key* (so a key may stand for a whole variant class), and *key equality
+proves varianthood only when both colourings are discrete* (so non-exact
+entries must be confirmed against a stored representative before being
+served).  Exactness itself is a variant invariant — two variants always
+agree on the flag — which lets both :class:`repro.queries.ucq.QuerySet` and
+the store reject exact/non-exact pairs without any isomorphism search.
+
 Functions here are deliberately duck-typed over anything exposing ``body``
 (an iterable of atoms) and ``answer_terms`` so that :mod:`repro.logic` does
 not import the higher :mod:`repro.queries` layer.

@@ -1,4 +1,4 @@
-"""Unification and most general unifiers (MGUs).
+"""Unification and most general unifiers (MGUs), with memoisation support.
 
 Section 5 of the paper defines: a set of atoms ``A = {a1, ..., an}`` (n ≥ 2)
 *unifies* if there exists a substitution ``γ`` (a *unifier*) such that
@@ -13,11 +13,21 @@ function-free terms, which makes it linear in the number of term pairs:
 * two constants unify iff they are equal;
 * a constant never unifies with a labelled null (nulls in queries/TGDs do not
   occur; nulls are included for completeness when unifying instance atoms).
+
+The rewriting engine asks the *same* unification question over and over
+across the UCQ frontier: whether a candidate atom set of a query unifies
+with a TGD head depends only on the *shape* of the atom set — its
+predicates, its variable-equality pattern and its constants — never on the
+variable names, and hundreds of generated CQs share a handful of shapes.
+:func:`atom_sequence_profile` computes that shape as a hashable key
+(variables become first-occurrence De Bruijn indices plus caller-chosen
+markings) and :class:`UnificationMemo` is the keyed outcome table used by
+:mod:`repro.core.applicability` to skip repeated MGU attempts.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import AbstractSet, Iterable, Sequence
 
 from .atoms import Atom
 from .substitution import Substitution
@@ -124,7 +134,86 @@ def rename_apart(
     return substitution.apply_atoms(atoms), substitution
 
 
+#: A renaming-invariant shape of an atom sequence (see
+#: :func:`atom_sequence_profile`): hashable, comparable, usable as a memo key.
+AtomProfile = tuple
+
+
+def atom_sequence_profile(
+    atoms: Sequence[Atom], marked: AbstractSet[Term] = frozenset()
+) -> AtomProfile:
+    """A renaming-invariant, order-sensitive shape key for *atoms*.
+
+    Two atom sequences receive equal profiles iff one maps onto the other
+    by a bijective variable renaming that preserves membership in *marked*
+    (and the order of the sequences).  Concretely, every variable is
+    replaced by its first-occurrence index across the whole sequence plus a
+    flag telling whether it belongs to *marked*; constants and nulls are
+    kept by ``repr`` (they are rigid, so their identity matters).
+
+    Every unification-shaped question is invariant under such renamings:
+    whether the sequence unifies with a fixed (variable-disjoint) atom, and
+    any property that additionally consults *marked* — the applicability
+    condition of Definition 1 marks the query's shared variables, making
+    the profile a sound memo key for the whole check, not only the MGU
+    attempt (see :class:`repro.core.applicability.ApplicabilityMemo`).
+    """
+    indices: dict[Term, int] = {}
+    rows = []
+    for atom in atoms:
+        labels = []
+        for term in atom.terms:
+            if is_variable(term):
+                index = indices.setdefault(term, len(indices))
+                labels.append((1, index, term in marked))
+            else:
+                labels.append((0, repr(term)))
+        rows.append((atom.name, atom.arity, tuple(labels)))
+    return tuple(rows)
+
+
+class UnificationMemo:
+    """A keyed outcome table for repeated unification-shaped questions.
+
+    The memo stores arbitrary outcomes (booleans in practice) under
+    caller-provided keys, typically ``(rule id, atom profile)`` pairs.  It
+    deliberately knows nothing about rules or queries: the *caller* is
+    responsible for choosing keys such that equal keys imply equal
+    outcomes — :func:`atom_sequence_profile` provides the query half of
+    such a key, a stable rule identifier the other half.
+
+    ``hits``/``misses`` counters feed the ``unification_memo_*`` fields of
+    :class:`repro.core.rewriter.RewritingStatistics`.
+    """
+
+    __slots__ = ("_table", "hits", "misses")
+
+    _MISSING = object()
+
+    def __init__(self) -> None:
+        self._table: dict[object, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, key: object, compute) -> object:
+        """Return the memoised outcome for *key*, computing it on first use."""
+        outcome = self._table.get(key, self._MISSING)
+        if outcome is not self._MISSING:
+            self.hits += 1
+            return outcome
+        self.misses += 1
+        outcome = compute()
+        self._table[key] = outcome
+        return outcome
+
+
 __all__ = [
+    "AtomProfile",
+    "UnificationMemo",
+    "atom_sequence_profile",
     "mgu",
     "unifiable",
     "unify_atoms",

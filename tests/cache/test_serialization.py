@@ -1,0 +1,74 @@
+"""Exact JSON round-tripping of terms, queries and rewriting results."""
+
+import json
+
+import pytest
+
+from repro.cache.serialization import (
+    UnserializableQueryError,
+    query_from_json,
+    query_to_json,
+    result_from_json,
+    result_to_json,
+    term_from_json,
+    term_to_json,
+)
+from repro.core.rewriter import TGDRewriter
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Null, Variable
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.queries.parser import parse_query
+from repro.workloads import stock_exchange_example
+
+
+class TestTermRoundTrip:
+    @pytest.mark.parametrize(
+        "term",
+        [
+            Variable("X"),
+            Variable("W17"),
+            Constant("acme"),
+            Constant("Acme"),  # upper-case constant the text parser cannot express
+            Constant(42),
+            Constant(True),
+            Constant(2.5),
+            Null(7),
+        ],
+    )
+    def test_round_trip_through_json_text(self, term):
+        payload = json.loads(json.dumps(term_to_json(term)))
+        assert term_from_json(payload) == term
+
+    def test_non_scalar_constant_is_rejected(self):
+        with pytest.raises(UnserializableQueryError):
+            term_to_json(Constant((1, 2)))
+
+
+class TestQueryRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        query = parse_query("answers(A, B) :- p(A, C), q(C, B, acme), r(B, 3)")
+        reloaded = query_from_json(json.loads(json.dumps(query_to_json(query))))
+        assert reloaded == query
+        assert repr(reloaded) == repr(query)
+        assert reloaded.head_name == "answers"
+
+    def test_round_trip_preserves_body_order(self):
+        query = ConjunctiveQuery(
+            [Atom.of("b", Variable("X")), Atom.of("a", Variable("X"))]
+        )
+        reloaded = query_from_json(query_to_json(query))
+        assert reloaded.body == query.body
+
+
+class TestResultRoundTrip:
+    def test_running_example_round_trips_byte_identically(self):
+        theory = stock_exchange_example.theory()
+        query = stock_exchange_example.running_query()
+        result = TGDRewriter(theory.tgds, use_elimination=True).rewrite(query)
+        payload = json.loads(json.dumps(result_to_json(result)))
+        reloaded = result_from_json(payload, rules=result.rules)
+        assert reloaded.query == result.query
+        assert list(reloaded.ucq) == list(result.ucq)
+        assert reloaded.auxiliary_queries == result.auxiliary_queries
+        assert repr(reloaded.ucq) == repr(result.ucq)
+        assert reloaded.statistics == result.statistics

@@ -1,0 +1,162 @@
+"""RewritingStore behaviour: persistence, varianthood, versioning, pruning."""
+
+import json
+
+from repro.cache.fingerprint import theory_fingerprint
+from repro.cache.store import RewritingStore
+from repro.core.rewriter import TGDRewriter
+from repro.dependencies.tgd import tgd
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.queries.parser import parse_query
+
+X, Z = Variable("X"), Variable("Z")
+RULES = (
+    tgd(Atom.of("project", X), Atom.of("has_leader", X, Z)),
+    tgd(Atom.of("has_leader", X, Z), Atom.of("leader", Z)),
+)
+FINGERPRINT = theory_fingerprint(RULES)
+
+
+def compile_query(text: str):
+    query = parse_query(text)
+    return query, TGDRewriter(RULES).rewrite(query)
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path):
+        store = RewritingStore(tmp_path)
+        query, result = compile_query("q(A) :- leader(A)")
+        assert store.put(query, FINGERPRINT, result)
+        served = store.get(query, FINGERPRINT, rules=RULES)
+        assert served is not None
+        assert list(served.ucq) == list(result.ucq)
+        assert repr(served.ucq) == repr(result.ucq)
+        assert served.rules == RULES
+
+    def test_variant_query_hits(self, tmp_path):
+        store = RewritingStore(tmp_path)
+        query, result = compile_query("q(A) :- has_leader(A, B)")
+        store.put(query, FINGERPRINT, result)
+        variant = parse_query("q(P) :- has_leader(P, Leader)")
+        served = store.get(variant, FINGERPRINT)
+        assert served is not None
+        assert len(served.ucq) == len(result.ucq)
+        assert store.statistics.hits == 1
+
+    def test_duplicate_put_is_refused(self, tmp_path):
+        store = RewritingStore(tmp_path)
+        query, result = compile_query("q(A) :- leader(A)")
+        assert store.put(query, FINGERPRINT, result)
+        variant = parse_query("q(B) :- leader(B)")
+        assert not store.put(variant, FINGERPRINT, result)
+        assert len(store) == 1
+
+    def test_unserializable_query_is_reported_not_stored(self, tmp_path):
+        store = RewritingStore(tmp_path)
+        query = parse_query("q(A) :- leader(A)")
+        frozen = query.apply({Variable("A"): Constant((1, 2))})
+        result = TGDRewriter(RULES).rewrite(query)
+        result.query = frozen  # smuggle in a non-scalar constant
+        assert not store.put(frozen, FINGERPRINT, result)
+        assert store.statistics.uncacheable == 1
+        assert len(store) == 0
+
+
+class TestPersistence:
+    def test_entries_survive_reopening(self, tmp_path):
+        query, result = compile_query("q(A) :- leader(A)")
+        RewritingStore(tmp_path).put(query, FINGERPRINT, result)
+        reopened = RewritingStore(tmp_path)
+        assert len(reopened) == 1
+        served = reopened.get(query, FINGERPRINT)
+        assert served is not None
+        assert repr(served.ucq) == repr(result.ucq)
+
+    def test_corrupt_trailing_line_is_skipped(self, tmp_path):
+        query, result = compile_query("q(A) :- leader(A)")
+        store = RewritingStore(tmp_path)
+        store.put(query, FINGERPRINT, result)
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"format":1,"digest":"truncated')
+        reopened = RewritingStore(tmp_path)
+        assert reopened.get(query, FINGERPRINT) is not None
+        assert reopened.statistics.skipped_records == 1
+
+    def test_append_after_torn_line_loses_only_the_torn_line(self, tmp_path):
+        first, first_result = compile_query("q(A) :- leader(A)")
+        second, second_result = compile_query("q(A) :- has_leader(A, B)")
+        store = RewritingStore(tmp_path)
+        store.put(first, FINGERPRINT, first_result)
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write('{"format":1,"digest":"torn')  # crash mid-append
+        survivor = RewritingStore(tmp_path)
+        survivor.put(second, FINGERPRINT, second_result)
+        reopened = RewritingStore(tmp_path)
+        assert reopened.get(first, FINGERPRINT) is not None
+        assert reopened.get(second, FINGERPRINT) is not None
+        assert reopened.statistics.skipped_records == 1  # the torn line only
+
+    def test_other_format_versions_are_skipped(self, tmp_path):
+        query, result = compile_query("q(A) :- leader(A)")
+        store = RewritingStore(tmp_path)
+        store.put(query, FINGERPRINT, result)
+        record = json.loads(store.path.read_text().strip())
+        record["format"] = RewritingStore.FORMAT_VERSION + 1
+        with store.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        reopened = RewritingStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.statistics.skipped_records == 1
+
+
+class TestInvalidation:
+    def test_fingerprint_mismatch_misses(self, tmp_path):
+        store = RewritingStore(tmp_path)
+        query, result = compile_query("q(A) :- leader(A)")
+        store.put(query, FINGERPRINT, result)
+        other = theory_fingerprint(RULES[:1])
+        assert store.get(query, other) is None
+        assert store.statistics.misses == 1
+
+    def test_prune_drops_stale_fingerprints(self, tmp_path):
+        store = RewritingStore(tmp_path)
+        query, result = compile_query("q(A) :- leader(A)")
+        store.put(query, FINGERPRINT, result)
+        store.put(query, "stale-fingerprint", result)
+        assert len(store) == 2
+        assert store.prune(FINGERPRINT) == 1
+        assert len(store) == 1
+        assert store.fingerprints == frozenset({FINGERPRINT})
+        reopened = RewritingStore(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get(query, FINGERPRINT) is not None
+
+    def test_prune_without_stale_entries_is_a_no_op(self, tmp_path):
+        store = RewritingStore(tmp_path)
+        query, result = compile_query("q(A) :- leader(A)")
+        store.put(query, FINGERPRINT, result)
+        before = store.path.read_bytes()
+        assert store.prune(FINGERPRINT) == 0
+        assert store.path.read_bytes() == before
+
+
+class TestCanonicalKeyCollisions:
+    # p(X,Y),p(Y,X) and p(X,X),p(Y,Y) share a canonical key but are not
+    # variants: the store must keep them apart (invariant 1 of repro.cache).
+    CYCLE = "q() :- p(X, Y), p(Y, X)"
+    LOOPS = "q() :- p(X, X), p(Y, Y)"
+
+    def test_colliding_non_variants_are_kept_apart(self, tmp_path):
+        store = RewritingStore(tmp_path)
+        cycle, cycle_result = compile_query(self.CYCLE)
+        loops, loops_result = compile_query(self.LOOPS)
+        assert cycle.canonical_key == loops.canonical_key  # the premise
+        assert store.put(cycle, FINGERPRINT, cycle_result)
+        assert store.get(loops, FINGERPRINT) is None
+        assert store.statistics.collisions == 1
+        assert store.put(loops, FINGERPRINT, loops_result)
+        served_cycle = store.get(cycle, FINGERPRINT)
+        served_loops = store.get(loops, FINGERPRINT)
+        assert repr(served_cycle.query) == repr(cycle)
+        assert repr(served_loops.query) == repr(loops)

@@ -1,0 +1,151 @@
+"""Warm-start correctness of the compile-once serving layer.
+
+The contract of the persistent cache is that a warm start is
+indistinguishable from a cold start except for speed: byte-identical
+rewritings (same ``repr``, same SQL), identical sizes, and structural
+invalidation the moment the theory changes.
+"""
+
+import pytest
+
+from repro.api import OBDASystem
+from repro.cache.store import RewritingStore
+from repro.dependencies.tgd import tgd
+from repro.dependencies.theory import OntologyTheory
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable
+from repro.workloads import get_workload, stock_exchange_example
+from tests.integration.test_regression_sizes import EXPECTED_SIZES
+
+
+class TestRunningExampleWarmStart:
+    def test_warm_result_is_byte_identical_to_cold(self, tmp_path):
+        theory = stock_exchange_example.theory()
+        query = stock_exchange_example.running_query()
+
+        cold_system = OBDASystem(theory, cache=tmp_path)
+        cold = cold_system.compile(query)
+        assert cold.statistics.persistent_cache_misses == 1
+
+        warm_system = OBDASystem(theory, cache=tmp_path)
+        warm = warm_system.compile(query)
+        assert warm.statistics.persistent_cache_hits == 1
+        assert list(warm.ucq) == list(cold.ucq)
+        assert repr(warm.ucq) == repr(cold.ucq)
+        assert warm.auxiliary_queries == cold.auxiliary_queries
+        assert warm_system.to_sql(query) == cold_system.to_sql(query)
+
+    def test_warm_hit_is_shared_across_elimination_settings_never(self, tmp_path):
+        # NY and NY* have different fingerprints: a warm NY* store must not
+        # serve the plain NY engine.
+        theory = stock_exchange_example.theory()
+        query = stock_exchange_example.running_query()
+        OBDASystem(theory, use_elimination=True, cache=tmp_path).compile(query)
+        plain = OBDASystem(theory, use_elimination=False, cache=tmp_path)
+        result = plain.compile(query)
+        assert result.statistics.persistent_cache_misses == 1
+        assert len(result.ucq) == 100  # the pinned NY size
+
+    def test_variant_query_is_served_from_the_store(self, tmp_path):
+        theory = stock_exchange_example.theory()
+        query = stock_exchange_example.running_query()
+        cold = OBDASystem(theory, cache=tmp_path).compile(query)
+        renamed = query.rename_variables(prefix="V")
+        warm = OBDASystem(theory, cache=tmp_path).compile(renamed)
+        assert warm.statistics.persistent_cache_hits == 1
+        assert len(warm.ucq) == len(cold.ucq)
+
+
+class TestTable1WarmStart:
+    WORKLOAD = "S"
+
+    def test_warm_sizes_match_the_pinned_table1_sizes(self, tmp_path):
+        workload = get_workload(self.WORKLOAD)
+        expected = EXPECTED_SIZES[self.WORKLOAD]
+
+        def compile_all(elim):
+            system = OBDASystem(workload.theory, use_elimination=elim, cache=tmp_path)
+            results = system.compile_many(
+                workload.query(name) for name in workload.query_names
+            )
+            return system, dict(zip(workload.query_names, results))
+
+        for run in ("cold", "warm"):
+            _, plain = compile_all(False)
+            _, optimised = compile_all(True)
+            for name, (ny_size, ny_star_size) in expected.items():
+                assert len(plain[name].ucq) == ny_size, (run, name)
+                assert len(optimised[name].ucq) == ny_star_size, (run, name)
+
+        system, results = compile_all(True)
+        assert all(r.statistics.persistent_cache_hits == 1 for r in results.values())
+        info = system.rewriting_cache_info()
+        assert info.persistent_hits == len(results)
+        assert info.persistent_misses == 0
+
+    def test_warm_rewritings_are_byte_identical(self, tmp_path):
+        workload = get_workload(self.WORKLOAD)
+        query = workload.query("q3")
+        cold = OBDASystem(workload.theory, cache=tmp_path).compile(query)
+        warm = OBDASystem(workload.theory, cache=tmp_path).compile(query)
+        assert repr(warm.ucq) == repr(cold.ucq)
+        assert warm.statistics.persistent_cache_hits == 1
+
+
+class TestInvalidationOnTheoryChange:
+    def make_theory(self, extra_rule=False):
+        X, Z = Variable("X"), Variable("Z")
+        rules = [
+            tgd(Atom.of("project", X), Atom.of("has_leader", X, Z), label="s1"),
+            tgd(Atom.of("has_leader", X, Z), Atom.of("leader", Z), label="s2"),
+        ]
+        if extra_rule:
+            rules.append(tgd(Atom.of("leader", X), Atom.of("person", X), label="s3"))
+        return OntologyTheory(tgds=rules, name="projects")
+
+    @pytest.fixture()
+    def query(self):
+        from repro.queries.parser import parse_query
+
+        return parse_query("q(A) :- leader(A)")
+
+    def test_added_tgd_invalidates(self, tmp_path, query):
+        cold = OBDASystem(self.make_theory(), cache=tmp_path).compile(query)
+        grown = OBDASystem(self.make_theory(extra_rule=True), cache=tmp_path)
+        recompiled = grown.compile(query)
+        assert recompiled.statistics.persistent_cache_misses == 1
+        assert len(cold.ucq) == len(recompiled.ucq)  # q is unaffected here,
+        # but it must be *recompiled*, not served from the stale entry.
+
+    def test_removed_tgd_invalidates(self, tmp_path, query):
+        OBDASystem(self.make_theory(extra_rule=True), cache=tmp_path).compile(query)
+        shrunk = OBDASystem(self.make_theory(), cache=tmp_path)
+        assert shrunk.compile(query).statistics.persistent_cache_misses == 1
+
+    def test_same_theory_different_rule_order_still_hits(self, tmp_path, query):
+        theory = self.make_theory()
+        OBDASystem(theory, cache=tmp_path).compile(query)
+        reordered = OntologyTheory(tgds=list(reversed(theory.tgds)), name="projects")
+        warm = OBDASystem(reordered, cache=tmp_path).compile(query)
+        assert warm.statistics.persistent_cache_hits == 1
+
+    def test_prune_reclaims_stale_entries(self, tmp_path, query):
+        OBDASystem(self.make_theory(), cache=tmp_path).compile(query)
+        grown = OBDASystem(self.make_theory(extra_rule=True), cache=tmp_path)
+        grown.compile(query)
+        store = grown.rewriting_store
+        assert len(store) == 2
+        assert store.prune(grown.theory_fingerprint) == 1
+        assert len(store) == 1
+
+
+class TestSharedStoreInstance:
+    def test_one_store_serves_many_systems(self, tmp_path):
+        store = RewritingStore(tmp_path)
+        theory = stock_exchange_example.theory()
+        query = stock_exchange_example.running_query()
+        OBDASystem(theory, cache=store).compile(query)
+        warm = OBDASystem(theory, cache=store).compile(query)
+        assert warm.statistics.persistent_cache_hits == 1
+        assert store.statistics.hits == 1
+        assert store.statistics.stores == 1

@@ -1,0 +1,152 @@
+"""Engine memoisation: identical rewritings, fewer unifications.
+
+The rename-apart pool and the applicability memo are pure caches: with
+them on or off the engine must produce rewritings of exactly the same
+sizes (the members may differ in variable naming only, which interning
+treats as equal).  These tests pin that equivalence and the soundness of
+the profile-keyed memo itself.
+"""
+
+import pytest
+
+from repro.core.applicability import (
+    ApplicabilityMemo,
+    RenameApartCache,
+    applicable_atom_sets,
+    is_applicable,
+)
+from repro.core.rewriter import TGDRewriter
+from repro.dependencies.tgd import tgd
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable, VariableFactory
+from repro.logic.unification import UnificationMemo, atom_sequence_profile
+from repro.queries.parser import parse_query
+from repro.workloads import get_workload, stock_exchange_example
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestAtomSequenceProfile:
+    def test_invariant_under_renaming(self):
+        first = [Atom.of("p", X, Y), Atom.of("q", Y, Z)]
+        second = [Atom.of("p", Z, X), Atom.of("q", X, Y)]
+        assert atom_sequence_profile(first) == atom_sequence_profile(second)
+
+    def test_distinguishes_equality_patterns(self):
+        joined = [Atom.of("p", X, X)]
+        spread = [Atom.of("p", X, Y)]
+        assert atom_sequence_profile(joined) != atom_sequence_profile(spread)
+
+    def test_marked_variables_split_profiles(self):
+        atoms = [Atom.of("p", X, Y)]
+        assert atom_sequence_profile(atoms) != atom_sequence_profile(
+            atoms, marked={Y}
+        )
+
+    def test_constants_kept_by_identity(self):
+        from repro.logic.terms import Constant
+
+        acme = [Atom.of("p", X, Constant("acme"))]
+        ibm = [Atom.of("p", X, Constant("ibm"))]
+        assert atom_sequence_profile(acme) != atom_sequence_profile(ibm)
+
+
+class TestUnificationMemo:
+    def test_lookup_computes_once(self):
+        memo = UnificationMemo()
+        calls = []
+        for _ in range(3):
+            outcome = memo.lookup("key", lambda: calls.append(1) or "value")
+        assert outcome == "value"
+        assert len(calls) == 1
+        assert (memo.hits, memo.misses) == (2, 1)
+
+    def test_false_outcomes_are_cached_too(self):
+        memo = UnificationMemo()
+        assert memo.lookup("key", lambda: False) is False
+        assert memo.lookup("key", lambda: True) is False  # cached, not recomputed
+        assert memo.hits == 1
+
+
+class TestRenameApartCache:
+    RULE = tgd(Atom.of("person", X), Atom.of("has_parent", X, Z))
+
+    def test_returned_copy_avoids_the_query_variables(self):
+        cache = RenameApartCache()
+        fresh = VariableFactory(prefix="W")
+        query = parse_query("q(A) :- has_parent(A, B)")
+        copy = cache.rename(0, self.RULE, query.variables, fresh)
+        assert (copy.body_variables | copy.head_variables).isdisjoint(query.variables)
+
+    def test_pool_is_reused_for_disjoint_queries(self):
+        cache = RenameApartCache()
+        fresh = VariableFactory(prefix="W")
+        first = cache.rename(0, self.RULE, parse_query("q(A) :- p(A)").variables, fresh)
+        second = cache.rename(0, self.RULE, parse_query("q(B) :- p(B)").variables, fresh)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_clashing_copy_is_never_served(self):
+        cache = RenameApartCache()
+        fresh = VariableFactory(prefix="W")
+        first = cache.rename(0, self.RULE, frozenset({X}), fresh)
+        clash = frozenset(first.body_variables)
+        second = cache.rename(0, self.RULE, clash, fresh)
+        assert (second.body_variables | second.head_variables).isdisjoint(clash)
+        assert second is not first
+
+
+class TestApplicabilityMemoSoundness:
+    def test_memoised_answers_match_direct_answers(self):
+        # Drive both the memoised and the direct check over every candidate
+        # subset the running example's rewriting would enumerate.
+        theory = stock_exchange_example.theory()
+        rules = TGDRewriter(theory.tgds).rules
+        memo = ApplicabilityMemo()
+        fresh = VariableFactory(prefix="W")
+        queries = [
+            stock_exchange_example.running_query(),
+            parse_query("q() :- stock_portf(B, A, D), has_stock(A, B), fin_ins(A)"),
+        ]
+        checked = 0
+        for query in queries:
+            for key, rule in enumerate(rules):
+                renamed = rule.rename_apart(query.variables, fresh)
+                direct = {
+                    subset for subset in applicable_atom_sets(renamed, query)
+                }
+                memoised = {
+                    subset
+                    for subset in applicable_atom_sets(
+                        renamed, query, memo=memo, rule_key=key
+                    )
+                }
+                assert direct == memoised
+                checked += 1
+        assert checked == 2 * len(rules)
+
+
+@pytest.mark.parametrize("workload_name", ["S", "P5"])
+class TestMemoisationPreservesSizes:
+    def test_identical_rewriting_sizes_with_and_without_memo(self, workload_name):
+        workload = get_workload(workload_name)
+        with_memo = TGDRewriter(workload.theory.tgds, use_memoisation=True)
+        without_memo = TGDRewriter(workload.theory.tgds, use_memoisation=False)
+        for name in workload.query_names:
+            query = workload.query(name)
+            memoised = with_memo.rewrite(query)
+            plain = without_memo.rewrite(query)
+            assert len(memoised.ucq) == len(plain.ucq), name
+            assert memoised.statistics.unification_memo_hits >= 0
+            assert plain.statistics.unification_memo_hits == 0
+            assert plain.statistics.rename_cache_hits == 0
+
+    def test_memo_actually_fires_across_a_workload(self, workload_name):
+        workload = get_workload(workload_name)
+        rewriter = TGDRewriter(workload.theory.tgds)
+        total_hits = 0
+        for name in workload.query_names:
+            statistics = rewriter.rewrite(workload.query(name)).statistics
+            total_hits += statistics.unification_memo_hits
+            total_hits += statistics.rename_cache_hits
+        assert total_hits > 0

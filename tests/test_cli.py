@@ -94,6 +94,89 @@ class TestRewriteCommand:
         assert size(optimised_output) <= size(plain_output)
 
 
+class TestCompileCommand:
+    TBOX = TestRewriteCommand.TBOX
+
+    @pytest.fixture()
+    def tbox_file(self, tmp_path):
+        path = tmp_path / "university.dllite"
+        path.write_text(self.TBOX, encoding="utf-8")
+        return str(path)
+
+    @pytest.fixture()
+    def queries_file(self, tmp_path):
+        path = tmp_path / "queries.cq"
+        path.write_text(
+            "# workload queries\n"
+            "q(A) :- Person(A)\n"
+            "\n"
+            "q(A, B) :- Student(A), attends(A, B)\n",
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_compiles_a_query_file(self, tbox_file, queries_file, capsys):
+        assert main(["compile", "--tbox", tbox_file, "--queries", queries_file]) == 0
+        output = capsys.readouterr().out
+        assert "line 2:" in output
+        assert "line 4:" in output
+        assert "# compiled 2 queries" in output
+
+    def test_workload_defaults_to_its_table2_queries(self, capsys):
+        assert main(["compile", "--workload", "S"]) == 0
+        output = capsys.readouterr().out
+        for name in ("q1", "q2", "q3", "q4", "q5"):
+            assert f"{name}:" in output
+
+    def test_cold_then_warm_cache_run(self, tbox_file, queries_file, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["compile", "--tbox", tbox_file, "--queries", queries_file,
+             "--cache", cache, "--stats"]
+        ) == 0
+        cold = capsys.readouterr().out
+        assert "2 misses" in cold
+        assert "# theory fingerprint:" in cold
+        assert main(
+            ["compile", "--tbox", tbox_file, "--queries", queries_file,
+             "--cache", cache, "--fail-on-miss"]
+        ) == 0
+        warm = capsys.readouterr().out
+        assert "cache hit" in warm
+        assert "2 persistent hits" in warm
+
+    def test_fail_on_miss_fails_cold(self, tbox_file, queries_file, tmp_path, capsys):
+        assert main(
+            ["compile", "--tbox", tbox_file, "--queries", queries_file,
+             "--cache", str(tmp_path / "cache"), "--fail-on-miss"]
+        ) == 1
+        assert "not served from the cache" in capsys.readouterr().err
+
+    def test_fail_on_miss_requires_a_cache(self, tbox_file, queries_file, capsys):
+        assert main(
+            ["compile", "--tbox", tbox_file, "--queries", queries_file,
+             "--fail-on-miss"]
+        ) == 2
+        assert "requires --cache" in capsys.readouterr().err
+
+    def test_duplicate_queries_are_reported_as_in_process_hits(
+        self, tbox_file, tmp_path, capsys
+    ):
+        path = tmp_path / "dup.cq"
+        path.write_text("q(A) :- Person(A)\nq(A) :- Person(A)\n", encoding="utf-8")
+        assert main(["compile", "--tbox", tbox_file, "--queries", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "in-process hit" in output
+
+    def test_tbox_without_queries_is_rejected(self, tbox_file):
+        with pytest.raises(SystemExit):
+            main(["compile", "--tbox", tbox_file])
+
+    def test_tbox_and_workload_are_mutually_exclusive(self, tbox_file):
+        with pytest.raises(SystemExit):
+            main(["compile", "--tbox", tbox_file, "--workload", "S"])
+
+
 class TestParser:
     def test_command_is_required(self):
         with pytest.raises(SystemExit):
