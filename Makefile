@@ -7,7 +7,7 @@ PYTEST  = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro
 CACHE_DIR ?= .cache-smoke
 
-.PHONY: test smoke cache-smoke bench table1
+.PHONY: test smoke cache-smoke bench bench-json table1
 
 test:
 	$(PYTEST) -x -q
@@ -23,6 +23,13 @@ cache-smoke:
 
 bench:
 	$(PYTEST) -q benchmarks
+
+# Machine-readable perf tracking: cold sequential vs cold parallel vs warm
+# over the five Table 1 ontologies (see docs/BENCHMARKS.md).  Non-gating in
+# CI; the JSON is uploaded as an artifact.
+bench-json:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
+	    benchmarks/bench_parallel_compile.py --output BENCH_parallel.json
 
 table1:
 	$(REPRO) table1

@@ -25,6 +25,7 @@ Quick start::
 
 from .api import AnswerSet, InconsistentTheoryError, OBDASystem, RewritingCacheInfo
 from .cache import RewritingStore, theory_fingerprint
+from .parallel import compile_workloads
 from .baselines import (
     ChaseBackchase,
     QuOntoStyleRewriter,
@@ -130,6 +131,7 @@ __all__ = [
     "certain_answers",
     "chase",
     "classify",
+    "compile_workloads",
     "cq_to_sql",
     "database_from_tuples",
     "eliminate",

@@ -112,11 +112,14 @@ class OBDASystem:
         self._database = database if database is not None else RelationalInstance(schema=schema)
         self._schema = schema if schema is not None else self._database.schema
         use_elimination = use_elimination and theory.classification.linear
+        self._use_elimination = use_elimination
+        self._use_nc_pruning = use_nc_pruning
         self._rewriter = TGDRewriter(
             theory,
             use_elimination=use_elimination,
             use_nc_pruning=use_nc_pruning,
         )
+        self._last_batch_statistics: RewritingStatistics | None = None
         self._rewriting_cache: dict[ConjunctiveQuery, RewritingResult] = {}
         self._cache_hits = 0
         self._cache_misses = 0
@@ -209,40 +212,124 @@ class OBDASystem:
         returned.  The result's statistics record which persistent path
         was taken (``persistent_cache_hits`` / ``persistent_cache_misses``).
         """
+        served = self._serve_from_caches(query)
+        if served is not None:
+            return served
+        return self._absorb_fresh_result(query, self._rewriter.rewrite(query))
+
+    def _serve_from_caches(self, query: ConjunctiveQuery) -> RewritingResult | None:
+        """Probe the serving layers in order: in-process dict, then store.
+
+        Returns the served result — installed in the in-process cache,
+        with its hit counters updated — or ``None`` on a genuine miss
+        (the caller then owes the engine a run).  This is the *only*
+        implementation of the serving order; the sequential
+        :meth:`compile` and the parallel pre-scan of
+        :func:`repro.parallel.compile_workloads` both go through it.
+        """
         cached = self._rewriting_cache.get(query)
         if cached is not None:
             self._cache_hits += 1
             return cached
         self._cache_misses += 1
-        result: RewritingResult | None = None
         if self._store is not None:
-            result = self._store.get(query, self._fingerprint, rules=self._rewriter.rules)
+            result = self._store.get(
+                query, self._fingerprint, rules=self._rewriter.rules
+            )
             if result is not None:
                 result.statistics.persistent_cache_hits += 1
-        if result is None:
-            result = self._rewriter.rewrite(query)
-            if self._store is not None:
-                # Persist before marking the miss: the stored statistics
-                # describe the engine run only, so a future warm hit
-                # reports hits=1, misses=0 rather than inheriting this
-                # process's miss.
-                self._store.put(query, self._fingerprint, result)
+                self._rewriting_cache[query] = result
+                return result
+        return None
+
+    def _absorb_fresh_result(
+        self, query: ConjunctiveQuery, result: RewritingResult
+    ) -> RewritingResult:
+        """Persist an engine-computed rewriting and install it in the caches.
+
+        Persisting happens before the miss is marked, so the stored
+        statistics describe the engine run only and a future warm hit
+        reports ``hits=1, misses=0``.  When ``put`` refuses because a
+        variant entry already exists (a variant compiled earlier in a
+        parallel batch — or by another process — landed first), the
+        stored round-trip result is served instead, exactly as a
+        sequential probe arriving after that write would have been.
+        """
+        if self._store is not None:
+            if self._store.put(query, self._fingerprint, result):
                 result.statistics.persistent_cache_misses += 1
+            else:
+                stored = self._store.get(
+                    query, self._fingerprint, rules=self._rewriter.rules
+                )
+                if stored is not None:
+                    stored.statistics.persistent_cache_hits += 1
+                    result = stored
+                else:
+                    # Uncacheable query (non-scalar constants): compiled
+                    # but never persisted.
+                    result.statistics.persistent_cache_misses += 1
         self._rewriting_cache[query] = result
         return result
 
+    def _engine_specification(self) -> tuple:
+        """What a worker process needs to rebuild this system's engine.
+
+        The theory plus the *resolved* engine options — pickled once per
+        worker by :func:`repro.parallel.compile_workloads`.  A worker
+        engine built from this specification computes byte-identical
+        rewritings to :attr:`_rewriter` (the engine is deterministic).
+        """
+        return (self._theory, self._use_elimination, self._use_nc_pruning)
+
     def compile_many(
-        self, queries: Iterable[ConjunctiveQuery]
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        workers: int | None = None,
     ) -> list[RewritingResult]:
         """Compile a batch of queries through the shared cache layers.
 
-        All queries go through one engine — sharing its rule index,
-        rename-apart pools and applicability memo — and one persistent
+        All queries go through the shared cache layers and one persistent
         store, so a warm store turns a whole workload run into a sequence
         of lookups.  Results are returned in input order (duplicated or
         variant inputs each get their — shared — result).
+
+        ``workers`` controls cold-compile parallelism: ``None`` (default)
+        uses one worker process per CPU, ``workers=1`` keeps today's
+        sequential in-process path.  Cache probes and store writes always
+        happen in the parent, in input order, so the stored bytes — and
+        the pinned Table 1 sizes — are identical under every worker
+        count; see :mod:`repro.parallel` for the partition/merge
+        protocol.  After the call, :attr:`last_batch_statistics` holds
+        the merged per-workload totals.
         """
-        return [self.compile(query) for query in queries]
+        from .parallel import compile_workloads, resolve_workers
+
+        queries = list(queries)
+        if resolve_workers(workers) == 1 or len(queries) <= 1:
+            results = [self.compile(query) for query in queries]
+            self._record_batch_statistics(results)
+            return results
+        return compile_workloads([(self, queries)], workers=workers)[0]
+
+    def _record_batch_statistics(self, results: Sequence[RewritingResult]) -> None:
+        """Fold a batch's per-result statistics into merged workload totals.
+
+        Shared results (duplicated inputs) count once; used by both the
+        sequential loop and :func:`repro.parallel.compile_workloads`.
+        """
+        unique = {id(result): result.statistics for result in results}
+        self._last_batch_statistics = RewritingStatistics.merge_all(unique.values())
+
+    @property
+    def last_batch_statistics(self) -> RewritingStatistics | None:
+        """Merged totals of the most recent :meth:`compile_many` batch.
+
+        Each distinct result's counters summed with
+        :meth:`RewritingStatistics.merge` — what ``repro compile --stats``
+        prints as per-workload totals.  ``None`` before any batch ran.
+        """
+        return self._last_batch_statistics
 
     def rewriting_cache_info(self) -> RewritingCacheInfo:
         """Hit/miss counters of the in-process and persistent caches."""

@@ -105,6 +105,23 @@ def statistics_from_json(payload: dict) -> RewritingStatistics:
     )
 
 
+def statistics_to_json(statistics: RewritingStatistics) -> dict:
+    """Encode statistics with the volatile counters zeroed.
+
+    Wall-clock and the memo/serving-cache shares vary between runs that
+    compute the *same* rewriting (they depend on engine history and
+    timing), so persisting them would make two stores built from
+    identical inputs differ byte-wise.  Zeroing them keeps every stored
+    record a deterministic function of ``(rules, options, query)`` —
+    the property the parallel-determinism tests pin — while the
+    algorithmic counters (generated/pruned/interned/…) round-trip intact.
+    """
+    payload = asdict(statistics)
+    for name in RewritingStatistics.VOLATILE_FIELDS:
+        payload[name] = type(payload[name])()
+    return payload
+
+
 def result_to_json(result: RewritingResult) -> dict:
     """Encode a rewriting result (the rules are *not* stored).
 
@@ -115,7 +132,7 @@ def result_to_json(result: RewritingResult) -> dict:
         "query": query_to_json(result.query),
         "ucq": [query_to_json(member) for member in result.ucq],
         "auxiliary": [query_to_json(member) for member in result.auxiliary_queries],
-        "statistics": asdict(result.statistics),
+        "statistics": statistics_to_json(result.statistics),
     }
 
 

@@ -89,6 +89,7 @@ class CacheStatistics:
     uncacheable: int = 0
     skipped_records: int = 0
     pruned: int = 0
+    evicted: int = 0
 
 
 class RewritingStore:
@@ -99,6 +100,22 @@ class RewritingStore:
     directory:
         The store directory (created if missing).  Several theories may
         share one store: entries are segregated by fingerprint.
+    max_entries:
+        Optional LRU bound on the number of stored records.  When an
+        append pushes the store past the bound, the least-recently-served
+        entries are evicted from the in-memory index immediately; the
+        file itself is rewritten (atomically) only once it holds twice
+        the bound, so a workload of M puts costs O(M) amortised writes
+        instead of one full rewrite per put.  Between rewrites the file
+        may transiently hold up to ``2 * max_entries`` records; reopening
+        the store re-applies the bound.  One caveat: re-putting an entry
+        whose evicted record still sits in the file forces an immediate
+        purge, so a workload *cycling* through a working set larger than
+        the bound thrashes (as any LRU does) — pick a bound that covers
+        the hot set.  Recency is tracked in-process
+        (served or stored most recently = most recent); entries never
+        touched in this process rank by their position in the file,
+        i.e. oldest-first.
     """
 
     #: On-disk format version; bump on any incompatible record change.
@@ -106,7 +123,11 @@ class RewritingStore:
     #: Name of the JSON-lines file inside the store directory.
     FILENAME = "rewritings.jsonl"
 
-    def __init__(self, directory: str | os.PathLike) -> None:
+    def __init__(
+        self, directory: str | os.PathLike, max_entries: int | None = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self._path = self._directory / self.FILENAME
@@ -114,7 +135,19 @@ class RewritingStore:
         self._lock = threading.Lock()
         self.statistics = CacheStatistics()
         self._needs_newline = False
+        self._max_entries = max_entries
+        self._recency: dict[str, int] = {}
+        self._ticks = 0
+        self._file_records = 0
+        # Digests evicted from the index whose records still sit in the
+        # (lazily rewritten) file; re-appending one of these without a
+        # purge first would leave duplicate records on disk.
+        self._ghost_digests: set[str] = set()
         self._load()
+        self._file_records = len(self)
+        if max_entries is not None:
+            with self._lock:
+                self.statistics.evicted += self._evict_locked(max_entries)
 
     # -- basic accessors ---------------------------------------------------
 
@@ -136,6 +169,16 @@ class RewritingStore:
         """The distinct theory fingerprints present in the store."""
         return frozenset(record["fingerprint"] for record in self)
 
+    @property
+    def max_entries(self) -> int | None:
+        """The LRU bound on stored records (``None`` = unbounded)."""
+        return self._max_entries
+
+    def _touch(self, digest: str) -> None:
+        """Mark *digest* as the most recently served/stored bucket."""
+        self._ticks += 1
+        self._recency[digest] = self._ticks
+
     # -- the map interface -------------------------------------------------
 
     def get(
@@ -154,12 +197,14 @@ class RewritingStore:
         statistics = self.statistics
         statistics.lookups += 1
         key, exact = query.canonical_fingerprint
-        bucket = self._bucket(self._digest(key, fingerprint))
+        digest = self._digest(key, fingerprint)
+        bucket = self._bucket(digest)
         for record in bucket:
             record_exact = bool(record["exact"])
             if exact and record_exact:
                 statistics.hits += 1
                 statistics.exact_hits += 1
+                self._touch(digest)
                 return result_from_json(record["result"], rules)
             if exact != record_exact:
                 # Exactness is a variant invariant: a mismatch proves
@@ -169,6 +214,7 @@ class RewritingStore:
             stored_query = query_from_json(record["result"]["query"])
             if stored_query.is_variant_of(query):
                 statistics.hits += 1
+                self._touch(digest)
                 return result_from_json(record["result"], rules)
         if bucket:
             statistics.collisions += 1
@@ -208,6 +254,11 @@ class RewritingStore:
                     stored_query = query_from_json(existing["result"]["query"])
                     if stored_query.is_variant_of(query):
                         return False
+            if digest in self._ghost_digests:
+                # The file still holds an evicted record for this digest;
+                # purge it first or a reload would double-count the bucket
+                # against the bound (and serve the stale record).
+                self._rewrite_locked()
             bucket.append(record)
             with self._path.open("a", encoding="utf-8") as handle:
                 if self._needs_newline:
@@ -216,8 +267,89 @@ class RewritingStore:
                     handle.write("\n")
                     self._needs_newline = False
                 handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._file_records += 1
+            self._touch(digest)
+            evicted = 0
+            if self._max_entries is not None:
+                evicted = self._evict_memory_locked(self._max_entries)
+                if evicted and self._file_records >= 2 * self._max_entries:
+                    self._rewrite_locked()
         self.statistics.stores += 1
+        self.statistics.evicted += evicted
         return True
+
+    def compact(self, max_entries: int | None = None) -> int:
+        """Bound the store to its *max_entries* most-recently-served records.
+
+        Evicts least-recently-served entries until at most *max_entries*
+        records remain (defaulting to the bound given at construction
+        time) and rewrites the JSON-lines file atomically.  Recency is
+        the in-process serving order; entries never served by this
+        process rank by file position, so a fresh open (e.g. ``repro
+        cache compact``) evicts oldest-first.  Returns the number of
+        records removed.
+        """
+        if max_entries is None:
+            max_entries = self._max_entries
+        if max_entries is None:
+            raise ValueError(
+                "compact() needs max_entries (no bound was set at construction)"
+            )
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        with self._lock:
+            removed = self._evict_locked(max_entries)
+        self.statistics.evicted += removed
+        return removed
+
+    def _evict_memory_locked(self, max_entries: int) -> int:
+        """Drop LRU buckets from the index until ``len(self) <= max_entries``.
+
+        Must be called with :attr:`_lock` held; does *not* touch the
+        file (:meth:`put` rewrites lazily, :meth:`_evict_locked` always).
+        Eviction granularity is the digest bucket (buckets exceed one
+        record only on canonical-key collisions, which are vanishingly
+        rare).
+        """
+        if len(self) <= max_entries:
+            return 0
+        removed = 0
+        for digest in sorted(self._index, key=lambda d: self._recency.get(d, 0)):
+            if len(self) <= max_entries:
+                break
+            removed += len(self._index.pop(digest))
+            self._recency.pop(digest, None)
+            self._ghost_digests.add(digest)
+        return removed
+
+    def _evict_locked(self, max_entries: int) -> int:
+        """Evict down to *max_entries* and rewrite the file if anything went."""
+        removed = self._evict_memory_locked(max_entries)
+        if removed:
+            self._rewrite_locked()
+        return removed
+
+    def _rewrite_locked(self) -> None:
+        """Atomically rewrite the JSON-lines file from the in-memory index.
+
+        Must be called with :attr:`_lock` held.  Surviving records keep
+        their relative order (the index preserves insertion order);
+        records still in their unparsed string form are written back
+        verbatim, so compaction never has to parse payloads it is merely
+        keeping.
+        """
+        temporary = self._path.with_suffix(".jsonl.tmp")
+        with temporary.open("w", encoding="utf-8") as handle:
+            for bucket in self._index.values():
+                for record in bucket:
+                    if isinstance(record, str):
+                        handle.write(record + "\n")
+                    else:
+                        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        os.replace(temporary, self._path)
+        self._needs_newline = False
+        self._file_records = len(self)
+        self._ghost_digests.clear()
 
     def prune(self, keep_fingerprint: str) -> int:
         """Physically drop every entry whose fingerprint differs.
@@ -237,16 +369,13 @@ class RewritingStore:
                 if kept:
                     survivors[digest] = kept
             if removed:
-                temporary = self._path.with_suffix(".jsonl.tmp")
-                with temporary.open("w", encoding="utf-8") as handle:
-                    for bucket in survivors.values():
-                        for record in bucket:
-                            handle.write(
-                                json.dumps(record, separators=(",", ":")) + "\n"
-                            )
-                os.replace(temporary, self._path)
                 self._index = survivors
-                self._needs_newline = False
+                self._recency = {
+                    digest: tick
+                    for digest, tick in self._recency.items()
+                    if digest in survivors
+                }
+                self._rewrite_locked()
         self.statistics.pruned += removed
         return removed
 
@@ -296,6 +425,7 @@ class RewritingStore:
                         self.statistics.skipped_records += 1
                         continue
                     self._index.setdefault(match.group(2), []).append(line)
+                    self._touch(match.group(2))
                     continue
                 try:
                     record = json.loads(line)
@@ -311,6 +441,7 @@ class RewritingStore:
                     self.statistics.skipped_records += 1
                     continue
                 self._index.setdefault(record["digest"], []).append(record)
+                self._touch(record["digest"])
 
     def _bucket(self, digest: str) -> list[dict]:
         """The fully parsed records of one bucket (parsing them on first use)."""

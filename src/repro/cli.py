@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four small commands expose the library without writing Python:
+Five small commands expose the library without writing Python:
 
 ``workloads``
     List the registered evaluation workloads and their sizes.
@@ -16,9 +16,16 @@ Four small commands expose the library without writing Python:
 ``compile (--tbox FILE | --workload NAME) [--queries FILE] [--cache DIR]``
     Batch-compile a whole query workload through one engine — optionally
     against a persistent rewriting cache, so a second invocation with the
-    same ``--cache`` directory serves every rewriting from disk.  With
-    ``--fail-on-miss`` the command exits non-zero unless every query was
-    served from the cache (the warm-run assertion used in CI).
+    same ``--cache`` directory serves every rewriting from disk.
+    ``--workers N`` compiles cold misses on a process pool (default: one
+    worker per CPU; the stored bytes are identical under any worker
+    count).  With ``--fail-on-miss`` the command reports every query not
+    served from the cache and exits non-zero (the warm-run assertion used
+    in CI).
+
+``cache compact --cache DIR --max-entries N``
+    Bound a persistent rewriting cache to its N most-recently-served
+    entries, rewriting the JSON-lines file atomically.
 """
 
 from __future__ import annotations
@@ -148,6 +155,12 @@ def _cmd_compile(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if arguments.workers is not None and arguments.workers < 1:
+        print(
+            f"error: --workers must be >= 1, got {arguments.workers}",
+            file=sys.stderr,
+        )
+        return 2
     theory, named = _load_theory_and_queries(arguments)
     system = OBDASystem(
         theory,
@@ -155,9 +168,12 @@ def _cmd_compile(arguments: argparse.Namespace) -> int:
         use_nc_pruning=bool(theory.negative_constraints),
         cache=arguments.cache,
     )
-    results = system.compile_many(query for _, query in named)
+    results = system.compile_many(
+        [query for _, query in named], workers=arguments.workers
+    )
     total_seconds = 0.0
     seen: set[int] = set()
+    missed: list[str] = []
     for (name, _), result in zip(named, results):
         statistics = result.statistics
         if id(result) in seen:
@@ -169,9 +185,11 @@ def _cmd_compile(arguments: argparse.Namespace) -> int:
         elif statistics.persistent_cache_misses:
             source = f"compiled in {statistics.elapsed_seconds:.3f}s"
             total_seconds += statistics.elapsed_seconds
+            missed.append(name)
         else:
             source = f"compiled in {statistics.elapsed_seconds:.3f}s (no cache)"
             total_seconds += statistics.elapsed_seconds
+            missed.append(name)
         seen.add(id(result))
         print(f"{name}: {result.size} CQs — {source}")
     info = system.rewriting_cache_info()
@@ -183,6 +201,17 @@ def _cmd_compile(arguments: argparse.Namespace) -> int:
         f"{total_seconds:.3f}s rewriting"
     )
     if arguments.stats:
+        totals = system.last_batch_statistics
+        if totals is not None:
+            print(
+                f"# workload totals: {totals.generated_by_rewriting} CQs by "
+                f"rewriting, {totals.generated_by_factorization} by "
+                f"factorization, {totals.pruned_by_constraints} pruned, "
+                f"{totals.eliminated_atoms} atoms eliminated, "
+                f"{totals.processed_queries} queries processed, "
+                f"{totals.variant_cache_hits} variant hits over "
+                f"{totals.variant_lookups} lookups"
+            )
         store = system.rewriting_store
         if store is not None:
             cache_statistics = store.statistics
@@ -194,13 +223,37 @@ def _cmd_compile(arguments: argparse.Namespace) -> int:
                 f"{cache_statistics.skipped_records} skipped records"
             )
         print(f"# theory fingerprint: {system.theory_fingerprint}")
-    if arguments.fail_on_miss and info.persistent_misses:
+    if arguments.fail_on_miss and missed:
+        # Report *every* miss before failing, so one CI run shows the
+        # whole set of queries that needs (re)compiling.
+        for name in missed:
+            print(f"error: cache miss: {name}", file=sys.stderr)
         print(
-            f"error: --fail-on-miss set but {info.persistent_misses} "
+            f"error: --fail-on-miss set but {len(missed)} "
             "queries were not served from the cache",
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_cache_compact(arguments: argparse.Namespace) -> int:
+    """Bound a persistent rewriting cache to its N most recent entries."""
+    from .cache.store import RewritingStore
+
+    if arguments.max_entries < 1:
+        print(
+            f"error: --max-entries must be >= 1, got {arguments.max_entries}",
+            file=sys.stderr,
+        )
+        return 2
+    store = RewritingStore(arguments.cache)
+    before = len(store)
+    removed = store.compact(max_entries=arguments.max_entries)
+    print(
+        f"# compacted {store.path}: {before} -> {len(store)} entries "
+        f"({removed} evicted, least recently served first)"
+    )
     return 0
 
 
@@ -248,11 +301,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compile_.add_argument("--no-elimination", action="store_true",
                           help="disable query elimination (plain TGD-rewrite)")
+    compile_.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="worker processes for cold compilation "
+                          "(default: one per CPU; 1 = sequential)")
     compile_.add_argument("--stats", action="store_true",
-                          help="print persistent-store counters and the theory fingerprint")
+                          help="print workload totals, persistent-store counters "
+                          "and the theory fingerprint")
     compile_.add_argument("--fail-on-miss", action="store_true",
-                          help="exit 1 unless every query was served from the cache")
+                          help="exit 1 unless every query was served from the "
+                          "cache (all misses are reported first)")
     compile_.set_defaults(handler=_cmd_compile)
+
+    cache = commands.add_parser(
+        "cache", help="manage a persistent rewriting cache directory"
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command", required=True)
+    compact = cache_commands.add_parser(
+        "compact",
+        help="evict least-recently-served entries down to a bound and "
+        "rewrite the store file atomically",
+    )
+    compact.add_argument(
+        "--cache", required=True, help="directory of the persistent rewriting cache"
+    )
+    compact.add_argument(
+        "--max-entries", type=int, required=True, metavar="N",
+        help="number of entries to keep (evicts beyond the N most recent)",
+    )
+    compact.set_defaults(handler=_cmd_cache_compact)
     return parser
 
 

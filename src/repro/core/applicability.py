@@ -103,16 +103,24 @@ class RuleIndex:
 
 
 class RenameApartCache:
-    """A per-rule pool of variable-refreshed TGD copies.
+    """A per-rule pool of variable-refreshed TGD copies, minted deterministically.
 
     The rewriting and factorisation steps must use a rule whose variables
     are disjoint from the query's.  Renaming on every (query, rule) pair
     rebuilds the same substituted atoms thousands of times; instead the
-    cache keeps, per rule, a small pool of fully refreshed copies and
-    serves the first one whose variable set is disjoint from the query's —
-    a frozenset probe.  Only when every pooled copy clashes (a query
-    derived through many copies of the same rule) is a new copy minted
-    from the caller's fresh-variable factory.
+    cache keeps, per rule, a pool of fully refreshed copies and serves the
+    first one whose variable set is disjoint from the query's — a
+    frozenset probe.
+
+    The ``k``-th copy of rule ``rule_key`` always carries the variables
+    ``W<rule_key>_<k>_1, W<rule_key>_<k>_2, …``: minting depends only on
+    the rule and the copy's position in the pool, never on how many
+    copies other rules (or earlier queries on the same engine) consumed.
+    Together with the in-order disjointness probe this makes the served
+    copy a pure function of ``(rule, query variables)``, so a rewriting
+    computed on a warmed-up engine is *byte-identical* to one computed on
+    a fresh engine — the invariant the parallel compilation path relies
+    on to keep worker output equal to the sequential path.
 
     Any copy whose variables avoid the query is interchangeable with the
     output of :meth:`TGD.rename_apart` — the rewriting only ever uses the
@@ -123,19 +131,31 @@ class RenameApartCache:
     __slots__ = ("_pools", "_pool_size", "hits", "misses")
 
     def __init__(self, pool_size: int = 8) -> None:
+        # ``pool_size`` is kept for API compatibility; pools now grow on
+        # demand (they stay tiny in practice: one copy per nesting level of
+        # the same rule in a derivation).
         self._pools: dict[object, list[tuple[TGD, frozenset[Variable]]]] = {}
         self._pool_size = pool_size
         self.hits = 0
         self.misses = 0
 
+    @staticmethod
+    def _mint(rule_key: object, rule: TGD, position: int) -> TGD:
+        """Deterministically refresh *rule* into its *position*-th pooled copy."""
+        from ..logic.terms import VariableFactory
+
+        return rule.refresh(VariableFactory(prefix=f"W{rule_key}_{position}_"))
+
     def rename(
-        self, rule_key: object, rule: TGD, avoid: frozenset[Variable], factory
+        self, rule_key: object, rule: TGD, avoid: frozenset[Variable], factory=None
     ) -> TGD:
         """A copy of *rule* whose variables are disjoint from *avoid*.
 
         *rule_key* must identify the rule stably across calls (the rule's
-        position in the rewriter's rule tuple); *factory* produces fresh
-        variables guaranteed new to the whole run.
+        position in the rewriter's rule tuple).  *factory* is accepted for
+        backwards compatibility and ignored: copies are minted from the
+        deterministic per-``(rule_key, position)`` namespace instead, so the
+        returned copy does not depend on the engine's history.
         """
         pool = self._pools.setdefault(rule_key, [])
         for copy, copy_variables in pool:
@@ -143,12 +163,12 @@ class RenameApartCache:
                 self.hits += 1
                 return copy
         self.misses += 1
-        refreshed = rule.refresh(factory)
-        if len(pool) < self._pool_size:
-            pool.append(
-                (refreshed, refreshed.body_variables | refreshed.head_variables)
-            )
-        return refreshed
+        while True:
+            refreshed = self._mint(rule_key, rule, len(pool))
+            variables = refreshed.body_variables | refreshed.head_variables
+            pool.append((refreshed, variables))
+            if variables.isdisjoint(avoid):
+                return refreshed
 
 
 class ApplicabilityMemo:

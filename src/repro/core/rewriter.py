@@ -35,7 +35,7 @@ than compiling each query in a fresh engine.  Every run's
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Iterable, Sequence
 
 from ..logic.atoms import Atom
@@ -105,6 +105,50 @@ class RewritingStatistics:
     # -- persistent-cache counters (set by the serving layer) -------------
     persistent_cache_hits: int = 0
     persistent_cache_misses: int = 0
+
+    #: Fields that vary between runs computing the *same* rewriting —
+    #: wall-clock and the engine/serving cache shares.  Everything else is
+    #: a deterministic function of ``(rules, options, query)``, which is
+    #: what makes stored records and merged workload totals reproducible
+    #: under any worker count.
+    VOLATILE_FIELDS = frozenset(
+        {
+            "elapsed_seconds",
+            "rename_cache_hits",
+            "rename_cache_misses",
+            "unification_memo_hits",
+            "unification_memo_misses",
+            "persistent_cache_hits",
+            "persistent_cache_misses",
+        }
+    )
+
+    def merge(self, other: "RewritingStatistics") -> "RewritingStatistics":
+        """Return a new statistics object with every counter summed.
+
+        Used to aggregate per-query statistics into per-workload totals —
+        both by the sequential :meth:`repro.api.OBDASystem.compile_many`
+        loop and by the parallel path when it folds per-worker results
+        back together (``repro compile --stats`` prints the totals).
+        """
+        merged = RewritingStatistics()
+        for field_ in fields(RewritingStatistics):
+            setattr(
+                merged,
+                field_.name,
+                getattr(self, field_.name) + getattr(other, field_.name),
+            )
+        return merged
+
+    @classmethod
+    def merge_all(
+        cls, statistics: Iterable["RewritingStatistics"]
+    ) -> "RewritingStatistics":
+        """Fold many statistics objects into one total (order-independent)."""
+        total = cls()
+        for entry in statistics:
+            total = total.merge(entry)
+        return total
 
 
 @dataclass
@@ -226,10 +270,21 @@ class TGDRewriter:
         return self._applicability_memo is not None
 
     def rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
-        """Compute the perfect rewriting of *query* w.r.t. the rewriter's rules."""
+        """Compute the perfect rewriting of *query* w.r.t. the rewriter's rules.
+
+        The result is a pure function of ``(rules, options, query)``: the
+        fresh-variable counter is reset per run and the rename-apart pool
+        mints deterministically, so a warmed-up engine produces the same
+        bytes as a fresh one — the invariant that lets
+        :func:`repro.parallel.compile_workloads` fan queries out to worker
+        processes without changing what gets stored.
+        """
         start = time.perf_counter()
         statistics = RewritingStatistics()
         memo_snapshot = self._memo_counters()
+        # Per-run reset keeps the unmemoised rename path deterministic too:
+        # the names drawn for one query never depend on earlier queries.
+        self._fresh = VariableFactory(prefix="W")
 
         store = QuerySet()
         labels: dict[ConjunctiveQuery, int] = {}

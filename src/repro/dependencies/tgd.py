@@ -162,13 +162,21 @@ class TGD:
         """Rename all variables of the rule away from those in *avoid*.
 
         The rewriting algorithm assumes w.l.o.g. that the variables of the
-        query and of the TGD are disjoint; this helper enforces it.
+        query and of the TGD are disjoint; this helper enforces it.  The
+        factory guarantees freshness only against its *own* previous
+        output, so each minted name is additionally checked against
+        *avoid* and the rule's variables — a query that itself mentions
+        ``W1`` must not receive ``W1`` as the "fresh" replacement.
         """
         avoid_set = {t for t in avoid if is_variable(t)}
+        own_variables = self.body_variables | self.head_variables
         mapping: dict[Term, Term] = {}
-        for variable in sorted(self.body_variables | self.head_variables, key=str):
+        for variable in sorted(own_variables, key=str):
             if variable in avoid_set:
-                mapping[variable] = factory()
+                replacement = factory()
+                while replacement in avoid_set or replacement in own_variables:
+                    replacement = factory()
+                mapping[variable] = replacement
         if not mapping:
             return self
         return self.apply(Substitution(mapping))

@@ -66,6 +66,7 @@ def homomorphisms(
     target: Iterable[Atom],
     partial: Mapping[Term, Term] | None = None,
     frozen: Iterable[Term] = (),
+    index: Mapping[object, Sequence[Atom]] | None = None,
 ) -> Iterator[Substitution]:
     """Enumerate all homomorphisms from *source* into *target*.
 
@@ -82,8 +83,15 @@ def homomorphisms(
         Terms of *source* that must be mapped to themselves (in addition to
         constants).  Useful when checking containment mappings where the
         target's variables act as constants.
+    index:
+        Optional pre-built predicate→atoms index of *target* (as produced
+        for :class:`repro.queries.containment.ContainmentIndex`).  When a
+        caller probes the same target many times — subsumption removal
+        does, quadratically — passing the index skips rebuilding it per
+        call; *target* itself is then ignored.
     """
-    index = _candidate_index(target)
+    if index is None:
+        index = _candidate_index(target)
     frozen_set = set(frozen)
     base: dict[Term, Term] = dict(partial) if partial else {}
     for term in frozen_set:
@@ -122,9 +130,10 @@ def find_homomorphism(
     target: Iterable[Atom],
     partial: Mapping[Term, Term] | None = None,
     frozen: Iterable[Term] = (),
+    index: Mapping[object, Sequence[Atom]] | None = None,
 ) -> Substitution | None:
     """Return one homomorphism from *source* into *target*, or ``None``."""
-    for hom in homomorphisms(source, target, partial=partial, frozen=frozen):
+    for hom in homomorphisms(source, target, partial=partial, frozen=frozen, index=index):
         return hom
     return None
 

@@ -2,6 +2,8 @@
 
 from .conjunctive_query import ConjunctiveQuery, boolean_query
 from .containment import (
+    ContainmentIndex,
+    SubsumptionStatistics,
     are_equivalent,
     body_maps_into,
     containment_mapping,
@@ -13,7 +15,9 @@ from .ucq import InterningStatistics, QuerySet, UnionOfConjunctiveQueries, union
 
 __all__ = [
     "ConjunctiveQuery",
+    "ContainmentIndex",
     "InterningStatistics",
+    "SubsumptionStatistics",
     "QuerySet",
     "UnionOfConjunctiveQueries",
     "are_equivalent",

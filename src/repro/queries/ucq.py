@@ -10,11 +10,14 @@ subsumption-based redundancy removal used to compare rewritings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from ..logic.atoms import atoms_predicates
 from ..logic.canonical import CanonicalKey
 from .conjunctive_query import ConjunctiveQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .containment import SubsumptionStatistics
 
 
 class UnionOfConjunctiveQueries:
@@ -65,7 +68,9 @@ class UnionOfConjunctiveQueries:
             store.add(query)
         return UnionOfConjunctiveQueries(store)
 
-    def remove_subsumed(self) -> "UnionOfConjunctiveQueries":
+    def remove_subsumed(
+        self, statistics: "SubsumptionStatistics | None" = None
+    ) -> "UnionOfConjunctiveQueries":
         """Drop members that are subsumed (contained) by another member.
 
         A CQ ``p`` is redundant in a UCQ if some other member ``p'`` satisfies
@@ -76,11 +81,71 @@ class UnionOfConjunctiveQueries:
         Candidate subsumers are drawn from predicate-signature buckets: a
         containment mapping from ``p'`` into ``p`` sends every body atom of
         ``p'`` onto an atom of ``p`` with the same predicate, so only members
-        whose predicate set is a subset of ``p``'s can subsume it.  Grouping
-        members by predicate set therefore prunes most candidate pairs before
-        any homomorphism search runs.
+        whose predicate set is a subset of ``p``'s can subsume it.  Each
+        member is frozen and indexed **once** (a
+        :class:`~repro.queries.containment.ContainmentIndex`), every
+        candidate pair passes the argument-signature and answer-anchoring
+        pre-filters before a backtracking search is allowed to start, and
+        the search itself probes the index by hash.  The survivor set is
+        identical to :meth:`remove_subsumed_naive` — the pre-filters are
+        necessary conditions — but most pairs never reach a search
+        (*statistics*, when given, records the split).
         """
-        from .containment import is_contained_in  # local import to avoid a cycle
+        from .containment import ContainmentIndex, is_contained_in
+
+        members = list(self.deduplicate())
+        indexes = [ContainmentIndex(query) for query in members]
+        groups: dict[frozenset, list[int]] = {}
+        for index, containment_index in enumerate(indexes):
+            groups.setdefault(containment_index.predicate_set, []).append(index)
+
+        survivors: list[ConjunctiveQuery] = []
+        for index, query in enumerate(members):
+            subsumed = False
+            for group_predicates, group_indices in groups.items():
+                if not group_predicates <= indexes[index].predicate_set:
+                    continue
+                for other_index in group_indices:
+                    if index == other_index:
+                        continue
+                    other = members[other_index]
+                    if is_contained_in(
+                        query, other, index=indexes[index], statistics=statistics
+                    ):
+                        # Break ties between equivalent queries by keeping the
+                        # earliest one only.
+                        if (
+                            is_contained_in(
+                                other,
+                                query,
+                                index=indexes[other_index],
+                                statistics=statistics,
+                            )
+                            and other_index > index
+                        ):
+                            continue
+                        subsumed = True
+                        break
+                if subsumed:
+                    break
+            if not subsumed:
+                survivors.append(query)
+        return UnionOfConjunctiveQueries(survivors)
+
+    def remove_subsumed_naive(
+        self, statistics: "SubsumptionStatistics | None" = None
+    ) -> "UnionOfConjunctiveQueries":
+        """The pre-index subsumption removal (differential-testing oracle).
+
+        Same predicate-set bucketing as :meth:`remove_subsumed` but every
+        surviving candidate pair goes straight to a fresh freeze + full
+        backtracking homomorphism search — no shared index, no
+        argument-signature pre-filter, no canonical fast path.  Kept so
+        property tests (and the regression counter test) can assert that
+        the indexed path returns the same survivors while running
+        measurably fewer searches.
+        """
+        from .containment import is_contained_in
 
         members = list(self.deduplicate())
         predicate_sets = [atoms_predicates(query.body) for query in members]
@@ -98,10 +163,15 @@ class UnionOfConjunctiveQueries:
                     if index == other_index:
                         continue
                     other = members[other_index]
-                    if is_contained_in(query, other):
-                        # Break ties between equivalent queries by keeping the
-                        # earliest one only.
-                        if is_contained_in(other, query) and other_index > index:
+                    if is_contained_in(
+                        query, other, statistics=statistics, prefilter=False
+                    ):
+                        if (
+                            is_contained_in(
+                                other, query, statistics=statistics, prefilter=False
+                            )
+                            and other_index > index
+                        ):
                             continue
                         subsumed = True
                         break

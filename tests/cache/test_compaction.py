@@ -1,0 +1,135 @@
+"""LRU bound and compaction of the persistent rewriting store."""
+
+import json
+
+import pytest
+
+from repro.cache.store import RewritingStore
+from repro.core.rewriter import TGDRewriter
+from repro.queries.parser import parse_query
+from repro.workloads import stock_exchange_example
+
+FINGERPRINT = "f" * 64
+
+
+def _queries(count):
+    return [parse_query(f"q(A) :- pred_{index}(A)") for index in range(count)]
+
+
+def _result_for(query):
+    theory = stock_exchange_example.theory()
+    rewriter = TGDRewriter(theory.tgds)
+    return rewriter.rewrite(query)
+
+
+@pytest.fixture()
+def results():
+    return [(query, _result_for(query)) for query in _queries(5)]
+
+
+class TestLruBound:
+    def test_put_evicts_least_recently_served(self, tmp_path, results):
+        store = RewritingStore(tmp_path, max_entries=3)
+        for query, result in results[:3]:
+            store.put(query, FINGERPRINT, result)
+        assert len(store) == 3
+        # Touch the oldest entry so it becomes the most recent...
+        assert store.get(results[0][0], FINGERPRINT) is not None
+        # ...then push past the bound: the LRU entry now is results[1].
+        store.put(results[3][0], FINGERPRINT, results[3][1])
+        assert len(store) == 3
+        assert store.statistics.evicted == 1
+        assert store.get(results[0][0], FINGERPRINT) is not None
+        assert store.get(results[1][0], FINGERPRINT) is None
+        assert store.get(results[3][0], FINGERPRINT) is not None
+
+    def test_eviction_rewrites_the_file_atomically(self, tmp_path, results):
+        store = RewritingStore(tmp_path, max_entries=2)
+        for query, result in results[:4]:
+            store.put(query, FINGERPRINT, result)
+        lines = [
+            json.loads(line)
+            for line in store.path.read_text(encoding="utf-8").splitlines()
+            if line
+        ]
+        assert len(lines) == 2
+        reopened = RewritingStore(tmp_path)
+        assert len(reopened) == 2
+        assert reopened.get(results[3][0], FINGERPRINT) is not None
+
+    def test_bound_is_applied_to_a_preexisting_file(self, tmp_path, results):
+        unbounded = RewritingStore(tmp_path)
+        for query, result in results:
+            unbounded.put(query, FINGERPRINT, result)
+        bounded = RewritingStore(tmp_path, max_entries=2)
+        assert len(bounded) == 2
+        assert bounded.statistics.evicted == 3
+        # Never-served entries rank by file position: oldest evicted first.
+        assert bounded.get(results[0][0], FINGERPRINT) is None
+        assert bounded.get(results[4][0], FINGERPRINT) is not None
+
+    def test_rejects_non_positive_bound(self, tmp_path):
+        with pytest.raises(ValueError):
+            RewritingStore(tmp_path, max_entries=0)
+
+    def test_reput_after_eviction_leaves_no_duplicate_records(self, tmp_path, results):
+        # Evict-miss-recompile cycle: entry 0 is evicted from the index
+        # while its record still sits in the lazily rewritten file.
+        # Re-putting it must purge the stale record first, or a reload
+        # would count the duplicate pair against the bound.
+        store = RewritingStore(tmp_path, max_entries=3)
+        for query, result in results[:4]:
+            store.put(query, FINGERPRINT, result)
+        assert store.get(results[0][0], FINGERPRINT) is None  # evicted
+        assert store.put(results[0][0], FINGERPRINT, results[0][1])
+        reopened = RewritingStore(tmp_path, max_entries=3)
+        assert len(reopened) == 3
+        digests = [record["digest"] for record in reopened]
+        assert len(digests) == len(set(digests))
+        assert reopened.get(results[0][0], FINGERPRINT) is not None
+
+
+class TestCompact:
+    def test_compact_keeps_the_most_recent_entries(self, tmp_path, results):
+        store = RewritingStore(tmp_path)
+        for query, result in results:
+            store.put(query, FINGERPRINT, result)
+        assert store.get(results[0][0], FINGERPRINT) is not None
+        removed = store.compact(max_entries=2)
+        assert removed == 3
+        assert len(store) == 2
+        assert store.get(results[0][0], FINGERPRINT) is not None
+        assert store.get(results[4][0], FINGERPRINT) is not None
+        assert store.get(results[2][0], FINGERPRINT) is None
+
+    def test_compact_without_any_bound_is_rejected(self, tmp_path):
+        store = RewritingStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.compact()
+
+    def test_compact_is_a_noop_below_the_bound(self, tmp_path, results):
+        store = RewritingStore(tmp_path)
+        for query, result in results[:2]:
+            store.put(query, FINGERPRINT, result)
+        assert store.compact(max_entries=10) == 0
+        assert len(store) == 2
+
+    def test_compacted_entries_round_trip(self, tmp_path, results):
+        store = RewritingStore(tmp_path)
+        for query, result in results:
+            store.put(query, FINGERPRINT, result)
+        store.compact(max_entries=3)
+        reopened = RewritingStore(tmp_path)
+        served = reopened.get(results[4][0], FINGERPRINT)
+        assert served is not None
+        assert repr(served.ucq) == repr(results[4][1].ucq)
+
+    def test_prune_keeps_recency_consistent(self, tmp_path, results):
+        store = RewritingStore(tmp_path)
+        for query, result in results[:3]:
+            store.put(query, FINGERPRINT, result)
+        other = "e" * 64
+        store.put(results[3][0], other, results[3][1])
+        assert store.prune(FINGERPRINT) == 1
+        assert store.compact(max_entries=2) == 1
+        assert len(store) == 2

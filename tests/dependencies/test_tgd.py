@@ -113,6 +113,33 @@ class TestTransformations:
         rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
         assert rule.rename_apart([Z], VariableFactory()) is rule
 
+    def test_rename_apart_never_mints_a_name_from_the_avoid_set(self):
+        # The factory's first outputs are W1, W2, ... — which a query may
+        # legitimately contain.  A "fresh" replacement equal to an avoided
+        # variable would silently re-collide rule and query.
+        W1, W2 = Variable("W1"), Variable("W2")
+        rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
+        renamed = rule.rename_apart([X, W1, W2], VariableFactory(prefix="W"))
+        assert (renamed.body_variables | renamed.head_variables).isdisjoint(
+            {X, W1, W2}
+        )
+
+    def test_rename_apart_never_merges_rule_variables(self):
+        # The replacement must also avoid the rule's own (kept) variables:
+        # renaming X to Y here would turn q(X, Y) into q(Y, Y).
+        rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
+
+        def always_y_then_fresh():
+            yield Y
+            counter = 1
+            while True:
+                yield Variable(f"F{counter}")
+                counter += 1
+
+        supplier = always_y_then_fresh()
+        renamed = rule.rename_apart([X], lambda: next(supplier))
+        assert renamed.head[0].terms[0] != renamed.head[0].terms[1]
+
     def test_refresh_renames_everything(self):
         rule = tgd(Atom.of("p", X), Atom.of("q", X, Y))
         refreshed = rule.refresh(VariableFactory(prefix="G"))

@@ -152,6 +152,59 @@ class TestCompileCommand:
         ) == 1
         assert "not served from the cache" in capsys.readouterr().err
 
+    def test_fail_on_miss_reports_every_miss(
+        self, tbox_file, queries_file, tmp_path, capsys
+    ):
+        # Both queries miss a cold cache: both must be named on stderr, and
+        # the command must exit non-zero exactly once (not after the first).
+        assert main(
+            ["compile", "--tbox", tbox_file, "--queries", queries_file,
+             "--cache", str(tmp_path / "cache"), "--fail-on-miss"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "error: cache miss: line 2" in captured.err
+        assert "error: cache miss: line 4" in captured.err
+        assert "2 queries were not served" in captured.err
+        # Both compilations still ran and were reported on stdout.
+        assert "line 2:" in captured.out
+        assert "line 4:" in captured.out
+
+    def test_workers_flag_compiles_in_parallel(
+        self, tbox_file, queries_file, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["compile", "--tbox", tbox_file, "--queries", queries_file,
+             "--cache", cache, "--workers", "2"]
+        ) == 0
+        parallel = capsys.readouterr().out
+        assert "# compiled 2 queries" in parallel
+        # The parallel cold run fills the cache exactly like a sequential one.
+        assert main(
+            ["compile", "--tbox", tbox_file, "--queries", queries_file,
+             "--cache", cache, "--workers", "1", "--fail-on-miss"]
+        ) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_non_positive_workers_is_a_clean_cli_error(
+        self, tbox_file, queries_file, capsys
+    ):
+        assert main(
+            ["compile", "--tbox", tbox_file, "--queries", queries_file,
+             "--workers", "0"]
+        ) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_stats_prints_workload_totals(
+        self, tbox_file, queries_file, capsys
+    ):
+        assert main(
+            ["compile", "--tbox", tbox_file, "--queries", queries_file, "--stats"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "# workload totals:" in output
+        assert "queries processed" in output
+
     def test_fail_on_miss_requires_a_cache(self, tbox_file, queries_file, capsys):
         assert main(
             ["compile", "--tbox", tbox_file, "--queries", queries_file,
@@ -175,6 +228,52 @@ class TestCompileCommand:
     def test_tbox_and_workload_are_mutually_exclusive(self, tbox_file):
         with pytest.raises(SystemExit):
             main(["compile", "--tbox", tbox_file, "--workload", "S"])
+
+
+class TestCacheCompactCommand:
+    def _fill_cache(self, directory):
+        from repro.cache.store import RewritingStore
+        from repro.core.rewriter import TGDRewriter
+        from repro.queries.parser import parse_query
+        from repro.workloads import stock_exchange_example
+
+        store = RewritingStore(directory)
+        rewriter = TGDRewriter(stock_exchange_example.theory().tgds)
+        for index in range(4):
+            query = parse_query(f"q(A) :- pred_{index}(A)")
+            store.put(query, "f" * 64, rewriter.rewrite(query))
+        return store
+
+    def test_compact_bounds_the_store(self, tmp_path, capsys):
+        from repro.cache.store import RewritingStore
+
+        cache = str(tmp_path / "cache")
+        self._fill_cache(cache)
+        assert main(
+            ["cache", "compact", "--cache", cache, "--max-entries", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "4 -> 2 entries" in output
+        assert "2 evicted" in output
+        assert len(RewritingStore(cache)) == 2
+
+    def test_compact_below_bound_is_a_noop(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        self._fill_cache(cache)
+        assert main(
+            ["cache", "compact", "--cache", cache, "--max-entries", "10"]
+        ) == 0
+        assert "0 evicted" in capsys.readouterr().out
+
+    def test_non_positive_max_entries_is_a_clean_cli_error(self, tmp_path, capsys):
+        assert main(
+            ["cache", "compact", "--cache", str(tmp_path), "--max-entries", "0"]
+        ) == 2
+        assert "--max-entries must be >= 1" in capsys.readouterr().err
+
+    def test_cache_subcommand_is_required(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
 
 
 class TestParser:
