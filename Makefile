@@ -1,13 +1,15 @@
 # Developer entry points.  `make test` is the tier-1 gate; `make smoke`
 # reruns one Table 1 benchmark block as an end-to-end sanity check;
-# `make cache-smoke` is the cold-then-warm persistent-cache gate used in CI.
+# `make cache-smoke` is the cold-then-warm persistent-cache gate used in CI;
+# `make answer-smoke` answers one workload end-to-end on both execution
+# backends and fails on any disagreement.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro
 CACHE_DIR ?= .cache-smoke
 
-.PHONY: test smoke cache-smoke bench bench-json table1
+.PHONY: test smoke cache-smoke answer-smoke bench bench-json table1
 
 test:
 	$(PYTEST) -x -q
@@ -21,15 +23,23 @@ cache-smoke:
 	$(REPRO) compile --workload S --cache $(CACHE_DIR) --stats --fail-on-miss
 	rm -rf $(CACHE_DIR)
 
+# End-to-end answering gate: the in-memory evaluator and the SQLite
+# backend must return identical answer sets (exit 3 on disagreement), and
+# the repeated executions must be served from the per-epoch answer cache.
+answer-smoke:
+	$(REPRO) answer --workload S --backend both --repeat 2
+
 bench:
 	$(PYTEST) -q benchmarks
 
-# Machine-readable perf tracking: cold sequential vs cold parallel vs warm
-# over the five Table 1 ontologies (see docs/BENCHMARKS.md).  Non-gating in
-# CI; the JSON is uploaded as an artifact.
+# Machine-readable perf tracking (see docs/BENCHMARKS.md).  Non-gating in
+# CI; the JSONs are uploaded as artifacts: compilation (cold sequential vs
+# cold parallel vs warm) and end-to-end answering on both backends.
 bench-json:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
 	    benchmarks/bench_parallel_compile.py --output BENCH_parallel.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
+	    benchmarks/bench_answering.py --output BENCH_answering.json
 
 table1:
 	$(REPRO) table1

@@ -1,0 +1,133 @@
+"""Machine-readable end-to-end answering benchmark (``make bench-json``).
+
+Runs the prepare/execute serving lifecycle over the five Table 1
+ontologies on both execution backends and writes one JSON document —
+``BENCH_answering.json`` by default — so the answering-side performance
+trajectory is tracked by artifacts, next to the compilation-side
+``BENCH_parallel.json``:
+
+* per-(ontology, query, backend): prepare time, cold execute time and
+  warm (answer-cache) execute time, plus the answer count;
+* the two invariants that make the numbers trustworthy: the in-memory
+  and SQLite backends returned *identical* answer sets on every query
+  (``agreement``), and every warm execute was served from the epoch-keyed
+  answer cache (``warm_all_cached``, counter-verified).
+
+The ABoxes are the workloads' synthetic generators (deterministic per
+seed), sized by ``--facts-per-relation``.
+
+The script is import-safe for test collectors; it only runs under
+``python benchmarks/bench_answering.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.evaluation import ANSWER_BACKENDS, AnsweringEvaluator  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+WORKLOADS = ("V", "S", "U", "A", "P5")
+SCHEMA_VERSION = 1
+
+
+def run(seed: int, facts_per_relation: int) -> dict:
+    """Execute the lifecycle on every workload and return the JSON document."""
+    document: dict = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "answering",
+        "workloads": list(WORKLOADS),
+        "backends": list(ANSWER_BACKENDS),
+        "configuration": {
+            "seed": seed,
+            "facts_per_relation": facts_per_relation,
+            "use_elimination": True,
+            "use_nc_pruning": False,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+    }
+    per_ontology: dict = {}
+    agreement = True
+    warm_all_cached = True
+    totals = {backend: 0.0 for backend in ANSWER_BACKENDS}
+    started_all = time.perf_counter()
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        evaluator = AnsweringEvaluator(
+            workload, seed=seed, facts_per_relation=facts_per_relation
+        )
+        queries: dict = {}
+        for query_name in workload.query_names:
+            cell: dict = {}
+            for backend in ANSWER_BACKENDS:
+                measurement = evaluator.measure(query_name, backend)
+                warm_all_cached = warm_all_cached and measurement.warm_cached
+                totals[backend] += measurement.cold_seconds
+                cell[backend] = {
+                    "prepare_seconds": round(measurement.prepare_seconds, 4),
+                    "cold_seconds": round(measurement.cold_seconds, 5),
+                    "warm_seconds": round(measurement.warm_seconds, 6),
+                }
+            cell["answers"] = measurement.answers
+            cell["agree"] = evaluator.agree(query_name)
+            agreement = agreement and cell["agree"]
+            queries[query_name] = cell
+        per_ontology[name] = {
+            "facts": len(evaluator.system.database),
+            "queries": queries,
+        }
+        evaluator.close()
+    document["per_ontology"] = per_ontology
+    document["total_seconds"] = round(time.perf_counter() - started_all, 4)
+    document["cold_execute_seconds"] = {
+        backend: round(total, 4) for backend, total in totals.items()
+    }
+    document["agreement"] = agreement
+    document["warm_all_cached"] = warm_all_cached
+    return document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_answering.json", help="where to write the JSON"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="ABox generator seed (default 0)"
+    )
+    parser.add_argument(
+        "--facts-per-relation", type=int, default=25, metavar="N",
+        help="ABox size knob (default 25)",
+    )
+    arguments = parser.parse_args(argv)
+    document = run(arguments.seed, arguments.facts_per_relation)
+    Path(arguments.output).write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    executes = document["cold_execute_seconds"]
+    print(
+        f"answering over {len(WORKLOADS)} ontologies in "
+        f"{document['total_seconds']}s (cold execute: "
+        + ", ".join(f"{b} {s}s" for b, s in executes.items())
+        + f") -> {arguments.output}"
+    )
+    print(
+        f"backend agreement: {document['agreement']}; "
+        f"warm executes cached: {document['warm_all_cached']}"
+    )
+    return 0 if document["agreement"] and document["warm_all_cached"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,11 +59,29 @@ def main() -> None:
     )
 
     # Q1: who is a person?  (needs reasoning: leaders/managers are persons)
+    # The serving lifecycle: prepare once, execute many.  The prepared
+    # handle owns the rewriting plus a backend-compiled plan and caches
+    # its answers per database epoch.
     person_query = ConjunctiveQuery([Atom.of("person", A)], (A,), head_name="persons")
-    answers = system.answer(person_query)
+    prepared = system.prepare(person_query)          # backend="memory" by default
+    answers = prepared.execute()
     print("Q1  persons(A) :-")
     print("    rewriting size:", answers.rewriting.size)
     print("    answers       :", sorted(str(t[0]) for t in answers))
+    prepared.execute()                               # warm: a dict lookup
+    info = prepared.execution_cache_info()
+    print(f"    answer cache  : {info.hits} hits / {info.misses} misses")
+
+    # The same prepared query on SQLite: the rewriting's SQL is actually
+    # executed, and must return the same answers.
+    sqlite_prepared = system.prepare(person_query, backend="sqlite")
+    assert sqlite_prepared.execute().tuples == answers.tuples
+    print("    sqlite backend agrees on", len(answers), "answers")
+
+    # A data change bumps the database epoch; both prepared handles
+    # notice and re-execute on their next call.
+    system.add_fact("manager", ("dave",))
+    assert len(prepared.execute()) == len(answers) + 1
 
     # Q2: which projects have a leader?  (apollo qualifies only via the
     # existential rule, so it is *not* an answer — certain answers never

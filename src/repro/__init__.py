@@ -23,7 +23,23 @@ Quick start::
     print(rewrite(query, [sigma]).ucq)
 """
 
-from .api import AnswerSet, InconsistentTheoryError, OBDASystem, RewritingCacheInfo
+from .api import (
+    AnswerSet,
+    ExecutionCacheInfo,
+    InconsistentTheoryError,
+    OBDASystem,
+    PreparedQuery,
+    RewritingCacheInfo,
+)
+from .backends import (
+    BACKENDS,
+    BackendError,
+    ExecutionBackend,
+    ExecutionPlan,
+    InMemoryBackend,
+    SQLiteBackend,
+    create_backend,
+)
 from .cache import RewritingStore, theory_fingerprint
 from .parallel import compile_workloads
 from .baselines import (
@@ -33,7 +49,15 @@ from .baselines import (
     quonto_rewrite,
     requiem_rewrite,
 )
-from .evaluation import SYSTEMS, Table1Evaluator, evaluate_workload, format_rows
+from .evaluation import (
+    ANSWER_BACKENDS,
+    SYSTEMS,
+    AnswerMeasurement,
+    AnsweringEvaluator,
+    Table1Evaluator,
+    evaluate_workload,
+    format_rows,
+)
 from .ontology import DLLiteOntology, parse_ontology, to_theory
 from .workloads import Workload, get_workload, workload_names
 from .core import (
@@ -78,8 +102,20 @@ from .queries import ConjunctiveQuery, UnionOfConjunctiveQueries, boolean_query,
 __version__ = "1.0.0"
 
 __all__ = [
+    "ANSWER_BACKENDS",
+    "AnswerMeasurement",
+    "AnsweringEvaluator",
     "AnswerSet",
     "Atom",
+    "BACKENDS",
+    "BackendError",
+    "ExecutionBackend",
+    "ExecutionCacheInfo",
+    "ExecutionPlan",
+    "InMemoryBackend",
+    "PreparedQuery",
+    "SQLiteBackend",
+    "create_backend",
     "ChaseBackchase",
     "ChaseEngine",
     "DLLiteOntology",

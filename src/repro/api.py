@@ -19,14 +19,25 @@ Compilation is served through three cache layers, checked in order:
    persist across queries, so a whole workload compiled through
    :meth:`OBDASystem.compile_many` shares the interning, memo and
    persistent layers in one pass.
+
+*Answering* follows a prepare/execute lifecycle mirroring a database
+driver's: :meth:`OBDASystem.prepare` compiles the query, hands the UCQ to a
+pluggable :class:`~repro.backends.base.ExecutionBackend` (in-memory
+evaluator or SQLite) for backend-side compilation, and returns a
+:class:`PreparedQuery` handle.  ``PreparedQuery.execute()`` runs the plan,
+supports rebinding the query's constants, and caches answer sets keyed by
+the database's epoch counter — repeated executions on an unchanged ABox
+are dictionary lookups.  :meth:`OBDASystem.answer` remains as a one-line
+convenience over the lifecycle.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Hashable, Iterable, Mapping, Sequence
 
+from .backends import ExecutionBackend, ExecutionPlan, create_backend
 from .cache.fingerprint import theory_fingerprint
 from .cache.store import RewritingStore
 from .chase.chase import certain_answers as chase_certain_answers
@@ -36,6 +47,7 @@ from .database.instance import RelationalInstance
 from .database.schema import RelationalSchema
 from .database.sql import ucq_to_sql
 from .dependencies.theory import OntologyTheory
+from .logic.terms import Constant
 from .queries.conjunctive_query import ConjunctiveQuery
 
 
@@ -59,6 +71,150 @@ class AnswerSet:
 
     def __contains__(self, item) -> bool:
         return tuple(item) in self.tuples
+
+
+@dataclass(frozen=True)
+class ExecutionCacheInfo:
+    """Hit/miss counters of one :class:`PreparedQuery`'s answer cache."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+class PreparedQuery:
+    """A compiled, backend-planned ontological query, ready to execute.
+
+    Owns the perfect rewriting plus the backend's compiled plan (for
+    SQLite: the parameterized SQL; for the in-memory evaluator: a reusable
+    join order).  Execution results are cached per database epoch and
+    binding set, so a warm :meth:`execute` on an unchanged database never
+    touches the backend.  Obtained from :meth:`OBDASystem.prepare`.
+    """
+
+    #: Bound answer-cache size: epochs only move forward, so this only
+    #: matters for workloads cycling through many distinct binding sets.
+    MAX_CACHED_ANSWERS = 128
+
+    def __init__(
+        self,
+        system: "OBDASystem",
+        query: ConjunctiveQuery,
+        rewriting: RewritingResult,
+        backend: ExecutionBackend,
+        plan: ExecutionPlan,
+    ) -> None:
+        self._system = system
+        self._query = query
+        self._rewriting = rewriting
+        self._backend = backend
+        self._plan = plan
+        self._answers: dict[Hashable, frozenset[tuple]] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def query(self) -> ConjunctiveQuery:
+        """The ontological query this handle was prepared for."""
+        return self._query
+
+    @property
+    def rewriting(self) -> RewritingResult:
+        """The perfect UCQ rewriting the plan executes."""
+        return self._rewriting
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend that compiled and runs the plan."""
+        return self._backend
+
+    @property
+    def plan(self) -> ExecutionPlan:
+        """The backend-compiled plan."""
+        return self._plan
+
+    @property
+    def sql(self) -> str | None:
+        """The SQL text the plan executes, for SQL-speaking backends."""
+        return getattr(self._plan, "sql", None)
+
+    @property
+    def bindable_constants(self) -> frozenset[Constant]:
+        """Query constants that :meth:`execute` may rebind.
+
+        A constant is bindable when it does not occur in the theory's TGDs
+        or negative constraints: the rewriting then treats it generically
+        (it only ever unifies with variables), so substituting another
+        value commutes with rewriting and the prepared plan stays exact.
+        """
+        return self._query.constants - self._system.theory_constants
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(
+        self, bindings: Mapping[object, object] | None = None
+    ) -> AnswerSet:
+        """Certain answers over the system's current database.
+
+        *bindings* maps bindable constants (as :class:`Constant` or raw
+        values) to replacement values — the prepared-statement parameter
+        binding of the serving API.  Answers are cached under the
+        database's epoch and the binding set; an unchanged database is
+        served without executing the plan.
+        """
+        normalized = self._normalize_bindings(bindings)
+        key = (
+            self._backend.data_epoch(self._system.database),
+            frozenset(normalized.items()) if normalized else None,
+        )
+        tuples = self._answers.get(key)
+        if tuples is None:
+            self._misses += 1
+            tuples = self._plan.execute(self._system.database, normalized)
+            while len(self._answers) >= self.MAX_CACHED_ANSWERS:
+                self._answers.pop(next(iter(self._answers)))
+            self._answers[key] = tuples
+        else:
+            self._hits += 1
+        return AnswerSet(query=self._query, rewriting=self._rewriting, tuples=tuples)
+
+    def _normalize_bindings(
+        self, bindings: Mapping[object, object] | None
+    ) -> dict[Constant, Constant] | None:
+        if not bindings:
+            return None
+        theory_constants = self._system.theory_constants
+        bindable = self.bindable_constants
+        normalized: dict[Constant, Constant] = {}
+        for key, value in bindings.items():
+            constant = key if isinstance(key, Constant) else Constant(key)
+            replacement = value if isinstance(value, Constant) else Constant(value)
+            if constant not in bindable:
+                raise ValueError(
+                    f"{constant!r} is not a bindable constant of the prepared "
+                    f"query (bindable: {sorted(map(repr, bindable))})"
+                )
+            if replacement in theory_constants:
+                raise ValueError(
+                    f"cannot bind {constant!r} to {replacement!r}: the value "
+                    "occurs in the theory's rules, so the prepared rewriting "
+                    "may not be exact for it — compile the bound query instead"
+                )
+            if replacement != constant:
+                normalized[constant] = replacement
+        return normalized or None
+
+    def invalidate(self) -> None:
+        """Drop all cached answer sets (e.g. after out-of-band data changes)."""
+        self._answers.clear()
+
+    def execution_cache_info(self) -> ExecutionCacheInfo:
+        """Hit/miss counters of the per-epoch answer cache."""
+        return ExecutionCacheInfo(
+            hits=self._hits, misses=self._misses, size=len(self._answers)
+        )
 
 
 @dataclass(frozen=True)
@@ -97,6 +253,10 @@ class OBDASystem:
         from which one is opened.  Compiled rewritings are persisted there
         and served back — across process restarts and to any other system
         whose theory fingerprint matches.
+    backend:
+        Default execution backend for :meth:`prepare` / :meth:`answer`: a
+        registered name (``"memory"``, ``"sqlite"``) or a constructed
+        :class:`~repro.backends.base.ExecutionBackend`.
     """
 
     def __init__(
@@ -107,6 +267,7 @@ class OBDASystem:
         use_nc_pruning: bool = True,
         schema: RelationalSchema | None = None,
         cache: RewritingStore | str | os.PathLike | None = None,
+        backend: str | ExecutionBackend = "memory",
     ) -> None:
         self._theory = theory
         self._database = database if database is not None else RelationalInstance(schema=schema)
@@ -132,6 +293,12 @@ class OBDASystem:
             use_elimination=use_elimination,
             use_nc_pruning=use_nc_pruning,
         )
+        self._default_backend = backend
+        self._backends: dict[str, ExecutionBackend] = {}
+        self._prepared: dict[tuple[ConjunctiveQuery, int], PreparedQuery] = {}
+        self._theory_constants: frozenset[Constant] | None = None
+        self._nc_rewritings: tuple | None = None
+        self._consistency_verdict: tuple[int, str | None] | None = None
 
     # -- data management ----------------------------------------------------------
 
@@ -163,18 +330,47 @@ class OBDASystem:
         the TGDs when the non-conflicting criterion holds); negative
         constraints are checked as BCQs *after* rewriting them, so that
         constraint violations entailed through the TGDs are detected too.
+
+        The NC rewritings are compiled once per system (the theory is
+        immutable) and the verdict is cached per database epoch, so
+        repeated consistency checks between mutations are free.
         """
+        epoch = self._database.epoch
+        if self._consistency_verdict is not None and self._consistency_verdict[0] == epoch:
+            failure = self._consistency_verdict[1]
+            if failure is not None:
+                raise InconsistentTheoryError(failure)
+            return
+        failure = self._consistency_failure()
+        self._consistency_verdict = (epoch, failure)
+        if failure is not None:
+            raise InconsistentTheoryError(failure)
+
+    def _consistency_failure(self) -> str | None:
+        """The first violated dependency's message, or ``None`` if consistent."""
         for key in self._theory.key_dependencies:
             if not self._database.satisfies_key(key):
-                raise InconsistentTheoryError(f"key dependency violated: {key!r}")
+                return f"key dependency violated: {key!r}"
         evaluator = QueryEvaluator(self._database)
-        plain_rewriter = TGDRewriter(self._theory.tgds)
-        for constraint in self._theory.negative_constraints:
-            rewriting = plain_rewriter.rewrite(constraint.as_query())
+        for constraint, rewriting in self._constraint_rewritings():
             if evaluator.entails_ucq(rewriting.ucq):
-                raise InconsistentTheoryError(
-                    f"negative constraint violated: {constraint!r}"
-                )
+                return f"negative constraint violated: {constraint!r}"
+        return None
+
+    def _constraint_rewritings(self) -> tuple:
+        """The negative constraints paired with their (cached) BCQ rewritings.
+
+        Rewritten with a plain ``TGD-rewrite`` engine (no NC pruning — the
+        constraints themselves are being checked) exactly once; every
+        later :meth:`check_consistency` call reuses the compiled UCQs.
+        """
+        if self._nc_rewritings is None:
+            rewriter = TGDRewriter(self._theory.tgds)
+            self._nc_rewritings = tuple(
+                (constraint, rewriter.rewrite(constraint.as_query()))
+                for constraint in self._theory.negative_constraints
+            )
+        return self._nc_rewritings
 
     def is_consistent(self) -> bool:
         """``True`` iff the database is consistent with the theory."""
@@ -353,12 +549,95 @@ class OBDASystem:
         """
         return self.compile(query).statistics
 
-    def answer(self, query: ConjunctiveQuery) -> AnswerSet:
-        """Certain answers of *query* over the ontology and the database."""
-        rewriting = self.compile(query)
-        evaluator = QueryEvaluator(self._database)
-        tuples = evaluator.evaluate_ucq(rewriting.ucq)
-        return AnswerSet(query=query, rewriting=rewriting, tuples=tuples)
+    # -- the prepare/execute serving lifecycle ---------------------------------
+
+    @property
+    def theory_constants(self) -> frozenset[Constant]:
+        """Constants occurring in the theory's TGDs or negative constraints.
+
+        A prepared query may only rebind constants outside this set (and
+        only to values outside it): for such constants the rewriting is
+        generic, so rebinding commutes with compilation.
+        """
+        if self._theory_constants is None:
+            constants: set[Constant] = set()
+            for rule in self._theory.tgds:
+                constants.update(rule.constants)
+            for constraint in self._theory.negative_constraints:
+                for atom in constraint.body:
+                    constants.update(atom.constants())
+            self._theory_constants = frozenset(constants)
+        return self._theory_constants
+
+    def backend_for(self, backend: str | ExecutionBackend | None = None) -> ExecutionBackend:
+        """Resolve a backend request to a (shared) instance.
+
+        ``None`` resolves the system's default; names resolve to one
+        shared instance per name, created on first use and reused by every
+        prepared query, so e.g. one SQLite snapshot serves all of them.
+        Constructed backends are returned as given.
+        """
+        if backend is None:
+            backend = self._default_backend
+        if isinstance(backend, ExecutionBackend):
+            return backend
+        resolved = self._backends.get(backend)
+        if resolved is None:
+            resolved = create_backend(backend)
+            self._backends[backend] = resolved
+        return resolved
+
+    def prepare(
+        self,
+        query: ConjunctiveQuery,
+        backend: str | ExecutionBackend | None = None,
+    ) -> PreparedQuery:
+        """Compile *query* and plan it on an execution backend.
+
+        The serving entry point: the rewriting is served through the
+        compilation cache layers, the backend compiles it into a reusable
+        plan (SQL statement, join order), and the returned
+        :class:`PreparedQuery` caches its answer sets per database epoch.
+        Preparing the same query on the same backend returns the same
+        handle.
+        """
+        resolved = self.backend_for(backend)
+        key = (query, id(resolved))
+        prepared = self._prepared.get(key)
+        if prepared is None:
+            rewriting = self.compile(query)
+            plan = resolved.prepare(rewriting.ucq, schema=self._schema)
+            prepared = PreparedQuery(self, query, rewriting, resolved, plan)
+            self._prepared[key] = prepared
+        return prepared
+
+    def answer(
+        self,
+        query: ConjunctiveQuery,
+        backend: str | ExecutionBackend | None = None,
+    ) -> AnswerSet:
+        """Certain answers of *query* over the ontology and the database.
+
+        Convenience shim over the prepare/execute lifecycle (kept for
+        backward compatibility; new code that answers a query more than
+        once should hold on to :meth:`prepare`'s handle).  Equivalent to
+        ``self.prepare(query, backend).execute()`` — including the answer
+        cache, since the prepared handle is shared.
+        """
+        return self.prepare(query, backend=backend).execute()
+
+    def close(self) -> None:
+        """Release the backends created by this system (connections etc.)."""
+        for backend in self._backends.values():
+            backend.close()
+        self._backends.clear()
+        self._prepared.clear()
+
+    def __enter__(self) -> "OBDASystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def answer_via_chase(
         self, query: ConjunctiveQuery, max_depth: int | None = 8

@@ -1,0 +1,63 @@
+"""Pluggable execution backends for compiled rewritings.
+
+The serving layer's answering side: an :class:`ExecutionBackend` compiles a
+UCQ rewriting into an :class:`ExecutionPlan` once, and the plan is executed
+many times against the live database (see :mod:`repro.backends.base` for
+the protocol and :meth:`repro.api.OBDASystem.prepare` for the lifecycle).
+
+Backends are addressable by name::
+
+    system.prepare(query, backend="sqlite")
+
+``BACKENDS`` maps the registered names to their classes;
+:func:`create_backend` resolves a name — or passes an already constructed
+backend through.
+"""
+
+from __future__ import annotations
+
+from .base import BackendError, ExecutionBackend, ExecutionPlan
+from .memory import InMemoryBackend, InMemoryPlan
+from .sqlite import SQLiteBackend, SQLitePlan
+
+#: Registered backends by name, in default-preference order.
+BACKENDS: dict[str, type[ExecutionBackend]] = {
+    InMemoryBackend.name: InMemoryBackend,
+    SQLiteBackend.name: SQLiteBackend,
+}
+
+#: The backend used when none is requested.
+DEFAULT_BACKEND = InMemoryBackend.name
+
+
+def create_backend(backend: str | ExecutionBackend | None = None) -> ExecutionBackend:
+    """Resolve *backend* to an instance.
+
+    ``None`` gives the default (in-memory) backend, a string is looked up
+    in :data:`BACKENDS`, and an :class:`ExecutionBackend` instance is
+    returned unchanged.
+    """
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown backend {backend!r}; known backends: {known}")
+    return factory()
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "BackendError",
+    "ExecutionBackend",
+    "ExecutionPlan",
+    "InMemoryBackend",
+    "InMemoryPlan",
+    "SQLiteBackend",
+    "SQLitePlan",
+    "create_backend",
+]

@@ -1,0 +1,87 @@
+"""The in-memory execution backend.
+
+Wraps :class:`repro.database.evaluator.QueryEvaluator` behind the
+:class:`~repro.backends.base.ExecutionBackend` protocol.  What ``prepare``
+buys over calling the evaluator directly is a *reusable join order*: the
+greedy most-selective-first ordering of each disjunct's body is computed
+once per database epoch and replayed for every execution at that epoch
+(join orders depend on relation sizes, so they are refreshed when the data
+changes).  Constant bindings are applied atom-wise to the ordered body, so
+a rebound execution reuses the same order — binding changes which facts
+match, not the join structure.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from ..database.evaluator import QueryEvaluator
+from ..database.instance import RelationalInstance
+from ..database.schema import RelationalSchema
+from ..logic.atoms import Atom
+from ..logic.terms import Constant, Term, is_variable
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .base import ExecutionBackend, ExecutionPlan
+
+
+class InMemoryPlan(ExecutionPlan):
+    """Per-disjunct bodies and answer terms, with join orders cached by epoch."""
+
+    def __init__(self, ucq: UnionOfConjunctiveQueries) -> None:
+        self._disjuncts: tuple[tuple[tuple[Atom, ...], tuple[Term, ...]], ...] = tuple(
+            (query.body, query.answer_terms) for query in ucq
+        )
+        # Join orders of the most recent epoch only: plans serve one
+        # database at a time, and older epochs can never come back.
+        self._order_key: Hashable | None = None
+        self._orders: list[list[Atom]] = []
+
+    def _ordered(self, database: RelationalInstance) -> list[list[Atom]]:
+        key = (id(database), database.epoch)
+        if key != self._order_key:
+            evaluator = QueryEvaluator(database)
+            self._orders = [
+                evaluator.join_order(body) for body, _ in self._disjuncts
+            ]
+            self._order_key = key
+        return self._orders
+
+    def execute(
+        self,
+        database: RelationalInstance,
+        bindings: Mapping[Constant, Constant] | None = None,
+    ) -> frozenset[tuple]:
+        evaluator = QueryEvaluator(database)
+        answers: set[tuple] = set()
+        for ordered, (_, answer_terms) in zip(
+            self._ordered(database), self._disjuncts
+        ):
+            if bindings:
+                ordered = [atom.apply(bindings) for atom in ordered]
+                answer_terms = tuple(
+                    term if is_variable(term) else bindings.get(term, term)
+                    for term in answer_terms
+                )
+            answers |= evaluator.answers_for_order(ordered, answer_terms)
+        return frozenset(answers)
+
+    @property
+    def description(self) -> str:
+        lines = []
+        for index, (body, _) in enumerate(self._disjuncts):
+            order = " -> ".join(atom.name for atom in body)
+            lines.append(f"disjunct {index}: index nested-loop over {order}")
+        return "\n".join(lines)
+
+
+class InMemoryBackend(ExecutionBackend):
+    """Executes rewritings with the built-in index nested-loop evaluator."""
+
+    name = "memory"
+
+    def prepare(
+        self,
+        ucq: UnionOfConjunctiveQueries,
+        schema: RelationalSchema | None = None,
+    ) -> InMemoryPlan:
+        return InMemoryPlan(ucq)

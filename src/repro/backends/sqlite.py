@@ -1,0 +1,356 @@
+"""The SQLite execution backend.
+
+This is the repo's first *actually executed* SQL path: the UCQ rewriting is
+rendered once with ``?`` placeholders for every constant
+(:func:`repro.database.sql.ucq_to_parameterized_sql`) and run by SQLite, so
+the paper's "hand the perfect rewriting to any relational engine" claim is
+exercised end to end and differential-tested against the in-memory
+evaluator.
+
+Two modes:
+
+* **snapshot mode** (default) — the backend owns a SQLite database
+  (in-memory or at ``path``) and loads the :class:`RelationalInstance`
+  into it on first execution; the loaded snapshot is keyed by the
+  instance's epoch, so an unchanged database is never reloaded and a
+  mutation triggers exactly one reload.
+* **attached mode** (``attach=True``) — the backend executes against an
+  existing SQLite file maintained outside this library; the instance is
+  never loaded.  ``data_epoch`` then folds in SQLite's ``PRAGMA
+  data_version`` so answer caches see commits made by other connections.
+
+Value encoding: strings, ints, floats and booleans are stored natively
+(SQLite's numeric comparisons match Python's ``1 == 1.0 == True``, so the
+two backends agree on answers).  ``None`` and labelled nulls are encoded as
+NUL-prefixed strings — SQL ``NULL`` never compares equal, which would break
+joins the in-memory evaluator performs happily — and rows containing a
+labelled null are filtered from answers (certain answers are constant
+tuples only).  Other value types are rejected with :class:`BackendError`.
+
+Tables are created without column types (BLOB affinity: no coercion) and
+get one single-column index per attribute, mirroring the per-(position,
+value) indexes of the in-memory instance.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Hashable, Mapping
+
+from ..database.instance import RelationalInstance
+from ..database.schema import RelationalSchema
+from ..database.sql import ParameterizedSQL, ucq_to_parameterized_sql
+from ..logic.atoms import Predicate, atoms_predicates
+from ..logic.terms import Constant, Null, Term, is_null
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .base import BackendError, ExecutionBackend, ExecutionPlan
+
+#: Prefix reserved for encoded values; real strings starting with NUL are
+#: escaped with it too, so decoding is unambiguous.
+_ESCAPE = "\x00"
+
+
+def encode_term(term: Term) -> object:
+    """Encode a ground term as a SQLite storage value."""
+    if is_null(term):
+        return f"{_ESCAPE}z:{term.label}"
+    value = term.value  # type: ignore[union-attr]
+    if value is None:
+        return f"{_ESCAPE}n:"
+    if isinstance(value, str):
+        if value.startswith(_ESCAPE):
+            return f"{_ESCAPE}s:{value}"
+        return value
+    if isinstance(value, (bool, int, float)):
+        return value
+    raise BackendError(
+        f"SQLiteBackend cannot store constant value {value!r} of type "
+        f"{type(value).__name__}; supported types are str, int, float, "
+        "bool and None"
+    )
+
+
+def decode_value(value: object) -> Term:
+    """Decode a SQLite storage value back into a term."""
+    if isinstance(value, str) and value.startswith(_ESCAPE):
+        kind, _, rest = value[1:].partition(":")
+        if kind == "z":
+            return Null(int(rest))
+        if kind == "n":
+            return Constant(None)
+        if kind == "s":
+            return Constant(rest)
+        raise BackendError(f"unreadable encoded value {value!r}")
+    return Constant(value)
+
+
+class SQLitePlan(ExecutionPlan):
+    """The rewriting's parameterized SQL plus the relations it references."""
+
+    def __init__(
+        self,
+        backend: "SQLiteBackend",
+        statement: ParameterizedSQL,
+        referenced: frozenset[Predicate],
+        arity: int,
+        schema: RelationalSchema | None,
+    ) -> None:
+        self._backend = backend
+        self._statement = statement
+        self._referenced = referenced
+        self._arity = arity
+        self._schema = schema
+
+    @property
+    def sql(self) -> str:
+        """The SQL text executed by this plan (``?`` placeholders)."""
+        return self._statement.sql
+
+    @property
+    def parameters(self) -> tuple[Constant, ...]:
+        """The constants bound to the placeholders, in order."""
+        return self._statement.parameters
+
+    @property
+    def referenced_predicates(self) -> frozenset[Predicate]:
+        """Relations the SQL reads (they must exist as tables)."""
+        return self._referenced
+
+    @property
+    def description(self) -> str:
+        return self.sql
+
+    def execute(
+        self,
+        database: RelationalInstance,
+        bindings: Mapping[Constant, Constant] | None = None,
+    ) -> frozenset[tuple]:
+        connection = self._backend.ensure_ready(
+            database, self._referenced, self._schema
+        )
+        parameters = [
+            encode_term(bindings.get(constant, constant) if bindings else constant)
+            for constant in self._statement.parameters
+        ]
+        try:
+            rows = connection.execute(self._statement.sql, parameters).fetchall()
+        except sqlite3.Error as error:
+            raise BackendError(f"SQLite execution failed: {error}") from error
+        if self._arity == 0:
+            return frozenset({()}) if rows else frozenset()
+        answers: set[tuple] = set()
+        for row in rows:
+            decoded = tuple(decode_value(value) for value in row)
+            if any(is_null(term) for term in decoded):
+                continue  # nulls witness joins but never appear in answers
+            answers.add(decoded)
+        return frozenset(answers)
+
+
+class SQLiteBackend(ExecutionBackend):
+    """Executes rewritings on SQLite (stdlib ``sqlite3``).
+
+    Parameters
+    ----------
+    path:
+        SQLite database path; the default ``":memory:"`` keeps the
+        snapshot private to this backend instance.
+    attach:
+        ``True`` executes against the existing database at *path* as-is:
+        the :class:`RelationalInstance` is **not** loaded, tables are
+        expected to be maintained externally, and missing referenced
+        tables raise unless *create_missing* is set.
+    create_missing:
+        In attached mode, create empty tables for referenced relations
+        absent from the file (mutates the file!).  Snapshot mode always
+        creates every referenced table.
+    """
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        path: str = ":memory:",
+        attach: bool = False,
+        create_missing: bool = False,
+    ) -> None:
+        if attach and path == ":memory:":
+            raise ValueError("attach=True needs the path of an existing database")
+        self._path = str(path)
+        self._attach = attach
+        self._create_missing = create_missing
+        self._connection: sqlite3.Connection | None = None
+        # (id(instance), epoch) of the currently loaded snapshot.
+        self._loaded: tuple[int, int] | None = None
+        # Tables this backend created, by name (snapshot mode drops them
+        # on reload; attached mode only ever adds empty missing ones).
+        self._predicates_by_table: dict[str, Predicate] = {}
+
+    # -- connection and loading -------------------------------------------
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The lazily opened SQLite connection."""
+        if self._connection is None:
+            self._connection = sqlite3.connect(self._path)
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+            self._loaded = None
+            self._predicates_by_table.clear()
+
+    def data_epoch(self, database: RelationalInstance) -> Hashable:
+        if not self._attach:
+            return database.epoch
+        # Attached files change under other connections; data_version moves
+        # exactly when another connection commits.
+        (version,) = self.connection.execute("PRAGMA data_version").fetchone()
+        return (database.epoch, version)
+
+    def ensure_ready(
+        self,
+        database: RelationalInstance,
+        referenced: frozenset[Predicate],
+        schema: RelationalSchema | None = None,
+    ) -> sqlite3.Connection:
+        """Make sure every referenced table exists and holds current data."""
+        connection = self.connection
+        if self._attach:
+            self._check_attached_tables(connection, referenced, schema)
+            return connection
+        key = (id(database), database.epoch)
+        if self._loaded != key:
+            self._load(connection, database, referenced, schema)
+            self._loaded = key
+        else:
+            known = set(self._predicates_by_table.values())
+            self._create_tables(connection, set(referenced) - known, schema)
+        return connection
+
+    def _check_attached_tables(
+        self,
+        connection: sqlite3.Connection,
+        referenced: frozenset[Predicate],
+        schema: RelationalSchema | None,
+    ) -> None:
+        existing = {
+            name
+            for (name,) in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        }
+        missing = sorted(p.name for p in referenced if p.name not in existing)
+        if not missing:
+            return
+        if not self._create_missing:
+            raise BackendError(
+                "attached database is missing tables referenced by the "
+                f"rewriting: {', '.join(missing)} (pass create_missing=True "
+                "to create them empty)"
+            )
+        self._create_tables(
+            connection, {p for p in referenced if p.name in set(missing)}, schema
+        )
+
+    def _columns(self, predicate: Predicate, schema: RelationalSchema | None) -> list[str]:
+        """Column names for a table: the schema's attributes, else ``argN``.
+
+        Must agree with what :func:`repro.database.sql` renders for the
+        same schema, or the generated SQL would reference missing columns.
+        """
+        if schema is not None:
+            relation = schema.get(predicate.name)
+            if relation is not None and relation.arity == predicate.arity:
+                return list(relation.attributes)
+        return [f"arg{i}" for i in range(1, predicate.arity + 1)]
+
+    def _create_tables(
+        self,
+        connection: sqlite3.Connection,
+        predicates: set[Predicate],
+        schema: RelationalSchema | None,
+    ) -> None:
+        for predicate in sorted(predicates, key=lambda p: (p.name, p.arity)):
+            known = self._predicates_by_table.get(predicate.name)
+            if known is not None and known.arity != predicate.arity:
+                # SQL tables are keyed by name alone, so two predicates
+                # sharing a name with different arities cannot coexist
+                # (the in-memory instance keeps them apart).
+                raise BackendError(
+                    f"relation name collision: {predicate.name!r} is used "
+                    f"with arities {known.arity} and {predicate.arity}; "
+                    "the SQLite backend cannot represent both"
+                )
+            columns = self._columns(predicate, schema)
+            table = self._quoted(predicate.name)
+            column_list = ", ".join(self._quoted(column) for column in columns)
+            connection.execute(f"CREATE TABLE IF NOT EXISTS {table} ({column_list})")
+            for i, column in enumerate(columns, start=1):
+                index_name = self._quoted(f"idx_{predicate.name}_{i}")
+                connection.execute(
+                    f"CREATE INDEX IF NOT EXISTS {index_name} ON {table} "
+                    f"({self._quoted(column)})"
+                )
+            self._predicates_by_table[predicate.name] = predicate
+        connection.commit()
+
+    def _load(
+        self,
+        connection: sqlite3.Connection,
+        database: RelationalInstance,
+        referenced: frozenset[Predicate],
+        schema: RelationalSchema | None,
+    ) -> None:
+        """(Re)load the snapshot: drop every table, recreate, bulk-insert.
+
+        Snapshot mode owns the whole database, so *all* existing tables
+        are dropped — including ones left behind by a previous process
+        when the snapshot lives in a file — or stale facts would be
+        resurrected into answers.
+        """
+        stale = [
+            name
+            for (name,) in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type = 'table'"
+            )
+        ]
+        for table in sorted(stale):
+            connection.execute(f"DROP TABLE IF EXISTS {self._quoted(table)}")
+        self._predicates_by_table.clear()
+        predicates = set(database.predicates()) | set(referenced)
+        self._create_tables(connection, predicates, schema)
+        for predicate in sorted(predicates, key=lambda p: (p.name, p.arity)):
+            facts = database.relation(predicate)
+            if not facts:
+                continue
+            placeholders = ", ".join("?" for _ in range(predicate.arity))
+            statement = (
+                f"INSERT INTO {self._quoted(predicate.name)} VALUES ({placeholders})"
+            )
+            connection.executemany(
+                statement,
+                [tuple(encode_term(term) for term in fact.terms) for fact in facts],
+            )
+        connection.commit()
+
+    @staticmethod
+    def _quoted(name: str) -> str:
+        return '"' + name.replace('"', '""') + '"'
+
+    # -- the backend protocol ----------------------------------------------
+
+    def prepare(
+        self,
+        ucq: UnionOfConjunctiveQueries,
+        schema: RelationalSchema | None = None,
+    ) -> SQLitePlan:
+        if len(ucq) == 0:
+            raise BackendError("cannot prepare an empty rewriting for SQLite")
+        statement = ucq_to_parameterized_sql(ucq, schema=schema)
+        referenced = frozenset(
+            predicate for query in ucq for predicate in atoms_predicates(query.body)
+        )
+        return SQLitePlan(self, statement, referenced, ucq.arity, schema)

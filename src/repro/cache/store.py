@@ -52,6 +52,7 @@ import json
 import os
 import re
 import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
@@ -112,16 +113,22 @@ class RewritingStore:
         whose evicted record still sits in the file forces an immediate
         purge, so a workload *cycling* through a working set larger than
         the bound thrashes (as any LRU does) — pick a bound that covers
-        the hot set.  Recency is tracked in-process
-        (served or stored most recently = most recent); entries never
-        touched in this process rank by their position in the file,
-        i.e. oldest-first.
+        the hot set.  Recency is *persistent*: every serve appends a
+        ``timestamp digest`` line to a sidecar ``recency.log``, so a later
+        process — e.g. ``repro cache compact`` — evicts true-LRU across
+        process boundaries.  Entries never recorded in the log rank by
+        their position in the JSON-lines file (oldest-first), below every
+        logged entry.
     """
 
     #: On-disk format version; bump on any incompatible record change.
     FORMAT_VERSION = 1
     #: Name of the JSON-lines file inside the store directory.
     FILENAME = "rewritings.jsonl"
+    #: Sidecar append-only log of serve times (``"<unix-time> <digest>"``
+    #: lines); best-effort — losing it only degrades eviction to
+    #: oldest-first, never correctness.
+    RECENCY_FILENAME = "recency.log"
 
     def __init__(
         self, directory: str | os.PathLike, max_entries: int | None = None
@@ -132,18 +139,27 @@ class RewritingStore:
         self._directory.mkdir(parents=True, exist_ok=True)
         self._path = self._directory / self.FILENAME
         self._index: dict[str, list[dict]] = {}
-        self._lock = threading.Lock()
+        # Re-entrant: put() holds it across _touch, which may fold the
+        # recency log back and needs it too.
+        self._lock = threading.RLock()
         self.statistics = CacheStatistics()
         self._needs_newline = False
         self._max_entries = max_entries
-        self._recency: dict[str, int] = {}
+        # Recency rank per digest: ``(persisted timestamp, sequence)``.
+        # Unlogged entries carry timestamp 0.0 and rank by file position,
+        # so any entry with a persisted serve time outranks all of them.
+        self._recency: dict[str, tuple[float, int]] = {}
         self._ticks = 0
         self._file_records = 0
+        self._recency_path = self._directory / self.RECENCY_FILENAME
+        self._recency_handle = None
+        self._recency_lines = 0
         # Digests evicted from the index whose records still sit in the
         # (lazily rewritten) file; re-appending one of these without a
         # purge first would leave duplicate records on disk.
         self._ghost_digests: set[str] = set()
         self._load()
+        self._load_recency()
         self._file_records = len(self)
         if max_entries is not None:
             with self._lock:
@@ -175,9 +191,35 @@ class RewritingStore:
         return self._max_entries
 
     def _touch(self, digest: str) -> None:
-        """Mark *digest* as the most recently served/stored bucket."""
+        """Mark *digest* as most recently served/stored, and persist it.
+
+        The serve time is appended to ``recency.log`` so the LRU order
+        survives the process — a store opened later (another worker,
+        ``repro cache compact``) evicts what *actually* went unserved
+        longest, not merely what was written first.
+        """
         self._ticks += 1
-        self._recency[digest] = self._ticks
+        stamp = time.time()
+        self._recency[digest] = (stamp, self._ticks)
+        try:
+            if self._recency_handle is None:
+                self._recency_handle = self._recency_path.open("a", encoding="utf-8")
+            self._recency_handle.write(f"{stamp:.6f} {digest}\n")
+            self._recency_handle.flush()
+            self._recency_lines += 1
+        except OSError:  # pragma: no cover - recency is best-effort
+            self._recency_handle = None
+        if self._recency_lines > max(256, 4 * len(self)):
+            # Fold the log back to one line per entry.  Serve-only (fully
+            # warm) workloads never append records, so the growth bound
+            # must live here on the serve path, not just in put().
+            with self._lock:
+                self._rewrite_recency_locked()
+
+    def _rank(self, digest: str) -> None:
+        """Baseline recency of an on-disk record: its file position."""
+        self._ticks += 1
+        self._recency[digest] = (0.0, self._ticks)
 
     # -- the map interface -------------------------------------------------
 
@@ -284,9 +326,10 @@ class RewritingStore:
         Evicts least-recently-served entries until at most *max_entries*
         records remain (defaulting to the bound given at construction
         time) and rewrites the JSON-lines file atomically.  Recency is
-        the in-process serving order; entries never served by this
-        process rank by file position, so a fresh open (e.g. ``repro
-        cache compact``) evicts oldest-first.  Returns the number of
+        the *persisted* serving order replayed from ``recency.log``, so a
+        fresh open (e.g. ``repro cache compact`` in a new process) evicts
+        true-LRU across processes; entries never served anywhere rank by
+        file position below every served one.  Returns the number of
         records removed.
         """
         if max_entries is None:
@@ -314,7 +357,9 @@ class RewritingStore:
         if len(self) <= max_entries:
             return 0
         removed = 0
-        for digest in sorted(self._index, key=lambda d: self._recency.get(d, 0)):
+        for digest in sorted(
+            self._index, key=lambda d: self._recency.get(d, (0.0, 0))
+        ):
             if len(self) <= max_entries:
                 break
             removed += len(self._index.pop(digest))
@@ -350,6 +395,63 @@ class RewritingStore:
         self._needs_newline = False
         self._file_records = len(self)
         self._ghost_digests.clear()
+        self._rewrite_recency_locked()
+
+    def _rewrite_recency_locked(self) -> None:
+        """Compact ``recency.log`` to one line per surviving served digest.
+
+        Unserved entries (timestamp 0.0) are omitted — their baseline
+        rank is their file position, which the main rewrite just fixed.
+        """
+        if self._recency_handle is not None:
+            self._recency_handle.close()
+            self._recency_handle = None
+        served = sorted(
+            (
+                (rank, digest)
+                for digest, rank in self._recency.items()
+                if digest in self._index and rank[0] > 0.0
+            ),
+        )
+        try:
+            temporary = self._recency_path.with_suffix(".log.tmp")
+            with temporary.open("w", encoding="utf-8") as handle:
+                for (stamp, _), digest in served:
+                    handle.write(f"{stamp:.6f} {digest}\n")
+            os.replace(temporary, self._recency_path)
+            self._recency_lines = len(served)
+        except OSError:  # pragma: no cover - recency is best-effort
+            pass
+
+    def _load_recency(self) -> None:
+        """Replay ``recency.log`` over the file-position baseline ranks.
+
+        Later lines win (the log is append-only, so the last mention of a
+        digest is its most recent serve); lines for digests no longer in
+        the store — pruned, evicted or compacted away — are ignored.
+        """
+        if not self._recency_path.exists():
+            return
+        try:
+            lines = self._recency_path.read_text(encoding="utf-8").splitlines()
+        except OSError:  # pragma: no cover - recency is best-effort
+            return
+        self._recency_lines = len(lines)
+        for line in lines:
+            stamp_text, _, digest = line.strip().partition(" ")
+            if not digest or digest not in self._index:
+                continue
+            try:
+                stamp = float(stamp_text)
+            except ValueError:
+                continue
+            self._ticks += 1
+            self._recency[digest] = (stamp, self._ticks)
+        if self._recency_lines > max(256, 4 * len(self)):
+            # A previous serve-heavy process may have exited mid-growth;
+            # fold the replayed log down so opens stay O(entries).
+            with self._lock:
+                self._rewrite_recency_locked()
 
     def prune(self, keep_fingerprint: str) -> int:
         """Physically drop every entry whose fingerprint differs.
@@ -425,7 +527,7 @@ class RewritingStore:
                         self.statistics.skipped_records += 1
                         continue
                     self._index.setdefault(match.group(2), []).append(line)
-                    self._touch(match.group(2))
+                    self._rank(match.group(2))
                     continue
                 try:
                     record = json.loads(line)
@@ -441,7 +543,7 @@ class RewritingStore:
                     self.statistics.skipped_records += 1
                     continue
                 self._index.setdefault(record["digest"], []).append(record)
-                self._touch(record["digest"])
+                self._rank(record["digest"])
 
     def _bucket(self, digest: str) -> list[dict]:
         """The fully parsed records of one bucket (parsing them on first use)."""

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five small commands expose the library without writing Python:
+Six small commands expose the library without writing Python:
 
 ``workloads``
     List the registered evaluation workloads and their sizes.
@@ -26,11 +26,20 @@ Five small commands expose the library without writing Python:
 ``cache compact --cache DIR --max-entries N``
     Bound a persistent rewriting cache to its N most-recently-served
     entries, rewriting the JSON-lines file atomically.
+
+``answer (--workload NAME | --tbox FILE --data FILE) [--backend B]``
+    Answer queries end-to-end through the prepare/execute serving
+    lifecycle on a chosen execution backend (``memory``, ``sqlite``) —
+    or on ``both``, in which case the two answer sets are compared and a
+    disagreement exits non-zero (the differential gate behind ``make
+    answer-smoke``).  ``--repeat N`` re-executes each prepared query and
+    reports the answer-cache hits the warm runs were served from.
 """
 
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -237,6 +246,126 @@ def _cmd_compile(arguments: argparse.Namespace) -> int:
     return 0
 
 
+#: Fact lines accepted by ``repro answer --data``: ``relation(v1, v2, ...)``.
+_FACT_LINE = re.compile(r"^(?P<name>[\w.:-]+)\s*\((?P<values>.*)\)\s*\.?$")
+
+
+def _parse_fact_line(line: str) -> tuple[str, list[object]]:
+    """Parse one ``relation(v1, v2)`` data line into (name, values).
+
+    Unquoted numeric values become ints/floats; everything else is kept
+    as a (possibly quoted) string.
+    """
+    match = _FACT_LINE.match(line)
+    if match is None:
+        raise ValueError(f"unreadable fact line: {line!r}")
+    values: list[object] = []
+    for raw in match.group("values").split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        if raw.startswith(("'", '"')) and raw.endswith(raw[0]) and len(raw) >= 2:
+            values.append(raw[1:-1])
+            continue
+        try:
+            values.append(int(raw))
+        except ValueError:
+            try:
+                values.append(float(raw))
+            except ValueError:
+                values.append(raw)
+    return match.group("name"), values
+
+
+def _cmd_answer(arguments: argparse.Namespace) -> int:
+    """Answer queries end-to-end through prepare/execute on chosen backends."""
+    from .evaluation import ANSWER_BACKENDS, AnsweringEvaluator
+
+    backends = (
+        list(ANSWER_BACKENDS) if arguments.backend == "both" else [arguments.backend]
+    )
+    if arguments.workload:
+        workload = get_workload(arguments.workload)
+        named = [(name, workload.query(name)) for name in workload.query_names]
+        database = None
+    else:
+        if not arguments.data:
+            print(
+                "error: --tbox needs --data FILE (one relation(v1, v2) fact "
+                "per line) to answer against",
+                file=sys.stderr,
+            )
+            return 2
+        theory, named = _load_theory_and_queries(arguments)
+        from .database.instance import database_from_tuples
+        from .workloads.registry import Workload
+
+        facts = []
+        for line in Path(arguments.data).read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            facts.append(_parse_fact_line(line))
+        database = database_from_tuples(facts)
+        workload = Workload(
+            name=Path(arguments.tbox).stem,
+            theory=theory,
+            queries={name: query for name, query in named},
+            description="ad-hoc TBox",
+        )
+    if arguments.queries_filter:
+        named = [(name, query) for name, query in named if name in set(arguments.queries_filter)]
+        if not named:
+            print("error: no queries left after --queries", file=sys.stderr)
+            return 2
+    evaluator = AnsweringEvaluator(
+        workload,
+        backends=backends,
+        seed=arguments.seed,
+        facts_per_relation=arguments.facts_per_relation,
+        use_nc_pruning=bool(workload.theory.negative_constraints),
+        database=database,
+    )
+    print(
+        f"# {workload.name}: {len(evaluator.system.database)} facts, "
+        f"backends: {', '.join(backends)}"
+    )
+    disagreements = []
+    for name, query in named:
+        for backend in backends:
+            measurement = evaluator.measure(name, backend)
+            prepared = evaluator.system.prepare(query, backend)
+            for _ in range(max(0, arguments.repeat - 1)):
+                prepared.execute()
+            info = prepared.execution_cache_info()
+            print(
+                f"{name} [{backend}]: {measurement.answers} answers — "
+                f"prepare {measurement.prepare_seconds:.3f}s, "
+                f"execute {measurement.cold_seconds:.4f}s, "
+                f"warm {measurement.warm_seconds:.4f}s "
+                f"({info.hits} cache hits)"
+            )
+            if arguments.show and backend == backends[0]:
+                for row in sorted(map(repr, evaluator.answers(name, backend)))[: arguments.show]:
+                    print(f"    {row}")
+        if len(backends) > 1 and not evaluator.agree(name):
+            disagreements.append(name)
+            print(f"error: backends disagree on {name}", file=sys.stderr)
+    if arguments.sql:
+        for name, query in named:
+            prepared = evaluator.system.prepare(query, "sqlite")
+            print(f"-- {name}\n{prepared.sql}")
+    evaluator.close()
+    if disagreements:
+        print(
+            f"error: {len(disagreements)} queries with backend disagreement: "
+            f"{', '.join(disagreements)}",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
 def _cmd_cache_compact(arguments: argparse.Namespace) -> int:
     """Bound a persistent rewriting cache to its N most recent entries."""
     from .cache.store import RewritingStore
@@ -311,6 +440,55 @@ def build_parser() -> argparse.ArgumentParser:
                           help="exit 1 unless every query was served from the "
                           "cache (all misses are reported first)")
     compile_.set_defaults(handler=_cmd_compile)
+
+    answer = commands.add_parser(
+        "answer",
+        help="answer queries end-to-end on an execution backend "
+        "(prepare/execute lifecycle)",
+    )
+    answer_source = answer.add_mutually_exclusive_group(required=True)
+    answer_source.add_argument("--workload", help="a registered workload name (e.g. S)")
+    answer_source.add_argument("--tbox", help="path to a textual DL-Lite_R TBox")
+    answer.add_argument(
+        "--data",
+        help="fact file for --tbox mode: one relation(v1, v2) per line "
+        "('#' comments)",
+    )
+    answer.add_argument(
+        "--queries",
+        help="file with one query per line — --tbox mode only",
+    )
+    answer.add_argument(
+        "--query", dest="queries_filter", nargs="+", metavar="NAME",
+        help="restrict to specific workload queries (e.g. q1 q3)",
+    )
+    answer.add_argument(
+        "--backend", choices=["memory", "sqlite", "both"], default="memory",
+        help="execution backend; 'both' differential-tests the two and "
+        "exits 3 on disagreement",
+    )
+    answer.add_argument(
+        "--seed", type=int, default=0,
+        help="ABox generator seed for workload mode (default 0)",
+    )
+    answer.add_argument(
+        "--facts-per-relation", type=int, default=10, metavar="N",
+        help="ABox size knob for workload mode (default 10)",
+    )
+    answer.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="execute each prepared query N times (warm runs hit the "
+        "answer cache)",
+    )
+    answer.add_argument(
+        "--show", type=int, default=0, metavar="N",
+        help="print up to N answer tuples per query",
+    )
+    answer.add_argument(
+        "--sql", action="store_true",
+        help="also print the SQL each query executes on the sqlite backend",
+    )
+    answer.set_defaults(handler=_cmd_answer)
 
     cache = commands.add_parser(
         "cache", help="manage a persistent rewriting cache directory"

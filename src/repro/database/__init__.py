@@ -4,15 +4,17 @@ from .evaluator import QueryEvaluator, evaluate, evaluate_ucq
 from .generator import DatabaseGenerator, random_database
 from .instance import RelationalInstance, database_from_tuples
 from .schema import Relation, RelationalSchema
-from .sql import cq_to_sql, ucq_to_sql
+from .sql import ParameterizedSQL, cq_to_sql, ucq_to_parameterized_sql, ucq_to_sql
 
 __all__ = [
     "DatabaseGenerator",
+    "ParameterizedSQL",
     "QueryEvaluator",
     "Relation",
     "RelationalInstance",
     "RelationalSchema",
     "cq_to_sql",
+    "ucq_to_parameterized_sql",
     "database_from_tuples",
     "evaluate",
     "evaluate_ucq",

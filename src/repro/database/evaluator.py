@@ -35,11 +35,22 @@ class QueryEvaluator:
 
     def evaluate(self, query: ConjunctiveQuery) -> frozenset[tuple[Term, ...]]:
         """All answers (tuples of constants) of *query* over the instance."""
+        return self.answers_for_order(self.join_order(query.body), query.answer_terms)
+
+    def answers_for_order(
+        self, ordered_body: Sequence[Atom], answer_terms: Sequence[Term]
+    ) -> frozenset[tuple[Term, ...]]:
+        """Answers of a CQ whose join order has already been fixed.
+
+        This is the execution half of :meth:`evaluate`, split out so a
+        prepared plan (:class:`repro.backends.memory.InMemoryBackend`) can
+        compute the join order once and replay it across executions.
+        """
         answers: set[tuple[Term, ...]] = set()
-        for binding in self._bindings(query):
+        for binding in self._search(list(ordered_body), 0, {}):
             answer = tuple(
                 binding.get(term, term) if is_variable(term) else term
-                for term in query.answer_terms
+                for term in answer_terms
             )
             if all(is_constant(value) for value in answer):
                 answers.add(answer)
@@ -79,10 +90,10 @@ class QueryEvaluator:
 
     def _bindings(self, query: ConjunctiveQuery) -> Iterator[dict[Term, Term]]:
         """Enumerate variable bindings satisfying the query body."""
-        atoms = self._join_order(query.body)
+        atoms = self.join_order(query.body)
         yield from self._search(atoms, 0, {})
 
-    def _join_order(self, body: Sequence[Atom]) -> list[Atom]:
+    def join_order(self, body: Sequence[Atom]) -> list[Atom]:
         """Greedy join ordering: start selective, then follow join variables."""
         remaining = list(body)
         if not remaining:

@@ -20,7 +20,15 @@ from .schema import RelationalSchema
 
 
 class RelationalInstance:
-    """A mutable set of ground atoms with per-predicate and per-value indexes."""
+    """A mutable set of ground atoms with per-predicate and per-value indexes.
+
+    Every mutation that actually changes the stored fact set bumps the
+    instance's :attr:`epoch` counter.  The epoch is what the serving layer
+    (:class:`repro.api.PreparedQuery`, the execution backends) keys its
+    answer caches and SQLite snapshots on: equal epochs guarantee an
+    unchanged database, so cached answers can be served without touching
+    the data.
+    """
 
     def __init__(
         self,
@@ -31,10 +39,21 @@ class RelationalInstance:
         self._facts: set[Atom] = set()
         self._by_predicate: dict[Predicate, set[Atom]] = defaultdict(set)
         self._by_position_value: dict[tuple[Predicate, int, Term], set[Atom]] = defaultdict(set)
+        self._epoch = 0
         for fact in facts:
             self.add(fact)
 
     # -- mutation ---------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotone change counter: bumped whenever a new fact is stored.
+
+        Re-inserting an existing fact leaves the epoch unchanged (the
+        database is the same set of facts), so epoch equality is exactly
+        "nothing to invalidate" for answer caches built on top.
+        """
+        return self._epoch
 
     def add(self, fact: Atom) -> bool:
         """Insert a ground atom; returns ``True`` if it was new."""
@@ -48,6 +67,7 @@ class RelationalInstance:
         self._by_predicate[fact.predicate].add(fact)
         for index, term in enumerate(fact.terms, start=1):
             self._by_position_value[(fact.predicate, index, term)].add(fact)
+        self._epoch += 1
         return True
 
     def add_all(self, facts: Iterable[Atom]) -> int:

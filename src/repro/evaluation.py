@@ -28,6 +28,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 from .baselines.quonto import QuOntoStyleRewriter
 from .baselines.resolution import ResolutionRewriter
 from .core.rewriter import RewritingResult, TGDRewriter
+from .database.instance import RelationalInstance
 from .dependencies.tgd import schema_predicates
 from .logic.atoms import Predicate
 from .metrics import RewritingMetrics, ucq_metrics
@@ -170,6 +171,130 @@ def evaluate_workload(
 ) -> list[Table1Row]:
     """One-shot evaluation of a workload; returns one row per query."""
     return Table1Evaluator(workload, systems=systems).rows(query_names)
+
+
+#: The execution backends compared by the answering evaluation.
+ANSWER_BACKENDS = ("memory", "sqlite")
+
+
+@dataclass(frozen=True)
+class AnswerMeasurement:
+    """Timing and size of one (query, backend) end-to-end answering run."""
+
+    query_name: str
+    backend: str
+    prepare_seconds: float
+    cold_seconds: float
+    warm_seconds: float
+    answers: int
+    warm_cached: bool
+
+
+class AnsweringEvaluator:
+    """End-to-end answering over a workload through the serving lifecycle.
+
+    Builds one :class:`~repro.api.OBDASystem` on a synthetic ABox of the
+    workload and drives every query through
+    :meth:`~repro.api.OBDASystem.prepare` /
+    :meth:`~repro.api.PreparedQuery.execute` on each requested backend —
+    the measured path is exactly what a deployment runs.  Used by ``repro
+    answer`` and ``benchmarks/bench_answering.py``; also the differential
+    harness showing the two backends agree.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        backends: Sequence[str] = ANSWER_BACKENDS,
+        seed: int = 0,
+        facts_per_relation: int = 10,
+        use_elimination: bool = True,
+        use_nc_pruning: bool = False,
+        database: RelationalInstance | None = None,
+    ) -> None:
+        from .api import OBDASystem  # local import: api imports this module's peers
+
+        self._workload = workload
+        self._backends = tuple(backends)
+        self._system = OBDASystem(
+            workload.theory,
+            database=database
+            if database is not None
+            else workload.abox(seed=seed, facts_per_relation=facts_per_relation),
+            use_elimination=use_elimination,
+            use_nc_pruning=use_nc_pruning,
+        )
+
+    @property
+    def workload(self) -> Workload:
+        """The workload under evaluation."""
+        return self._workload
+
+    @property
+    def system(self):
+        """The :class:`~repro.api.OBDASystem` driving the lifecycle."""
+        return self._system
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        """The execution backends being compared."""
+        return self._backends
+
+    def answers(self, query_name: str, backend: str) -> frozenset[tuple]:
+        """The certain answers of a named query on one backend (cached)."""
+        prepared = self._system.prepare(self._workload.query(query_name), backend)
+        return prepared.execute().tuples
+
+    def agree(self, query_name: str) -> bool:
+        """``True`` iff every backend returns the same answer set."""
+        sets = {self.answers(query_name, backend) for backend in self._backends}
+        return len(sets) <= 1
+
+    def measure(self, query_name: str, backend: str) -> AnswerMeasurement:
+        """Prepare + cold execute + warm execute of one query on one backend."""
+        query = self._workload.query(query_name)
+        started = time.perf_counter()
+        prepared = self._system.prepare(query, backend)
+        prepare_seconds = time.perf_counter() - started
+
+        before = prepared.execution_cache_info()
+        started = time.perf_counter()
+        answers = prepared.execute()
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        prepared.execute()
+        warm_seconds = time.perf_counter() - started
+        after = prepared.execution_cache_info()
+
+        return AnswerMeasurement(
+            query_name=query_name,
+            backend=backend,
+            prepare_seconds=prepare_seconds,
+            cold_seconds=cold_seconds,
+            warm_seconds=warm_seconds,
+            answers=len(answers),
+            warm_cached=after.hits > before.hits,
+        )
+
+    def rows(
+        self, query_names: Iterable[str] | None = None
+    ) -> list[AnswerMeasurement]:
+        """Measurements for all (or the given) queries on every backend."""
+        names = (
+            list(query_names)
+            if query_names is not None
+            else list(self._workload.query_names)
+        )
+        return [
+            self.measure(name, backend)
+            for name in names
+            for backend in self._backends
+        ]
+
+    def close(self) -> None:
+        """Release backend resources held by the underlying system."""
+        self._system.close()
 
 
 def format_rows(rows: Sequence[Table1Row], systems: Sequence[str] = SYSTEMS) -> str:

@@ -1,0 +1,268 @@
+"""The prepare/execute lifecycle: epoch invalidation, caching, bindings."""
+
+import pytest
+
+from repro.api import OBDASystem
+from repro.backends import InMemoryBackend, SQLiteBackend
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.dependencies.tgd import tgd
+from repro.dependencies.theory import OntologyTheory
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+X, Y, A = Variable("X"), Variable("Y"), Variable("A")
+
+
+def make_system() -> OBDASystem:
+    theory = OntologyTheory(
+        tgds=[
+            tgd(Atom.of("manager", X), Atom.of("employee", X)),
+            tgd(Atom.of("employee", X), Atom.of("person", X)),
+        ],
+        name="lifecycle",
+    )
+    system = OBDASystem(theory)
+    system.add_facts([("manager", ("ann",)), ("employee", ("bob",))])
+    return system
+
+
+PERSON_QUERY = ConjunctiveQuery([Atom.of("person", A)], (A,))
+
+
+class TestPreparedQueryCaching:
+    @pytest.mark.parametrize("backend", ("memory", "sqlite"))
+    def test_warm_execute_is_served_from_the_answer_cache(self, backend):
+        system = make_system()
+        prepared = system.prepare(PERSON_QUERY, backend)
+
+        executions = 0
+        original = prepared.plan.execute
+
+        def counting_execute(*args, **kwargs):
+            nonlocal executions
+            executions += 1
+            return original(*args, **kwargs)
+
+        prepared._plan.execute = counting_execute  # count backend work
+
+        first = prepared.execute()
+        second = prepared.execute()
+        assert first.tuples == second.tuples
+        assert executions == 1, "warm execute must not reach the backend"
+        info = prepared.execution_cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+        system.close()
+
+    @pytest.mark.parametrize("backend", ("memory", "sqlite"))
+    def test_epoch_bump_invalidates_cached_answers(self, backend):
+        system = make_system()
+        prepared = system.prepare(PERSON_QUERY, backend)
+        before = prepared.execute().tuples
+        assert (Constant("ann"),) in before and (Constant("bob"),) in before
+
+        epoch = system.database.epoch
+        system.add_fact("person", ("carol",))
+        assert system.database.epoch == epoch + 1
+
+        after = prepared.execute().tuples
+        assert (Constant("carol"),) in after
+        info = prepared.execution_cache_info()
+        assert info.misses == 2 and info.hits == 0
+        system.close()
+
+    def test_reinserting_an_existing_fact_keeps_the_epoch_and_cache(self):
+        system = make_system()
+        prepared = system.prepare(PERSON_QUERY)
+        prepared.execute()
+        epoch = system.database.epoch
+        system.add_fact("manager", ("ann",))  # already present
+        assert system.database.epoch == epoch
+        prepared.execute()
+        assert prepared.execution_cache_info().hits == 1
+
+    def test_invalidate_clears_the_cache(self):
+        system = make_system()
+        prepared = system.prepare(PERSON_QUERY)
+        prepared.execute()
+        assert prepared.execution_cache_info().size == 1
+        prepared.invalidate()
+        assert prepared.execution_cache_info().size == 0
+        prepared.execute()
+        assert prepared.execution_cache_info().misses == 2
+
+    def test_prepare_returns_the_same_handle(self):
+        system = make_system()
+        assert system.prepare(PERSON_QUERY) is system.prepare(PERSON_QUERY)
+        assert system.prepare(PERSON_QUERY, "sqlite") is not system.prepare(
+            PERSON_QUERY, "memory"
+        )
+
+    def test_answer_shim_goes_through_the_shared_prepared_handle(self):
+        system = make_system()
+        system.answer(PERSON_QUERY)
+        system.answer(PERSON_QUERY)
+        info = system.prepare(PERSON_QUERY).execution_cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+
+    def test_answer_cache_is_bounded(self):
+        system = make_system()
+        prepared = system.prepare(PERSON_QUERY)
+        limit = prepared.MAX_CACHED_ANSWERS
+        for i in range(limit + 5):
+            system.add_fact("person", (f"p{i}",))
+            prepared.execute()
+        assert prepared.execution_cache_info().size <= limit
+
+
+class TestParameterBinding:
+    def make_bind_system(self):
+        theory = OntologyTheory(
+            tgds=[tgd(Atom.of("head_of", X, Y), Atom.of("leads", X, Y))],
+            name="binding",
+        )
+        system = OBDASystem(theory)
+        system.add_facts(
+            [("leads", ("apollo", "ann")), ("head_of", ("gemini", "bob"))]
+        )
+        return system
+
+    QUERY = ConjunctiveQuery([Atom.of("leads", Constant("apollo"), A)], (A,))
+
+    @pytest.mark.parametrize("backend", ("memory", "sqlite"))
+    def test_binding_rebinds_across_the_whole_rewriting(self, backend):
+        system = self.make_bind_system()
+        prepared = system.prepare(self.QUERY, backend)
+        assert prepared.bindable_constants == frozenset({Constant("apollo")})
+        unbound = prepared.execute().tuples
+        assert unbound == frozenset({(Constant("ann"),)})
+        # 'gemini' only leads through the head_of rule: the binding must
+        # reach the rewritten disjunct, not just the original atom.
+        bound = prepared.execute({"apollo": "gemini"}).tuples
+        assert bound == frozenset({(Constant("bob"),)})
+        system.close()
+
+    def test_bindings_get_distinct_cache_entries(self):
+        system = self.make_bind_system()
+        prepared = system.prepare(self.QUERY)
+        prepared.execute()
+        prepared.execute({"apollo": "gemini"})
+        prepared.execute({"apollo": "gemini"})
+        info = prepared.execution_cache_info()
+        assert (info.hits, info.misses, info.size) == (1, 2, 2)
+
+    def test_identity_binding_shares_the_unbound_cache_entry(self):
+        system = self.make_bind_system()
+        prepared = system.prepare(self.QUERY)
+        prepared.execute()
+        prepared.execute({"apollo": "apollo"})
+        assert prepared.execution_cache_info().hits == 1
+
+    def test_unknown_binding_key_is_rejected(self):
+        system = self.make_bind_system()
+        prepared = system.prepare(self.QUERY)
+        with pytest.raises(ValueError, match="not a bindable constant"):
+            prepared.execute({"mercury": "gemini"})
+
+    def test_binding_to_a_theory_constant_is_rejected(self):
+        theory = OntologyTheory(
+            tgds=[
+                tgd(Atom.of("vip", X), Atom.of("member", X, Constant("gold"))),
+            ],
+            name="rule-constants",
+        )
+        system = OBDASystem(theory)
+        query = ConjunctiveQuery([Atom.of("member", A, Constant("silver"))], (A,))
+        prepared = system.prepare(query)
+        # 'silver' is not mentioned by the rules: bindable.
+        assert prepared.bindable_constants == frozenset({Constant("silver")})
+        # ... but not to 'gold', for which the prepared rewriting may be
+        # incomplete (it would unify with the rule's constant).
+        with pytest.raises(ValueError, match="occurs in the theory"):
+            prepared.execute({"silver": "gold"})
+
+    def test_query_constant_used_by_rules_is_not_bindable(self):
+        theory = OntologyTheory(
+            tgds=[
+                tgd(Atom.of("vip", X), Atom.of("member", X, Constant("gold"))),
+            ],
+            name="rule-constants",
+        )
+        system = OBDASystem(theory)
+        query = ConjunctiveQuery([Atom.of("member", A, Constant("gold"))], (A,))
+        assert system.prepare(query).bindable_constants == frozenset()
+
+
+class TestSystemBackendManagement:
+    def test_named_backends_are_shared_instances(self):
+        system = make_system()
+        assert system.backend_for("sqlite") is system.backend_for("sqlite")
+        assert isinstance(system.backend_for("memory"), InMemoryBackend)
+        assert isinstance(system.backend_for("sqlite"), SQLiteBackend)
+
+    def test_explicit_backend_instance_is_used_as_given(self):
+        system = make_system()
+        backend = InMemoryBackend()
+        assert system.backend_for(backend) is backend
+
+    def test_unknown_backend_name_is_rejected(self):
+        system = make_system()
+        with pytest.raises(ValueError, match="unknown backend"):
+            system.prepare(PERSON_QUERY, backend="oracle")
+
+    def test_context_manager_closes_backends(self):
+        with make_system() as system:
+            prepared = system.prepare(PERSON_QUERY, "sqlite")
+            prepared.execute()
+        assert system._backends == {}
+
+    def test_default_backend_constructor_argument(self):
+        theory = OntologyTheory(
+            tgds=[tgd(Atom.of("manager", X), Atom.of("employee", X))]
+        )
+        system = OBDASystem(theory, backend="sqlite")
+        system.add_fact("manager", ("ann",))
+        query = ConjunctiveQuery([Atom.of("employee", A)], (A,))
+        assert isinstance(system.prepare(query).backend, SQLiteBackend)
+        assert (Constant("ann"),) in system.answer(query)
+        system.close()
+
+
+class TestConsistencyCaching:
+    def test_nc_rewritings_are_compiled_once(self, monkeypatch):
+        from repro.dependencies.constraints import NegativeConstraint
+
+        theory = OntologyTheory(
+            tgds=[tgd(Atom.of("student", X), Atom.of("person", X))],
+            negative_constraints=[
+                NegativeConstraint(
+                    (Atom.of("student", X), Atom.of("professor", X))
+                )
+            ],
+        )
+        system = OBDASystem(theory)
+        system.add_fact("student", ("kim",))
+        assert system.is_consistent()
+
+        from repro.core import rewriter as rewriter_module
+
+        def exploding_rewrite(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("consistency check recompiled its NCs")
+
+        monkeypatch.setattr(
+            rewriter_module.TGDRewriter, "rewrite", exploding_rewrite
+        )
+        system.add_fact("professor", ("kim",))
+        assert not system.is_consistent()
+
+    def test_verdict_is_cached_per_epoch(self, monkeypatch):
+        system = make_system()
+        system.check_consistency()
+        monkeypatch.setattr(
+            system,
+            "_consistency_failure",
+            lambda: (_ for _ in ()).throw(AssertionError("re-checked")),
+        )
+        system.check_consistency()  # same epoch: cached verdict
+        system.add_fact("person", ("dora",))
+        with pytest.raises(AssertionError):
+            system.check_consistency()

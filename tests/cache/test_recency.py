@@ -1,0 +1,103 @@
+"""Persistent serve recency: true-LRU eviction across processes."""
+
+from repro.cache.store import RewritingStore
+from repro.core.rewriter import TGDRewriter
+from repro.workloads import get_workload
+
+
+def compiled_queries(count=5):
+    workload = get_workload("S")
+    rewriter = TGDRewriter(workload.theory.tgds)
+    names = list(workload.query_names)[:count]
+    return [
+        (workload.query(name), rewriter.rewrite(workload.query(name)))
+        for name in names
+    ]
+
+
+class TestPersistentRecency:
+    def test_serve_order_survives_a_reopen(self, tmp_path):
+        items = compiled_queries(3)
+        store = RewritingStore(tmp_path)
+        for query, result in items:
+            store.put(query, "fp", result)
+        # Serve the *oldest-written* entry so it becomes most recent.
+        assert store.get(items[0][0], "fp") is not None
+
+        reopened = RewritingStore(tmp_path)  # a new "process"
+        removed = reopened.compact(max_entries=1)
+        assert removed == 2
+        assert reopened.get(items[0][0], "fp") is not None, (
+            "true-LRU must keep the most recently *served* entry, "
+            "not the most recently written one"
+        )
+
+    def test_without_a_log_eviction_falls_back_to_oldest_first(self, tmp_path):
+        items = compiled_queries(3)
+        store = RewritingStore(tmp_path)
+        for query, result in items:
+            store.put(query, "fp", result)
+        (tmp_path / RewritingStore.RECENCY_FILENAME).unlink()
+
+        reopened = RewritingStore(tmp_path)
+        reopened.compact(max_entries=1)
+        assert reopened.get(items[-1][0], "fp") is not None
+
+    def test_corrupt_log_lines_are_ignored(self, tmp_path):
+        items = compiled_queries(2)
+        store = RewritingStore(tmp_path)
+        for query, result in items:
+            store.put(query, "fp", result)
+        log = tmp_path / RewritingStore.RECENCY_FILENAME
+        log.write_text(
+            "not-a-timestamp deadbeef\n\ngarbage\n" + log.read_text(),
+            encoding="utf-8",
+        )
+        reopened = RewritingStore(tmp_path)
+        assert len(reopened) == 2
+        assert reopened.get(items[0][0], "fp") is not None
+
+    def test_log_is_compacted_with_the_store(self, tmp_path):
+        items = compiled_queries(4)
+        store = RewritingStore(tmp_path)
+        for query, result in items:
+            store.put(query, "fp", result)
+        for query, _ in items:
+            store.get(query, "fp")
+        store.compact(max_entries=2)
+        log = tmp_path / RewritingStore.RECENCY_FILENAME
+        lines = [line for line in log.read_text().splitlines() if line]
+        assert len(lines) <= 2, "compaction must drop evicted digests from the log"
+
+    def test_log_growth_is_bounded_on_a_serve_only_workload(self, tmp_path):
+        # Fully warm deployments only ever serve: the growth bound must
+        # hold without a single put.
+        items = compiled_queries(1)
+        store = RewritingStore(tmp_path)
+        store.put(items[0][0], "fp", items[0][1])
+        for _ in range(600):
+            store.get(items[0][0], "fp")
+        log = tmp_path / RewritingStore.RECENCY_FILENAME
+        lines = [line for line in log.read_text().splitlines() if line]
+        assert len(lines) <= max(256, 4 * len(store)) + 1
+
+    def test_oversized_log_is_folded_back_at_open(self, tmp_path):
+        items = compiled_queries(1)
+        store = RewritingStore(tmp_path)
+        store.put(items[0][0], "fp", items[0][1])
+        log = tmp_path / RewritingStore.RECENCY_FILENAME
+        line = log.read_text().splitlines()[0]
+        log.write_text("\n".join([line] * 500) + "\n", encoding="utf-8")
+        RewritingStore(tmp_path)
+        lines = [l for l in log.read_text().splitlines() if l]
+        assert len(lines) <= 1
+
+    def test_recency_log_does_not_change_store_bytes(self, tmp_path):
+        items = compiled_queries(2)
+        store = RewritingStore(tmp_path)
+        for query, result in items:
+            store.put(query, "fp", result)
+        before = store.path.read_bytes()
+        for query, _ in items:
+            store.get(query, "fp")
+        assert store.path.read_bytes() == before

@@ -276,6 +276,65 @@ class TestCacheCompactCommand:
             main(["cache"])
 
 
+class TestAnswerCommand:
+    def test_workload_on_both_backends_agrees(self, capsys):
+        assert main(
+            ["answer", "--workload", "S", "--backend", "both", "--repeat", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "[memory]" in output and "[sqlite]" in output
+        assert "cache hits" in output
+
+    def test_query_filter_restricts_the_run(self, capsys):
+        assert main(
+            ["answer", "--workload", "S", "--query", "q1", "--show", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "q1 [memory]" in output
+        assert "q2" not in output
+
+    def test_sql_flag_prints_the_sqlite_plan(self, capsys):
+        assert main(
+            ["answer", "--workload", "S", "--query", "q1", "--sql"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "-- q1" in output
+        assert "SELECT DISTINCT" in output
+
+    def test_tbox_mode_answers_a_data_file(self, tmp_path, capsys):
+        tbox = tmp_path / "theory.dllite"
+        tbox.write_text("Student [= Person\n", encoding="utf-8")
+        data = tmp_path / "facts.txt"
+        data.write_text(
+            "# facts\nStudent(kim)\nPerson('lee')\n", encoding="utf-8"
+        )
+        queries = tmp_path / "queries.txt"
+        queries.write_text("q(A) :- Person(A)\n", encoding="utf-8")
+        assert main(
+            [
+                "answer",
+                "--tbox", str(tbox),
+                "--data", str(data),
+                "--queries", str(queries),
+                "--backend", "both",
+                "--show", "5",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "2 answers" in output
+        assert "Const('kim')" in output
+
+    def test_tbox_mode_requires_data(self, tmp_path, capsys):
+        tbox = tmp_path / "theory.dllite"
+        tbox.write_text("Student [= Person\n", encoding="utf-8")
+        assert main(["answer", "--tbox", str(tbox)]) == 2
+        assert "--data" in capsys.readouterr().err
+
+    def test_unknown_query_filter_is_a_clean_error(self, capsys):
+        assert main(["answer", "--workload", "S", "--query", "q9"]) == 2
+        assert "no queries left" in capsys.readouterr().err
+
+
 class TestParser:
     def test_command_is_required(self):
         with pytest.raises(SystemExit):

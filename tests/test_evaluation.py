@@ -88,3 +88,29 @@ class TestFormatting:
         text = format_rows(rows, systems=("NY", "NY*"))
         assert "NY_size" in text and "NY*_width" in text
         assert "q1" in text and "q2" in text
+
+
+class TestAnsweringEvaluator:
+    def test_measures_cover_all_queries_and_backends(self):
+        from repro.evaluation import ANSWER_BACKENDS, AnsweringEvaluator
+        from repro.workloads import get_workload
+
+        evaluator = AnsweringEvaluator(get_workload("S"))
+        rows = evaluator.rows(["q1", "q2"])
+        assert {(row.query_name, row.backend) for row in rows} == {
+            (name, backend)
+            for name in ("q1", "q2")
+            for backend in ANSWER_BACKENDS
+        }
+        for row in rows:
+            assert row.warm_cached, "the warm execute must hit the answer cache"
+            assert row.answers >= 0
+        evaluator.close()
+
+    def test_agree_compares_backend_answer_sets(self):
+        from repro.evaluation import AnsweringEvaluator
+        from repro.workloads import get_workload
+
+        evaluator = AnsweringEvaluator(get_workload("S"))
+        assert all(evaluator.agree(name) for name in ("q1", "q2", "q3"))
+        evaluator.close()
