@@ -2,14 +2,15 @@
 # reruns one Table 1 benchmark block as an end-to-end sanity check;
 # `make cache-smoke` is the cold-then-warm persistent-cache gate used in CI;
 # `make answer-smoke` answers one workload end-to-end on both execution
-# backends and fails on any disagreement.
+# backends and fails on any disagreement; `make strategy-smoke` pins the
+# frontier kernel's strategy-independence (sequential vs threaded).
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro
 CACHE_DIR ?= .cache-smoke
 
-.PHONY: test smoke cache-smoke answer-smoke bench bench-json table1
+.PHONY: test smoke cache-smoke answer-smoke strategy-smoke bench bench-json table1
 
 test:
 	$(PYTEST) -x -q
@@ -29,12 +30,20 @@ cache-smoke:
 answer-smoke:
 	$(REPRO) answer --workload S --backend both --repeat 2
 
+# Strategy-equality gate: the StockExchange rewritings must be identical
+# (sizes + canonical keys + members) under sequential and threaded
+# frontier scheduling; exits non-zero on any divergence.
+strategy-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
+	    benchmarks/strategy_smoke.py
+
 bench:
 	$(PYTEST) -q benchmarks
 
 # Machine-readable perf tracking (see docs/BENCHMARKS.md).  Non-gating in
 # CI; the JSONs are uploaded as artifacts: compilation (cold sequential vs
-# cold parallel vs warm) and end-to-end answering on both backends.
+# cold parallel vs intra-query chunked vs warm) and end-to-end answering
+# on both backends.
 bench-json:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
 	    benchmarks/bench_parallel_compile.py --output BENCH_parallel.json

@@ -1,0 +1,68 @@
+"""The ``make strategy-smoke`` gate: strategies must agree byte for byte.
+
+Compiles the StockExchange workload (NY* engine) under the sequential and
+threaded strategies — threads share one engine, so any hidden
+order-dependence in the frontier kernel's merge would surface here — and
+fails unless every query's rewriting matches exactly: same sizes, same
+canonical keys, same members in the same order.  Cheap enough to gate
+every CI run (a couple of seconds); the exhaustive cross-strategy matrix
+(all five Table 1 ontologies, chunked processes, checkpoint resume) lives
+in ``tests/integration/test_strategy_determinism.py``.
+
+The script is import-safe for test collectors; it only runs under
+``python benchmarks/strategy_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.rewriter import TGDRewriter  # noqa: E402
+from repro.scheduling import ThreadedStrategy  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+WORKLOAD = "S"
+
+
+def main() -> int:
+    workload = get_workload(WORKLOAD)
+    sequential = TGDRewriter(workload.theory.tgds, use_elimination=True)
+    with ThreadedStrategy(threads=4) as strategy:
+        threaded = TGDRewriter(
+            workload.theory.tgds, use_elimination=True, strategy=strategy
+        )
+        failures = 0
+        for name in workload.query_names:
+            query = workload.query(name)
+            reference = sequential.rewrite(query)
+            candidate = threaded.rewrite(query)
+            size_ok = len(candidate.ucq) == len(reference.ucq)
+            keys_ok = [m.canonical_key for m in candidate.ucq] == [
+                m.canonical_key for m in reference.ucq
+            ]
+            members_ok = candidate.ucq.queries == reference.ucq.queries
+            status = "ok" if (size_ok and keys_ok and members_ok) else "MISMATCH"
+            print(
+                f"{WORKLOAD}/{name}: sequential {len(reference.ucq)} CQs, "
+                f"threaded {len(candidate.ucq)} CQs — {status}"
+            )
+            if status != "ok":
+                failures += 1
+    if failures:
+        print(
+            f"error: {failures} queries diverged between sequential and "
+            "threaded scheduling",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"# strategy smoke: {WORKLOAD} identical under sequential and threaded")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

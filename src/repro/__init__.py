@@ -28,8 +28,16 @@ from .api import (
     ExecutionCacheInfo,
     InconsistentTheoryError,
     OBDASystem,
+    PreparedCacheInfo,
     PreparedQuery,
     RewritingCacheInfo,
+)
+from .scheduling import (
+    ChunkedProcessStrategy,
+    SchedulingStrategy,
+    SequentialStrategy,
+    ThreadedStrategy,
+    create_strategy,
 )
 from .backends import (
     BACKENDS,
@@ -40,7 +48,7 @@ from .backends import (
     SQLiteBackend,
     create_backend,
 )
-from .cache import RewritingStore, theory_fingerprint
+from .cache import FrontierCheckpoint, RewritingStore, theory_fingerprint
 from .parallel import compile_workloads
 from .baselines import (
     ChaseBackchase,
@@ -118,7 +126,14 @@ __all__ = [
     "create_backend",
     "ChaseBackchase",
     "ChaseEngine",
+    "ChunkedProcessStrategy",
     "DLLiteOntology",
+    "FrontierCheckpoint",
+    "PreparedCacheInfo",
+    "SchedulingStrategy",
+    "SequentialStrategy",
+    "ThreadedStrategy",
+    "create_strategy",
     "QuOntoStyleRewriter",
     "ResolutionRewriter",
     "SYSTEMS",

@@ -34,6 +34,7 @@ convenience over the lifecycle.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping, Sequence
 
@@ -49,6 +50,7 @@ from .database.sql import ucq_to_sql
 from .dependencies.theory import OntologyTheory
 from .logic.terms import Constant
 from .queries.conjunctive_query import ConjunctiveQuery
+from .scheduling import SchedulingStrategy, create_strategy
 
 
 class InconsistentTheoryError(RuntimeError):
@@ -218,6 +220,22 @@ class PreparedQuery:
 
 
 @dataclass(frozen=True)
+class PreparedCacheInfo:
+    """Counters of an :class:`OBDASystem`'s interned-:class:`PreparedQuery` table.
+
+    ``hits`` counts :meth:`OBDASystem.prepare` calls served an existing
+    handle, ``misses`` freshly built handles, ``evictions`` handles
+    dropped by the ``max_prepared`` LRU bound (``None`` = unbounded).
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    max_prepared: int | None
+
+
+@dataclass(frozen=True)
 class RewritingCacheInfo:
     """Hit/miss counters of an :class:`OBDASystem`'s compilation caches.
 
@@ -257,6 +275,21 @@ class OBDASystem:
         Default execution backend for :meth:`prepare` / :meth:`answer`: a
         registered name (``"memory"``, ``"sqlite"``) or a constructed
         :class:`~repro.backends.base.ExecutionBackend`.
+    strategy:
+        Scheduling strategy for the rewriting engine's frontier kernel: a
+        registered name (``"sequential"``, ``"threaded"``, ``"chunked"``)
+        or a constructed :class:`~repro.scheduling.SchedulingStrategy`.
+        Every strategy computes byte-identical rewritings; non-sequential
+        ones spread each frontier generation across threads or worker
+        processes (intra-query parallelism).  Strategies created here from
+        a name are closed by :meth:`close`.
+    max_prepared:
+        Optional LRU bound on the number of interned
+        :class:`PreparedQuery` handles (mirroring the store's
+        ``max_entries``): preparing beyond the bound evicts the least
+        recently *prepared* handle from the intern table.  Evicted handles
+        stay valid for the caller holding them — only the guarantee that
+        ``prepare`` returns the same object again is bounded.
     """
 
     def __init__(
@@ -268,17 +301,24 @@ class OBDASystem:
         schema: RelationalSchema | None = None,
         cache: RewritingStore | str | os.PathLike | None = None,
         backend: str | ExecutionBackend = "memory",
+        strategy: str | SchedulingStrategy | None = None,
+        max_prepared: int | None = None,
     ) -> None:
+        if max_prepared is not None and max_prepared < 1:
+            raise ValueError(f"max_prepared must be >= 1, got {max_prepared}")
         self._theory = theory
         self._database = database if database is not None else RelationalInstance(schema=schema)
         self._schema = schema if schema is not None else self._database.schema
         use_elimination = use_elimination and theory.classification.linear
         self._use_elimination = use_elimination
         self._use_nc_pruning = use_nc_pruning
+        self._owns_strategy = not isinstance(strategy, SchedulingStrategy)
+        self._strategy = create_strategy(strategy)
         self._rewriter = TGDRewriter(
             theory,
             use_elimination=use_elimination,
             use_nc_pruning=use_nc_pruning,
+            strategy=self._strategy,
         )
         self._last_batch_statistics: RewritingStatistics | None = None
         self._rewriting_cache: dict[ConjunctiveQuery, RewritingResult] = {}
@@ -295,7 +335,13 @@ class OBDASystem:
         )
         self._default_backend = backend
         self._backends: dict[str, ExecutionBackend] = {}
-        self._prepared: dict[tuple[ConjunctiveQuery, int], PreparedQuery] = {}
+        self._prepared: OrderedDict[tuple[ConjunctiveQuery, int], PreparedQuery] = (
+            OrderedDict()
+        )
+        self._max_prepared = max_prepared
+        self._prepared_hits = 0
+        self._prepared_misses = 0
+        self._prepared_evictions = 0
         self._theory_constants: frozenset[Constant] | None = None
         self._nc_rewritings: tuple | None = None
         self._consistency_verdict: tuple[int, str | None] | None = None
@@ -482,6 +528,7 @@ class OBDASystem:
         self,
         queries: Iterable[ConjunctiveQuery],
         workers: int | None = None,
+        strategy: str | SchedulingStrategy | None = None,
     ) -> list[RewritingResult]:
         """Compile a batch of queries through the shared cache layers.
 
@@ -491,22 +538,27 @@ class OBDASystem:
         variant inputs each get their — shared — result).
 
         ``workers`` controls cold-compile parallelism: ``None`` (default)
-        uses one worker process per CPU, ``workers=1`` keeps today's
-        sequential in-process path.  Cache probes and store writes always
-        happen in the parent, in input order, so the stored bytes — and
-        the pinned Table 1 sizes — are identical under every worker
-        count; see :mod:`repro.parallel` for the partition/merge
-        protocol.  After the call, :attr:`last_batch_statistics` holds
-        the merged per-workload totals.
+        uses one worker process per CPU, ``workers=1`` keeps the
+        sequential in-process path.  ``strategy`` selects *intra-query*
+        parallelism for the cold path — each slow query's frontier
+        generations are split across the pool instead of one query per
+        task; when omitted, the intra-query mode kicks in automatically
+        when a single cold query meets a multi-worker pool (see
+        :func:`repro.parallel.compile_workloads`).  Cache probes and
+        store writes always happen in the parent, in input order, so the
+        stored bytes — and the pinned Table 1 sizes — are identical
+        under every worker count and strategy.  After the call,
+        :attr:`last_batch_statistics` holds the merged per-workload
+        totals.
         """
         from .parallel import compile_workloads, resolve_workers
 
         queries = list(queries)
-        if resolve_workers(workers) == 1 or len(queries) <= 1:
+        if (resolve_workers(workers) == 1 and strategy is None) or not queries:
             results = [self.compile(query) for query in queries]
             self._record_batch_statistics(results)
             return results
-        return compile_workloads([(self, queries)], workers=workers)[0]
+        return compile_workloads([(self, queries)], workers=workers, strategy=strategy)[0]
 
     def _record_batch_statistics(self, results: Sequence[RewritingResult]) -> None:
         """Fold a batch's per-result statistics into merged workload totals.
@@ -599,17 +651,61 @@ class OBDASystem:
         plan (SQL statement, join order), and the returned
         :class:`PreparedQuery` caches its answer sets per database epoch.
         Preparing the same query on the same backend returns the same
-        handle.
+        handle — up to the optional ``max_prepared`` LRU bound, beyond
+        which the least recently prepared handles are evicted from the
+        intern table (an evicted handle keeps working for whoever holds
+        it; re-preparing simply builds a fresh one, served by the
+        compilation caches).
         """
         resolved = self.backend_for(backend)
         key = (query, id(resolved))
         prepared = self._prepared.get(key)
         if prepared is None:
+            self._prepared_misses += 1
             rewriting = self.compile(query)
             plan = resolved.prepare(rewriting.ucq, schema=self._schema)
             prepared = PreparedQuery(self, query, rewriting, resolved, plan)
             self._prepared[key] = prepared
+            if self._max_prepared is not None:
+                while len(self._prepared) > self._max_prepared:
+                    self._prepared.popitem(last=False)
+                    self._prepared_evictions += 1
+        else:
+            self._prepared_hits += 1
+            self._prepared.move_to_end(key)
         return prepared
+
+    def prepare_many(
+        self,
+        queries: Iterable[ConjunctiveQuery],
+        backend: str | ExecutionBackend | None = None,
+        workers: int | None = None,
+    ) -> list[PreparedQuery]:
+        """Prepare a batch of queries, sharing one backend snapshot per epoch.
+
+        The batch analogue of :meth:`prepare`, mirroring how
+        :meth:`compile_many` batches compilation: the backend is resolved
+        **once** (so every returned handle shares the same instance — one
+        SQLite snapshot per database epoch serves them all), the
+        rewritings are compiled through :meth:`compile_many` (optionally
+        fanning cold misses out to *workers* processes), and each query is
+        then planned on the shared backend.  Results come back in input
+        order; duplicated inputs share one handle.
+        """
+        queries = list(queries)
+        resolved = self.backend_for(backend)
+        self.compile_many(queries, workers=workers)
+        return [self.prepare(query, backend=resolved) for query in queries]
+
+    def prepared_cache_info(self) -> PreparedCacheInfo:
+        """Hit/miss/eviction counters of the interned prepared-query table."""
+        return PreparedCacheInfo(
+            hits=self._prepared_hits,
+            misses=self._prepared_misses,
+            evictions=self._prepared_evictions,
+            size=len(self._prepared),
+            max_prepared=self._max_prepared,
+        )
 
     def answer(
         self,
@@ -626,12 +722,19 @@ class OBDASystem:
         """
         return self.prepare(query, backend=backend).execute()
 
+    @property
+    def scheduling_strategy(self) -> SchedulingStrategy:
+        """The frontier-kernel scheduling strategy compilation runs under."""
+        return self._strategy
+
     def close(self) -> None:
         """Release the backends created by this system (connections etc.)."""
         for backend in self._backends.values():
             backend.close()
         self._backends.clear()
         self._prepared.clear()
+        if self._owns_strategy:
+            self._strategy.close()
 
     def __enter__(self) -> "OBDASystem":
         return self

@@ -12,8 +12,14 @@ Two modes:
 * **snapshot mode** (default) — the backend owns a SQLite database
   (in-memory or at ``path``) and loads the :class:`RelationalInstance`
   into it on first execution; the loaded snapshot is keyed by the
-  instance's epoch, so an unchanged database is never reloaded and a
-  mutation triggers exactly one reload.
+  instance's epoch, so an unchanged database is never reloaded.  On an
+  epoch bump the backend asks the instance for its change log
+  (:meth:`RelationalInstance.changes_since`) and applies the *delta* —
+  row inserts and deletes since the loaded epoch — instead of dropping
+  and reloading every table; it falls back to a full reload when the log
+  does not reach back to the loaded epoch or the delta is larger than
+  the instance itself (``full_loads`` / ``incremental_loads`` count the
+  split).
 * **attached mode** (``attach=True``) — the backend executes against an
   existing SQLite file maintained outside this library; the instance is
   never loaded.  ``data_epoch`` then folds in SQLite's ``PRAGMA
@@ -35,6 +41,7 @@ value) indexes of the in-memory instance.
 from __future__ import annotations
 
 import sqlite3
+import weakref
 from typing import Hashable, Mapping
 
 from ..database.instance import RelationalInstance
@@ -180,11 +187,17 @@ class SQLiteBackend(ExecutionBackend):
         self._attach = attach
         self._create_missing = create_missing
         self._connection: sqlite3.Connection | None = None
-        # (id(instance), epoch) of the currently loaded snapshot.
-        self._loaded: tuple[int, int] | None = None
+        # The instance (held weakly — a recycled id() must never pass for
+        # the loaded one) and epoch of the currently loaded snapshot.
+        self._loaded_instance: "weakref.ref[RelationalInstance] | None" = None
+        self._loaded_epoch: int | None = None
         # Tables this backend created, by name (snapshot mode drops them
         # on reload; attached mode only ever adds empty missing ones).
         self._predicates_by_table: dict[str, Predicate] = {}
+        #: How often the snapshot was rebuilt from scratch / patched in
+        #: place from the instance's change log.
+        self.full_loads = 0
+        self.incremental_loads = 0
 
     # -- connection and loading -------------------------------------------
 
@@ -199,7 +212,8 @@ class SQLiteBackend(ExecutionBackend):
         if self._connection is not None:
             self._connection.close()
             self._connection = None
-            self._loaded = None
+            self._loaded_instance = None
+            self._loaded_epoch = None
             self._predicates_by_table.clear()
 
     def data_epoch(self, database: RelationalInstance) -> Hashable:
@@ -221,13 +235,27 @@ class SQLiteBackend(ExecutionBackend):
         if self._attach:
             self._check_attached_tables(connection, referenced, schema)
             return connection
-        key = (id(database), database.epoch)
-        if self._loaded != key:
-            self._load(connection, database, referenced, schema)
-            self._loaded = key
-        else:
-            known = set(self._predicates_by_table.values())
-            self._create_tables(connection, set(referenced) - known, schema)
+        loaded = (
+            self._loaded_instance() if self._loaded_instance is not None else None
+        )
+        if loaded is not database or self._loaded_epoch != database.epoch:
+            delta = None
+            if loaded is database and self._loaded_epoch is not None:
+                delta = database.changes_since(self._loaded_epoch)
+            # A delta larger than the instance means patching costs more
+            # than rebuilding (e.g. the database was mostly replaced).
+            if delta is not None and len(delta) <= len(database):
+                self._apply_delta(connection, delta, schema)
+                self.incremental_loads += 1
+            else:
+                self._load(connection, database, referenced, schema)
+                self.full_loads += 1
+            self._loaded_instance = weakref.ref(database)
+            self._loaded_epoch = database.epoch
+        known = set(self._predicates_by_table.values())
+        missing = set(referenced) - known
+        if missing:
+            self._create_tables(connection, missing, schema)
         return connection
 
     def _check_attached_tables(
@@ -334,6 +362,39 @@ class SQLiteBackend(ExecutionBackend):
                 statement,
                 [tuple(encode_term(term) for term in fact.terms) for fact in facts],
             )
+        connection.commit()
+
+    def _apply_delta(
+        self,
+        connection: sqlite3.Connection,
+        delta: list[tuple[bool, "object"]],
+        schema: RelationalSchema | None,
+    ) -> None:
+        """Patch the loaded snapshot with an instance change log slice.
+
+        Applied in log order, so a fact removed and re-added nets out
+        correctly.  Tables for predicates first seen in the delta are
+        created on the fly; deletes match every column (encoded values
+        are never SQL ``NULL``, so ``=`` comparisons are exact).
+        """
+        for added, fact in delta:
+            predicate = fact.predicate
+            known = self._predicates_by_table.get(predicate.name)
+            if known is None or known.arity != predicate.arity:
+                self._create_tables(connection, {predicate}, schema)
+            table = self._quoted(predicate.name)
+            values = tuple(encode_term(term) for term in fact.terms)
+            if added:
+                placeholders = ", ".join("?" for _ in range(predicate.arity))
+                connection.execute(
+                    f"INSERT INTO {table} VALUES ({placeholders})", values
+                )
+            else:
+                columns = self._columns(predicate, schema)
+                condition = " AND ".join(
+                    f"{self._quoted(column)} = ?" for column in columns
+                )
+                connection.execute(f"DELETE FROM {table} WHERE {condition}", values)
         connection.commit()
 
     @staticmethod

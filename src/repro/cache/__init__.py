@@ -28,6 +28,10 @@ The package provides three pieces:
   JSON-lines store with an in-memory index, format versioning, explicit
   pruning of stale fingerprints, and hit/miss/collision counters that
   :class:`repro.api.OBDASystem` merges into its cache info.
+* :mod:`repro.cache.checkpoint` — :class:`FrontierCheckpoint`, which
+  persists the frontier kernel's state between rewriting generations so
+  a killed compilation resumes from its last completed generation (with
+  a byte-identical final result) instead of restarting.
 
 Cache-key invariants
 --------------------
@@ -54,6 +58,7 @@ on two documented invariants:
    two systems with different fingerprints never share entries.
 """
 
+from .checkpoint import FrontierCheckpoint
 from .fingerprint import ENGINE_VERSION, theory_fingerprint
 from .serialization import (
     UnserializableQueryError,
@@ -67,6 +72,7 @@ from .store import CacheStatistics, RewritingStore
 __all__ = [
     "ENGINE_VERSION",
     "CacheStatistics",
+    "FrontierCheckpoint",
     "RewritingStore",
     "UnserializableQueryError",
     "query_from_json",

@@ -33,8 +33,10 @@ from ..logic.unification import atom_sequence_profile
 
 #: Bump whenever a change to the rewriting engine alters its *output*
 #: (not merely its speed): every persisted entry keyed under the old
-#: version silently becomes stale.
-ENGINE_VERSION = 1
+#: version silently becomes stale.  Version 2: the frontier kernel
+#: explores generations breadth-first, which changes the representatives
+#: and insertion order of stored UCQs (sizes are unchanged).
+ENGINE_VERSION = 2
 
 
 def rule_signature(rule: TGD) -> str:

@@ -11,7 +11,10 @@ Six small commands expose the library without writing Python:
 ``rewrite --tbox FILE --query "q(A) :- Person(A)" [--no-elimination] [--sql]``
     Parse a DL-Lite_R TBox (textual syntax of :mod:`repro.ontology.parser`),
     rewrite one conjunctive query and print the resulting UCQ (optionally as
-    SQL).
+    SQL).  ``--strategy threaded|chunked`` expands frontier generations in
+    parallel (identical output, different wall-clock); ``--checkpoint FILE``
+    persists the frontier between generations and ``--resume`` continues a
+    killed run from its last completed generation.
 
 ``compile (--tbox FILE | --workload NAME) [--queries FILE] [--cache DIR]``
     Batch-compile a whole query workload through one engine — optionally
@@ -19,9 +22,11 @@ Six small commands expose the library without writing Python:
     same ``--cache`` directory serves every rewriting from disk.
     ``--workers N`` compiles cold misses on a process pool (default: one
     worker per CPU; the stored bytes are identical under any worker
-    count).  With ``--fail-on-miss`` the command reports every query not
-    served from the cache and exits non-zero (the warm-run assertion used
-    in CI).
+    count), and ``--strategy chunked`` switches the pool to intra-query
+    granularity — each slow query's frontier generations are split across
+    the workers.  With ``--fail-on-miss`` the command reports every query
+    not served from the cache and exits non-zero (the warm-run assertion
+    used in CI).
 
 ``cache compact --cache DIR --max-entries N``
     Bound a persistent rewriting cache to its N most-recently-served
@@ -83,18 +88,39 @@ def _cmd_table1(arguments: argparse.Namespace) -> int:
 
 def _cmd_rewrite(arguments: argparse.Namespace) -> int:
     """Rewrite a single query against a textual DL-Lite TBox."""
+    from .cache.checkpoint import FrontierCheckpoint
+    from .scheduling import create_strategy
+
+    if arguments.resume and not arguments.checkpoint:
+        print("error: --resume requires --checkpoint FILE", file=sys.stderr)
+        return 2
     tbox_text = Path(arguments.tbox).read_text(encoding="utf-8")
     theory = to_theory(parse_ontology(tbox_text, name=Path(arguments.tbox).stem))
     query = parse_query(arguments.query)
+    strategy = create_strategy(arguments.strategy, workers=arguments.workers)
     rewriter = TGDRewriter(
         theory,
         use_elimination=not arguments.no_elimination and theory.classification.linear,
         use_nc_pruning=bool(theory.negative_constraints),
+        strategy=strategy,
     )
-    result = rewriter.rewrite(query)
+    checkpoint = None
+    if arguments.checkpoint:
+        checkpoint = FrontierCheckpoint(
+            arguments.checkpoint, every=arguments.checkpoint_every
+        )
+        if not arguments.resume:
+            # A leftover file from an unrelated run must not seed this one.
+            checkpoint.clear()
+    try:
+        result = rewriter.rewrite(query, checkpoint=checkpoint)
+    finally:
+        strategy.close()
     metrics = ucq_metrics(result.ucq)
     print(f"# perfect rewriting: {metrics.size} CQs, {metrics.length} atoms, "
           f"{metrics.width} joins ({result.statistics.elapsed_seconds:.3f}s)")
+    if checkpoint is not None and checkpoint.resumed_generation is not None:
+        print(f"# resumed from checkpoint at generation {checkpoint.resumed_generation}")
     if arguments.stats:
         statistics = result.statistics
         total_rules = statistics.rules_considered + statistics.rules_skipped_by_index
@@ -178,7 +204,9 @@ def _cmd_compile(arguments: argparse.Namespace) -> int:
         cache=arguments.cache,
     )
     results = system.compile_many(
-        [query for _, query in named], workers=arguments.workers
+        [query for _, query in named],
+        workers=arguments.workers,
+        strategy=arguments.strategy,
     )
     total_seconds = 0.0
     seen: set[int] = set()
@@ -386,6 +414,12 @@ def _cmd_cache_compact(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _strategy_choices() -> tuple[str, ...]:
+    from .scheduling import strategy_names
+
+    return strategy_names()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -412,6 +446,21 @@ def build_parser() -> argparse.ArgumentParser:
     rewrite.add_argument("--sql", action="store_true", help="print the rewriting as SQL")
     rewrite.add_argument("--stats", action="store_true",
                          help="print canonical-interning and rule-index counters")
+    rewrite.add_argument("--strategy", choices=list(_strategy_choices()),
+                         default=None,
+                         help="frontier scheduling strategy (default sequential; "
+                         "all strategies produce identical rewritings)")
+    rewrite.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="threads/processes for a parallel --strategy "
+                         "(default: one per CPU)")
+    rewrite.add_argument("--checkpoint", metavar="FILE",
+                         help="checkpoint the frontier between generations so a "
+                         "killed run can be resumed")
+    rewrite.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                         help="generations between checkpoint saves (default 1)")
+    rewrite.add_argument("--resume", action="store_true",
+                         help="resume from --checkpoint FILE if it matches this "
+                         "TBox and query (otherwise start fresh)")
     rewrite.set_defaults(handler=_cmd_rewrite)
 
     compile_ = commands.add_parser(
@@ -433,6 +482,11 @@ def build_parser() -> argparse.ArgumentParser:
     compile_.add_argument("--workers", type=int, default=None, metavar="N",
                           help="worker processes for cold compilation "
                           "(default: one per CPU; 1 = sequential)")
+    compile_.add_argument("--strategy", choices=list(_strategy_choices()),
+                          default=None,
+                          help="intra-query scheduling: split each query's "
+                          "frontier across the pool instead of one query per "
+                          "task (same stored bytes either way)")
     compile_.add_argument("--stats", action="store_true",
                           help="print workload totals, persistent-store counters "
                           "and the theory fingerprint")

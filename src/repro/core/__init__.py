@@ -11,6 +11,13 @@ from .applicability import (
 from .coverage import CoverageChecker, CoverageWitness, covers
 from .dependency_graph import DependencyEdge, DependencyGraph
 from .elimination import EliminationResult, QueryEliminator, eliminate
+from .frontier import (
+    CandidateQuery,
+    Expansion,
+    KernelState,
+    RewriteFrontier,
+    merge_expansion,
+)
 from .equality_types import (
     ConstantEquality,
     EqualityType,
@@ -28,6 +35,7 @@ from .rewriter import (
 )
 
 __all__ = [
+    "CandidateQuery",
     "ConstantEquality",
     "CoverageChecker",
     "CoverageWitness",
@@ -35,7 +43,11 @@ __all__ = [
     "DependencyGraph",
     "EliminationResult",
     "EqualityType",
+    "Expansion",
     "FactorizableSet",
+    "KernelState",
+    "RewriteFrontier",
+    "merge_expansion",
     "NegativeConstraintPruner",
     "PositionEquality",
     "QueryEliminator",

@@ -126,16 +126,25 @@ class RenameApartCache:
     output of :meth:`TGD.rename_apart` — the rewriting only ever uses the
     renamed rule up to α-equivalence, and generated queries are interned
     modulo variable renaming anyway.
+
+    The cache is shared by every expansion of an engine, including
+    concurrent ones under :class:`repro.scheduling.ThreadedStrategy`; a
+    lock around the probe-and-mint keeps pool growth consistent, so the
+    served copy stays the same pure function of ``(rule, query
+    variables)`` no matter how many threads expand at once.
     """
 
-    __slots__ = ("_pools", "_pool_size", "hits", "misses")
+    __slots__ = ("_pools", "_pool_size", "_lock", "hits", "misses")
 
     def __init__(self, pool_size: int = 8) -> None:
+        import threading
+
         # ``pool_size`` is kept for API compatibility; pools now grow on
         # demand (they stay tiny in practice: one copy per nesting level of
         # the same rule in a derivation).
         self._pools: dict[object, list[tuple[TGD, frozenset[Variable]]]] = {}
         self._pool_size = pool_size
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -157,18 +166,19 @@ class RenameApartCache:
         deterministic per-``(rule_key, position)`` namespace instead, so the
         returned copy does not depend on the engine's history.
         """
-        pool = self._pools.setdefault(rule_key, [])
-        for copy, copy_variables in pool:
-            if copy_variables.isdisjoint(avoid):
-                self.hits += 1
-                return copy
-        self.misses += 1
-        while True:
-            refreshed = self._mint(rule_key, rule, len(pool))
-            variables = refreshed.body_variables | refreshed.head_variables
-            pool.append((refreshed, variables))
-            if variables.isdisjoint(avoid):
-                return refreshed
+        with self._lock:
+            pool = self._pools.setdefault(rule_key, [])
+            for copy, copy_variables in pool:
+                if copy_variables.isdisjoint(avoid):
+                    self.hits += 1
+                    return copy
+            self.misses += 1
+            while True:
+                refreshed = self._mint(rule_key, rule, len(pool))
+                variables = refreshed.body_variables | refreshed.head_variables
+                pool.append((refreshed, variables))
+                if variables.isdisjoint(avoid):
+                    return refreshed
 
 
 class ApplicabilityMemo:

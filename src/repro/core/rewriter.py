@@ -30,16 +30,29 @@ rewriter instance and keep learning across calls, so compiling a workload
 through one rewriter (:meth:`repro.api.OBDASystem.compile_many`) is faster
 than compiling each query in a fresh engine.  Every run's
 :class:`RewritingStatistics` reports the per-run share of that memo work.
+
+Structurally, :meth:`TGDRewriter.rewrite` is a *frontier kernel* (see
+:mod:`repro.core.frontier`): the worklist is an explicit
+:class:`~repro.core.frontier.RewriteFrontier` drained one generation at a
+time, each pending CQ is turned into candidates by the pure step function
+:meth:`TGDRewriter.expand`, and results are deduplicated, labelled and
+scheduled at a single merge point.  How a generation's expansions are
+computed is delegated to a pluggable
+:class:`~repro.scheduling.SchedulingStrategy` — sequential by default,
+thread- or process-parallel on demand — with byte-identical output under
+every strategy, because expansion is pure and the merge is ordered.
+Between generations the kernel state can be checkpointed
+(:class:`repro.cache.checkpoint.FrontierCheckpoint`), so a killed
+compilation resumes instead of restarting.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, fields
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..logic.atoms import Atom
-from ..logic.substitution import Substitution
 from ..logic.terms import VariableFactory
 from ..logic.unification import mgu
 from ..dependencies.classifiers import is_linear
@@ -57,7 +70,19 @@ from .applicability import (
     factorizable_sets,
 )
 from .elimination import QueryEliminator
+from .frontier import (
+    LABEL_FACTORIZATION,
+    LABEL_REWRITING,
+    CandidateQuery,
+    Expansion,
+    KernelState,
+    merge_expansion,
+)
 from .nc_pruning import NegativeConstraintPruner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cache.checkpoint import FrontierCheckpoint
+    from ..scheduling import SchedulingStrategy
 
 
 class RewritingBudgetExceeded(RuntimeError):
@@ -197,6 +222,11 @@ class TGDRewriter:
         the whole lifetime of the rewriter (default).  Disabling it
         reproduces the unmemoised engine — useful for differential testing;
         the computed rewritings are identical either way.
+    strategy:
+        The :class:`~repro.scheduling.SchedulingStrategy` used to expand
+        frontier generations (a registered name or an instance); default
+        sequential.  Every strategy produces byte-identical rewritings —
+        this knob trades wall-clock only.
     """
 
     def __init__(
@@ -207,6 +237,7 @@ class TGDRewriter:
         use_nc_pruning: bool = False,
         max_queries: int = 200_000,
         use_memoisation: bool = True,
+        strategy: "SchedulingStrategy | str | None" = None,
     ) -> None:
         if isinstance(rules, OntologyTheory):
             theory = rules
@@ -231,9 +262,11 @@ class TGDRewriter:
         # not part of the caller's schema: no database ever stores facts for
         # them, so rewritten CQs mentioning them are dropped from the output.
         self._internal_predicates = internal_predicates
-        self._fresh = VariableFactory(prefix="W")
         self._max_queries = max_queries
         self._negative_constraints = tuple(negative_constraints)
+        from ..scheduling import create_strategy
+
+        self._strategy = create_strategy(strategy)
         self._pruner = (
             NegativeConstraintPruner(self._negative_constraints)
             if use_nc_pruning and self._negative_constraints
@@ -269,71 +302,133 @@ class TGDRewriter:
         """``True`` iff the rename-apart pool and applicability memo are active."""
         return self._applicability_memo is not None
 
-    def rewrite(self, query: ConjunctiveQuery) -> RewritingResult:
+    @property
+    def negative_constraints(self) -> tuple[NegativeConstraint, ...]:
+        """The negative constraints available for pruning."""
+        return self._negative_constraints
+
+    @property
+    def uses_nc_pruning(self) -> bool:
+        """``True`` iff negative-constraint pruning is active."""
+        return self._pruner is not None
+
+    @property
+    def max_queries(self) -> int:
+        """The budget on the number of distinct CQs generated."""
+        return self._max_queries
+
+    @property
+    def strategy(self) -> "SchedulingStrategy":
+        """The engine's default scheduling strategy for frontier generations."""
+        return self._strategy
+
+    def specification(self) -> tuple:
+        """What a worker process needs to rebuild an equivalent engine.
+
+        The (already normalised) rules, the negative constraints and the
+        resolved options — everything :meth:`expand` depends on.  A replica
+        built by :meth:`from_specification` expands every query to exactly
+        the same candidates as this engine (expansion is a pure function
+        and the rename-apart pool mints deterministically), which is what
+        lets :class:`repro.scheduling.ChunkedProcessStrategy` spread one
+        frontier generation across processes without changing a byte.
+        """
+        return (
+            self._rules,
+            self._negative_constraints,
+            self._eliminator is not None,
+            self._pruner is not None,
+            self._max_queries,
+            self._applicability_memo is not None,
+        )
+
+    @classmethod
+    def from_specification(cls, specification: tuple) -> "TGDRewriter":
+        """Rebuild an expansion-equivalent engine from :meth:`specification`."""
+        rules, constraints, elimination, pruning, max_queries, memoisation = (
+            specification
+        )
+        return cls(
+            rules,
+            negative_constraints=constraints,
+            use_elimination=elimination,
+            use_nc_pruning=pruning,
+            max_queries=max_queries,
+            use_memoisation=memoisation,
+        )
+
+    def rewrite(
+        self,
+        query: ConjunctiveQuery,
+        strategy: "SchedulingStrategy | None" = None,
+        checkpoint: "FrontierCheckpoint | None" = None,
+    ) -> RewritingResult:
         """Compute the perfect rewriting of *query* w.r.t. the rewriter's rules.
 
         The result is a pure function of ``(rules, options, query)``: the
-        fresh-variable counter is reset per run and the rename-apart pool
-        mints deterministically, so a warmed-up engine produces the same
-        bytes as a fresh one — the invariant that lets
+        rename-apart pool mints deterministically and per-expansion fresh
+        variables never leak across queries, so a warmed-up engine produces
+        the same bytes as a fresh one — the invariant that lets
         :func:`repro.parallel.compile_workloads` fan queries out to worker
         processes without changing what gets stored.
+
+        *strategy* overrides the engine's scheduling strategy for this run;
+        the output is byte-identical either way.  *checkpoint* persists the
+        kernel state between frontier generations, so a killed run can be
+        resumed from the last completed generation (the checkpoint file is
+        removed once the rewriting completes).
         """
         start = time.perf_counter()
-        statistics = RewritingStatistics()
+        scheduling = strategy if strategy is not None else self._strategy
         memo_snapshot = self._memo_counters()
-        # Per-run reset keeps the unmemoised rename path deterministic too:
-        # the names drawn for one query never depend on earlier queries.
-        self._fresh = VariableFactory(prefix="W")
 
-        store = QuerySet()
-        labels: dict[ConjunctiveQuery, int] = {}
-        worklist: list[ConjunctiveQuery] = []
-
-        initial = self._reduce(query, statistics)
-        if self._pruner is not None and self._pruner.is_unsatisfiable(initial):
-            # The input query itself violates a negative constraint: it can
-            # never be entailed by a consistent database (Section 5.1).
-            statistics.pruned_by_constraints += 1
-            self._record_memo_counters(statistics, memo_snapshot)
-            statistics.elapsed_seconds = time.perf_counter() - start
-            return RewritingResult(
-                query=query,
-                rules=self._rules,
-                ucq=UnionOfConjunctiveQueries([]),
-                statistics=statistics,
-            )
-        store.add(initial)
-        labels[initial] = 1
-        worklist.append(initial)
-
-        while worklist:
-            current = worklist.pop()
-            statistics.processed_queries += 1
-            candidates = self._rule_index.candidate_rules(current)
-            statistics.rules_considered += len(candidates)
-            statistics.rules_skipped_by_index += len(self._rules) - len(candidates)
-            self._factorization_step(current, candidates, store, labels, worklist, statistics)
-            self._rewriting_step(current, candidates, store, labels, worklist, statistics)
-            if len(store) > self._max_queries:
-                raise RewritingBudgetExceeded(
-                    f"rewriting exceeded the budget of {self._max_queries} queries; "
-                    "the rule set is probably not FO-rewritable"
+        state: KernelState | None = None
+        if checkpoint is not None:
+            state = checkpoint.load(self, query)
+        if state is None:
+            statistics = RewritingStatistics()
+            initial = self._reduce(query, statistics)
+            if self._pruner is not None and self._pruner.is_unsatisfiable(initial):
+                # The input query itself violates a negative constraint: it
+                # can never be entailed by a consistent database (§5.1).
+                statistics.pruned_by_constraints += 1
+                self._record_memo_counters(statistics, memo_snapshot)
+                statistics.elapsed_seconds = time.perf_counter() - start
+                return RewritingResult(
+                    query=query,
+                    rules=self._rules,
+                    ucq=UnionOfConjunctiveQueries([]),
+                    statistics=statistics,
                 )
+            state = KernelState.initial(initial, statistics)
+        statistics = state.statistics
 
+        # The kernel loop: drain a generation, expand it through the
+        # strategy, merge in frontier order — the single point where
+        # candidates are interned, labelled and scheduled.
+        while state.frontier:
+            batch = state.frontier.take_generation()
+            for expansion in scheduling.expand_generation(self, batch):
+                merge_expansion(state, expansion, self._max_queries)
+            if checkpoint is not None and checkpoint.due(state.frontier.generation):
+                checkpoint.save(self, query, state)
+
+        store, labels = state.store, state.labels
         final = [
             stored
             for stored in store
-            if labels[stored] == 1 and not self._mentions_internal(stored)
+            if labels[stored] == LABEL_REWRITING and not self._mentions_internal(stored)
         ]
         auxiliary = tuple(
             stored
             for stored in store
-            if labels[stored] == 0 or self._mentions_internal(stored)
+            if labels[stored] == LABEL_FACTORIZATION or self._mentions_internal(stored)
         )
         self._finalize_statistics(statistics, store)
         self._record_memo_counters(statistics, memo_snapshot)
         statistics.elapsed_seconds = time.perf_counter() - start
+        if checkpoint is not None:
+            checkpoint.clear()
         return RewritingResult(
             query=query,
             rules=self._rules,
@@ -381,12 +476,20 @@ class TGDRewriter:
         statistics.unification_memo_hits = after[2] - snapshot[2]
         statistics.unification_memo_misses = after[3] - snapshot[3]
 
-    def _rename_apart(self, rule: TGD, query: ConjunctiveQuery) -> TGD:
-        """A copy of *rule* with variables disjoint from *query*'s (memoised)."""
+    def _rename_apart(
+        self, rule: TGD, query: ConjunctiveQuery, fresh: VariableFactory
+    ) -> TGD:
+        """A copy of *rule* with variables disjoint from *query*'s (memoised).
+
+        *fresh* is the expansion-local factory used on the unmemoised
+        path; keeping it per expansion (instead of per run) makes the
+        drawn names a function of the query alone, so expansions stay pure
+        under every scheduling strategy.
+        """
         if self._rename_cache is None:
-            return rule.rename_apart(query.variables, self._fresh)
+            return rule.rename_apart(query.variables, fresh)
         return self._rename_cache.rename(
-            self._rule_keys[id(rule)], rule, query.variables, self._fresh
+            self._rule_keys[id(rule)], rule, query.variables, fresh
         )
 
     def _mentions_internal(self, query: ConjunctiveQuery) -> bool:
@@ -395,73 +498,65 @@ class TGDRewriter:
             return False
         return any(atom.predicate in self._internal_predicates for atom in query.body)
 
-    # -- the two steps of Algorithm 1 ---------------------------------------------------
+    # -- the pure step function of the frontier kernel ---------------------------------
 
-    def _factorization_step(
-        self,
-        current: ConjunctiveQuery,
-        candidate_rules: Sequence[TGD],
-        store: QuerySet,
-        labels: dict[ConjunctiveQuery, int],
-        worklist: list[ConjunctiveQuery],
-        statistics: RewritingStatistics,
-    ) -> None:
-        """Apply the (restricted) factorization step to *current*.
+    def expand(self, query: ConjunctiveQuery) -> Expansion:
+        """All candidates one application of Algorithm 1's steps yields on *query*.
 
-        The rule is *not* renamed apart here: Definition 2 only consults
-        the rule's head predicate and existential position (both invariant
-        under renaming) — the unifier is built from query atoms alone.
+        The pure step function of the frontier kernel: factorization
+        candidates first (Definition 2 — the rule is *not* renamed apart,
+        it only contributes its head predicate and existential position,
+        both invariant under renaming), then rewriting candidates
+        (Definition 1), each in rule-index order.  Candidates come back
+        reduced (query elimination) and marked if a negative constraint
+        prunes them; nothing is interned and no kernel state is touched,
+        so expansions of one generation can run concurrently — on threads
+        sharing this engine, or in worker processes holding a replica —
+        without changing a byte of the merged result.
         """
-        for rule in candidate_rules:
-            for factorizable in factorizable_sets(rule, current):
-                candidate = current.apply(factorizable.unifier)
-                candidate = self._reduce(candidate, statistics)
-                if self._pruner is not None and self._pruner.is_unsatisfiable(candidate):
-                    statistics.pruned_by_constraints += 1
-                    continue
-                stored, inserted = store.intern(candidate)
-                if not inserted:
-                    continue
-                labels[stored] = 0
-                worklist.append(stored)
-                statistics.generated_by_factorization += 1
+        candidate_rules = self._rule_index.candidate_rules(query)
+        candidates: list[CandidateQuery] = []
+        # Expansion-local fresh variables (unmemoised rename path only):
+        # the names drawn for one query never depend on other expansions.
+        fresh = VariableFactory(prefix="W")
 
-    def _rewriting_step(
-        self,
-        current: ConjunctiveQuery,
-        candidate_rules: Sequence[TGD],
-        store: QuerySet,
-        labels: dict[ConjunctiveQuery, int],
-        worklist: list[ConjunctiveQuery],
-        statistics: RewritingStatistics,
-    ) -> None:
-        """Apply the rewriting (resolution) step to *current*."""
         for rule in candidate_rules:
-            renamed = self._rename_apart(rule, current)
+            for factorizable in factorizable_sets(rule, query):
+                candidates.append(
+                    self._candidate(query.apply(factorizable.unifier), LABEL_FACTORIZATION)
+                )
+
+        for rule in candidate_rules:
+            renamed = self._rename_apart(rule, query, fresh)
             for atom_set in applicable_atom_sets(
                 renamed,
-                current,
+                query,
                 memo=self._applicability_memo,
                 rule_key=self._rule_keys[id(rule)],
             ):
-                candidate = self._resolve(current, renamed, atom_set)
-                if candidate is None:
+                resolved = self._resolve(query, renamed, atom_set)
+                if resolved is None:
                     continue
-                candidate = self._reduce(candidate, statistics)
-                if self._pruner is not None and self._pruner.is_unsatisfiable(candidate):
-                    statistics.pruned_by_constraints += 1
-                    continue
-                stored, inserted = store.intern(candidate)
-                if not inserted:
-                    if labels.get(stored) != 1:
-                        # A factorization-only query re-derived by the
-                        # rewriting step becomes part of the final rewriting.
-                        labels[stored] = 1
-                        statistics.generated_by_rewriting += 1
-                    continue
-                labels[stored] = 1
-                worklist.append(stored)
-                statistics.generated_by_rewriting += 1
+                candidates.append(self._candidate(resolved, LABEL_REWRITING))
+
+        return Expansion(
+            source=query,
+            candidates=tuple(candidates),
+            rules_considered=len(candidate_rules),
+            rules_skipped=len(self._rules) - len(candidate_rules),
+        )
+
+    def _candidate(self, query: ConjunctiveQuery, label: int) -> CandidateQuery:
+        """Reduce and prune-check one raw candidate (pure, per candidate)."""
+        eliminated = 0
+        if self._eliminator is not None:
+            result = self._eliminator.eliminate_atoms(query)
+            eliminated = result.removed_count
+            query = result.reduced
+        pruned = self._pruner is not None and self._pruner.is_unsatisfiable(query)
+        return CandidateQuery(
+            query=query, label=label, pruned=pruned, eliminated_atoms=eliminated
+        )
 
     def _resolve(
         self,

@@ -10,7 +10,7 @@ joins by :mod:`repro.database.evaluator`.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 from typing import Iterable, Iterator, Sequence
 
 from ..logic.atoms import Atom, Predicate
@@ -28,7 +28,20 @@ class RelationalInstance:
     answer caches and SQLite snapshots on: equal epochs guarantee an
     unchanged database, so cached answers can be served without touching
     the data.
+
+    The instance additionally keeps a bounded *change log*: the last
+    :data:`MAX_TRACKED_CHANGES` genuine mutations, one per epoch step.
+    :meth:`changes_since` replays the exact delta between two epochs,
+    which is what lets the SQLite backend apply incremental updates to a
+    loaded snapshot instead of dropping and reloading every table; when
+    the log no longer reaches back far enough, it reports so and the
+    consumer falls back to a full reload — correctness never depends on
+    the log.
     """
+
+    #: Bound on the change log; one entry per genuine mutation.  Deltas
+    #: across more than this many epochs report as unavailable.
+    MAX_TRACKED_CHANGES = 10_000
 
     def __init__(
         self,
@@ -40,6 +53,10 @@ class RelationalInstance:
         self._by_predicate: dict[Predicate, set[Atom]] = defaultdict(set)
         self._by_position_value: dict[tuple[Predicate, int, Term], set[Atom]] = defaultdict(set)
         self._epoch = 0
+        # One (added?, fact) entry per epoch step, for epochs
+        # (_change_floor, _epoch]; older entries are discarded.
+        self._changes: deque[tuple[bool, Atom]] = deque(maxlen=self.MAX_TRACKED_CHANGES)
+        self._change_floor = 0
         for fact in facts:
             self.add(fact)
 
@@ -47,13 +64,37 @@ class RelationalInstance:
 
     @property
     def epoch(self) -> int:
-        """Monotone change counter: bumped whenever a new fact is stored.
+        """Monotone change counter: bumped whenever the fact set changes.
 
-        Re-inserting an existing fact leaves the epoch unchanged (the
-        database is the same set of facts), so epoch equality is exactly
-        "nothing to invalidate" for answer caches built on top.
+        Re-inserting an existing fact (or removing an absent one) leaves
+        the epoch unchanged — the database is the same set of facts — so
+        epoch equality is exactly "nothing to invalidate" for answer
+        caches built on top.
         """
         return self._epoch
+
+    def _log_change(self, added: bool, fact: Atom) -> None:
+        """Record one genuine mutation, advancing the floor on overflow."""
+        if len(self._changes) == self.MAX_TRACKED_CHANGES:
+            self._change_floor += 1
+        self._changes.append((added, fact))
+
+    def changes_since(self, epoch: int) -> list[tuple[bool, Atom]] | None:
+        """The ``(added?, fact)`` delta from *epoch* to now, oldest first.
+
+        Returns ``None`` when the change log no longer reaches back to
+        *epoch* (too many mutations since, or *epoch* predates this
+        instance) — the caller must then treat the whole instance as
+        changed.  An up-to-date *epoch* returns the empty list.  Replaying
+        the delta in order over a copy of the instance's state at *epoch*
+        reproduces the current fact set exactly (a fact removed and
+        re-added contributes both entries).
+        """
+        if epoch > self._epoch:
+            return None
+        if epoch < self._change_floor:
+            return None
+        return list(self._changes)[epoch - self._change_floor :]
 
     def add(self, fact: Atom) -> bool:
         """Insert a ground atom; returns ``True`` if it was new."""
@@ -68,7 +109,25 @@ class RelationalInstance:
         for index, term in enumerate(fact.terms, start=1):
             self._by_position_value[(fact.predicate, index, term)].add(fact)
         self._epoch += 1
+        self._log_change(True, fact)
         return True
+
+    def remove(self, fact: Atom) -> bool:
+        """Delete a ground atom; returns ``True`` if it was present."""
+        if fact not in self._facts:
+            return False
+        self._facts.discard(fact)
+        self._by_predicate[fact.predicate].discard(fact)
+        for index, term in enumerate(fact.terms, start=1):
+            self._by_position_value[(fact.predicate, index, term)].discard(fact)
+        self._epoch += 1
+        self._log_change(False, fact)
+        return True
+
+    def remove_tuple(self, relation_name: str, values: Sequence[object]) -> bool:
+        """Delete a tuple of plain Python values from the named relation."""
+        predicate = Predicate(relation_name, len(values))
+        return self.remove(Atom(predicate, tuple(Constant(v) for v in values)))
 
     def add_all(self, facts: Iterable[Atom]) -> int:
         """Insert many atoms; returns the number of new atoms."""

@@ -4,8 +4,8 @@ The paper's pitch is *compile once, evaluate anywhere* — so cold-compile
 wall-clock is one of the two numbers that matter (the other being
 rewriting size).  A workload's queries are independent compilation units,
 and :meth:`repro.core.rewriter.TGDRewriter.rewrite` is a pure function of
-``(rules, options, query)`` (deterministic rename-apart, per-run fresh
-variables), which makes the fan-out trivial to get *exactly* right:
+``(rules, options, query)`` (deterministic rename-apart, per-expansion
+fresh variables), which makes the fan-out trivial to get *exactly* right:
 
 1. **Pre-scan (parent).**  Every query is first probed against its
    system's in-process cache and persistent store, in input order.  Only
@@ -30,38 +30,32 @@ ontologies this way overlaps the long tail of one ontology with the
 queries of the next, which is where most of the multi-core speedup
 comes from (a single skewed query otherwise bounds its workload's
 makespan).
+
+Per-query tasks cap the speedup at ``total / slowest-query`` — the
+granularity ceiling PR 3 measured at ≈2.6× on Table 1.  The frontier
+kernel removes that ceiling: with a :mod:`repro.scheduling` strategy
+(``strategy="chunked"``, or automatically whenever there are fewer
+pending queries than workers) the pending queries are compiled in the
+parent and each *frontier generation* is split across the worker pool
+instead, so the pool keeps helping all the way through the slowest
+query's longest chain of TGD-rewrite steps.  Both modes write the same
+bytes — expansion is pure and the merge point is ordered — so choosing a
+mode trades wall-clock only.
 """
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .core.rewriter import RewritingResult, TGDRewriter
 from .queries.conjunctive_query import ConjunctiveQuery
+from .scheduling import SchedulingStrategy, create_strategy, resolve_workers
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .api import OBDASystem
 
 __all__ = ["compile_workloads", "resolve_workers"]
-
-
-def resolve_workers(workers: int | None) -> int:
-    """Normalise a ``workers`` argument: ``None`` means one per usable CPU.
-
-    "Usable" respects the process's CPU affinity mask where the platform
-    exposes it (cgroup-limited containers often report the host's core
-    count through ``os.cpu_count()`` while only a subset is schedulable).
-    """
-    if workers is None:
-        try:
-            workers = len(os.sched_getaffinity(0))
-        except AttributeError:  # pragma: no cover - non-Linux platforms
-            workers = os.cpu_count() or 1
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
-    return workers
 
 
 # -- worker side -----------------------------------------------------------
@@ -125,6 +119,7 @@ def _compile_in_worker(
 def compile_workloads(
     jobs: Iterable[tuple["OBDASystem", Sequence[ConjunctiveQuery]]],
     workers: int | None = None,
+    strategy: "SchedulingStrategy | str | None" = None,
 ) -> list[list[RewritingResult]]:
     """Compile many ``(system, queries)`` jobs through one process pool.
 
@@ -133,6 +128,16 @@ def compile_workloads(
     counters on warm paths, same bytes appended to each persistent store.
     With ``workers=1`` (or when everything is served from a cache) no
     pool is created and compilation happens in the parent.
+
+    *strategy* selects **intra-query** parallelism instead of the default
+    one-query-per-task fan-out: pending queries are compiled in the
+    parent, each frontier generation split across the pool by the given
+    :class:`~repro.scheduling.SchedulingStrategy` (a name such as
+    ``"chunked"``, or a configured instance, which the caller then owns
+    and closes).  When no strategy is given but exactly one query is
+    pending — the regime where per-query granularity has nothing to
+    parallelise — the chunked strategy is applied automatically.  Either
+    mode produces byte-identical stores and results.
     """
     jobs = [(system, list(queries)) for system, queries in jobs]
     workers = resolve_workers(workers)
@@ -165,7 +170,32 @@ def compile_workloads(
 
     if pending:
         effective = min(workers, len(pending))
-        if effective <= 1:
+        if strategy is None and workers > 1 and len(pending) == 1:
+            # A single pending query gives per-query granularity nothing
+            # to parallelise: split its frontier across the workers
+            # instead.  (With several pending queries the per-query pool
+            # still offers len(pending)-wide parallelism, which beats
+            # intra-query scheduling when frontier generations are small
+            # — callers who know their frontiers are deep opt in with an
+            # explicit strategy.)
+            strategy = "chunked"
+        if strategy is not None:
+            # Intra-query mode: compile in the parent, expand each
+            # frontier generation across the pool.  The chunked strategy
+            # rebinds its pool when the engine changes, so one instance
+            # serves every job of the batch (jobs arrive grouped).
+            owned = not isinstance(strategy, SchedulingStrategy)
+            resolved = create_strategy(strategy, workers=workers)
+            try:
+                for job, position, query in pending:
+                    system = jobs[job][0]
+                    outputs[job][position] = system._rewriter.rewrite(
+                        query, strategy=resolved
+                    )
+            finally:
+                if owned:
+                    resolved.close()
+        elif effective <= 1:
             for job, position, query in pending:
                 system = jobs[job][0]
                 outputs[job][position] = system._rewriter.rewrite(query)

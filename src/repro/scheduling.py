@@ -1,0 +1,319 @@
+"""Pluggable scheduling strategies for the frontier rewriting kernel.
+
+The kernel of :class:`repro.core.rewriter.TGDRewriter` drains the
+:class:`~repro.core.frontier.RewriteFrontier` one *generation* at a time
+and merges the expansions in frontier order (see
+:mod:`repro.core.frontier`).  Because expansion is a pure function of the
+query and the rule set, *how* a generation's expansions are computed is a
+free choice — that choice is a :class:`SchedulingStrategy`:
+
+* :class:`SequentialStrategy` — expand one query at a time in the calling
+  thread; the default, and the reference the others are held to.
+* :class:`ThreadedStrategy` — expand a whole generation across a thread
+  pool.  Under CPython's GIL this buys little wall-clock (expansion is
+  pure Python CPU work), but it exercises the kernel's order-independence
+  and is the cheap gate (``make strategy-smoke``) that the merge point
+  really is the only synchronisation the algorithm needs; on GIL-free
+  builds it parallelises for real.
+* :class:`ChunkedProcessStrategy` — expand a generation in chunks across
+  worker processes, each holding a deterministic replica of the engine
+  built from the rewriter's pickled specification.  This is the strategy
+  :func:`repro.parallel.compile_workloads` reuses to split one slow
+  query's frontier across workers instead of idling behind it.
+
+Every strategy must yield expansions **in batch order** — the merge point
+replays them in that order, which (together with the determinism of the
+engine: pooled rename-apart copies are a pure function of ``(rule, query
+variables)``) makes the final rewriting byte-identical under every
+strategy and worker/thread count.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from .core.frontier import Expansion
+from .queries.conjunctive_query import ConjunctiveQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .core.rewriter import TGDRewriter
+
+__all__ = [
+    "ChunkedProcessStrategy",
+    "SchedulingStrategy",
+    "SequentialStrategy",
+    "ThreadedStrategy",
+    "create_strategy",
+    "resolve_workers",
+    "strategy_names",
+]
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` argument: ``None`` means one per usable CPU.
+
+    "Usable" respects the process's CPU affinity mask where the platform
+    exposes it (cgroup-limited containers often report the host's core
+    count through ``os.cpu_count()`` while only a subset is schedulable).
+    """
+    if workers is None:
+        try:
+            workers = len(os.sched_getaffinity(0))
+        except AttributeError:  # pragma: no cover - non-Linux platforms
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+class SchedulingStrategy(ABC):
+    """How one frontier generation's expansions are computed.
+
+    Implementations receive the rewriting engine and a generation batch
+    and must yield one :class:`~repro.core.frontier.Expansion` per batch
+    member, **in batch order**.  They never touch the kernel state: the
+    merge point stays single-threaded in the caller.
+    """
+
+    #: Registry name (``"sequential"``, ``"threaded"``, ``"chunked"``).
+    name: str = "?"
+
+    @abstractmethod
+    def expand_generation(
+        self, engine: "TGDRewriter", batch: Sequence[ConjunctiveQuery]
+    ) -> Iterable[Expansion]:
+        """Expansions of *batch*, in batch order."""
+
+    def close(self) -> None:
+        """Release pools or other resources; the default holds none."""
+
+    def __enter__(self) -> "SchedulingStrategy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SequentialStrategy(SchedulingStrategy):
+    """Expand one query at a time in the calling thread (the default).
+
+    Yields lazily, so the kernel merges each expansion before the next one
+    is computed — the exact cadence of the pre-kernel closed loop, at zero
+    overhead.  Every other strategy is pinned (``tests/integration/
+    test_strategy_determinism.py``) to reproduce this strategy's output
+    byte for byte.
+    """
+
+    name = "sequential"
+
+    def expand_generation(
+        self, engine: "TGDRewriter", batch: Sequence[ConjunctiveQuery]
+    ) -> Iterator[Expansion]:
+        return map(engine.expand, batch)
+
+
+class ThreadedStrategy(SchedulingStrategy):
+    """Expand a whole generation across a thread pool.
+
+    Expansion is pure CPU work on small structures, so threads only help
+    on GIL-free interpreters; the strategy's day job is differential
+    testing — it shares the *same* engine (rule index, rename-apart pool,
+    applicability memo) across threads, so any hidden order-dependence in
+    the kernel would surface as a byte difference against
+    :class:`SequentialStrategy`.  The engine's memo layers are safe to
+    share: the rename-apart pool takes a lock around minting, and the
+    applicability memo's entries are deterministic values keyed by
+    renaming-invariant profiles (a racing double-compute stores the same
+    outcome; only the volatile hit/miss counters can drift).
+
+    The pool is created lazily and reused across generations; ``close()``
+    shuts it down.
+    """
+
+    name = "threaded"
+
+    def __init__(self, threads: int | None = None) -> None:
+        self._threads = resolve_workers(threads)
+        self._executor: ThreadPoolExecutor | None = None
+
+    @property
+    def threads(self) -> int:
+        """Number of worker threads the pool uses."""
+        return self._threads
+
+    def expand_generation(
+        self, engine: "TGDRewriter", batch: Sequence[ConjunctiveQuery]
+    ) -> Iterator[Expansion]:
+        if len(batch) <= 1 or self._threads <= 1:
+            return map(engine.expand, batch)
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._threads,
+                thread_name_prefix="rewrite-expand",
+            )
+        # Executor.map yields results in input order regardless of
+        # completion order — exactly the merge contract.
+        return self._executor.map(engine.expand, batch)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+
+# -- process-chunked expansion ----------------------------------------------
+#
+# Worker processes hold one deterministic replica of the rewriting engine,
+# rebuilt from the engine's pickled specification by the pool initializer.
+# Replicas expand independently warmed memo layers, which cannot change a
+# byte of output: pooled rename-apart copies are minted per (rule,
+# position) and served as a pure function of (rule, query variables), so a
+# replica's expansion equals the parent's regardless of what either has
+# expanded before.
+
+_EXPANSION_ENGINE = None
+
+
+def _initialize_expansion_worker(specification: tuple) -> None:
+    """Pool initializer: build this worker's engine replica once."""
+    global _EXPANSION_ENGINE
+    from .core.rewriter import TGDRewriter
+
+    _EXPANSION_ENGINE = TGDRewriter.from_specification(specification)
+
+
+def _expand_chunk(queries: list[ConjunctiveQuery]) -> list[Expansion]:
+    """Expand one chunk of a generation in the worker's engine replica."""
+    return [_EXPANSION_ENGINE.expand(query) for query in queries]
+
+
+class ChunkedProcessStrategy(SchedulingStrategy):
+    """Expand a generation in chunks across worker processes.
+
+    This is the intra-query parallelism strategy: one slow query's
+    frontier generations are split into chunks and expanded by a process
+    pool, sidestepping the GIL.  The pool is created lazily on first use
+    and bound to the engine's specification; expanding with a different
+    engine rebinds (recreating the pool), so one strategy instance can be
+    reused across the systems of a workload batch.
+
+    Parameters
+    ----------
+    workers:
+        Pool size (default: one per usable CPU).
+    chunk_size:
+        Queries per worker task.  The default splits each generation into
+        about ``4 × workers`` chunks (at least :attr:`MIN_CHUNK` queries
+        each) — small enough for dynamic balance, large enough that IPC
+        does not dominate.
+    min_batch:
+        Generations smaller than this are expanded in the parent (the
+        pickling round-trip would cost more than it buys).
+    """
+
+    name = "chunked"
+
+    #: Smallest chunk worth shipping to a worker.
+    MIN_CHUNK = 4
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+        min_batch: int | None = None,
+    ) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._workers = resolve_workers(workers)
+        self._chunk_size = chunk_size
+        self._min_batch = (
+            min_batch if min_batch is not None else max(2, 2 * self.MIN_CHUNK)
+        )
+        self._pool: ProcessPoolExecutor | None = None
+        self._bound_specification: tuple | None = None
+
+    @property
+    def workers(self) -> int:
+        """Number of worker processes the pool uses."""
+        return self._workers
+
+    def _ensure_pool(self, engine: "TGDRewriter") -> ProcessPoolExecutor:
+        specification = engine.specification()
+        if self._pool is not None and self._bound_specification != specification:
+            self.close()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=_initialize_expansion_worker,
+                initargs=(specification,),
+            )
+            self._bound_specification = specification
+        return self._pool
+
+    def _chunks(
+        self, batch: Sequence[ConjunctiveQuery]
+    ) -> list[list[ConjunctiveQuery]]:
+        size = self._chunk_size
+        if size is None:
+            size = max(self.MIN_CHUNK, math.ceil(len(batch) / (4 * self._workers)))
+        return [list(batch[i : i + size]) for i in range(0, len(batch), size)]
+
+    def expand_generation(
+        self, engine: "TGDRewriter", batch: Sequence[ConjunctiveQuery]
+    ) -> Iterator[Expansion]:
+        if self._workers <= 1 or len(batch) < self._min_batch:
+            yield from map(engine.expand, batch)
+            return
+        pool = self._ensure_pool(engine)
+        futures = [pool.submit(_expand_chunk, chunk) for chunk in self._chunks(batch)]
+        for future in futures:  # in submission order == batch order
+            yield from future.result()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._bound_specification = None
+
+
+_STRATEGIES: dict[str, type[SchedulingStrategy]] = {
+    SequentialStrategy.name: SequentialStrategy,
+    ThreadedStrategy.name: ThreadedStrategy,
+    ChunkedProcessStrategy.name: ChunkedProcessStrategy,
+}
+
+
+def strategy_names() -> tuple[str, ...]:
+    """The registered strategy names, for CLI choices and error messages."""
+    return tuple(_STRATEGIES)
+
+
+def create_strategy(
+    strategy: str | SchedulingStrategy | None,
+    workers: int | None = None,
+) -> SchedulingStrategy:
+    """Resolve a strategy request to an instance.
+
+    ``None`` and ``"sequential"`` build the default sequential strategy;
+    other names build their registered class with *workers* (threads for
+    ``"threaded"``, processes for ``"chunked"``).  Instances pass through
+    unchanged (and *workers* is ignored — the instance was already
+    configured).
+    """
+    if isinstance(strategy, SchedulingStrategy):
+        return strategy
+    if strategy is None:
+        strategy = SequentialStrategy.name
+    cls = _STRATEGIES.get(strategy)
+    if cls is None:
+        raise ValueError(
+            f"unknown scheduling strategy {strategy!r} "
+            f"(available: {', '.join(strategy_names())})"
+        )
+    if cls is SequentialStrategy:
+        return SequentialStrategy()
+    return cls(workers)

@@ -1,0 +1,123 @@
+"""Prepared-query interning: the LRU bound and batched preparation."""
+
+import pytest
+
+from repro.api import OBDASystem
+from repro.dependencies.tgd import tgd
+from repro.dependencies.theory import OntologyTheory
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable
+from repro.queries.parser import parse_query
+
+X = Variable("X")
+
+
+def _system(**kwargs):
+    theory = OntologyTheory(
+        tgds=[tgd(Atom.of("employee", X), Atom.of("person", X))]
+    )
+    system = OBDASystem(theory, use_nc_pruning=False, **kwargs)
+    system.add_fact("person", ["alice"])
+    system.add_fact("employee", ["bob"])
+    return system
+
+
+def _queries(count):
+    return [parse_query(f"q(A) :- person(A), extra{i}(A)") for i in range(count)]
+
+
+class TestPreparedLRU:
+    def test_unbounded_by_default(self):
+        system = _system()
+        for query in _queries(5):
+            system.prepare(query)
+        info = system.prepared_cache_info()
+        assert info.max_prepared is None
+        assert info.size == 5 and info.evictions == 0
+
+    def test_bound_evicts_least_recently_prepared(self):
+        system = _system(max_prepared=2)
+        first, second, third = _queries(3)
+        handle = system.prepare(first)
+        system.prepare(second)
+        system.prepare(third)  # evicts `first`
+        info = system.prepared_cache_info()
+        assert info.size == 2 and info.evictions == 1
+        # The evicted handle still works for whoever holds it...
+        assert handle.execute() is not None
+        # ...but re-preparing builds a fresh one.
+        assert system.prepare(first) is not handle
+
+    def test_repreparing_refreshes_recency(self):
+        system = _system(max_prepared=2)
+        first, second, third = _queries(3)
+        kept = system.prepare(first)
+        system.prepare(second)
+        system.prepare(first)  # refresh: `second` is now the LRU entry
+        system.prepare(third)
+        assert system.prepare(first) is kept
+        info = system.prepared_cache_info()
+        assert info.evictions == 1
+
+    def test_hit_and_miss_counters(self):
+        system = _system()
+        query = _queries(1)[0]
+        system.prepare(query)
+        system.prepare(query)
+        system.prepare(query)
+        info = system.prepared_cache_info()
+        assert (info.hits, info.misses) == (2, 1)
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_prepared"):
+            _system(max_prepared=0)
+
+    def test_distinct_backends_count_separately(self):
+        system = _system(max_prepared=2)
+        query = _queries(1)[0]
+        memory = system.prepare(query, backend="memory")
+        sqlite = system.prepare(query, backend="sqlite")
+        assert memory is not sqlite
+        assert system.prepared_cache_info().size == 2
+        system.close()
+
+
+class TestPrepareMany:
+    def test_returns_handles_in_input_order(self):
+        system = _system()
+        queries = _queries(4)
+        prepared = system.prepare_many(queries)
+        assert [handle.query for handle in prepared] == queries
+
+    def test_duplicates_share_one_handle(self):
+        system = _system()
+        query = _queries(1)[0]
+        first, second = system.prepare_many([query, query])
+        assert first is second
+
+    def test_shares_one_backend_instance(self):
+        system = _system()
+        prepared = system.prepare_many(_queries(3), backend="sqlite")
+        backends = {id(handle.backend) for handle in prepared}
+        assert len(backends) == 1
+        # One snapshot serves every handle: executing them all loads once.
+        for handle in prepared:
+            handle.execute()
+        assert system.backend_for("sqlite").full_loads == 1
+        system.close()
+
+    def test_equivalent_to_individual_prepare(self):
+        batched = _system()
+        individual = _system()
+        queries = _queries(3)
+        many = batched.prepare_many(queries)
+        singles = [individual.prepare(query) for query in queries]
+        for batch_handle, single_handle in zip(many, singles):
+            assert batch_handle.execute().tuples == single_handle.execute().tuples
+
+    def test_workers_argument_is_accepted(self):
+        system = _system()
+        prepared = system.prepare_many(_queries(2), workers=2)
+        assert len(prepared) == 2
+        for handle in prepared:
+            handle.execute()

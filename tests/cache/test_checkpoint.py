@@ -1,0 +1,175 @@
+"""Frontier checkpoints: kill a rewriting, resume it, get identical bytes."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cache.checkpoint import FrontierCheckpoint
+from repro.core.rewriter import RewritingStatistics, TGDRewriter
+from repro.queries.parser import parse_query
+from repro.scheduling import SequentialStrategy
+from repro.workloads import get_workload
+
+
+class SimulatedKill(Exception):
+    """Stands in for SIGKILL: aborts the run between expansions."""
+
+
+class KillingStrategy(SequentialStrategy):
+    """A sequential strategy that dies after N completed generations."""
+
+    def __init__(self, after_generations: int) -> None:
+        self._after = after_generations
+        self._count = 0
+
+    def expand_generation(self, engine, batch):
+        self._count += 1
+        if self._count > self._after:
+            raise SimulatedKill()
+        return super().expand_generation(engine, batch)
+
+
+def _non_volatile(statistics: RewritingStatistics) -> dict:
+    return {
+        key: value
+        for key, value in dataclasses.asdict(statistics).items()
+        if key not in RewritingStatistics.VOLATILE_FIELDS
+    }
+
+
+@pytest.fixture()
+def workload():
+    return get_workload("A")
+
+
+@pytest.fixture()
+def clean_result(workload):
+    engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+    return engine.rewrite(workload.query("q5"))
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("killed_after", [1, 2, 3])
+    def test_resumed_run_is_byte_identical(
+        self, tmp_path, workload, clean_result, killed_after
+    ):
+        path = tmp_path / "frontier.json"
+        checkpoint = FrontierCheckpoint(path)
+        engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+        with pytest.raises(SimulatedKill):
+            engine.rewrite(
+                workload.query("q5"),
+                strategy=KillingStrategy(killed_after),
+                checkpoint=checkpoint,
+            )
+        assert path.exists() and checkpoint.saves == killed_after
+
+        resumed_checkpoint = FrontierCheckpoint(path)
+        fresh_engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+        resumed = fresh_engine.rewrite(
+            workload.query("q5"), checkpoint=resumed_checkpoint
+        )
+        assert resumed_checkpoint.resumed_generation == killed_after
+        assert resumed.ucq.queries == clean_result.ucq.queries
+        assert resumed.auxiliary_queries == clean_result.auxiliary_queries
+        assert _non_volatile(resumed.statistics) == _non_volatile(
+            clean_result.statistics
+        )
+        # Completion removes the checkpoint: nothing stale to resume from.
+        assert not path.exists()
+
+    def test_uninterrupted_run_with_checkpoint_matches_plain_run(
+        self, tmp_path, workload, clean_result
+    ):
+        checkpoint = FrontierCheckpoint(tmp_path / "frontier.json")
+        engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+        result = engine.rewrite(workload.query("q5"), checkpoint=checkpoint)
+        assert result.ucq.queries == clean_result.ucq.queries
+        assert checkpoint.saves >= 1
+        assert not checkpoint.path.exists()
+
+    def test_checkpoint_every_reduces_saves(self, tmp_path, workload):
+        every = FrontierCheckpoint(tmp_path / "every.json", every=3)
+        engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+        engine.rewrite(workload.query("q5"), checkpoint=every)
+        dense = FrontierCheckpoint(tmp_path / "dense.json")
+        engine.rewrite(workload.query("q1"), checkpoint=dense)
+        assert every.saves <= dense.saves or every.saves < 5
+
+    def test_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            FrontierCheckpoint(tmp_path / "x.json", every=0)
+
+
+class TestCheckpointValidity:
+    def _kill(self, tmp_path, workload, query_name="q5"):
+        path = tmp_path / "frontier.json"
+        engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+        with pytest.raises(SimulatedKill):
+            engine.rewrite(
+                workload.query(query_name),
+                strategy=KillingStrategy(1),
+                checkpoint=FrontierCheckpoint(path),
+            )
+        return path
+
+    def test_different_query_starts_fresh(self, tmp_path, workload):
+        path = self._kill(tmp_path, workload, "q5")
+        checkpoint = FrontierCheckpoint(path)
+        engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+        reference = TGDRewriter(workload.theory.tgds, use_elimination=True).rewrite(
+            workload.query("q1")
+        )
+        result = engine.rewrite(workload.query("q1"), checkpoint=checkpoint)
+        assert checkpoint.resumed_generation is None
+        assert result.ucq.queries == reference.ucq.queries
+
+    def test_different_engine_options_start_fresh(self, tmp_path, workload):
+        path = self._kill(tmp_path, workload)
+        checkpoint = FrontierCheckpoint(path)
+        plain = TGDRewriter(workload.theory.tgds)  # no elimination
+        reference = TGDRewriter(workload.theory.tgds).rewrite(workload.query("q5"))
+        result = plain.rewrite(workload.query("q5"), checkpoint=checkpoint)
+        assert checkpoint.resumed_generation is None
+        assert result.ucq.queries == reference.ucq.queries
+
+    def test_corrupt_checkpoint_starts_fresh(self, tmp_path, workload):
+        path = tmp_path / "frontier.json"
+        path.write_text("{not json", encoding="utf-8")
+        checkpoint = FrontierCheckpoint(path)
+        engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+        result = engine.rewrite(workload.query("q1"), checkpoint=checkpoint)
+        assert checkpoint.resumed_generation is None
+        assert len(result.ucq) > 0
+
+    def test_wrong_format_version_starts_fresh(self, tmp_path, workload):
+        path = self._kill(tmp_path, workload)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["format"] = FrontierCheckpoint.FORMAT_VERSION + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        checkpoint = FrontierCheckpoint(path)
+        engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+        engine.rewrite(workload.query("q5"), checkpoint=checkpoint)
+        assert checkpoint.resumed_generation is None
+
+    def test_clear_is_idempotent(self, tmp_path):
+        checkpoint = FrontierCheckpoint(tmp_path / "missing.json")
+        checkpoint.clear()
+        checkpoint.clear()
+
+    def test_unserializable_query_skips_checkpointing(self, tmp_path):
+        from repro.dependencies.tgd import tgd
+        from repro.logic.atoms import Atom
+        from repro.logic.terms import Constant, Variable
+        from repro.queries.conjunctive_query import ConjunctiveQuery
+
+        X = Variable("X")
+        rules = [tgd(Atom.of("p", X), Atom.of("q", X))]
+        # A tuple-valued constant has no exact JSON form.
+        query = ConjunctiveQuery([Atom.of("q", X, Constant(("a", "b")))], (X,))
+        checkpoint = FrontierCheckpoint(tmp_path / "frontier.json")
+        result = TGDRewriter(rules).rewrite(query, checkpoint=checkpoint)
+        assert checkpoint.saves == 0
+        assert not checkpoint.path.exists()
+        assert len(result.ucq) >= 1

@@ -99,3 +99,78 @@ class TestKeySatisfaction:
 
     def test_empty_relation_trivially_satisfies_keys(self):
         assert RelationalInstance().satisfies_key(KeyDependency(Predicate("r", 2), (1,)))
+
+
+class TestRemoval:
+    def test_remove_deletes_and_bumps_epoch(self):
+        instance = RelationalInstance()
+        fact = Atom.of("r", a, b)
+        instance.add(fact)
+        epoch = instance.epoch
+        assert instance.remove(fact)
+        assert fact not in instance
+        assert len(instance) == 0
+        assert instance.epoch == epoch + 1
+
+    def test_removing_an_absent_fact_is_a_noop(self):
+        instance = RelationalInstance()
+        epoch = instance.epoch
+        assert not instance.remove(Atom.of("r", a, b))
+        assert instance.epoch == epoch
+
+    def test_remove_updates_the_position_indexes(self):
+        instance = RelationalInstance()
+        keep, drop = Atom.of("r", a, b), Atom.of("r", a, c)
+        instance.add(keep)
+        instance.add(drop)
+        instance.remove(drop)
+        assert instance.matching(Predicate("r", 2), {1: a}) == frozenset({keep})
+        assert instance.matching(Predicate("r", 2), {2: c}) == frozenset()
+
+    def test_remove_tuple_wraps_python_values(self):
+        instance = RelationalInstance()
+        instance.add_tuple("stock", ("s1", 12))
+        assert instance.remove_tuple("stock", ("s1", 12))
+        assert len(instance) == 0
+
+
+class TestChangeLog:
+    def test_delta_replays_the_mutations_in_order(self):
+        instance = RelationalInstance()
+        instance.add(Atom.of("r", a))
+        epoch = instance.epoch
+        instance.add(Atom.of("r", b))
+        instance.remove(Atom.of("r", a))
+        assert instance.changes_since(epoch) == [
+            (True, Atom.of("r", b)),
+            (False, Atom.of("r", a)),
+        ]
+
+    def test_current_epoch_yields_an_empty_delta(self):
+        instance = RelationalInstance()
+        instance.add(Atom.of("r", a))
+        assert instance.changes_since(instance.epoch) == []
+
+    def test_future_epoch_is_unavailable(self):
+        instance = RelationalInstance()
+        assert instance.changes_since(instance.epoch + 1) is None
+
+    def test_noop_mutations_do_not_pollute_the_log(self):
+        instance = RelationalInstance()
+        instance.add(Atom.of("r", a))
+        epoch = instance.epoch
+        instance.add(Atom.of("r", a))  # duplicate insert
+        instance.remove(Atom.of("r", b))  # absent removal
+        assert instance.changes_since(epoch) == []
+
+    def test_overflowed_log_reports_unavailable(self, monkeypatch):
+        monkeypatch.setattr(RelationalInstance, "MAX_TRACKED_CHANGES", 3)
+        instance = RelationalInstance()
+        instance.add(Atom.of("r", a))
+        epoch = instance.epoch
+        for index in range(4):
+            instance.add_tuple("r", (f"v{index}",))
+        assert instance.changes_since(epoch) is None
+        # The most recent window is still replayable.
+        recent = instance.changes_since(instance.epoch - 3)
+        assert recent is not None and len(recent) == 3

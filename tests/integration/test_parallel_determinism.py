@@ -159,3 +159,111 @@ class TestResolveWorkers:
     def test_rejects_non_positive(self):
         with pytest.raises(ValueError):
             resolve_workers(0)
+
+
+class TestIntraQueryInvariance:
+    """Intra-query scheduling is a pure performance knob too."""
+
+    @pytest.mark.parametrize("strategy", ["chunked", "threaded"])
+    def test_strategy_mode_writes_the_same_store_bytes(self, strategy, tmp_path):
+        workload = get_workload("S")
+        queries = [workload.query(name) for name in workload.query_names]
+
+        sequential_dir = tmp_path / "sequential"
+        sequential = OBDASystem(
+            workload.theory, use_nc_pruning=False, cache=sequential_dir
+        )
+        sequential_results = sequential.compile_many(queries, workers=1)
+
+        strategy_dir = tmp_path / strategy
+        system = OBDASystem(workload.theory, use_nc_pruning=False, cache=strategy_dir)
+        results = system.compile_many(queries, workers=2, strategy=strategy)
+
+        assert (strategy_dir / "rewritings.jsonl").read_bytes() == (
+            sequential_dir / "rewritings.jsonl"
+        ).read_bytes()
+        assert [repr(result.ucq) for result in results] == [
+            repr(result.ucq) for result in sequential_results
+        ]
+
+    def test_single_pending_query_auto_splits_its_frontier(
+        self, tmp_path, monkeypatch
+    ):
+        # One pending query with a multi-worker pool cannot use per-query
+        # granularity; compile_many must actually engage the chunked
+        # strategy (not fall back to plain sequential) and still write
+        # the sequential bytes.
+        import repro.parallel as parallel_module
+        from repro.scheduling import create_strategy as real_create_strategy
+
+        workload = get_workload("S")
+        query = workload.query("q2")
+
+        sequential_dir = tmp_path / "sequential"
+        sequential = OBDASystem(
+            workload.theory, use_nc_pruning=False, cache=sequential_dir
+        )
+        sequential.compile_many([query], workers=1)
+
+        engaged = []
+
+        def recording_create_strategy(strategy, workers=None):
+            engaged.append((strategy, workers))
+            return real_create_strategy(strategy, workers=workers)
+
+        monkeypatch.setattr(
+            parallel_module, "create_strategy", recording_create_strategy
+        )
+        auto_dir = tmp_path / "auto"
+        system = OBDASystem(workload.theory, use_nc_pruning=False, cache=auto_dir)
+        results = system.compile_many([query], workers=2)
+        assert engaged == [("chunked", 2)]
+        assert len(results) == 1
+        assert (auto_dir / "rewritings.jsonl").read_bytes() == (
+            sequential_dir / "rewritings.jsonl"
+        ).read_bytes()
+
+    def test_explicit_strategy_is_honoured_for_a_single_query(self, tmp_path):
+        # A caller-provided strategy instance must be used even when only
+        # one query is pending (and must not be closed by the callee).
+        from repro.scheduling import ChunkedProcessStrategy
+
+        workload = get_workload("S")
+        query = workload.query("q2")
+
+        class CountingStrategy(ChunkedProcessStrategy):
+            generations = 0
+
+            def expand_generation(self, engine, batch):
+                CountingStrategy.generations += 1
+                return super().expand_generation(engine, batch)
+
+        strategy = CountingStrategy(workers=2, min_batch=2)
+        try:
+            system = OBDASystem(workload.theory, use_nc_pruning=False)
+            system.compile_many([query], workers=2, strategy=strategy)
+            assert CountingStrategy.generations > 0
+        finally:
+            strategy.close()
+
+    def test_system_level_strategy_compiles_identically(self, tmp_path):
+        workload = get_workload("S")
+        queries = [workload.query(name) for name in workload.query_names]
+
+        sequential_dir = tmp_path / "sequential"
+        OBDASystem(
+            workload.theory, use_nc_pruning=False, cache=sequential_dir
+        ).compile_many(queries, workers=1)
+
+        system_dir = tmp_path / "system-strategy"
+        with OBDASystem(
+            workload.theory,
+            use_nc_pruning=False,
+            cache=system_dir,
+            strategy="threaded",
+        ) as system:
+            for query in queries:
+                system.compile(query)
+        assert (system_dir / "rewritings.jsonl").read_bytes() == (
+            sequential_dir / "rewritings.jsonl"
+        ).read_bytes()

@@ -339,3 +339,79 @@ class TestParser:
     def test_command_is_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestStrategyFlags:
+    TBOX = TestRewriteCommand.TBOX
+
+    @pytest.fixture()
+    def tbox_file(self, tmp_path):
+        path = tmp_path / "university.dllite"
+        path.write_text(self.TBOX, encoding="utf-8")
+        return str(path)
+
+    def test_rewrite_strategies_print_identical_ucqs(self, tbox_file, capsys):
+        outputs = {}
+        for strategy in ("sequential", "threaded", "chunked"):
+            assert main([
+                "rewrite", "--tbox", tbox_file,
+                "--query", "q(A) :- Person(A)",
+                "--strategy", strategy, "--workers", "2",
+            ]) == 0
+            lines = capsys.readouterr().out.splitlines()
+            outputs[strategy] = [line for line in lines if not line.startswith("#")]
+        assert outputs["sequential"] == outputs["threaded"] == outputs["chunked"]
+
+    def test_compile_accepts_a_strategy(self, capsys):
+        assert main(["compile", "--workload", "S", "--strategy", "chunked",
+                     "--workers", "2"]) == 0
+        assert "compiled 5 queries" in capsys.readouterr().out
+
+    def test_unknown_strategy_is_rejected(self, tbox_file):
+        with pytest.raises(SystemExit):
+            main(["rewrite", "--tbox", tbox_file, "--query", "q(A) :- Person(A)",
+                  "--strategy", "bogus"])
+
+
+class TestRewriteCheckpointFlags:
+    TBOX = TestRewriteCommand.TBOX
+
+    @pytest.fixture()
+    def tbox_file(self, tmp_path):
+        path = tmp_path / "university.dllite"
+        path.write_text(self.TBOX, encoding="utf-8")
+        return str(path)
+
+    def test_checkpoint_file_is_cleared_on_completion(self, tbox_file, tmp_path, capsys):
+        checkpoint = tmp_path / "frontier.json"
+        assert main([
+            "rewrite", "--tbox", tbox_file, "--query", "q(A) :- Person(A)",
+            "--checkpoint", str(checkpoint),
+        ]) == 0
+        assert not checkpoint.exists()
+        assert "perfect rewriting" in capsys.readouterr().out
+
+    def test_resume_requires_checkpoint(self, tbox_file, capsys):
+        assert main([
+            "rewrite", "--tbox", tbox_file, "--query", "q(A) :- Person(A)",
+            "--resume",
+        ]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_stale_checkpoint_is_discarded_without_resume(self, tbox_file, tmp_path, capsys):
+        checkpoint = tmp_path / "frontier.json"
+        checkpoint.write_text("{stale", encoding="utf-8")
+        assert main([
+            "rewrite", "--tbox", tbox_file, "--query", "q(A) :- Person(A)",
+            "--checkpoint", str(checkpoint),
+        ]) == 0
+        assert not checkpoint.exists()
+
+    def test_resume_flag_accepts_a_missing_file(self, tbox_file, tmp_path, capsys):
+        checkpoint = tmp_path / "frontier.json"
+        assert main([
+            "rewrite", "--tbox", tbox_file, "--query", "q(A) :- Person(A)",
+            "--checkpoint", str(checkpoint), "--resume",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "resumed" not in output
