@@ -3,14 +3,16 @@
 # `make cache-smoke` is the cold-then-warm persistent-cache gate used in CI;
 # `make answer-smoke` answers one workload end-to-end on both execution
 # backends and fails on any disagreement; `make strategy-smoke` pins the
-# frontier kernel's strategy-independence (sequential vs threaded).
+# frontier kernel's strategy-independence (sequential vs threaded);
+# `make fuzz-smoke` runs a bounded differential-fuzzing pass (generated
+# triples through the chase/backend/determinism oracles).
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro
 CACHE_DIR ?= .cache-smoke
 
-.PHONY: test smoke cache-smoke answer-smoke strategy-smoke bench bench-json table1
+.PHONY: test smoke cache-smoke answer-smoke strategy-smoke fuzz-smoke bench bench-json table1
 
 test:
 	$(PYTEST) -x -q
@@ -37,6 +39,15 @@ strategy-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
 	    benchmarks/strategy_smoke.py
 
+# Bounded differential-fuzzing gate (seconds, not minutes): a fixed-seed
+# window of generated linear/sticky/sticky-join triples must satisfy all
+# three oracles — rewrite-vs-chase, backend agreement, and byte-identical
+# rewritings across scheduling strategies + a store round-trip.  The
+# nightly CI job runs the same command with a date-derived seed and a
+# much larger case count.
+fuzz-smoke:
+	$(REPRO) fuzz --seed 0 --cases 5 --quiet
+
 bench:
 	$(PYTEST) -q benchmarks
 
@@ -49,6 +60,8 @@ bench-json:
 	    benchmarks/bench_parallel_compile.py --output BENCH_parallel.json
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
 	    benchmarks/bench_answering.py --output BENCH_answering.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
+	    benchmarks/bench_scaling.py --output BENCH_scaling.json
 
 table1:
 	$(REPRO) table1

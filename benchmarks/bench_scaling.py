@@ -1,0 +1,183 @@
+"""Machine-readable scaling benchmark (``make bench-json``).
+
+Measures compile (rewriting) and answer (prepare + execute) time against
+*ontology size* along the two axes the fuzzing generator provides
+(:mod:`repro.fuzzing.generator`), and writes one JSON document —
+``BENCH_scaling.json`` by default — next to the compilation-side
+``BENCH_parallel.json`` and the answering-side ``BENCH_answering.json``:
+
+* **generated axis** — synthetic linear and sticky theories swept over
+  rule count: per point, mean rewriting time, UCQ size and end-to-end
+  answering time over a few seeded cases (the same triples ``repro
+  fuzz`` checks, so any point on the curve can be replayed through the
+  oracles);
+* **registry axis** — the LUBM-style university workload ``U`` at
+  10–100× ABox scale: prepare once, then execute per scale, tracking
+  how answer time grows with the number of facts.
+
+The autotuner and sharding roadmap items are to be measured against
+these curves.
+
+The script is import-safe for test collectors; it only runs under
+``python benchmarks/bench_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.backends import create_backend  # noqa: E402
+from repro.core.rewriter import TGDRewriter  # noqa: E402
+from repro.fuzzing.generator import (  # noqa: E402
+    GeneratorConfig,
+    WorkloadGenerator,
+    scaled_registry_instance,
+)
+from repro.workloads import get_workload  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+#: Rule counts of the generated-axis sweep.
+RULE_POINTS = (4, 8, 16)
+#: Fragments of the generated-axis sweep.
+FRAGMENTS = ("linear", "sticky")
+#: ABox multipliers of the registry-axis sweep (base: 10 facts/relation).
+REGISTRY_SCALES = (1, 10, 50, 100)
+#: The registry workload the ABox scaling sweeps (LUBM-style university).
+REGISTRY_WORKLOAD = "U"
+
+
+def _generated_point(fragment: str, rules: int, seed: int, cases: int) -> dict:
+    """Mean compile/answer time of a few seeded cases at one sweep point."""
+    config = GeneratorConfig(fragment=fragment, rules=rules)
+    generator = WorkloadGenerator(seed=seed, config=config)
+    compile_seconds = answer_seconds = 0.0
+    ucq_size = facts = answers = 0
+    for index in range(cases):
+        case = generator.case(index)
+        started = time.perf_counter()
+        result = TGDRewriter(case.theory.tgds).rewrite(case.query)
+        compile_seconds += time.perf_counter() - started
+
+        backend = create_backend("memory")
+        try:
+            started = time.perf_counter()
+            plan = backend.prepare(result.ucq)
+            tuples = plan.execute(case.instance)
+            answer_seconds += time.perf_counter() - started
+        finally:
+            backend.close()
+        ucq_size += len(result.ucq)
+        facts += len(case.instance)
+        answers += len(tuples)
+    return {
+        "fragment": fragment,
+        "rules": rules,
+        "cases": cases,
+        "mean_facts": round(facts / cases, 1),
+        "mean_ucq_size": round(ucq_size / cases, 1),
+        "mean_answers": round(answers / cases, 1),
+        "mean_compile_seconds": round(compile_seconds / cases, 5),
+        "mean_answer_seconds": round(answer_seconds / cases, 5),
+    }
+
+
+def _registry_points(seed: int) -> list[dict]:
+    """Execute one prepared query over scaled university ABoxes."""
+    workload = get_workload(REGISTRY_WORKLOAD)
+    query = workload.query("q1")
+    started = time.perf_counter()
+    result = TGDRewriter(workload.theory.tgds, use_elimination=True).rewrite(query)
+    compile_seconds = time.perf_counter() - started
+    points = []
+    backend = create_backend("memory")
+    try:
+        plan = backend.prepare(result.ucq)
+        for scale in REGISTRY_SCALES:
+            instance = scaled_registry_instance(
+                REGISTRY_WORKLOAD, scale=scale, seed=seed
+            )
+            started = time.perf_counter()
+            tuples = plan.execute(instance)
+            elapsed = time.perf_counter() - started
+            points.append(
+                {
+                    "workload": REGISTRY_WORKLOAD,
+                    "query": "q1",
+                    "scale": scale,
+                    "facts": len(instance),
+                    "answers": len(tuples),
+                    "compile_seconds": round(compile_seconds, 5),
+                    "answer_seconds": round(elapsed, 5),
+                }
+            )
+    finally:
+        backend.close()
+    return points
+
+
+def run(seed: int, cases: int) -> dict:
+    """Sweep both axes and return the JSON document."""
+    started_all = time.perf_counter()
+    document: dict = {
+        "schema": SCHEMA_VERSION,
+        "benchmark": "scaling",
+        "configuration": {
+            "seed": seed,
+            "cases_per_point": cases,
+            "rule_points": list(RULE_POINTS),
+            "fragments": list(FRAGMENTS),
+            "registry_scales": list(REGISTRY_SCALES),
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "generated": [
+            _generated_point(fragment, rules, seed, cases)
+            for fragment in FRAGMENTS
+            for rules in RULE_POINTS
+        ],
+        "registry": _registry_points(seed),
+    }
+    document["total_seconds"] = round(time.perf_counter() - started_all, 4)
+    return document
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_scaling.json", help="where to write the JSON"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="generator seed (default 0)"
+    )
+    parser.add_argument(
+        "--cases", type=int, default=3, metavar="K",
+        help="generated cases per sweep point (default 3)",
+    )
+    arguments = parser.parse_args(argv)
+    document = run(arguments.seed, arguments.cases)
+    Path(arguments.output).write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    largest = document["registry"][-1]
+    print(
+        f"scaling sweep in {document['total_seconds']}s: "
+        f"{len(document['generated'])} generated points, "
+        f"registry {REGISTRY_WORKLOAD} up to {largest['facts']} facts "
+        f"({largest['answer_seconds']}s execute) -> {arguments.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import sqlite3
 import weakref
-from typing import Hashable, Mapping
+from typing import Hashable, Mapping, Sequence
 
 from ..database.instance import RelationalInstance
 from ..database.schema import RelationalSchema
@@ -92,31 +92,46 @@ def decode_value(value: object) -> Term:
 
 
 class SQLitePlan(ExecutionPlan):
-    """The rewriting's parameterized SQL plus the relations it references."""
+    """The rewriting's parameterized SQL plus the relations it references.
+
+    A rewriting with more disjuncts than SQLite's compound-SELECT limit
+    (``SQLITE_LIMIT_COMPOUND_SELECT``, 500 by default) cannot run as one
+    ``UNION`` statement, so the plan holds one statement per chunk of
+    disjuncts and unions the chunk results in Python — answer sets are
+    deduplicated there anyway.
+    """
 
     def __init__(
         self,
         backend: "SQLiteBackend",
-        statement: ParameterizedSQL,
+        statements: Sequence[ParameterizedSQL],
         referenced: frozenset[Predicate],
         arity: int,
         schema: RelationalSchema | None,
     ) -> None:
         self._backend = backend
-        self._statement = statement
+        self._statements = tuple(statements)
         self._referenced = referenced
         self._arity = arity
         self._schema = schema
 
     @property
     def sql(self) -> str:
-        """The SQL text executed by this plan (``?`` placeholders)."""
-        return self._statement.sql
+        """The SQL text executed by this plan (``?`` placeholders).
+
+        One statement in the common case; chunked plans render one
+        statement per chunk, separated by ``;``.
+        """
+        return ";\n\n".join(statement.sql for statement in self._statements)
 
     @property
     def parameters(self) -> tuple[Constant, ...]:
         """The constants bound to the placeholders, in order."""
-        return self._statement.parameters
+        return tuple(
+            constant
+            for statement in self._statements
+            for constant in statement.parameters
+        )
 
     @property
     def referenced_predicates(self) -> frozenset[Predicate]:
@@ -135,14 +150,20 @@ class SQLitePlan(ExecutionPlan):
         connection = self._backend.ensure_ready(
             database, self._referenced, self._schema
         )
-        parameters = [
-            encode_term(bindings.get(constant, constant) if bindings else constant)
-            for constant in self._statement.parameters
-        ]
-        try:
-            rows = connection.execute(self._statement.sql, parameters).fetchall()
-        except sqlite3.Error as error:
-            raise BackendError(f"SQLite execution failed: {error}") from error
+        rows: list = []
+        for statement in self._statements:
+            parameters = [
+                encode_term(
+                    bindings.get(constant, constant) if bindings else constant
+                )
+                for constant in statement.parameters
+            ]
+            try:
+                rows.extend(
+                    connection.execute(statement.sql, parameters).fetchall()
+                )
+            except sqlite3.Error as error:
+                raise BackendError(f"SQLite execution failed: {error}") from error
         if self._arity == 0:
             return frozenset({()}) if rows else frozenset()
         answers: set[tuple] = set()
@@ -410,8 +431,21 @@ class SQLiteBackend(ExecutionBackend):
     ) -> SQLitePlan:
         if len(ucq) == 0:
             raise BackendError("cannot prepare an empty rewriting for SQLite")
-        statement = ucq_to_parameterized_sql(ucq, schema=schema)
+        queries = list(ucq)
+        limit = self._compound_select_limit()
+        statements = [
+            ucq_to_parameterized_sql(queries[start : start + limit], schema=schema)
+            for start in range(0, len(queries), limit)
+        ]
         referenced = frozenset(
             predicate for query in ucq for predicate in atoms_predicates(query.body)
         )
-        return SQLitePlan(self, statement, referenced, ucq.arity, schema)
+        return SQLitePlan(self, statements, referenced, ucq.arity, schema)
+
+    def _compound_select_limit(self) -> int:
+        """Max disjuncts per statement (SQLITE_LIMIT_COMPOUND_SELECT)."""
+        try:
+            limit = self.connection.getlimit(sqlite3.SQLITE_LIMIT_COMPOUND_SELECT)
+        except AttributeError:  # pragma: no cover - Python < 3.11
+            limit = 500
+        return max(1, limit)

@@ -27,6 +27,7 @@ from dataclasses import asdict, fields
 from typing import Sequence
 
 from ..core.rewriter import RewritingResult, RewritingStatistics
+from ..dependencies.tgd import TGD
 from ..logic.atoms import Atom, Predicate
 from ..logic.terms import Constant, Null, Term, Variable
 from ..queries.conjunctive_query import ConjunctiveQuery
@@ -94,6 +95,29 @@ def query_from_json(payload: dict) -> ConjunctiveQuery:
         body=(atom_from_json(atom) for atom in payload["body"]),
         answer_terms=tuple(term_from_json(term) for term in payload["answer"]),
         head_name=payload["head"],
+    )
+
+
+def tgd_to_json(rule: TGD) -> dict:
+    """Encode one TGD, preserving body/head order and the label.
+
+    Used by the fuzzing repro files (:mod:`repro.fuzzing.shrink`), which —
+    unlike the rewriting store — must carry the rules themselves: a repro
+    is replayed without the theory that produced it.
+    """
+    return {
+        "body": [atom_to_json(atom) for atom in rule.body],
+        "head": [atom_to_json(atom) for atom in rule.head],
+        "label": rule.label,
+    }
+
+
+def tgd_from_json(payload: dict) -> TGD:
+    """Decode one TGD; inverse of :func:`tgd_to_json`."""
+    return TGD(
+        body=tuple(atom_from_json(atom) for atom in payload["body"]),
+        head=tuple(atom_from_json(atom) for atom in payload["head"]),
+        label=payload.get("label", ""),
     )
 
 

@@ -36,9 +36,18 @@ Six small commands expose the library without writing Python:
     Answer queries end-to-end through the prepare/execute serving
     lifecycle on a chosen execution backend (``memory``, ``sqlite``) —
     or on ``both``, in which case the two answer sets are compared and a
-    disagreement exits non-zero (the differential gate behind ``make
-    answer-smoke``).  ``--repeat N`` re-executes each prepared query and
-    reports the answer-cache hits the warm runs were served from.
+    disagreement exits non-zero, printing the minimal differing tuples
+    (the differential gate behind ``make answer-smoke``).  ``--repeat N``
+    re-executes each prepared query and reports the answer-cache hits the
+    warm runs were served from.
+
+``fuzz [--seed N] [--cases K] [--fragment F] [--shrink]``
+    Generate seeded synthetic (theory, query, instance) triples per
+    fragment and hold the whole stack to the three differential oracles
+    of :mod:`repro.fuzzing` (chase agreement, backend agreement,
+    strategy/store determinism).  Failing cases are written as replayable
+    repro files (minimised first with ``--shrink``); ``--replay FILE``
+    re-runs a repro file.  See ``docs/FUZZING.md``.
 """
 
 from __future__ import annotations
@@ -377,8 +386,20 @@ def _cmd_answer(arguments: argparse.Namespace) -> int:
                 for row in sorted(map(repr, evaluator.answers(name, backend)))[: arguments.show]:
                     print(f"    {row}")
         if len(backends) > 1 and not evaluator.agree(name):
+            from .fuzzing.oracle import format_answer_diff
+
             disagreements.append(name)
-            print(f"error: backends disagree on {name}", file=sys.stderr)
+            reference = evaluator.answers(name, backends[0])
+            for other in backends[1:]:
+                candidate = evaluator.answers(name, other)
+                if candidate != reference:
+                    print(
+                        f"error: backends disagree on {name}: "
+                        + format_answer_diff(
+                            backends[0], reference, other, candidate
+                        ),
+                        file=sys.stderr,
+                    )
     if arguments.sql:
         for name, query in named:
             prepared = evaluator.system.prepare(query, "sqlite")
@@ -391,6 +412,95 @@ def _cmd_answer(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 3
+    return 0
+
+
+def _cmd_fuzz(arguments: argparse.Namespace) -> int:
+    """Differential fuzzing: generate triples, hold them to the three oracles."""
+    from .fuzzing import (
+        FRAGMENTS,
+        DifferentialOracle,
+        GeneratorConfig,
+        WorkloadGenerator,
+        load_repro,
+        shrink_case,
+        write_repro,
+    )
+
+    oracle = DifferentialOracle(
+        strategies=tuple(arguments.strategies),
+        backends=tuple(arguments.backends),
+        max_queries=arguments.max_queries,
+        max_chase_atoms=arguments.max_chase_atoms,
+    )
+
+    if arguments.replay:
+        case, recorded = load_repro(arguments.replay)
+        if recorded:
+            print(f"# recorded failure: [{recorded.get('oracle')}] {recorded.get('detail')}")
+        verdict = oracle.check(case)
+        print(verdict.summary())
+        return 0 if verdict.ok else 1
+
+    fragments = (
+        list(FRAGMENTS) if arguments.fragment == "all" else [arguments.fragment]
+    )
+    repro_directory = Path(arguments.repro_dir)
+    failed_cases = 0
+    for fragment in fragments:
+        config = GeneratorConfig(
+            fragment=fragment,
+            predicates=arguments.predicates,
+            max_arity=arguments.max_arity,
+            rules=arguments.rules,
+            fan_out=arguments.fan_out,
+            existential_density=arguments.existential_density,
+            query_atoms=arguments.query_atoms,
+            facts_per_relation=arguments.facts_per_relation,
+            domain_size=arguments.domain_size,
+        )
+        generator = WorkloadGenerator(seed=arguments.seed, config=config)
+        ok = skipped = 0
+        for index in range(arguments.cases):
+            case = generator.case(index)
+            verdict = oracle.check(case)
+            if verdict.skipped is not None:
+                skipped += 1
+                print(f"{fragment}[{index}] {verdict.summary()}")
+                continue
+            if verdict.ok:
+                ok += 1
+                if not arguments.quiet:
+                    print(f"{fragment}[{index}] {verdict.summary()}")
+                continue
+            failed_cases += 1
+            print(f"{fragment}[{index}] {verdict.summary()}", file=sys.stderr)
+            failure = verdict.failures[0]
+            if arguments.shrink:
+                case = shrink_case(
+                    case,
+                    oracle.failure,
+                    on_progress=lambda message: print(f"  {message}"),
+                )
+            path = write_repro(
+                repro_directory
+                / f"fuzz-{fragment}-seed{arguments.seed}-case{index}.json",
+                case,
+                failure,
+            )
+            print(f"  repro written: {path}", file=sys.stderr)
+        print(
+            f"# {fragment}: {arguments.cases} cases, {ok} ok, "
+            f"{skipped} skipped, {arguments.cases - ok - skipped} failed "
+            f"(seed {arguments.seed})"
+        )
+    if failed_cases:
+        print(
+            f"error: {failed_cases} fuzz cases failed; repro files in "
+            f"{repro_directory}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -543,6 +653,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the SQL each query executes on the sqlite backend",
     )
     answer.set_defaults(handler=_cmd_answer)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated triples against the chase, "
+        "backend and determinism oracles",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="base generator seed")
+    fuzz.add_argument("--cases", type=int, default=20, metavar="K",
+                      help="cases per fragment (default 20)")
+    fuzz.add_argument("--fragment", default="all",
+                      choices=["all", "linear", "sticky", "sticky-join"],
+                      help="fragment to sweep (default: all three)")
+    fuzz.add_argument("--shrink", action="store_true",
+                      help="minimise failing cases (delete rules/atoms/facts "
+                      "while the failure reproduces) before writing repro files")
+    fuzz.add_argument("--repro-dir", default="repro-failures", metavar="DIR",
+                      help="directory for replayable repro files of failing "
+                      "cases (default: repro-failures)")
+    fuzz.add_argument("--replay", metavar="FILE",
+                      help="re-run one repro file instead of generating cases")
+    fuzz.add_argument("--strategies", nargs="+", metavar="S",
+                      default=["sequential", "threaded"],
+                      choices=list(_strategy_choices()),
+                      help="scheduling strategies the determinism oracle "
+                      "compares (default: sequential threaded)")
+    fuzz.add_argument("--backends", nargs="+", metavar="B",
+                      default=["memory", "sqlite"],
+                      choices=["memory", "sqlite"],
+                      help="execution backends the agreement oracle compares")
+    fuzz.add_argument("--predicates", type=int, default=6,
+                      help="schema predicates per generated theory")
+    fuzz.add_argument("--max-arity", type=int, default=3,
+                      help="maximum predicate arity")
+    fuzz.add_argument("--rules", type=int, default=8,
+                      help="TGDs per generated theory")
+    fuzz.add_argument("--fan-out", type=int, default=2,
+                      help="maximum body atoms per non-linear rule")
+    fuzz.add_argument("--existential-density", type=float, default=0.4,
+                      help="probability a rule head invents an existential")
+    fuzz.add_argument("--query-atoms", type=int, default=2,
+                      help="maximum query body atoms")
+    fuzz.add_argument("--facts-per-relation", type=int, default=12,
+                      help="ABox facts per schema predicate")
+    fuzz.add_argument("--domain-size", type=int, default=18,
+                      help="distinct constants in the ABox domain")
+    fuzz.add_argument("--max-queries", type=int, default=50_000,
+                      help="rewriting budget; exceeding it skips the case")
+    fuzz.add_argument("--max-chase-atoms", type=int, default=20_000,
+                      help="atom cap on the chase oracle (cap hit weakens "
+                      "the check to chase ⊆ rewriting)")
+    fuzz.add_argument("--quiet", action="store_true",
+                      help="print only skips, failures and per-fragment summaries")
+    fuzz.set_defaults(handler=_cmd_fuzz)
 
     cache = commands.add_parser(
         "cache", help="manage a persistent rewriting cache directory"

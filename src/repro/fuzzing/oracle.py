@@ -1,0 +1,397 @@
+"""The differential harness: three oracles per generated triple.
+
+For a triple ``(theory, query, instance)`` the :class:`DifferentialOracle`
+asserts:
+
+1. **chase agreement** — rewrite-then-evaluate returns exactly the
+   certain answers the chase computes.  The chase is depth-bounded by the
+   number of frontier generations ``D`` the rewriting itself took: a CQ
+   produced by ``k ≤ D`` backward steps maps into the database, so the
+   forward (oblivious) chase reproduces its image within ``k`` levels —
+   depth ``D`` therefore captures every rewrite answer, while *any*
+   truncated chase only derives certain answers (soundness).  Equality at
+   depth ``D`` is exact; only when the atom cap cuts the chase short does
+   the check weaken to ``chase ⊆ rewrite``.
+2. **backend agreement** — every :class:`~repro.backends.base.
+   ExecutionBackend` returns the same answer set for the rewriting.
+3. **determinism** — every :class:`~repro.scheduling.SchedulingStrategy`,
+   plus a persistent-store round-trip, produces a byte-identical
+   rewriting (canonical JSON of the serialised result).
+
+Fault injection: a ``rewriting_mutator`` hook transforms every computed
+rewriting *uniformly* (so the determinism oracle stays quiet) before the
+answers are computed — a planted bug in the rewriting is then caught by
+the chase oracle, which is how ``tests/fuzzing/test_shrink.py`` exercises
+the shrinker end to end.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..backends import create_backend
+from ..cache.fingerprint import theory_fingerprint
+from ..cache.serialization import UnserializableQueryError, result_to_json
+from ..cache.store import RewritingStore
+from ..chase.chase import chase
+from ..core.rewriter import RewritingBudgetExceeded, RewritingResult, TGDRewriter
+from ..logic.homomorphism import homomorphisms
+from ..logic.terms import is_constant
+from ..queries.conjunctive_query import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+from ..scheduling import SequentialStrategy, create_strategy
+from .generator import GeneratedCase
+
+#: Strategies the determinism oracle compares by default.  ``chunked`` is
+#: correct too but spawns a process pool per case; opt in via the
+#: constructor (or ``repro fuzz --strategies``) when the cost is wanted.
+DEFAULT_STRATEGIES = ("sequential", "threaded")
+
+#: Backends the agreement oracle compares by default.
+DEFAULT_BACKENDS = ("memory", "sqlite")
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One oracle's disagreement on one case."""
+
+    oracle: str  # "chase" | "backends" | "determinism"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.oracle}] {self.detail}"
+
+
+@dataclass
+class OracleVerdict:
+    """Outcome of running all three oracles on one case."""
+
+    case: GeneratedCase
+    failures: list[OracleFailure] = field(default_factory=list)
+    skipped: str | None = None
+    generations: int = 0
+    rewriting_size: int = 0
+    rewrite_answers: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """``True`` iff no oracle disagreed (a skipped case is not a failure)."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One line for progress output."""
+        if self.skipped is not None:
+            return f"SKIP ({self.skipped}) {self.case.describe()}"
+        status = "ok" if self.ok else "FAIL " + "; ".join(map(str, self.failures))
+        return (
+            f"{status} — {self.case.describe()}, {self.rewriting_size} CQs in "
+            f"{self.generations} generations, {self.rewrite_answers} answers"
+        )
+
+
+def answer_diff(
+    left: frozenset[tuple], right: frozenset[tuple]
+) -> tuple[list[tuple], list[tuple]]:
+    """The minimal differing tuple sets: ``(only in left, only in right)``.
+
+    Both sides are sorted (by ``repr``, which is total over constant
+    tuples) so diff output is deterministic.
+    """
+    only_left = sorted(left - right, key=repr)
+    only_right = sorted(right - left, key=repr)
+    return only_left, only_right
+
+
+def format_answer_diff(
+    left_name: str,
+    left: frozenset[tuple],
+    right_name: str,
+    right: frozenset[tuple],
+    limit: int = 5,
+) -> str:
+    """Human-readable minimal diff of two answer sets.
+
+    Shows only the differing tuples (up to *limit* per side), never the
+    full answer dumps — the point of the helper is that a disagreement on
+    a 10⁴-tuple answer set prints the three tuples that differ.
+    """
+    only_left, only_right = answer_diff(left, right)
+    if not only_left and not only_right:
+        return f"{left_name} and {right_name} agree ({len(left)} answers)"
+    parts = []
+    for name, missing in ((left_name, only_left), (right_name, only_right)):
+        if not missing:
+            continue
+        shown = ", ".join(repr(t) for t in missing[:limit])
+        suffix = "" if len(missing) <= limit else f", … ({len(missing)} total)"
+        parts.append(f"only in {name}: {shown}{suffix}")
+    return "; ".join(parts)
+
+
+class GenerationCountingStrategy(SequentialStrategy):
+    """A sequential strategy that counts the frontier generations it ran.
+
+    The count is the depth bound the chase oracle needs; measuring it
+    through a strategy keeps the kernel untouched (the same pattern the
+    checkpoint tests use to kill a run mid-flight).
+    """
+
+    def __init__(self) -> None:
+        self.generations = 0
+
+    def expand_generation(self, engine, batch):
+        self.generations += 1
+        return super().expand_generation(engine, batch)
+
+
+def _canonical_bytes(result: RewritingResult) -> str:
+    """The byte-identity channel: canonical JSON of the serialised result."""
+    return json.dumps(result_to_json(result), sort_keys=True)
+
+
+def _chase_answers(query: ConjunctiveQuery, atoms) -> frozenset[tuple]:
+    """Evaluate *query* over a chase instance, keeping all-constant tuples."""
+    answers: set[tuple] = set()
+    for hom in homomorphisms(query.body, atoms):
+        answer = tuple(hom.apply_term(term) for term in query.answer_terms)
+        if all(is_constant(value) for value in answer):
+            answers.add(answer)
+    return frozenset(answers)
+
+
+class DifferentialOracle:
+    """Runs the three oracles of the fuzzing gate on generated cases.
+
+    Parameters
+    ----------
+    strategies:
+        Scheduling strategies the determinism oracle compares (the first
+        one's output is the reference).
+    backends:
+        Execution backends the agreement oracle compares (the first one's
+        answers are the "rewrite answers" the chase oracle checks).
+    max_queries:
+        Rewriting budget; exceeding it *skips* the case (FO-rewritable
+        fragments always terminate, but a generated theory can still be
+        expensive — a skip is reported, never silently dropped).
+    max_chase_atoms:
+        Atom cap on the chase oracle.  When the cap fires before the
+        depth bound, the chase answers are only a sound under-
+        approximation and the oracle weakens to a subset check.
+    rewriting_mutator:
+        Optional fault-injection hook ``UCQ -> UCQ`` applied uniformly to
+        every computed rewriting (see the module docstring).
+    """
+
+    def __init__(
+        self,
+        strategies: Sequence[str] = DEFAULT_STRATEGIES,
+        backends: Sequence[str] = DEFAULT_BACKENDS,
+        max_queries: int = 50_000,
+        max_chase_atoms: int = 20_000,
+        rewriting_mutator: Callable[
+            [UnionOfConjunctiveQueries], UnionOfConjunctiveQueries
+        ]
+        | None = None,
+    ) -> None:
+        if not strategies:
+            raise ValueError("the determinism oracle needs at least one strategy")
+        if not backends:
+            raise ValueError("the agreement oracle needs at least one backend")
+        self._strategies = tuple(strategies)
+        self._backends = tuple(backends)
+        self._max_queries = max_queries
+        self._max_chase_atoms = max_chase_atoms
+        self._mutator = rewriting_mutator
+
+    @property
+    def strategies(self) -> tuple[str, ...]:
+        """Strategy names the determinism oracle compares."""
+        return self._strategies
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        """Backend names the agreement oracle compares."""
+        return self._backends
+
+    # -- the three oracles -------------------------------------------------
+
+    def check(self, case: GeneratedCase) -> OracleVerdict:
+        """Run all three oracles on one case."""
+        verdict = OracleVerdict(case=case)
+        rules = list(case.theory.tgds)
+
+        counting = GenerationCountingStrategy()
+        try:
+            reference = self._rewrite(rules, case.query, counting)
+        except RewritingBudgetExceeded:
+            verdict.skipped = f"rewriting budget ({self._max_queries}) exceeded"
+            return verdict
+        verdict.generations = counting.generations
+        verdict.rewriting_size = len(reference.ucq)
+
+        backend_answers = self._backend_oracle(verdict, reference.ucq, case)
+        if backend_answers is not None:
+            verdict.rewrite_answers = len(backend_answers)
+            self._chase_oracle(verdict, backend_answers, case)
+        self._determinism_oracle(verdict, reference, rules, case)
+        return verdict
+
+    def check_many(self, cases: Sequence[GeneratedCase]) -> list[OracleVerdict]:
+        """Run the oracles on every case, in order."""
+        return [self.check(case) for case in cases]
+
+    def failure(self, case: GeneratedCase) -> OracleFailure | None:
+        """The first failure of *case*, or ``None`` — the shrinker's predicate."""
+        verdict = self.check(case)
+        return verdict.failures[0] if verdict.failures else None
+
+    # -- internals ---------------------------------------------------------
+
+    def _rewrite(self, rules, query, strategy) -> RewritingResult:
+        engine = TGDRewriter(rules, max_queries=self._max_queries)
+        result = engine.rewrite(query, strategy=strategy)
+        if self._mutator is not None:
+            result = dataclasses.replace(result, ucq=self._mutator(result.ucq))
+        return result
+
+    def _backend_oracle(
+        self,
+        verdict: OracleVerdict,
+        ucq: UnionOfConjunctiveQueries,
+        case: GeneratedCase,
+    ) -> frozenset[tuple] | None:
+        """All backends agree; returns the first backend's answers."""
+        answers: list[tuple[str, frozenset[tuple]]] = []
+        for name in self._backends:
+            backend = create_backend(name)
+            try:
+                plan = backend.prepare(ucq)
+                answers.append((name, plan.execute(case.instance)))
+            finally:
+                backend.close()
+        reference_name, reference = answers[0]
+        for name, other in answers[1:]:
+            if other != reference:
+                verdict.failures.append(
+                    OracleFailure(
+                        "backends",
+                        format_answer_diff(reference_name, reference, name, other),
+                    )
+                )
+        return reference
+
+    def _chase_oracle(
+        self,
+        verdict: OracleVerdict,
+        rewrite_answers: frozenset[tuple],
+        case: GeneratedCase,
+    ) -> None:
+        """Rewrite-then-evaluate equals the depth-D oblivious chase."""
+        depth = max(1, verdict.generations)
+        result = chase(
+            case.instance.facts,
+            case.theory.tgds,
+            variant="oblivious",
+            max_depth=depth,
+            max_atoms=self._max_chase_atoms,
+        )
+        chase_answers = _chase_answers(case.query, result.atoms)
+        atom_capped = (
+            not result.exhausted and len(result.atoms) >= self._max_chase_atoms
+        )
+        if atom_capped:
+            # Truncated-by-atoms chase only under-approximates: soundness
+            # (chase ⊆ rewrite) is all that can be checked.
+            if not chase_answers <= rewrite_answers:
+                verdict.failures.append(
+                    OracleFailure(
+                        "chase",
+                        "rewriting misses certain answers: "
+                        + format_answer_diff(
+                            "chase", chase_answers, "rewriting", rewrite_answers
+                        ),
+                    )
+                )
+            return
+        if chase_answers != rewrite_answers:
+            verdict.failures.append(
+                OracleFailure(
+                    "chase",
+                    format_answer_diff(
+                        "rewriting", rewrite_answers, "chase", chase_answers
+                    )
+                    + f" (chase depth {depth})",
+                )
+            )
+
+    def _determinism_oracle(
+        self,
+        verdict: OracleVerdict,
+        reference: RewritingResult,
+        rules,
+        case: GeneratedCase,
+    ) -> None:
+        """Every strategy and a store round-trip reproduce the same bytes."""
+        try:
+            expected = _canonical_bytes(reference)
+        except UnserializableQueryError:
+            verdict.failures.append(
+                OracleFailure(
+                    "determinism", "generated rewriting is not serialisable"
+                )
+            )
+            return
+        for name in self._strategies:
+            strategy = create_strategy(name)
+            try:
+                result = self._rewrite(rules, case.query, strategy)
+            finally:
+                strategy.close()
+            produced = _canonical_bytes(result)
+            if produced != expected:
+                verdict.failures.append(
+                    OracleFailure(
+                        "determinism",
+                        f"strategy {name!r} produced a different rewriting "
+                        f"({len(result.ucq)} CQs vs {len(reference.ucq)})",
+                    )
+                )
+        self._store_round_trip(verdict, reference, rules, case, expected)
+
+    def _store_round_trip(
+        self,
+        verdict: OracleVerdict,
+        reference: RewritingResult,
+        rules,
+        case: GeneratedCase,
+        expected: str,
+    ) -> None:
+        fingerprint = theory_fingerprint(rules)
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-store-") as directory:
+            store = RewritingStore(directory)
+            if not store.put(case.query, fingerprint, reference):
+                verdict.failures.append(
+                    OracleFailure("determinism", "store refused a fresh rewriting")
+                )
+                return
+            # A fresh store instance reloads from disk: the round trip
+            # actually exercises the serialisation, not the in-memory index.
+            reloaded = RewritingStore(directory).get(
+                case.query, fingerprint, tuple(rules)
+            )
+        if reloaded is None:
+            verdict.failures.append(
+                OracleFailure("determinism", "store lost a just-written rewriting")
+            )
+            return
+        if _canonical_bytes(reloaded) != expected:
+            verdict.failures.append(
+                OracleFailure(
+                    "determinism", "store round-trip changed the rewriting bytes"
+                )
+            )

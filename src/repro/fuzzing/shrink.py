@@ -1,0 +1,214 @@
+"""Failure minimisation and replayable repro files.
+
+:func:`shrink_case` greedily deletes rules, query atoms and database
+facts from a failing case while a caller-supplied predicate keeps
+reproducing the failure, iterating the three passes to a fixed point.
+Facts are removed delta-debugging style (halving chunks first, then
+singles), so large ABoxes shrink in ``O(n log n)`` oracle runs instead
+of ``O(n²)``.
+
+:func:`write_repro` / :func:`load_repro` persist a case — rules, query
+and facts included, since a repro must replay without the generator that
+produced it — as a single JSON file built on the exact tagged encoding
+of :mod:`repro.cache.serialization`.  Replay with::
+
+    repro fuzz --replay repro-failures/fuzz-linear-42.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable
+
+from ..cache.serialization import (
+    atom_from_json,
+    atom_to_json,
+    query_from_json,
+    query_to_json,
+    tgd_from_json,
+    tgd_to_json,
+)
+from ..database.instance import RelationalInstance
+from ..dependencies.theory import OntologyTheory
+from ..logic.terms import Variable
+from ..queries.conjunctive_query import ConjunctiveQuery
+from .generator import GeneratedCase, GeneratorConfig
+
+#: Repro file format version; bump on any incompatible change.
+REPRO_FORMAT = 1
+
+#: A predicate deciding whether a (candidate) case still fails.  Usually
+#: ``lambda case: oracle.failure(case)`` — any truthy return keeps the
+#: reduction, so the :class:`~repro.fuzzing.oracle.OracleFailure` itself
+#: works as the return value.
+FailingPredicate = Callable[[GeneratedCase], object]
+
+
+def shrink_case(
+    case: GeneratedCase,
+    failing: FailingPredicate,
+    on_progress: Callable[[str], None] | None = None,
+) -> GeneratedCase:
+    """Greedily minimise *case* while ``failing(case)`` stays truthy.
+
+    Raises :class:`ValueError` when the input case does not fail to begin
+    with (a shrinker run on a passing case would "minimise" it to
+    nothing and report garbage).
+    """
+    if not failing(case):
+        raise ValueError("shrink_case needs a failing case to start from")
+    note = on_progress if on_progress is not None else (lambda _message: None)
+    changed = True
+    while changed:
+        changed = False
+        case, rules_changed = _shrink_rules(case, failing)
+        case, query_changed = _shrink_query(case, failing)
+        case, facts_changed = _shrink_facts(case, failing)
+        changed = rules_changed or query_changed or facts_changed
+        if changed:
+            note(f"shrunk to {case.describe()}")
+    return case
+
+
+def _shrink_rules(
+    case: GeneratedCase, failing: FailingPredicate
+) -> tuple[GeneratedCase, bool]:
+    """Drop rules one at a time (highest index first) while failure holds."""
+    changed = False
+    index = len(case.theory.tgds) - 1
+    while index >= 0:
+        rules = list(case.theory.tgds)
+        del rules[index]
+        candidate = case.with_rules(rules)
+        if failing(candidate):
+            case = candidate
+            changed = True
+        index -= 1
+    return case, changed
+
+
+def _shrink_query(
+    case: GeneratedCase, failing: FailingPredicate
+) -> tuple[GeneratedCase, bool]:
+    """Drop query body atoms, trimming answer terms that lose their binding."""
+    changed = False
+    index = len(case.query.body) - 1
+    while index >= 0 and len(case.query.body) > 1:
+        body = list(case.query.body)
+        del body[index]
+        candidate = case.with_query(_rebuild_query(case.query, body))
+        if failing(candidate):
+            case = candidate
+            changed = True
+        index -= 1
+    return case, changed
+
+
+def _rebuild_query(query: ConjunctiveQuery, body: list) -> ConjunctiveQuery:
+    """The query over *body*, keeping only answer terms that remain bound."""
+    remaining = set()
+    for atom in body:
+        remaining.update(atom.variables())
+    answer_terms = tuple(
+        term
+        for term in query.answer_terms
+        if not isinstance(term, Variable) or term in remaining
+    )
+    return ConjunctiveQuery(body, answer_terms, head_name=query.head_name)
+
+
+def _shrink_facts(
+    case: GeneratedCase, failing: FailingPredicate
+) -> tuple[GeneratedCase, bool]:
+    """Delta-debugging pass over the facts: halving chunks, then singles."""
+    facts = sorted(case.instance.facts, key=repr)
+    changed = False
+    chunk = max(1, len(facts) // 2)
+    while chunk >= 1:
+        start = 0
+        while start < len(facts):
+            candidate_facts = facts[:start] + facts[start + chunk :]
+            candidate = case.with_facts(candidate_facts)
+            if failing(candidate):
+                facts = candidate_facts
+                case = candidate
+                changed = True
+                # The window now holds the next facts; do not advance.
+            else:
+                start += chunk
+        if chunk == 1:
+            break
+        chunk = max(1, chunk // 2)
+    return case, changed
+
+
+# ---------------------------------------------------------------------------
+# Replayable repro files
+# ---------------------------------------------------------------------------
+
+
+def write_repro(
+    path: str | Path,
+    case: GeneratedCase,
+    failure: object = None,
+) -> Path:
+    """Persist *case* (and the failure that produced it) as a repro file."""
+    path = Path(path)
+    payload = {
+        "format": REPRO_FORMAT,
+        "kind": "repro-fuzz-case",
+        "seed": case.seed,
+        "fragment": case.fragment,
+        "config": asdict(case.config),
+        "theory_name": case.theory.name,
+        "rules": [tgd_to_json(rule) for rule in case.theory.tgds],
+        "query": query_to_json(case.query),
+        "facts": [
+            atom_to_json(fact) for fact in sorted(case.instance.facts, key=repr)
+        ],
+        "failure": _failure_to_json(failure),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_repro(path: str | Path) -> tuple[GeneratedCase, dict | None]:
+    """Reload a repro file: ``(case, recorded failure or None)``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("kind") != "repro-fuzz-case":
+        raise ValueError(f"{path} is not a fuzzing repro file")
+    if payload.get("format") != REPRO_FORMAT:
+        raise ValueError(
+            f"{path} has repro format {payload.get('format')!r}; "
+            f"this version reads {REPRO_FORMAT}"
+        )
+    config = GeneratorConfig(**payload["config"])
+    theory = OntologyTheory(
+        tgds=[tgd_from_json(rule) for rule in payload["rules"]],
+        name=payload.get("theory_name", "repro"),
+    )
+    case = GeneratedCase(
+        seed=payload["seed"],
+        config=config,
+        theory=theory,
+        query=query_from_json(payload["query"]),
+        instance=RelationalInstance(
+            facts=[atom_from_json(fact) for fact in payload["facts"]]
+        ),
+    )
+    return case, payload.get("failure")
+
+
+def _failure_to_json(failure: object) -> dict | None:
+    if failure is None:
+        return None
+    oracle = getattr(failure, "oracle", None)
+    detail = getattr(failure, "detail", None)
+    if oracle is not None or detail is not None:
+        return {"oracle": oracle, "detail": detail}
+    return {"oracle": None, "detail": str(failure)}

@@ -98,6 +98,26 @@ class TestSQLiteExecution:
         with pytest.raises(BackendError, match="empty rewriting"):
             backend.prepare(UnionOfConjunctiveQueries([]))
 
+    def test_ucq_beyond_compound_select_limit_is_chunked(self):
+        # SQLITE_LIMIT_COMPOUND_SELECT is 500 by default; a perfect
+        # rewriting can easily exceed it.  The plan must chunk the UNION
+        # and merge the chunk results.
+        disjuncts = [
+            ConjunctiveQuery([Atom.of(f"r{i}", A)], (A,)) for i in range(501)
+        ]
+        database = RelationalInstance(
+            [Atom.of("r0", Constant("first")), Atom.of("r500", Constant("last"))]
+        )
+        backend = SQLiteBackend()
+        try:
+            plan = backend.prepare(UnionOfConjunctiveQueries(disjuncts))
+            assert plan.sql.count(";") >= 1  # more than one statement
+            assert plan.execute(database) == frozenset(
+                {(Constant("first"),), (Constant("last"),)}
+            )
+        finally:
+            backend.close()
+
     def test_snapshot_can_live_in_a_file(self, tmp_path):
         path = tmp_path / "snapshot.db"
         system = OBDASystem(simple_theory(), backend=SQLiteBackend(str(path)))

@@ -1,0 +1,103 @@
+"""Property tests: the classifiers against the workload generator.
+
+Two directions.  Positively, every triple the generator labels with a
+fragment must be *accepted* by that fragment's classifier — over many
+seeds, not just the fixed ones the unit tests use.  Negatively, the
+acceptance is not vacuous: hand-built near-miss rule sets one edit away
+from membership must be *rejected*.
+"""
+
+import pytest
+
+from repro.dependencies.classifiers import (
+    is_linear,
+    is_sticky,
+    is_sticky_join,
+    sticky_marking,
+)
+from repro.dependencies.tgd import tgd
+from repro.fuzzing.generator import (
+    FRAGMENT_CLASSIFIERS,
+    FRAGMENTS,
+    GeneratorConfig,
+    WorkloadGenerator,
+)
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestGeneratedTheoriesAreAccepted:
+    @pytest.mark.parametrize("fragment", FRAGMENTS)
+    @pytest.mark.parametrize("seed", range(8))
+    def test_labelled_fragment_is_accepted(self, fragment, seed):
+        config = GeneratorConfig(fragment=fragment)
+        case = WorkloadGenerator(seed=seed, config=config).case(0)
+        classifier = FRAGMENT_CLASSIFIERS[fragment]
+        assert classifier(list(case.theory.tgds)), case.describe()
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_fragment_is_sticky_join(self, seed):
+        # linear ∨ sticky ⊆ sticky-join: whatever fragment was targeted,
+        # the sound sticky-join recogniser must accept it too.
+        for fragment in FRAGMENTS:
+            config = GeneratorConfig(fragment=fragment)
+            case = WorkloadGenerator(seed=seed, config=config).case(0)
+            assert is_sticky_join(list(case.theory.tgds)), case.describe()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dense_configs_stay_inside_their_fragment(self, seed):
+        # Crank the axes that stress the classifiers: joins (fan_out) and
+        # existentials (density).
+        config = GeneratorConfig(
+            fragment="sticky",
+            fan_out=4,
+            existential_density=1.0,
+            predicates=8,
+            max_arity=4,
+        )
+        case = WorkloadGenerator(seed=seed, config=config).case(0)
+        assert is_sticky(list(case.theory.tgds)), case.describe()
+
+
+class TestNearMissesAreRejected:
+    def test_two_body_atoms_break_linearity(self):
+        rule = tgd([Atom.of("p", X), Atom.of("q", X)], Atom.of("r", X))
+        assert not is_linear([rule])
+        # Dropping either body atom restores it.
+        assert is_linear([tgd(Atom.of("p", X), Atom.of("r", X))])
+
+    def test_transitivity_is_not_sticky(self):
+        # The canonical non-sticky rule: the join variable Y is absent
+        # from the head, so it gets base-marked yet occurs twice.
+        transitive = tgd(
+            [Atom.of("p", X, Y), Atom.of("p", Y, Z)], Atom.of("q", X, Z)
+        )
+        assert not is_sticky([transitive])
+        assert not is_sticky_join([transitive])
+        marking = sticky_marking([transitive])
+        assert Y in marking[0]
+
+    def test_keeping_the_join_variable_in_the_head_restores_stickiness(self):
+        kept = tgd(
+            [Atom.of("p", X, Y), Atom.of("p", Y, Z)], Atom.of("q", X, Y, Z)
+        )
+        assert is_sticky([kept])
+        assert is_sticky_join([kept])
+
+    def test_marking_propagation_rejects_an_indirectly_lost_join(self):
+        # r1's join variable Y *does* reach r1's head — but only at a
+        # position that r2 then projects away, so propagation marks it.
+        r1 = tgd([Atom.of("p", X, Y), Atom.of("r", Y)], Atom.of("q", X, Y))
+        r2 = tgd(Atom.of("q", X, Y), Atom.of("s", X))
+        assert is_sticky([r1])  # alone, r1 is sticky
+        assert not is_sticky([r1, r2])  # the set is not
+        assert not is_sticky_join([r1, r2])
+
+    def test_stickiness_is_a_set_property_not_a_rule_property(self):
+        # Both rules are individually sticky; the near-miss is the set.
+        r1 = tgd([Atom.of("p", X, Y), Atom.of("r", Y)], Atom.of("q", X, Y))
+        r2 = tgd(Atom.of("q", X, Y), Atom.of("s", X))
+        assert all(is_sticky([rule]) for rule in (r1, r2))
+        assert not is_sticky([r1, r2])

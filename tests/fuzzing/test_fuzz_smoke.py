@@ -1,0 +1,37 @@
+"""Tier-1 fuzzing gate: a bounded fixed-seed window through all oracles.
+
+This is the in-suite twin of ``make fuzz-smoke`` — a couple of cases per
+fragment, plus the registry ontologies at a small scale, so a rewriter
+regression that breaks chase agreement, backend agreement or determinism
+fails `make test` before any CI fuzz job runs.
+"""
+
+import pytest
+
+from repro.fuzzing.generator import (
+    FRAGMENTS,
+    GeneratorConfig,
+    WorkloadGenerator,
+    registry_cases,
+)
+from repro.fuzzing.oracle import DifferentialOracle
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return DifferentialOracle()
+
+
+@pytest.mark.parametrize("fragment", FRAGMENTS)
+def test_fixed_seed_window_passes(oracle, fragment):
+    config = GeneratorConfig(fragment=fragment)
+    cases = WorkloadGenerator(seed=1, config=config).cases(2)
+    for verdict in oracle.check_many(cases):
+        assert verdict.ok, verdict.summary()
+
+
+@pytest.mark.parametrize("workload", ["S", "U"])
+def test_registry_ontologies_pass_at_small_scale(oracle, workload):
+    for case in registry_cases(workload, scale=1, seed=0):
+        verdict = oracle.check(case)
+        assert verdict.ok, verdict.summary()

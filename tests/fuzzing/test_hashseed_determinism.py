@@ -1,0 +1,60 @@
+"""Generated theories must not depend on ``PYTHONHASHSEED``.
+
+Hash randomisation changes set/dict iteration order between interpreter
+runs; any generator (or fingerprint) code path iterating a set would
+emit different rule orders per run while staying "deterministic" within
+one process.  The only honest check crosses a process boundary: render
+the same seeded cases in two subprocesses pinned to *different* hash
+seeds and require byte-identical output.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[2]
+
+# Renders theory + query + facts + fingerprint for a few cases per
+# fragment; any iteration-order leak shows up as a byte difference.
+_RENDER = """
+import sys
+from repro.cache.fingerprint import theory_fingerprint
+from repro.fuzzing.generator import (
+    FRAGMENTS, GeneratorConfig, WorkloadGenerator, scaled_registry_instance,
+)
+
+for fragment in FRAGMENTS:
+    generator = WorkloadGenerator(seed=7, config=GeneratorConfig(fragment=fragment))
+    for case in generator.cases(3):
+        for rule in case.theory.tgds:
+            print(repr(rule))
+        print(repr(case.query))
+        for fact in sorted(case.instance.facts, key=repr):
+            print(repr(fact))
+        print(theory_fingerprint(list(case.theory.tgds)))
+for fact in sorted(scaled_registry_instance("U", scale=2, seed=7).facts, key=repr):
+    print(repr(fact))
+"""
+
+
+def _render(hash_seed: str) -> str:
+    environment = dict(os.environ)
+    environment["PYTHONHASHSEED"] = hash_seed
+    environment["PYTHONPATH"] = str(_REPO / "src")
+    completed = subprocess.run(
+        [sys.executable, "-c", _RENDER],
+        capture_output=True,
+        text=True,
+        env=environment,
+        cwd=_REPO,
+        check=True,
+    )
+    return completed.stdout
+
+
+def test_output_is_byte_identical_across_hash_seeds():
+    first = _render("0")
+    second = _render("1")
+    assert first, "render subprocess produced no output"
+    assert first == second

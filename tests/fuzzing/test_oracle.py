@@ -1,0 +1,110 @@
+"""The differential oracles: clean cases pass, planted bugs are caught."""
+
+import pytest
+
+from repro.fuzzing.generator import GeneratorConfig, WorkloadGenerator
+from repro.fuzzing.oracle import (
+    DifferentialOracle,
+    answer_diff,
+    format_answer_diff,
+)
+from repro.queries.ucq import UnionOfConjunctiveQueries
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return DifferentialOracle()
+
+
+class TestCleanCases:
+    @pytest.mark.parametrize("fragment", ["linear", "sticky", "sticky-join"])
+    def test_generated_cases_pass_all_oracles(self, oracle, fragment):
+        config = GeneratorConfig(fragment=fragment)
+        for case in WorkloadGenerator(seed=0, config=config).cases(3):
+            verdict = oracle.check(case)
+            assert verdict.skipped is None, verdict.summary()
+            assert verdict.ok, verdict.summary()
+
+    def test_verdict_carries_measurements(self, oracle):
+        verdict = oracle.check(WorkloadGenerator(seed=0).case(0))
+        assert verdict.generations >= 1
+        assert verdict.rewriting_size >= 1
+
+    def test_failure_predicate_none_on_clean_case(self, oracle):
+        assert oracle.failure(WorkloadGenerator(seed=0).case(0)) is None
+
+
+class TestPlantedBug:
+    def _mutator(self, ucq: UnionOfConjunctiveQueries):
+        # Drop the last CQ of any multi-CQ rewriting: an unsound
+        # rewriting that loses certain answers but stays deterministic.
+        queries = list(ucq.queries)
+        if len(queries) > 1:
+            queries = queries[:-1]
+        return UnionOfConjunctiveQueries(queries)
+
+    def _failing_case(self, buggy):
+        for index in range(20):
+            case = WorkloadGenerator(seed=42).case(index)
+            verdict = buggy.check(case)
+            if not verdict.ok:
+                return case, verdict
+        pytest.fail("no generated case exposed the planted bug in 20 tries")
+
+    def test_chase_oracle_catches_dropped_cq(self):
+        buggy = DifferentialOracle(rewriting_mutator=self._mutator)
+        case, verdict = self._failing_case(buggy)
+        assert any(f.oracle == "chase" for f in verdict.failures), (
+            verdict.summary()
+        )
+        # The mutation is uniform, so determinism must NOT fire: the bug
+        # is in the rewriting, not in the scheduling.
+        assert not any(f.oracle == "determinism" for f in verdict.failures)
+        # And the clean oracle agrees the same case is fine.
+        assert DifferentialOracle().check(case).ok
+
+    def test_failure_predicate_reports_planted_bug(self):
+        buggy = DifferentialOracle(rewriting_mutator=self._mutator)
+        case, _ = self._failing_case(buggy)
+        failure = buggy.failure(case)
+        assert failure is not None and failure.oracle == "chase"
+
+
+class TestOracleConfig:
+    def test_needs_a_strategy_and_a_backend(self):
+        with pytest.raises(ValueError, match="strategy"):
+            DifferentialOracle(strategies=())
+        with pytest.raises(ValueError, match="backend"):
+            DifferentialOracle(backends=())
+
+    def test_tiny_budget_skips_not_fails(self):
+        tight = DifferentialOracle(max_queries=1)
+        verdict = tight.check(WorkloadGenerator(seed=0).case(2))
+        if verdict.skipped is not None:
+            assert "budget" in verdict.skipped
+            assert verdict.ok  # a skip is not a failure
+
+
+class TestAnswerDiff:
+    def test_diff_is_minimal_and_sorted(self):
+        left = frozenset({("a",), ("b",), ("c",)})
+        right = frozenset({("b",), ("d",)})
+        only_left, only_right = answer_diff(left, right)
+        assert only_left == [("a",), ("c",)]
+        assert only_right == [("d",)]
+
+    def test_format_shows_only_differences(self):
+        left = frozenset({(i,) for i in range(100)})
+        right = frozenset(left - {(7,)})
+        text = format_answer_diff("memory", left, "sqlite", right)
+        assert "only in memory: (7,)" in text
+        assert "(8,)" not in text  # shared tuples never printed
+
+    def test_format_truncates_long_diffs(self):
+        left = frozenset({(i,) for i in range(50)})
+        text = format_answer_diff("l", left, "r", frozenset(), limit=3)
+        assert "(50 total)" in text
+
+    def test_format_reports_agreement(self):
+        same = frozenset({("x",)})
+        assert "agree" in format_answer_diff("l", same, "r", same)

@@ -415,3 +415,53 @@ class TestRewriteCheckpointFlags:
         ]) == 0
         output = capsys.readouterr().out
         assert "resumed" not in output
+
+
+class TestFuzzCommand:
+    def test_bounded_run_passes(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "0", "--cases", "2", "--fragment", "linear"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "# linear: 2 cases, 2 ok, 0 skipped, 0 failed (seed 0)" in output
+        assert "linear[0] ok" in output
+
+    def test_quiet_suppresses_per_case_lines(self, capsys):
+        assert main(
+            ["fuzz", "--seed", "0", "--cases", "2", "--fragment", "linear",
+             "--quiet"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "linear[0]" not in output
+        assert "# linear: 2 cases" in output
+
+    def test_all_fragments_by_default(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--cases", "1", "--quiet"]) == 0
+        output = capsys.readouterr().out
+        for fragment in ("linear", "sticky", "sticky-join"):
+            assert f"# {fragment}: 1 cases" in output
+
+    def test_replay_of_a_clean_repro_passes(self, tmp_path, capsys):
+        from repro.fuzzing.generator import WorkloadGenerator
+        from repro.fuzzing.shrink import write_repro
+
+        case = WorkloadGenerator(seed=0).case(0)
+        path = write_repro(tmp_path / "case.json", case)
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_replay_prints_the_recorded_failure(self, tmp_path, capsys):
+        from repro.fuzzing.generator import WorkloadGenerator
+        from repro.fuzzing.oracle import OracleFailure
+        from repro.fuzzing.shrink import write_repro
+
+        case = WorkloadGenerator(seed=0).case(0)
+        failure = OracleFailure("chase", "recorded for the test")
+        path = write_repro(tmp_path / "case.json", case, failure)
+        assert main(["fuzz", "--replay", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "# recorded failure: [chase] recorded for the test" in output
+
+    def test_invalid_fragment_is_a_parser_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fuzz", "--fragment", "guarded"])
