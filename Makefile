@@ -5,14 +5,17 @@
 # backends and fails on any disagreement; `make strategy-smoke` pins the
 # frontier kernel's strategy-independence (sequential vs threaded);
 # `make fuzz-smoke` runs a bounded differential-fuzzing pass (generated
-# triples through the chase/backend/determinism oracles).
+# triples through the chase/backend/determinism oracles); `make
+# serve-smoke` boots the HTTP serving front end on a real socket and
+# checks byte-identical answers, single-compile coalescing and warm
+# answer caching.
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro
 CACHE_DIR ?= .cache-smoke
 
-.PHONY: test smoke cache-smoke answer-smoke strategy-smoke fuzz-smoke bench bench-json table1
+.PHONY: test smoke cache-smoke answer-smoke strategy-smoke fuzz-smoke serve-smoke bench bench-json table1
 
 test:
 	$(PYTEST) -x -q
@@ -48,6 +51,14 @@ strategy-smoke:
 fuzz-smoke:
 	$(REPRO) fuzz --seed 0 --cases 5 --quiet
 
+# Serving gate: the multi-tenant HTTP front end over a real socket must
+# return answers byte-identical to the in-process path, compile a
+# 50-request cold herd exactly once (single-flight coalescing) and serve
+# the warm repeat from the answer cache.
+serve-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
+	    benchmarks/serve_smoke.py
+
 bench:
 	$(PYTEST) -q benchmarks
 
@@ -62,6 +73,8 @@ bench-json:
 	    benchmarks/bench_answering.py --output BENCH_answering.json
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
 	    benchmarks/bench_scaling.py --output BENCH_scaling.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
+	    benchmarks/bench_serving.py --output BENCH_serving.json
 
 table1:
 	$(REPRO) table1

@@ -1,0 +1,257 @@
+"""Machine-readable serving load benchmark (``make bench-json``).
+
+Boots the full serving stack — :class:`~repro.serving.app.ServingApp`
+behind a real :class:`~repro.serving.http.ServingServer` socket — and
+drives it with an async load generator (``--clients`` concurrent
+keep-alive connections), writing one JSON document
+(``BENCH_serving.json`` by default) so the serving-side performance
+trajectory is tracked by CI artifacts next to the compilation and
+answering benchmarks.
+
+Three phases per run:
+
+* **cold** — every client simultaneously requests the same so-far
+  uncompiled queries: measures coalesced compile latency (one engine run
+  per query serves the whole herd);
+* **warm** — the same queries again: measures the steady-state serving
+  path (in-process rewriting cache + epoch-keyed answer cache);
+* **mixed** — a deterministic 1-in-``--cold-ratio`` interleave of fresh
+  bound variants and warm repeats: measures what a live tenant sees.
+
+Per phase: requests, wall seconds, throughput (qps) and the p50 / p90 /
+p99 latency quantiles in milliseconds; plus the coalescing counters
+(leaders / joined / engine compiles) that prove the cold phase really
+was single-flight.
+
+The script is import-safe for test collectors; it only runs under
+``python benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.serving import ServingApp, ServingClient, ServingServer  # noqa: E402
+
+SCHEMA_VERSION = 1
+WORKLOAD = "S"
+
+#: The served query mix: Table 1 StockExchange-shaped queries of
+#: increasing join width, answered over a small synthetic ABox.
+QUERIES = (
+    "q(A) :- stock(A)",
+    "q(A) :- financial_instrument(A)",
+    "q(A, B) :- listed_in(A, B), stock_exchange(B)",
+    "q(A) :- stock(A), listed_in(A, B)",
+)
+
+FACTS = [
+    ["stock", ["acme"]],
+    ["stock", ["globex"]],
+    ["listed_in", ["acme", "nyse"]],
+    ["listed_in", ["globex", "lse"]],
+    ["stock_exchange", ["nyse"]],
+    ["stock_exchange", ["lse"]],
+    ["financial_instrument", ["acme_bond"]],
+]
+
+
+def quantile(samples: list[float], q: float) -> float:
+    """The *q*-quantile of *samples* by linear interpolation."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    position = (len(ordered) - 1) * q
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    return ordered[low] + (ordered[high] - ordered[low]) * (position - low)
+
+
+def summarize(latencies: list[float], wall_seconds: float) -> dict:
+    """Latency quantiles (ms) + throughput for one phase."""
+    return {
+        "requests": len(latencies),
+        "wall_seconds": round(wall_seconds, 4),
+        "qps": round(len(latencies) / wall_seconds, 1) if wall_seconds else 0.0,
+        "latency_ms": {
+            "p50": round(quantile(latencies, 0.50) * 1000.0, 3),
+            "p90": round(quantile(latencies, 0.90) * 1000.0, 3),
+            "p99": round(quantile(latencies, 0.99) * 1000.0, 3),
+            "max": round(max(latencies, default=0.0) * 1000.0, 3),
+        },
+    }
+
+
+async def drive_phase(
+    port: int, clients: int, plans: list[list[dict]]
+) -> tuple[list[float], float]:
+    """Run per-client request plans concurrently; returns (latencies, wall)."""
+
+    async def one_client(plan: list[dict]) -> list[float]:
+        client = ServingClient("127.0.0.1", port)
+        latencies = []
+        try:
+            for payload in plan:
+                started = time.perf_counter()
+                response = await client.request("POST", "/answer", payload)
+                latencies.append(time.perf_counter() - started)
+                if not response.ok:
+                    raise RuntimeError(f"request failed: {response.payload}")
+        finally:
+            await client.aclose()
+        return latencies
+
+    started = time.perf_counter()
+    results = await asyncio.gather(*(one_client(plan) for plan in plans[:clients]))
+    wall = time.perf_counter() - started
+    return [latency for batch in results for latency in batch], wall
+
+
+async def run(clients: int, requests: int, cold_ratio: int) -> dict:
+    """Boot the service, run the three phases, return the JSON document."""
+    app = ServingApp()
+    server = ServingServer(app)
+    await server.start()
+    try:
+        setup = ServingClient("127.0.0.1", server.port)
+        response = await setup.request(
+            "POST",
+            "/register-theory",
+            {"tenant": "bench", "workload": WORKLOAD, "facts": FACTS},
+        )
+        if response.status != 201:
+            raise RuntimeError(f"registration failed: {response.payload}")
+        await setup.aclose()
+
+        artifacts = app.registry.get("bench").artifacts
+        phases: dict = {}
+
+        # cold: every client hammers the same uncompiled queries at once.
+        cold_plan = [
+            [
+                {"tenant": "bench", "query": query}
+                for query in QUERIES
+            ]
+            for _ in range(clients)
+        ]
+        latencies, wall = await drive_phase(server.port, clients, cold_plan)
+        phases["cold"] = summarize(latencies, wall)
+        phases["cold"]["engine_compiles"] = artifacts.compiles
+
+        # warm: the same mix again — pure cache serving.
+        per_client = max(1, requests // clients)
+        warm_plan = [
+            [
+                {"tenant": "bench", "query": QUERIES[i % len(QUERIES)]}
+                for i in range(per_client)
+            ]
+            for _ in range(clients)
+        ]
+        latencies, wall = await drive_phase(server.port, clients, warm_plan)
+        phases["warm"] = summarize(latencies, wall)
+
+        # mixed: deterministic 1-in-N fresh bound variants among repeats.
+        mixed_plan = []
+        for client_index in range(clients):
+            plan = []
+            for i in range(per_client):
+                if cold_ratio and i % cold_ratio == 0:
+                    # A fresh constant makes a structurally fresh query:
+                    # compile + plan + execute, like a new tenant question.
+                    plan.append(
+                        {
+                            "tenant": "bench",
+                            "query": (
+                                f"q(B) :- listed_in(c{client_index}_{i}, B), "
+                                "stock_exchange(B)"
+                            ),
+                        }
+                    )
+                else:
+                    plan.append(
+                        {"tenant": "bench", "query": QUERIES[i % len(QUERIES)]}
+                    )
+            mixed_plan.append(plan)
+        latencies, wall = await drive_phase(server.port, clients, mixed_plan)
+        phases["mixed"] = summarize(latencies, wall)
+
+        stats = await app.request("GET", "/stats")
+        coalescing = stats.payload["coalescing"]
+        return {
+            "schema": SCHEMA_VERSION,
+            "benchmark": "serving",
+            "workload": WORKLOAD,
+            "configuration": {
+                "clients": clients,
+                "requests": requests,
+                "cold_ratio": cold_ratio,
+                "queries": list(QUERIES),
+                "facts": len(FACTS),
+                "cpu_count": os.cpu_count(),
+                "python": platform.python_version(),
+            },
+            "phases": phases,
+            "coalescing": {
+                "leaders": coalescing["leaders"],
+                "joined": coalescing["joined"],
+                "engine_compiles": artifacts.compiles,
+            },
+            "requests_served": server.requests_served,
+        }
+    finally:
+        await server.stop()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default="BENCH_serving.json", help="where to write the JSON"
+    )
+    parser.add_argument(
+        "--clients", type=int, default=16, metavar="N",
+        help="concurrent keep-alive client connections (default 16)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=800, metavar="N",
+        help="total requests per warm/mixed phase (default 800)",
+    )
+    parser.add_argument(
+        "--cold-ratio", type=int, default=8, metavar="N",
+        help="mixed phase: one fresh (cold) query per N requests (default 8)",
+    )
+    arguments = parser.parse_args(argv)
+    document = asyncio.run(
+        run(arguments.clients, arguments.requests, arguments.cold_ratio)
+    )
+    Path(arguments.output).write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    for phase, numbers in document["phases"].items():
+        latency = numbers["latency_ms"]
+        print(
+            f"{phase}: {numbers['requests']} requests, {numbers['qps']} qps, "
+            f"p50 {latency['p50']}ms, p99 {latency['p99']}ms"
+        )
+    coalescing = document["coalescing"]
+    print(
+        f"coalescing: {coalescing['leaders']} leaders, "
+        f"{coalescing['joined']} joined, "
+        f"{coalescing['engine_compiles']} engine compiles "
+        f"-> {arguments.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,154 @@
+"""The ``make serve-smoke`` gate: the serving front end answers correctly.
+
+Boots the full serving stack — :class:`~repro.serving.app.ServingApp`
+over a real :class:`~repro.serving.http.ServingServer` socket — registers
+a Table 1 workload tenant, and checks the three properties that make the
+service a service:
+
+1. **correctness** — an HTTP answer to a workload query is byte-identical
+   (as canonical JSON) to the direct in-process
+   ``OBDASystem.prepare(...).execute()`` path over the same facts;
+2. **coalescing** — a herd of concurrent cold requests for one query
+   compiles it exactly once (engine-run counter, not wall-clock luck);
+3. **warm serving** — a repeated answer is served from the epoch-keyed
+   answer cache without touching the engine.
+
+A few seconds end to end, so it gates every CI run; the exhaustive
+serving matrix (tenant isolation, fingerprint sharing, kill/restart
+recovery, differential fuzzing through the HTTP layer) lives in
+``tests/serving/``.
+
+The script is import-safe for test collectors; it only runs under
+``python benchmarks/serve_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.api import OBDASystem  # noqa: E402
+from repro.database.instance import database_from_tuples  # noqa: E402
+from repro.serving import ServingApp, ServingClient, ServingServer  # noqa: E402
+from repro.serving.app import encode_answers  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+WORKLOAD = "S"
+QUERY = "q(A) :- stock(A)"
+FACTS = [
+    ["stock", ["acme_corp"]],
+    ["listed_in", ["acme_corp", "nyse"]],
+    ["stock_exchange", ["nyse"]],
+    ["financial_instrument", ["acme_bond"]],
+]
+HERD = 50
+
+
+async def smoke() -> int:
+    failures = 0
+    app = ServingApp()
+    server = ServingServer(app)
+    await server.start()
+    client = ServingClient("127.0.0.1", server.port)
+    try:
+        response = await client.request(
+            "POST",
+            "/register-theory",
+            {"tenant": "smoke", "workload": WORKLOAD, "facts": FACTS},
+        )
+        if response.status != 201:
+            print(f"error: registration failed: {response.payload}", file=sys.stderr)
+            return 1
+
+        # 1. correctness: HTTP bytes == direct in-process bytes.
+        response = await client.request(
+            "POST", "/answer", {"tenant": "smoke", "query": QUERY}
+        )
+        served = json.dumps(response.payload["answers"], sort_keys=True)
+        workload = get_workload(WORKLOAD)
+        direct_system = OBDASystem(
+            workload.theory,
+            database=database_from_tuples(
+                [(name, values) for name, values in FACTS]
+            ),
+            use_nc_pruning=bool(workload.theory.negative_constraints),
+        )
+        from repro.queries.parser import parse_query
+
+        direct = json.dumps(
+            encode_answers(
+                direct_system.prepare(parse_query(QUERY)).execute().tuples
+            ),
+            sort_keys=True,
+        )
+        direct_system.close()
+        status = "ok" if served == direct else "MISMATCH"
+        print(
+            f"{WORKLOAD}/{QUERY}: {response.payload['count']} answers over HTTP, "
+            f"byte-identical to in-process — {status}"
+        )
+        if status != "ok":
+            print(f"  served: {served}\n  direct: {direct}", file=sys.stderr)
+            failures += 1
+
+        # 2. coalescing: a cold herd compiles exactly once.
+        herd_query = "q(A, B) :- listed_in(A, B), stock_exchange(B)"
+        artifacts = app.registry.get("smoke").artifacts
+        compiles_before = artifacts.compiles
+        responses = await asyncio.gather(
+            *(
+                app.request(
+                    "POST", "/answer", {"tenant": "smoke", "query": herd_query}
+                )
+                for _ in range(HERD)
+            )
+        )
+        compiles = artifacts.compiles - compiles_before
+        answer_sets = {json.dumps(r.payload["answers"], sort_keys=True) for r in responses}
+        status = "ok" if compiles == 1 and len(answer_sets) == 1 else "MISMATCH"
+        print(
+            f"coalescing: {HERD} concurrent cold requests -> "
+            f"{compiles} engine compile(s), {len(answer_sets)} distinct answer "
+            f"set(s) — {status}"
+        )
+        if status != "ok":
+            failures += 1
+
+        # 3. warm serving: the repeat is answered from the caches.
+        response = await client.request(
+            "POST", "/answer", {"tenant": "smoke", "query": QUERY}
+        )
+        warm_ok = (
+            response.payload["source"] == "memory"
+            and response.payload["answer_cached"]
+        )
+        status = "ok" if warm_ok else "MISMATCH"
+        print(
+            f"warm repeat: source={response.payload['source']}, "
+            f"answer_cached={response.payload['answer_cached']} — {status}"
+        )
+        if not warm_ok:
+            failures += 1
+    finally:
+        await client.aclose()
+        await server.stop()
+
+    if failures:
+        print(f"error: {failures} serving smoke checks failed", file=sys.stderr)
+        return 1
+    print("# serve smoke: HTTP answers byte-identical, herd compiled once, warm cached")
+    return 0
+
+
+def main() -> int:
+    return asyncio.run(smoke())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

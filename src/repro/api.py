@@ -290,6 +290,15 @@ class OBDASystem:
         recently *prepared* handle from the intern table.  Evicted handles
         stay valid for the caller holding them — only the guarantee that
         ``prepare`` returns the same object again is bounded.
+    rewriting_cache:
+        Optional *shared* in-process compilation cache (a mutable mapping
+        ``ConjunctiveQuery → RewritingResult``).  Passing the same mapping
+        to several systems built over an equal theory makes a rewriting
+        compiled through any of them instantly visible to all — the
+        multi-tenant serving layer passes one dict per theory fingerprint,
+        so structurally identical tenants share one compiled artifact set.
+        Callers are responsible for only sharing a cache between systems
+        whose :attr:`theory_fingerprint` agree.
     """
 
     def __init__(
@@ -303,6 +312,7 @@ class OBDASystem:
         backend: str | ExecutionBackend = "memory",
         strategy: str | SchedulingStrategy | None = None,
         max_prepared: int | None = None,
+        rewriting_cache: dict[ConjunctiveQuery, RewritingResult] | None = None,
     ) -> None:
         if max_prepared is not None and max_prepared < 1:
             raise ValueError(f"max_prepared must be >= 1, got {max_prepared}")
@@ -321,7 +331,9 @@ class OBDASystem:
             strategy=self._strategy,
         )
         self._last_batch_statistics: RewritingStatistics | None = None
-        self._rewriting_cache: dict[ConjunctiveQuery, RewritingResult] = {}
+        self._rewriting_cache: dict[ConjunctiveQuery, RewritingResult] = (
+            rewriting_cache if rewriting_cache is not None else {}
+        )
         self._cache_hits = 0
         self._cache_misses = 0
         if cache is not None and not isinstance(cache, RewritingStore):
@@ -444,7 +456,7 @@ class OBDASystem:
         """
         return self._fingerprint
 
-    def compile(self, query: ConjunctiveQuery) -> RewritingResult:
+    def compile(self, query: ConjunctiveQuery, checkpoint=None) -> RewritingResult:
         """Compile an ontological query into its perfect UCQ rewriting (cached).
 
         Served, in order, from the in-process cache (exact query), the
@@ -453,26 +465,47 @@ class OBDASystem:
         engine; a freshly computed rewriting is persisted before being
         returned.  The result's statistics record which persistent path
         was taken (``persistent_cache_hits`` / ``persistent_cache_misses``).
+
+        *checkpoint* is an optional
+        :class:`~repro.cache.checkpoint.FrontierCheckpoint` threaded
+        through to the engine on a genuine miss, so a killed compilation
+        can resume from its last completed generation (cache hits never
+        touch it).
+        """
+        return self.compile_traced(query, checkpoint=checkpoint)[0]
+
+    def compile_traced(
+        self, query: ConjunctiveQuery, checkpoint=None
+    ) -> tuple[RewritingResult, str]:
+        """:meth:`compile` plus the serving layer that produced the result.
+
+        The second element names the source: ``"memory"`` (in-process
+        cache), ``"store"`` (persistent store) or ``"engine"`` (freshly
+        rewritten).  The serving front end reports it per request and
+        counts exactly one ``"engine"`` outcome per coalesced cold query.
         """
         served = self._serve_from_caches(query)
         if served is not None:
             return served
-        return self._absorb_fresh_result(query, self._rewriter.rewrite(query))
+        result = self._rewriter.rewrite(query, checkpoint=checkpoint)
+        return self._absorb_fresh_result(query, result), "engine"
 
-    def _serve_from_caches(self, query: ConjunctiveQuery) -> RewritingResult | None:
+    def _serve_from_caches(
+        self, query: ConjunctiveQuery
+    ) -> tuple[RewritingResult, str] | None:
         """Probe the serving layers in order: in-process dict, then store.
 
-        Returns the served result — installed in the in-process cache,
-        with its hit counters updated — or ``None`` on a genuine miss
-        (the caller then owes the engine a run).  This is the *only*
-        implementation of the serving order; the sequential
+        Returns the served ``(result, source)`` — installed in the
+        in-process cache, with its hit counters updated — or ``None`` on a
+        genuine miss (the caller then owes the engine a run).  This is the
+        *only* implementation of the serving order; the sequential
         :meth:`compile` and the parallel pre-scan of
         :func:`repro.parallel.compile_workloads` both go through it.
         """
         cached = self._rewriting_cache.get(query)
         if cached is not None:
             self._cache_hits += 1
-            return cached
+            return cached, "memory"
         self._cache_misses += 1
         if self._store is not None:
             result = self._store.get(
@@ -481,7 +514,7 @@ class OBDASystem:
             if result is not None:
                 result.statistics.persistent_cache_hits += 1
                 self._rewriting_cache[query] = result
-                return result
+                return result, "store"
         return None
 
     def _absorb_fresh_result(
@@ -696,6 +729,18 @@ class OBDASystem:
         resolved = self.backend_for(backend)
         self.compile_many(queries, workers=workers)
         return [self.prepare(query, backend=resolved) for query in queries]
+
+    def invalidate_answers(self) -> int:
+        """Drop every interned prepared query's cached answer sets.
+
+        The serving tier's out-of-band invalidation hook (e.g. after bulk
+        data changes applied behind the backends' epoch signal).  Returns
+        the number of prepared handles cleared; their plans stay valid —
+        only the per-epoch answer caches are emptied.
+        """
+        for prepared in self._prepared.values():
+            prepared.invalidate()
+        return len(self._prepared)
 
     def prepared_cache_info(self) -> PreparedCacheInfo:
         """Hit/miss/eviction counters of the interned prepared-query table."""

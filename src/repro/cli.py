@@ -41,6 +41,15 @@ Six small commands expose the library without writing Python:
     re-executes each prepared query and reports the answer-cache hits the
     warm runs were served from.
 
+``serve [--port P] [--cache DIR] [--max-tenants N] [--backend B]``
+    Run the multi-tenant asyncio HTTP/JSON serving front end
+    (:mod:`repro.serving`): tenants register ontologies over HTTP and
+    issue prepared, coalesced, answer-cached queries.  ``--preload
+    "NAME=WORKLOAD" ...`` registers tenants before the socket opens.
+    With ``--cache DIR`` the service is restart-warm: rewritings are
+    served from the persistent store and killed compiles resume from
+    frontier checkpoints.  See ``docs/SERVING.md``.
+
 ``fuzz [--seed N] [--cases K] [--fragment F] [--shrink]``
     Generate seeded synthetic (theory, query, instance) triples per
     fragment and hold the whole stack to the three differential oracles
@@ -504,6 +513,63 @@ def _cmd_fuzz(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    """Run the multi-tenant HTTP/JSON serving front end until interrupted."""
+    import asyncio
+
+    from .serving import ServingApp, ServingServer
+
+    preloads: list[tuple[str, str]] = []
+    for spec in arguments.preload or []:
+        name, separator, workload = spec.partition("=")
+        if not separator or not name or not workload:
+            print(
+                f"error: --preload expects NAME=WORKLOAD, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        preloads.append((name, workload))
+
+    async def run() -> int:
+        app = ServingApp(
+            cache=arguments.cache,
+            max_tenants=arguments.max_tenants,
+            backend=arguments.backend,
+        )
+        for name, workload in preloads:
+            response = await app.request(
+                "POST", "/register-theory", {"tenant": name, "workload": workload}
+            )
+            if not response.ok:
+                print(
+                    f"error: preload {name}={workload} failed: "
+                    f"{response.payload['error']['message']}",
+                    file=sys.stderr,
+                )
+                await app.aclose()
+                return 2
+            print(f"# tenant {name}: workload {workload} registered")
+        server = ServingServer(app, host=arguments.host, port=arguments.port)
+        await server.start()
+        cache_note = (
+            f"cache {arguments.cache}" if arguments.cache else "memory-only"
+        )
+        print(f"# serving on http://{arguments.host}:{server.port} ({cache_note})")
+        try:
+            await server.serve_forever()
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+        finally:
+            print("# shutting down")
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_cache_compact(arguments: argparse.Namespace) -> int:
     """Bound a persistent rewriting cache to its N most recent entries."""
     from .cache.store import RewritingStore
@@ -706,6 +772,27 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--quiet", action="store_true",
                       help="print only skips, failures and per-fragment summaries")
     fuzz.set_defaults(handler=_cmd_fuzz)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP/JSON ontology-serving front end",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port (0 = ephemeral; default 8080)")
+    serve.add_argument("--cache", metavar="DIR",
+                       help="persistent cache directory (rewriting store + "
+                       "compile checkpoints); omit for a memory-only service")
+    serve.add_argument("--max-tenants", type=int, default=None, metavar="N",
+                       help="admission control: reject registrations beyond N "
+                       "tenants with HTTP 429")
+    serve.add_argument("--backend", choices=["memory", "sqlite"],
+                       default="memory",
+                       help="default execution backend for new tenants")
+    serve.add_argument("--preload", nargs="+", metavar="NAME=WORKLOAD",
+                       help="register tenants before the socket opens, e.g. "
+                       "--preload acme=S beta=U")
+    serve.set_defaults(handler=_cmd_serve)
 
     cache = commands.add_parser(
         "cache", help="manage a persistent rewriting cache directory"

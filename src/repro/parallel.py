@@ -163,7 +163,7 @@ def compile_workloads(
                 continue
             served = system._serve_from_caches(query)
             if served is not None:
-                outputs[job][position] = served
+                outputs[job][position] = served[0]
                 continue
             first_occurrence[query] = position
             pending.append((job, position, query))

@@ -1,0 +1,521 @@
+""":class:`ServingApp` — the transport-free serving application.
+
+The app owns the endpoint contracts and nothing else: requests come in as
+``(method, path, JSON payload)`` and leave as ``(status, JSON payload)``,
+whether they arrived over a real socket (:mod:`repro.serving.http`) or
+from an in-process test calling :meth:`ServingApp.request` directly.
+
+Endpoints (full contracts in ``docs/SERVING.md``):
+
+=======================  ====================================================
+``POST /register-theory``  create a tenant from a workload name, a textual
+                           DL-Lite TBox or JSON-encoded TGDs (+ facts)
+``POST /prepare``          compile + plan a query for a tenant (warms it)
+``POST /answer``           certain answers of a query over a tenant's data
+``POST /data``             insert/remove facts (bumps the tenant's epoch)
+``POST /invalidate``       drop a tenant's answer caches — or the tenant
+``GET  /stats``            tenants, artifact sets, coalescing, store counters
+``GET  /healthz``          liveness probe
+=======================  ====================================================
+
+Request lifecycle of ``/answer`` (the hot path):
+
+1. parse the query (textual or tagged-JSON form);
+2. **warm probe** — if the shared artifact set already holds the
+   rewriting, skip straight to execution (never queued behind compiles);
+3. **cold path** — coalesce onto the single-flight compile for the
+   query's ``(canonical key, fingerprint)`` digest: one engine run per
+   herd, run on the artifact set's dedicated executor thread;
+4. execute on the tenant's executor: plan cache + epoch-keyed answer
+   cache make a warm execute two dictionary probes.
+
+Errors are structured: ``{"error": {"code": ..., "message": ...}}`` with
+a meaningful HTTP status (400 malformed, 404 unknown tenant/endpoint,
+405 wrong method, 409 duplicate tenant, 429 admission control, 500
+compile/execution failure).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+from ..cache.serialization import (
+    atom_from_json,
+    query_from_json,
+    tgd_from_json,
+)
+from ..dependencies.constraints import NegativeConstraint
+from ..dependencies.theory import OntologyTheory
+from ..logic.terms import Constant
+from ..queries.conjunctive_query import ConjunctiveQuery
+from ..queries.parser import QuerySyntaxError, parse_query
+from .coalescing import SingleFlight
+from .tenants import (
+    DEFAULT_WARM_LIMIT,
+    DuplicateTenantError,
+    RegistryFullError,
+    Tenant,
+    TenantRegistry,
+    UnknownTenantError,
+    compile_digest,
+)
+
+
+@dataclass(frozen=True)
+class ServingResponse:
+    """One endpoint response: HTTP status plus the JSON payload."""
+
+    status: int
+    payload: dict
+
+    @property
+    def ok(self) -> bool:
+        """``True`` for 2xx responses."""
+        return 200 <= self.status < 300
+
+    def body(self) -> bytes:
+        """The payload as canonical JSON bytes (what the wire carries)."""
+        return json.dumps(self.payload, sort_keys=True).encode("utf-8")
+
+
+class ServingError(Exception):
+    """A structured endpoint failure: status + machine-readable code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+    def response(self) -> ServingResponse:
+        """The error body every endpoint failure shares."""
+        return ServingResponse(
+            self.status,
+            {"error": {"code": self.code, "message": str(self)}},
+        )
+
+
+def encode_answers(tuples: frozenset[tuple]) -> list[list]:
+    """Deterministic JSON encoding of an answer set.
+
+    One list per answer tuple, holding the constants' raw values; rows
+    sorted by their JSON serialisation so equal answer sets always encode
+    to identical bytes.  This is the byte-identity channel of the serving
+    differential tests: the direct in-process path is encoded with the
+    same function and compared as JSON.
+    """
+    rows = []
+    for answer in tuples:
+        row = []
+        for value in answer:
+            if isinstance(value, Constant):
+                value = value.value
+            if not isinstance(value, (str, int, float, bool)) and value is not None:
+                raise ServingError(
+                    500,
+                    "unserializable-answer",
+                    f"answer value {value!r} has no JSON form",
+                )
+            row.append(value)
+        rows.append(row)
+    rows.sort(key=lambda row: json.dumps(row, sort_keys=True))
+    return rows
+
+
+class ServingApp:
+    """The multi-tenant serving application (see module docstring).
+
+    Parameters mirror ``repro serve``: *cache* is the persistent cache
+    directory (rewriting store + compile checkpoints), *max_tenants* the
+    admission-control bound, *backend* the default execution backend for
+    new tenants.  *warm_limit* bounds per-fingerprint store preloading
+    and *strategy_factory* injects compile strategies (tests only).
+    """
+
+    def __init__(
+        self,
+        cache: str | None = None,
+        max_tenants: int | None = None,
+        backend: str = "memory",
+        warm_limit: int | None = DEFAULT_WARM_LIMIT,
+        strategy_factory=None,
+    ) -> None:
+        self.registry = TenantRegistry(
+            cache_directory=cache,
+            max_tenants=max_tenants,
+            backend=backend,
+            warm_limit=warm_limit,
+            strategy_factory=strategy_factory,
+        )
+        self.flights = SingleFlight()
+        self._started = time.monotonic()
+        self._request_counts: dict[str, int] = {}
+        self._routes = {
+            ("POST", "/register-theory"): self._register,
+            ("POST", "/prepare"): self._prepare,
+            ("POST", "/answer"): self._answer,
+            ("POST", "/data"): self._data,
+            ("POST", "/invalidate"): self._invalidate,
+            ("GET", "/stats"): self._stats,
+            ("GET", "/healthz"): self._healthz,
+        }
+        self._closed = False
+
+    # -- the front door ----------------------------------------------------
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> ServingResponse:
+        """Route one request; never raises (failures become error bodies)."""
+        method = method.upper()
+        handler = self._routes.get((method, path))
+        if handler is None:
+            if any(route_path == path for _, route_path in self._routes):
+                error = ServingError(
+                    405, "method-not-allowed", f"{method} is not valid for {path}"
+                )
+            else:
+                error = ServingError(404, "unknown-endpoint", f"no endpoint {path}")
+            return error.response()
+        self._request_counts[path] = self._request_counts.get(path, 0) + 1
+        if payload is None:
+            payload = {}
+        if not isinstance(payload, dict):
+            return ServingError(
+                400, "bad-request", "request body must be a JSON object"
+            ).response()
+        try:
+            return await handler(payload)
+        except ServingError as error:
+            return error.response()
+        except UnknownTenantError as error:
+            return ServingError(404, "unknown-tenant", str(error)).response()
+        except DuplicateTenantError as error:
+            return ServingError(409, "duplicate-tenant", str(error)).response()
+        except RegistryFullError as error:
+            return ServingError(429, "max-tenants", str(error)).response()
+        except QuerySyntaxError as error:
+            return ServingError(400, "bad-query", str(error)).response()
+        except (KeyError, TypeError, ValueError) as error:
+            return ServingError(400, "bad-request", str(error)).response()
+        except Exception as error:  # compile/execution failures
+            return ServingError(
+                500, "internal-error", f"{type(error).__name__}: {error}"
+            ).response()
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: drain the executors, close systems and store."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.registry.close)
+
+    def close(self) -> None:
+        """Synchronous shutdown for non-async callers."""
+        if not self._closed:
+            self._closed = True
+            self.registry.close()
+
+    # -- payload decoding --------------------------------------------------
+
+    @staticmethod
+    def _required(payload: dict, field: str):
+        value = payload.get(field)
+        if value is None:
+            raise ServingError(400, "missing-field", f"field {field!r} is required")
+        return value
+
+    def _tenant(self, payload: dict) -> Tenant:
+        name = self._required(payload, "tenant")
+        if not isinstance(name, str):
+            raise ServingError(400, "bad-request", "'tenant' must be a string")
+        return self.registry.get(name)
+
+    @staticmethod
+    def _decode_query(payload: dict) -> ConjunctiveQuery:
+        """A query from its textual form or the tagged-JSON encoding."""
+        raw = payload.get("query")
+        if isinstance(raw, str):
+            return parse_query(raw)
+        if isinstance(raw, dict):
+            try:
+                return query_from_json(raw)
+            except (KeyError, TypeError, ValueError) as error:
+                raise ServingError(
+                    400, "bad-query", f"unreadable JSON query: {error}"
+                ) from error
+        raise ServingError(
+            400,
+            "bad-query",
+            "'query' must be a string (\"q(A) :- p(A)\") or a tagged-JSON object",
+        )
+
+    @staticmethod
+    def _decode_theory(payload: dict, default_name: str) -> OntologyTheory:
+        """A theory from a workload name, a textual TBox or JSON TGDs."""
+        sources = [key for key in ("workload", "tbox", "tgds") if key in payload]
+        if len(sources) != 1:
+            raise ServingError(
+                400,
+                "bad-theory",
+                "exactly one of 'workload', 'tbox' or 'tgds' is required",
+            )
+        if "workload" in payload:
+            from ..workloads import get_workload
+
+            try:
+                return get_workload(payload["workload"]).theory
+            except KeyError as error:
+                raise ServingError(
+                    404, "unknown-workload", f"no workload {payload['workload']!r}"
+                ) from error
+        if "tbox" in payload:
+            from ..ontology.parser import parse_ontology
+            from ..ontology.translation import to_theory
+
+            try:
+                return to_theory(
+                    parse_ontology(payload["tbox"], name=default_name)
+                )
+            except ValueError as error:
+                raise ServingError(
+                    400, "bad-theory", f"unreadable TBox: {error}"
+                ) from error
+        try:
+            tgds = [tgd_from_json(rule) for rule in payload["tgds"]]
+            constraints = [
+                NegativeConstraint(
+                    body=[atom_from_json(atom) for atom in constraint]
+                )
+                for constraint in payload.get("constraints", [])
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServingError(
+                400, "bad-theory", f"unreadable JSON rules: {error}"
+            ) from error
+        return OntologyTheory(
+            tgds=tgds, negative_constraints=constraints, name=default_name
+        )
+
+    @staticmethod
+    def _decode_facts(payload: dict, field: str = "facts") -> list[tuple[str, list]]:
+        """``[[relation, [v1, v2, ...]], ...]`` fact lists."""
+        facts = payload.get(field, [])
+        if not isinstance(facts, list):
+            raise ServingError(400, "bad-facts", f"'{field}' must be a list")
+        decoded = []
+        for entry in facts:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+                or not isinstance(entry[1], list)
+            ):
+                raise ServingError(
+                    400,
+                    "bad-facts",
+                    f"each fact must be [relation, [values...]], got {entry!r}",
+                )
+            decoded.append((entry[0], entry[1]))
+        return decoded
+
+    # -- the compile path --------------------------------------------------
+
+    async def _ensure_compiled(
+        self, tenant: Tenant, query: ConjunctiveQuery
+    ) -> tuple[str, bool]:
+        """Make sure *query*'s rewriting is in the shared artifact cache.
+
+        Returns ``(source, coalesced)``.  Warm queries short-circuit on a
+        dictionary probe and never queue behind a running compile; cold
+        queries coalesce per compile digest, so a thundering herd runs
+        the engine exactly once.
+        """
+        artifacts = tenant.artifacts
+        if query in artifacts.rewriting_cache:
+            artifacts.served_memory += 1
+            return "memory", False
+        key = compile_digest(query, artifacts.fingerprint)
+        coalesced = self.flights.pending(key)
+        loop = asyncio.get_running_loop()
+        _, source = await self.flights.run(
+            key,
+            lambda: loop.run_in_executor(
+                artifacts.executor, artifacts.compile_blocking, query
+            ),
+        )
+        return source, coalesced
+
+    # -- endpoint handlers -------------------------------------------------
+
+    async def _register(self, payload: dict) -> ServingResponse:
+        name = self._required(payload, "tenant")
+        if not isinstance(name, str) or not name:
+            raise ServingError(400, "bad-request", "'tenant' must be a non-empty string")
+        theory = self._decode_theory(payload, default_name=name)
+        facts = self._decode_facts(payload)
+        backend = payload.get("backend")
+        loop = asyncio.get_running_loop()
+        tenant, shared = await loop.run_in_executor(
+            None,
+            lambda: self.registry.register(
+                name, theory, facts=facts, backend=backend
+            ),
+        )
+        return ServingResponse(
+            201,
+            {
+                "tenant": name,
+                "fingerprint": tenant.fingerprint,
+                "shared_artifacts": shared,
+                "tgds": len(theory.tgds),
+                "constraints": len(theory.negative_constraints),
+                "facts": len(tenant.system.database),
+                "warmed_rewritings": tenant.artifacts.warmed,
+                "warmed_prepared": tenant.warmed_prepared,
+            },
+        )
+
+    async def _prepare(self, payload: dict) -> ServingResponse:
+        tenant = self._tenant(payload)
+        query = self._decode_query(payload)
+        started = time.perf_counter()
+        source, coalesced = await self._ensure_compiled(tenant, query)
+        loop = asyncio.get_running_loop()
+        prepared = await loop.run_in_executor(
+            tenant.executor, tenant.prepare_blocking, query
+        )
+        return ServingResponse(
+            200,
+            {
+                "tenant": tenant.name,
+                "source": source,
+                "coalesced": coalesced,
+                "cqs": len(prepared.rewriting.ucq),
+                "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+            },
+        )
+
+    async def _answer(self, payload: dict) -> ServingResponse:
+        tenant = self._tenant(payload)
+        query = self._decode_query(payload)
+        bindings = payload.get("bindings")
+        if bindings is not None and not isinstance(bindings, dict):
+            raise ServingError(400, "bad-bindings", "'bindings' must be an object")
+        started = time.perf_counter()
+        source, coalesced = await self._ensure_compiled(tenant, query)
+        loop = asyncio.get_running_loop()
+        try:
+            tuples, cached = await loop.run_in_executor(
+                tenant.executor,
+                lambda: tenant.answer_blocking(query, bindings),
+            )
+        except ValueError as error:
+            raise ServingError(400, "bad-bindings", str(error)) from error
+        return ServingResponse(
+            200,
+            {
+                "tenant": tenant.name,
+                "answers": encode_answers(tuples),
+                "count": len(tuples),
+                "source": source,
+                "coalesced": coalesced,
+                "answer_cached": cached,
+                "epoch": tenant.system.database.epoch,
+                "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+            },
+        )
+
+    async def _data(self, payload: dict) -> ServingResponse:
+        tenant = self._tenant(payload)
+        added_facts = self._decode_facts(payload, "add")
+        removed_facts = self._decode_facts(payload, "remove")
+        if not added_facts and not removed_facts:
+            raise ServingError(
+                400, "bad-request", "'add' and/or 'remove' fact lists are required"
+            )
+        loop = asyncio.get_running_loop()
+
+        def mutate() -> tuple[int, int]:
+            return (
+                tenant.add_facts(added_facts),
+                tenant.remove_facts(removed_facts),
+            )
+
+        added, removed = await loop.run_in_executor(tenant.executor, mutate)
+        return ServingResponse(
+            200,
+            {
+                "tenant": tenant.name,
+                "added": added,
+                "removed": removed,
+                "facts": len(tenant.system.database),
+                "epoch": tenant.system.database.epoch,
+            },
+        )
+
+    async def _invalidate(self, payload: dict) -> ServingResponse:
+        tenant = self._tenant(payload)
+        scope = payload.get("scope", "answers")
+        loop = asyncio.get_running_loop()
+        if scope == "answers":
+            invalidated = await loop.run_in_executor(
+                tenant.executor, tenant.invalidate_answers
+            )
+            return ServingResponse(
+                200,
+                {"tenant": tenant.name, "scope": scope, "invalidated": invalidated},
+            )
+        if scope == "tenant":
+            await loop.run_in_executor(
+                None, lambda: self.registry.deregister(tenant.name)
+            )
+            return ServingResponse(
+                200, {"tenant": tenant.name, "scope": scope, "invalidated": 1}
+            )
+        raise ServingError(
+            400, "bad-scope", f"scope must be 'answers' or 'tenant', got {scope!r}"
+        )
+
+    async def _stats(self, payload: dict) -> ServingResponse:
+        store = self.registry.store
+        store_stats = None
+        if store is not None:
+            statistics = store.statistics
+            store_stats = {
+                "entries": len(store),
+                "hits": statistics.hits,
+                "misses": statistics.misses,
+                "stores": statistics.stores,
+                "path": str(store.path),
+            }
+        return ServingResponse(
+            200,
+            {
+                "uptime_seconds": time.monotonic() - self._started,
+                "tenants": {
+                    tenant.name: tenant.describe()
+                    for tenant in self.registry.tenants()
+                },
+                "artifacts": {
+                    artifacts.fingerprint[:12]: artifacts.describe()
+                    for artifacts in self.registry.artifact_sets()
+                },
+                "coalescing": {
+                    "leaders": self.flights.leaders,
+                    "joined": self.flights.joined,
+                    "inflight": len(self.flights),
+                },
+                "store": store_stats,
+                "requests": dict(sorted(self._request_counts.items())),
+                "max_tenants": self.registry.max_tenants,
+            },
+        )
+
+    async def _healthz(self, payload: dict) -> ServingResponse:
+        return ServingResponse(
+            200, {"status": "ok", "tenants": len(self.registry)}
+        )

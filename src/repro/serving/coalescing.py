@@ -1,0 +1,70 @@
+"""Single-flight request coalescing.
+
+A cold query hit by a thundering herd must be compiled exactly once: the
+first request becomes the *leader* and runs the expensive thunk; every
+concurrent request for the same key *joins* the leader's in-flight task
+and is handed the same result (or the same exception).  Requests arriving
+after completion start a fresh flight — by then the serving caches answer
+instantly, so the fresh flight is a dictionary probe, not a compile.
+
+The pattern is Go's ``singleflight`` adapted to asyncio: the in-flight
+table is only ever touched from the event loop, so no lock is needed, and
+joiners await a :func:`asyncio.shield` of the leader's task so one
+cancelled request never cancels the work for the others.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable, TypeVar
+
+T = TypeVar("T")
+
+
+class SingleFlight:
+    """Coalesce concurrent calls per key into one execution.
+
+    Counters: ``leaders`` counts flights actually started, ``joined``
+    counts requests served by attaching to an in-flight one.  The serving
+    stats endpoint reports both, and the coalescing tests assert
+    ``joined == N - 1`` for N concurrent cold requests.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[Hashable, asyncio.Task] = {}
+        self.leaders = 0
+        self.joined = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def pending(self, key: Hashable) -> bool:
+        """Whether a flight for *key* is currently in the air."""
+        return key in self._inflight
+
+    async def run(
+        self, key: Hashable, thunk: Callable[[], Awaitable[T]]
+    ) -> T:
+        """Run *thunk* under *key*, coalescing with any in-flight call.
+
+        Must be called from the event loop.  The leader's task survives
+        cancellation of individual waiters (joiners await a shield); if
+        the leader itself fails, every coalesced waiter sees the same
+        exception.
+        """
+        task = self._inflight.get(key)
+        if task is None:
+            self.leaders += 1
+            task = asyncio.ensure_future(thunk())
+            self._inflight[key] = task
+            task.add_done_callback(
+                lambda finished, key=key: self._forget(key, finished)
+            )
+        else:
+            self.joined += 1
+        return await asyncio.shield(task)
+
+    def _forget(self, key: Hashable, finished: asyncio.Task) -> None:
+        """Drop a completed flight (only if it is still the current one)."""
+        if self._inflight.get(key) is finished:
+            del self._inflight[key]

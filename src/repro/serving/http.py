@@ -1,0 +1,275 @@
+"""The asyncio socket layer: just enough HTTP/1.1 for the serving app.
+
+:class:`ServingServer` puts a :class:`~repro.serving.app.ServingApp` on a
+TCP port with nothing beyond the standard library: request-line + header
+parsing, ``Content-Length`` bodies, keep-alive connections, JSON in and
+JSON out.  It is deliberately minimal — no chunked encoding, no TLS, no
+pipelining — because the serving contracts live in :class:`ServingApp`
+and this layer only carries them; anything fancier belongs behind a real
+reverse proxy.
+
+:class:`ServingClient` is the matching minimal client (one keep-alive
+connection, blocking-per-request semantics) used by the load benchmark
+and the socket-level tests.
+
+Graceful shutdown: :meth:`ServingServer.stop` closes the listening
+socket, waits briefly for in-flight connection handlers, cancels any
+stragglers, then closes the app (draining the tenant/compile executors
+and the persistent store).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from .app import ServingApp, ServingResponse
+
+#: Hard bound on request bodies (16 MiB) — admission control against a
+#: client streaming an unbounded ontology at the parser.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: How long an idle keep-alive connection may sit between requests.
+KEEPALIVE_TIMEOUT = 30.0
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _encode_response(response: ServingResponse, keep_alive: bool) -> bytes:
+    body = response.body()
+    reason = _REASONS.get(response.status, "Unknown")
+    head = (
+        f"HTTP/1.1 {response.status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+class ServingServer:
+    """Serve a :class:`ServingApp` over HTTP/1.1 on a TCP port.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is
+    available as :attr:`port` after :meth:`start`.  The server owns the
+    app for shutdown purposes: :meth:`stop` closes both.
+    """
+
+    def __init__(self, app: ServingApp, host: str = "127.0.0.1", port: int = 0):
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self.requests_served = 0
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, drain, close the app."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._connections:
+            done, pending = await asyncio.wait(
+                self._connections, timeout=drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        await self.app.aclose()
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the ``repro serve`` main loop)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), timeout=KEEPALIVE_TIMEOUT
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if request is None:
+                    break
+                method, path, payload, keep_alive, parse_error = request
+                if parse_error is not None:
+                    response = ServingResponse(
+                        parse_error[0],
+                        {"error": {"code": parse_error[1], "message": parse_error[2]}},
+                    )
+                    keep_alive = False
+                else:
+                    response = await self.app.request(method, path, payload)
+                self.requests_served += 1
+                writer.write(_encode_response(response, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request; ``None`` on clean EOF.
+
+        Returns ``(method, path, payload, keep_alive, parse_error)`` where
+        *parse_error* is ``None`` or ``(status, code, message)`` for
+        malformed input the app never sees.
+        """
+        try:
+            request_line = await reader.readline()
+        except (ValueError, ConnectionError):
+            return None
+        if not request_line:
+            return None
+        try:
+            method, target, version = (
+                request_line.decode("ascii").strip().split(" ", 2)
+            )
+        except (UnicodeDecodeError, ValueError):
+            return "GET", "/", None, False, (400, "bad-request-line", "unreadable request line")
+        path = target.split("?", 1)[0]
+
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            if b":" in line:
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+
+        keep_alive = version.upper() != "HTTP/1.0"
+        if headers.get("connection", "").lower() == "close":
+            keep_alive = False
+
+        payload = None
+        length_header = headers.get("content-length")
+        if length_header is not None:
+            try:
+                length = int(length_header)
+            except ValueError:
+                return method, path, None, False, (
+                    400, "bad-content-length", "Content-Length is not an integer"
+                )
+            if length > MAX_BODY_BYTES:
+                return method, path, None, False, (
+                    413, "payload-too-large",
+                    f"request body exceeds {MAX_BODY_BYTES} bytes",
+                )
+            if length:
+                try:
+                    body = await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    return None
+                try:
+                    payload = json.loads(body)
+                except json.JSONDecodeError as error:
+                    return method, path, None, keep_alive, (
+                        400, "bad-json", f"request body is not JSON: {error}"
+                    )
+        return method, path, payload, keep_alive, None
+
+
+class ServingClient:
+    """A minimal keep-alive HTTP/1.1 client for the serving endpoints.
+
+    One TCP connection, one request in flight at a time.  Used by the
+    load benchmark (many client instances = many concurrent connections)
+    and the socket-level tests; not a general HTTP client.
+    """
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is None or self._writer.is_closing():
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> ServingResponse:
+        """Send one request; returns the decoded :class:`ServingResponse`."""
+        await self._ensure_connected()
+        body = b""
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"{method.upper()} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"\r\n"
+        )
+        self._writer.write(head.encode("ascii") + body)
+        await self._writer.drain()
+
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        parts = status_line.decode("ascii").strip().split(" ", 2)
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if not line or line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await self._reader.readexactly(length) if length else b"{}"
+        if headers.get("connection", "").lower() == "close":
+            await self.aclose()
+        return ServingResponse(status, json.loads(raw))
+
+    async def aclose(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None

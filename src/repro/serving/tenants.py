@@ -1,0 +1,528 @@
+"""Tenants, fingerprint-shared artifacts and the registry binding them.
+
+The serving tier separates what tenants *share* from what they *own*:
+
+* **Shared per theory fingerprint** (:class:`SharedArtifacts`): the
+  compiled artifact set.  One :class:`~repro.api.OBDASystem` dedicated to
+  compilation, one in-process rewriting cache (a plain dict, passed to
+  every same-fingerprint system via ``OBDASystem(rewriting_cache=...)``),
+  one slice of the persistent :class:`~repro.cache.store.RewritingStore`
+  (the store is server-wide; entries are segregated by fingerprint), and
+  one frontier-checkpoint directory so a compile killed mid-flight
+  resumes instead of restarting.  Two tenants registering structurally
+  identical ontologies — same fingerprint — get the *same* object.
+* **Owned per tenant** (:class:`Tenant`): the database (its own
+  :class:`~repro.database.instance.RelationalInstance` with its own epoch
+  counter), the execution backend, and the prepared-query pool with its
+  epoch-keyed answer caches.  Mutating one tenant's data therefore only
+  invalidates that tenant's answers; the shared rewritings are untouched
+  (they depend on the theory alone).
+
+Every tenant and every artifact set carries a dedicated single-thread
+executor: blocking work (compiles, plan executions) runs off the event
+loop, per-tenant state is mutated by one thread at a time, and
+thread-affine backends (SQLite connections) stay on the thread that
+created them.  A slow compile occupies only its artifact executor — warm
+answers keep flowing through the tenant executors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from ..api import OBDASystem, RewritingResult
+from ..cache.checkpoint import FrontierCheckpoint
+from ..cache.fingerprint import theory_fingerprint
+from ..cache.serialization import query_from_json, result_from_json
+from ..cache.store import RewritingStore
+from ..database.instance import RelationalInstance
+from ..dependencies.theory import OntologyTheory
+from ..queries.conjunctive_query import ConjunctiveQuery
+
+#: Subdirectory of the store directory holding per-compile frontier
+#: checkpoints (one file per (canonical key, fingerprint) digest).
+CHECKPOINT_DIRNAME = "checkpoints"
+
+#: Default bound on rewritings preloaded from the store per fingerprint.
+DEFAULT_WARM_LIMIT = 128
+
+
+class RegistryError(RuntimeError):
+    """Base class of tenant-registry failures (mapped to HTTP statuses)."""
+
+
+class UnknownTenantError(RegistryError):
+    """A request named a tenant that is not registered."""
+
+
+class DuplicateTenantError(RegistryError):
+    """``register`` was asked to create a tenant name that already exists."""
+
+
+class RegistryFullError(RegistryError):
+    """Admission control: the ``max_tenants`` bound would be exceeded."""
+
+
+def compile_digest(query: ConjunctiveQuery, fingerprint: str) -> str:
+    """Content address of one compilation: canonical key + fingerprint.
+
+    Names the checkpoint file and the single-flight key, so variants of
+    one query coalesce onto one compile and one resumable checkpoint.
+    """
+    key, _ = query.canonical_fingerprint
+    payload = f"{fingerprint}\n{key!r}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class SharedArtifacts:
+    """The compiled artifact set shared by every tenant of one fingerprint.
+
+    ``compile_blocking`` is the only compile entry point of the serving
+    tier: it serves from the shared in-process cache, then the persistent
+    store, and only then runs the engine — under a per-artifacts lock and
+    with a frontier checkpoint, so a killed service resumes the compile
+    where it died.  ``compiles`` counts *engine runs only*; the coalescing
+    tests pin it to exactly one per cold query under any herd size.
+    """
+
+    def __init__(
+        self,
+        theory: OntologyTheory,
+        store: RewritingStore | None = None,
+        checkpoint_directory: str | Path | None = None,
+        strategy=None,
+        warm_limit: int | None = DEFAULT_WARM_LIMIT,
+    ) -> None:
+        self.theory = theory
+        self.rewriting_cache: dict[ConjunctiveQuery, RewritingResult] = {}
+        self.system = OBDASystem(
+            theory,
+            use_nc_pruning=bool(theory.negative_constraints),
+            cache=store,
+            strategy=strategy,
+            rewriting_cache=self.rewriting_cache,
+        )
+        self.fingerprint = self.system.theory_fingerprint
+        self._checkpoint_directory = (
+            Path(checkpoint_directory) if checkpoint_directory is not None else None
+        )
+        self._compile_lock = threading.Lock()
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"compile-{self.fingerprint[:8]}"
+        )
+        self.tenant_names: set[str] = set()
+        self.compiles = 0
+        self.served_memory = 0
+        self.served_store = 0
+        self.warmed = self._warm_from_store(store, warm_limit)
+
+    def _warm_from_store(
+        self, store: RewritingStore | None, limit: int | None
+    ) -> int:
+        """Preload this fingerprint's stored rewritings into the shared cache.
+
+        Restart-warm behaviour: a service reopened over the same cache
+        directory answers previously compiled queries without touching
+        the engine *or* re-parsing store records per tenant.  Bounded by
+        *limit* (oldest records first — the store file is append-ordered,
+        and `repro cache compact` keeps the most recently served tail).
+        """
+        if store is None or limit is not None and limit <= 0:
+            return 0
+        rules = tuple(self.system._rewriter.rules)
+        warmed = 0
+        for record in store:
+            if record.get("fingerprint") != self.fingerprint:
+                continue
+            try:
+                query = query_from_json(record["result"]["query"])
+                result = result_from_json(record["result"], rules)
+            except (KeyError, ValueError, TypeError):
+                continue
+            self.rewriting_cache.setdefault(query, result)
+            warmed += 1
+            if limit is not None and warmed >= limit:
+                break
+        return warmed
+
+    def checkpoint_for(self, query: ConjunctiveQuery) -> FrontierCheckpoint | None:
+        """The resumable frontier checkpoint of *query*'s compile, if any.
+
+        Only available when the registry has a cache directory; the file
+        is removed by the engine on successful completion, so its
+        existence means "a compile of this query died mid-flight".
+        """
+        if self._checkpoint_directory is None:
+            return None
+        self._checkpoint_directory.mkdir(parents=True, exist_ok=True)
+        digest = compile_digest(query, self.fingerprint)
+        return FrontierCheckpoint(self._checkpoint_directory / f"{digest}.json")
+
+    def compile_blocking(self, query: ConjunctiveQuery) -> tuple[RewritingResult, str]:
+        """Compile *query* through the shared layers; returns (result, source).
+
+        Blocking — the serving app runs it on :attr:`executor`.  The lock
+        serialises engine runs per fingerprint (the engine's memo tables
+        are not thread-safe); cache and store probes inside
+        ``compile_traced`` are cheap, so holding the lock across them
+        costs warm requests nothing (warm requests are answered from the
+        tenant's prepared pool without ever calling this).
+        """
+        with self._compile_lock:
+            result, source = self.system.compile_traced(
+                query, checkpoint=self.checkpoint_for(query)
+            )
+        if source == "engine":
+            self.compiles += 1
+        elif source == "store":
+            self.served_store += 1
+        else:
+            self.served_memory += 1
+        return result, source
+
+    def describe(self) -> dict:
+        """The stats-endpoint view of this artifact set."""
+        info = self.system.rewriting_cache_info()
+        return {
+            "fingerprint": self.fingerprint,
+            "tenants": sorted(self.tenant_names),
+            "compiles": self.compiles,
+            "served_memory": self.served_memory,
+            "served_store": self.served_store,
+            "warmed_rewritings": self.warmed,
+            "rewritings": len(self.rewriting_cache),
+            "cache": {"hits": info.hits, "misses": info.misses},
+            "persistent": {
+                "hits": info.persistent_hits,
+                "misses": info.persistent_misses,
+            },
+        }
+
+    def close(self) -> None:
+        """Release the compile executor and the compilation system."""
+        self.executor.shutdown(wait=True)
+        self.system.close()
+
+
+class Tenant:
+    """One tenant: its own database, backend and prepared-query pool.
+
+    The compilation side is entirely shared: the tenant's
+    :class:`~repro.api.OBDASystem` is built over the *same* theory object
+    and the *same* in-process rewriting cache as its
+    :class:`SharedArtifacts`, so preparing a query the artifact set has
+    compiled never runs the engine — it plans the cached rewriting on the
+    tenant's backend and caches answers under the tenant's epoch.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        artifacts: SharedArtifacts,
+        backend: str = "memory",
+    ) -> None:
+        self.name = name
+        self.artifacts = artifacts
+        self.backend_name = backend
+        self._lock = threading.RLock()
+        self.executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"tenant-{name}"
+        )
+        # Built on the executor thread: thread-affine backends (SQLite
+        # connections) must live on the thread that will run the plans.
+        self.system = self.executor.submit(
+            lambda: OBDASystem(
+                artifacts.theory,
+                database=RelationalInstance(),
+                use_nc_pruning=bool(artifacts.theory.negative_constraints),
+                backend=backend,
+                rewriting_cache=artifacts.rewriting_cache,
+            )
+        ).result()
+        self.answers_served = 0
+        self.warmed_prepared = 0
+
+    def on_own_thread(self, function, *args):
+        """Run *function* on this tenant's executor thread, synchronously.
+
+        Registration-time work (fact loading, prepared-pool warmup) comes
+        in on the registry's thread but must touch the backend on the
+        tenant's thread; the serving app's request path instead schedules
+        straight onto :attr:`executor` asynchronously.
+        """
+        return self.executor.submit(function, *args).result()
+
+    @property
+    def fingerprint(self) -> str:
+        """The theory fingerprint keying this tenant's shared artifacts."""
+        return self.artifacts.fingerprint
+
+    def add_facts(self, facts: Iterable[tuple[str, Sequence[object]]]) -> int:
+        """Insert ``(relation, values)`` tuples; returns how many were new."""
+        with self._lock:
+            before = len(self.system.database)
+            for relation, values in facts:
+                self.system.database.add_tuple(relation, values)
+            return len(self.system.database) - before
+
+    def remove_facts(self, facts: Iterable[tuple[str, Sequence[object]]]) -> int:
+        """Remove ``(relation, values)`` tuples; returns how many existed."""
+        removed = 0
+        with self._lock:
+            for relation, values in facts:
+                if self.system.database.remove_tuple(relation, values):
+                    removed += 1
+        return removed
+
+    def warm_prepared_pool(self, limit: int | None = None) -> int:
+        """Plan every shared cached rewriting on this tenant's backend.
+
+        The startup warmup of the prepared-query pool: after a restart
+        (or a late registration against a warm artifact set) the tenant's
+        first answer to a known query is a plan-cache hit, not a compile
+        *plus* a plan.  Returns the number of queries prepared.
+        """
+        queries = list(self.artifacts.rewriting_cache)
+        if limit is not None:
+            queries = queries[:limit]
+        with self._lock:
+            for query in queries:
+                self.system.prepare(query)
+        self.warmed_prepared += len(queries)
+        return len(queries)
+
+    def prepare_blocking(self, query: ConjunctiveQuery):
+        """Plan *query* on this tenant's backend; returns the prepared handle.
+
+        Blocking — the serving app runs it on :attr:`executor` after the
+        shared compile has happened, so this is a plan-cache probe or a
+        single backend planning pass, never an engine run.
+        """
+        with self._lock:
+            return self.system.prepare(query)
+
+    def answer_blocking(
+        self,
+        query: ConjunctiveQuery,
+        bindings: Mapping[object, object] | None = None,
+    ) -> tuple[frozenset[tuple], bool]:
+        """Execute *query*; returns ``(answer tuples, served-from-cache?)``.
+
+        Blocking — the serving app runs it on :attr:`executor`.  The
+        compile is expected to have happened through the shared artifacts
+        already; this plans (once) and executes on the tenant's backend,
+        with answers cached per database epoch.
+        """
+        with self._lock:
+            prepared = self.system.prepare(query)
+            before = prepared.execution_cache_info().hits
+            answers = prepared.execute(bindings)
+            cached = prepared.execution_cache_info().hits > before
+            self.answers_served += 1
+            return answers.tuples, cached
+
+    def invalidate_answers(self) -> int:
+        """Drop every prepared query's cached answer sets; returns the count."""
+        with self._lock:
+            return self.system.invalidate_answers()
+
+    def describe(self) -> dict:
+        """The stats-endpoint view of this tenant."""
+        prepared = self.system.prepared_cache_info()
+        return {
+            "fingerprint": self.fingerprint,
+            "backend": self.backend_name,
+            "facts": len(self.system.database),
+            "epoch": self.system.database.epoch,
+            "answers_served": self.answers_served,
+            "warmed_prepared": self.warmed_prepared,
+            "prepared": {
+                "size": prepared.size,
+                "hits": prepared.hits,
+                "misses": prepared.misses,
+            },
+        }
+
+    def close(self) -> None:
+        """Release the tenant executor and backend resources.
+
+        The system is closed *on* the executor thread first (SQLite
+        connections refuse cross-thread close), then the executor drains.
+        """
+        try:
+            self.executor.submit(self.system.close).result()
+        except RuntimeError:
+            # Executor already shut down — nothing ran since, so closing
+            # from this thread is the best remaining option.
+            self.system.close()
+        self.executor.shutdown(wait=True)
+
+
+class TenantRegistry:
+    """Name → tenant, fingerprint → shared artifacts, one store for all.
+
+    Parameters
+    ----------
+    cache_directory:
+        Optional persistent cache directory.  Holds the server-wide
+        :class:`~repro.cache.store.RewritingStore` (shared by every
+        fingerprint — entries are keyed by it) and the frontier
+        checkpoints of in-flight compiles.  Without it the service is
+        memory-only: correct, but cold after every restart.
+    max_tenants:
+        Admission control: ``register`` beyond this bound raises
+        :class:`RegistryFullError` (HTTP 429).
+    backend:
+        Default execution backend name for new tenants.
+    warm_limit:
+        Bound on rewritings preloaded from the store per fingerprint.
+    strategy_factory:
+        Optional zero-argument callable producing the scheduling strategy
+        for each artifact set's compile engine (tests inject failing
+        strategies to simulate kills; the default is sequential).
+    """
+
+    def __init__(
+        self,
+        cache_directory: str | Path | None = None,
+        max_tenants: int | None = None,
+        backend: str = "memory",
+        warm_limit: int | None = DEFAULT_WARM_LIMIT,
+        strategy_factory=None,
+    ) -> None:
+        if max_tenants is not None and max_tenants < 1:
+            raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
+        self._cache_directory = (
+            Path(cache_directory) if cache_directory is not None else None
+        )
+        self.store = (
+            RewritingStore(self._cache_directory)
+            if self._cache_directory is not None
+            else None
+        )
+        self.max_tenants = max_tenants
+        self._default_backend = backend
+        self._warm_limit = warm_limit
+        self._strategy_factory = strategy_factory
+        self._tenants: dict[str, Tenant] = {}
+        self._artifacts: dict[str, SharedArtifacts] = {}
+
+    # -- lookups -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tenants
+
+    def tenants(self) -> tuple[Tenant, ...]:
+        """Every registered tenant, in registration order."""
+        return tuple(self._tenants.values())
+
+    def artifact_sets(self) -> tuple[SharedArtifacts, ...]:
+        """Every live artifact set, in creation order."""
+        return tuple(self._artifacts.values())
+
+    def get(self, name: str) -> Tenant:
+        """The tenant registered under *name*."""
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise UnknownTenantError(f"no tenant named {name!r} is registered")
+        return tenant
+
+    def expected_fingerprint(self, theory: OntologyTheory) -> str:
+        """The fingerprint *theory* would be registered under.
+
+        Mirrors how :class:`~repro.api.OBDASystem` resolves the engine
+        options: elimination only for linear theories, NC pruning only
+        when constraints are present.
+        """
+        return theory_fingerprint(
+            theory.tgds,
+            theory.negative_constraints,
+            use_elimination=theory.classification.linear,
+            use_nc_pruning=bool(theory.negative_constraints),
+        )
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        theory: OntologyTheory,
+        facts: Iterable[tuple[str, Sequence[object]]] = (),
+        backend: str | None = None,
+        warm_prepared: bool = True,
+    ) -> tuple[Tenant, bool]:
+        """Create a tenant; returns ``(tenant, artifacts were shared?)``.
+
+        The artifact set is resolved by theory fingerprint: a second
+        tenant registering a structurally identical ontology (same rules
+        modulo order and renaming) attaches to the existing set — its
+        registration never compiles anything, and any rewriting either
+        tenant compiles afterwards is immediately warm for both.
+        """
+        if name in self._tenants:
+            raise DuplicateTenantError(f"tenant {name!r} is already registered")
+        if self.max_tenants is not None and len(self._tenants) >= self.max_tenants:
+            raise RegistryFullError(
+                f"tenant capacity reached ({self.max_tenants}); "
+                "deregister a tenant first"
+            )
+        fingerprint = self.expected_fingerprint(theory)
+        artifacts = self._artifacts.get(fingerprint)
+        shared = artifacts is not None
+        if artifacts is None:
+            artifacts = SharedArtifacts(
+                theory,
+                store=self.store,
+                checkpoint_directory=(
+                    self._cache_directory / CHECKPOINT_DIRNAME
+                    if self._cache_directory is not None
+                    else None
+                ),
+                strategy=(
+                    self._strategy_factory() if self._strategy_factory else None
+                ),
+                warm_limit=self._warm_limit,
+            )
+            self._artifacts[artifacts.fingerprint] = artifacts
+        tenant = Tenant(
+            name, artifacts, backend=backend or self._default_backend
+        )
+        tenant.on_own_thread(tenant.add_facts, facts)
+        if warm_prepared and artifacts.rewriting_cache:
+            tenant.on_own_thread(tenant.warm_prepared_pool, self._warm_limit)
+        artifacts.tenant_names.add(name)
+        self._tenants[name] = tenant
+        return tenant, shared
+
+    def deregister(self, name: str) -> None:
+        """Remove a tenant, releasing its artifact set when last out.
+
+        The shared artifact set survives as long as any same-fingerprint
+        tenant remains; the persistent store survives regardless (that is
+        the point of it).
+        """
+        tenant = self.get(name)
+        del self._tenants[name]
+        artifacts = tenant.artifacts
+        artifacts.tenant_names.discard(name)
+        tenant.close()
+        if not artifacts.tenant_names:
+            del self._artifacts[artifacts.fingerprint]
+            artifacts.close()
+
+    def close(self) -> None:
+        """Close every tenant, artifact set and the store."""
+        for name in list(self._tenants):
+            tenant = self._tenants.pop(name)
+            tenant.artifacts.tenant_names.discard(name)
+            tenant.close()
+        for artifacts in self._artifacts.values():
+            artifacts.close()
+        self._artifacts.clear()

@@ -1,0 +1,197 @@
+"""Differential serving test: HTTP answers == in-process answers, per byte.
+
+Seeded :class:`~repro.fuzzing.generator.WorkloadGenerator` triples are
+pushed through the *entire* serving stack — theory registered as tagged
+JSON TGDs, facts loaded over ``/data``-style payloads, queries issued in
+their JSON form over a real socket — and the answers must be
+byte-identical (as canonical JSON) to a direct
+``OBDASystem.prepare(...).execute()`` over the same triple.  Any drift in
+payload decoding, fact loading, fingerprint resolution, coalescing or
+answer encoding shows up as a byte diff with the generating seed in the
+assertion message.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.api import OBDASystem
+from repro.cache.serialization import query_to_json, tgd_to_json
+from repro.fuzzing import GeneratorConfig, WorkloadGenerator
+from repro.serving import ServingApp, ServingClient, ServingServer
+from repro.serving.app import encode_answers
+
+from .conftest import serve
+
+#: Small-but-nontrivial generated triples: compiles in milliseconds,
+#: answers nonempty often enough to be meaningful.
+CONFIG = GeneratorConfig(
+    fragment="linear",
+    predicates=5,
+    max_arity=2,
+    rules=6,
+    query_atoms=2,
+    facts_per_relation=8,
+    domain_size=12,
+)
+
+SEED = 7
+CASES = 8
+
+
+def case_facts(case) -> list[list]:
+    """The case's ABox in the serving wire format."""
+    return sorted(
+        [atom.predicate.name, [term.value for term in atom.terms]]
+        for atom in case.instance.facts
+    )
+
+
+def direct_answers(case) -> list[list]:
+    """The in-process reference: same triple, no serving tier."""
+    system = OBDASystem(
+        case.theory,
+        database=case.instance,
+        use_nc_pruning=bool(case.theory.negative_constraints),
+    )
+    try:
+        return encode_answers(system.prepare(case.query).execute().tuples)
+    finally:
+        system.close()
+
+
+class TestServingMatchesInProcess:
+    def test_generated_triples_are_byte_identical_over_http(self):
+        async def body():
+            generator = WorkloadGenerator(seed=SEED, config=CONFIG)
+            app = ServingApp()
+            server = ServingServer(app)
+            await server.start()
+            client = ServingClient("127.0.0.1", server.port)
+            try:
+                for index in range(CASES):
+                    case = generator.case(index)
+                    tenant = f"case-{index}"
+                    response = await client.request(
+                        "POST",
+                        "/register-theory",
+                        {
+                            "tenant": tenant,
+                            "tgds": [tgd_to_json(rule) for rule in case.theory.tgds],
+                            "facts": case_facts(case),
+                        },
+                    )
+                    assert response.status == 201, (case.describe(), response.payload)
+                    response = await client.request(
+                        "POST",
+                        "/answer",
+                        {"tenant": tenant, "query": query_to_json(case.query)},
+                    )
+                    assert response.status == 200, (case.describe(), response.payload)
+                    served = json.dumps(response.payload["answers"], sort_keys=True)
+                    reference = json.dumps(direct_answers(case), sort_keys=True)
+                    assert served == reference, (
+                        f"seed {SEED} case {index} ({case.describe()}): served "
+                        f"{served} != direct {reference}"
+                    )
+            finally:
+                await client.aclose()
+                await server.stop()
+
+        serve(body)
+
+    def test_textual_and_json_query_forms_agree(self):
+        """The two query encodings must resolve to the same canonical query."""
+
+        async def body():
+            generator = WorkloadGenerator(seed=SEED, config=CONFIG)
+            case = generator.case(0)
+            app = ServingApp()
+            try:
+                response = await app.request(
+                    "POST",
+                    "/register-theory",
+                    {
+                        "tenant": "t",
+                        "tgds": [tgd_to_json(rule) for rule in case.theory.tgds],
+                        "facts": case_facts(case),
+                    },
+                )
+                assert response.status == 201
+                via_json = await app.request(
+                    "POST",
+                    "/answer",
+                    {"tenant": "t", "query": query_to_json(case.query)},
+                )
+                assert via_json.status == 200
+                # The JSON form compiled it; the textual form must be warm
+                # (same canonical query -> same cache slot).
+                head_terms = ", ".join(str(t) for t in case.query.head.terms)
+                body_atoms = ", ".join(
+                    f"{atom.predicate.name}({', '.join(str(t) for t in atom.terms)})"
+                    for atom in case.query.body
+                )
+                textual = f"{case.query.head.predicate.name}({head_terms}) :- {body_atoms}"
+                via_text = await app.request(
+                    "POST", "/answer", {"tenant": "t", "query": textual}
+                )
+                assert via_text.status == 200
+                assert via_text.payload["source"] == "memory"
+                assert via_text.payload["answers"] == via_json.payload["answers"]
+            finally:
+                await app.aclose()
+
+        serve(body)
+
+    def test_mutated_tenant_keeps_matching_in_process(self):
+        """After serving-side fact mutations, answers still match a fresh
+        in-process system over the mutated fact set."""
+
+        async def body():
+            generator = WorkloadGenerator(seed=SEED, config=CONFIG)
+            case = generator.case(1)
+            facts = case_facts(case)
+            removed = facts[: len(facts) // 2]
+            app = ServingApp()
+            try:
+                await app.request(
+                    "POST",
+                    "/register-theory",
+                    {
+                        "tenant": "t",
+                        "tgds": [tgd_to_json(rule) for rule in case.theory.tgds],
+                        "facts": facts,
+                    },
+                )
+                response = await app.request(
+                    "POST", "/data", {"tenant": "t", "remove": removed}
+                )
+                assert response.status == 200
+                served = await app.request(
+                    "POST",
+                    "/answer",
+                    {"tenant": "t", "query": query_to_json(case.query)},
+                )
+                from repro.database.instance import RelationalInstance
+
+                remaining = [fact for fact in facts if fact not in removed]
+                reference_case = case.with_facts([])
+                system = OBDASystem(
+                    reference_case.theory,
+                    database=RelationalInstance(),
+                )
+                try:
+                    for relation, values in remaining:
+                        system.database.add_tuple(relation, values)
+                    reference = encode_answers(
+                        system.prepare(case.query).execute().tuples
+                    )
+                finally:
+                    system.close()
+                assert served.payload["answers"] == reference
+
+            finally:
+                await app.aclose()
+
+        serve(body)

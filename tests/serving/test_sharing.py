@@ -1,0 +1,196 @@
+"""Fingerprint sharing and tenant isolation.
+
+Two tenants registering structurally identical ontologies must share one
+compiled artifact set (one compile serves both; one store slice), while
+keeping fully isolated data: mutating one tenant's facts bumps only that
+tenant's epoch and invalidates only its answer caches.
+"""
+
+from repro.serving import ServingApp
+
+from .conftest import FACTS, TBOX, register, serve
+
+#: TBOX with rules reordered and whitespace shuffled: structurally
+#: identical (the fingerprint canonicalises rule order and renaming), so
+#: it must land on the same artifact set.
+TBOX_REORDERED = """
+Course [= exists taughtBy
+exists attends- [= Course
+Grad [= Student
+exists attends [= Student
+Student [= Person
+"""
+
+#: A structurally different theory: must get its own artifact set.
+TBOX_OTHER = """
+Employee [= Person
+exists worksFor [= Employee
+"""
+
+
+class TestFingerprintSharing:
+    def test_identical_theories_share_one_artifact_set(self, app):
+        async def body():
+            first = await register(app, "acme")
+            second = await register(app, "beta", tbox=TBOX_REORDERED, facts=[])
+            assert first["fingerprint"] == second["fingerprint"]
+            assert first["shared_artifacts"] is False
+            assert second["shared_artifacts"] is True
+            assert len(app.registry.artifact_sets()) == 1
+
+        serve(body)
+
+    def test_different_theories_get_their_own_artifacts(self, app):
+        async def body():
+            first = await register(app, "acme")
+            other = await register(app, "gamma", tbox=TBOX_OTHER, facts=[])
+            assert first["fingerprint"] != other["fingerprint"]
+            assert other["shared_artifacts"] is False
+            assert len(app.registry.artifact_sets()) == 2
+
+        serve(body)
+
+    def test_one_tenants_compile_warms_the_other(self, app):
+        async def body():
+            await register(app, "acme")
+            await register(app, "beta", tbox=TBOX_REORDERED, facts=[])
+            cold = await app.request(
+                "POST", "/answer", {"tenant": "acme", "query": "q(A) :- Person(A)"}
+            )
+            assert cold.payload["source"] == "engine"
+            # beta never compiled anything, yet the rewriting is warm.
+            warm = await app.request(
+                "POST", "/answer", {"tenant": "beta", "query": "q(A) :- Person(A)"}
+            )
+            assert warm.payload["source"] == "memory"
+            artifacts = app.registry.get("acme").artifacts
+            assert artifacts is app.registry.get("beta").artifacts
+            assert artifacts.compiles == 1
+
+        serve(body)
+
+    def test_late_registration_warms_prepared_pool(self, app):
+        async def body():
+            await register(app, "acme")
+            await app.request(
+                "POST", "/answer", {"tenant": "acme", "query": "q(A) :- Person(A)"}
+            )
+            payload = await register(app, "beta", tbox=TBOX_REORDERED, facts=[])
+            # The shared cache already held acme's rewriting: beta's pool
+            # was planned at registration time.
+            assert payload["warmed_prepared"] == 1
+
+        serve(body)
+
+    def test_deregistration_releases_artifacts_only_when_last_out(self, app):
+        async def body():
+            await register(app, "acme")
+            await register(app, "beta", tbox=TBOX_REORDERED, facts=[])
+            await app.request(
+                "POST", "/invalidate", {"tenant": "acme", "scope": "tenant"}
+            )
+            assert len(app.registry.artifact_sets()) == 1
+            await app.request(
+                "POST", "/invalidate", {"tenant": "beta", "scope": "tenant"}
+            )
+            assert len(app.registry.artifact_sets()) == 0
+
+        serve(body)
+
+
+class TestTenantIsolation:
+    def test_different_facts_different_answers_same_artifacts(self, app):
+        async def body():
+            await register(app, "acme")
+            await register(
+                app,
+                "beta",
+                tbox=TBOX_REORDERED,
+                facts=[["Student", ["zoe"]]],
+            )
+            query = "q(A) :- Person(A)"
+            acme = await app.request(
+                "POST", "/answer", {"tenant": "acme", "query": query}
+            )
+            beta = await app.request(
+                "POST", "/answer", {"tenant": "beta", "query": query}
+            )
+            assert ["alice"] in acme.payload["answers"]
+            assert beta.payload["answers"] == [["zoe"]]
+
+        serve(body)
+
+    def test_mutating_one_tenant_leaves_the_others_answers_cached(self, app):
+        async def body():
+            await register(app, "acme")
+            await register(app, "beta", tbox=TBOX_REORDERED, facts=[])
+            query = "q(A) :- Person(A)"
+            for tenant in ("acme", "beta"):
+                await app.request(
+                    "POST", "/answer", {"tenant": tenant, "query": query}
+                )
+            beta_epoch = app.registry.get("beta").system.database.epoch
+            await app.request(
+                "POST",
+                "/data",
+                {"tenant": "acme", "add": [["Student", ["frank"]]]},
+            )
+            # acme's next answer recomputes; beta's stays cached, and
+            # beta's epoch never moved.
+            acme = await app.request(
+                "POST", "/answer", {"tenant": "acme", "query": query}
+            )
+            beta = await app.request(
+                "POST", "/answer", {"tenant": "beta", "query": query}
+            )
+            assert acme.payload["answer_cached"] is False
+            assert ["frank"] in acme.payload["answers"]
+            assert beta.payload["answer_cached"] is True
+            assert ["frank"] not in beta.payload["answers"]
+            assert app.registry.get("beta").system.database.epoch == beta_epoch
+
+        serve(body)
+
+    def test_invalidation_is_per_tenant(self, app):
+        async def body():
+            await register(app, "acme")
+            await register(app, "beta", tbox=TBOX_REORDERED, facts=[])
+            query = "q(A) :- Person(A)"
+            for tenant in ("acme", "beta"):
+                await app.request(
+                    "POST", "/answer", {"tenant": tenant, "query": query}
+                )
+            await app.request(
+                "POST", "/invalidate", {"tenant": "acme", "scope": "answers"}
+            )
+            acme = await app.request(
+                "POST", "/answer", {"tenant": "acme", "query": query}
+            )
+            beta = await app.request(
+                "POST", "/answer", {"tenant": "beta", "query": query}
+            )
+            assert acme.payload["answer_cached"] is False
+            assert beta.payload["answer_cached"] is True
+
+        serve(body)
+
+    def test_per_tenant_backends_same_answers(self):
+        async def body():
+            app = ServingApp()
+            try:
+                await register(app, "mem", backend="memory")
+                await register(
+                    app, "sql", tbox=TBOX_REORDERED, facts=FACTS, backend="sqlite"
+                )
+                query = "q(A) :- Person(A)"
+                mem = await app.request(
+                    "POST", "/answer", {"tenant": "mem", "query": query}
+                )
+                sql = await app.request(
+                    "POST", "/answer", {"tenant": "sql", "query": query}
+                )
+                assert mem.payload["answers"] == sql.payload["answers"]
+            finally:
+                await app.aclose()
+
+        serve(body)

@@ -465,3 +465,33 @@ class TestFuzzCommand:
     def test_invalid_fragment_is_a_parser_error(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fuzz", "--fragment", "guarded"])
+
+
+class TestServeCommand:
+    def test_parser_accepts_the_serving_flags(self):
+        arguments = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--cache", "/tmp/cache",
+                "--max-tenants", "8",
+                "--backend", "sqlite",
+                "--preload", "acme=S", "beta=U",
+            ]
+        )
+        assert arguments.port == 0
+        assert arguments.max_tenants == 8
+        assert arguments.backend == "sqlite"
+        assert arguments.preload == ["acme=S", "beta=U"]
+
+    def test_bad_preload_spec_is_a_clean_error(self, capsys):
+        assert main(["serve", "--port", "0", "--preload", "no-equals-sign"]) == 2
+        assert "NAME=WORKLOAD" in capsys.readouterr().err
+
+    def test_unknown_preload_workload_fails_before_binding(self, capsys):
+        assert main(["serve", "--port", "0", "--preload", "acme=nope"]) == 2
+        assert "preload acme=nope failed" in capsys.readouterr().err
+
+    def test_unknown_backend_is_a_parser_error(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "postgres"])
