@@ -8,14 +8,16 @@
 # triples through the chase/backend/determinism oracles); `make
 # serve-smoke` boots the HTTP serving front end on a real socket and
 # checks byte-identical answers, single-compile coalescing and warm
-# answer caching.
+# answer caching; `make chaos-smoke` runs a bounded seeded
+# fault-injection pass against the serving stack (deadline, warm-path
+# and recovery invariants).
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro
 CACHE_DIR ?= .cache-smoke
 
-.PHONY: test smoke cache-smoke answer-smoke strategy-smoke fuzz-smoke serve-smoke bench bench-json table1
+.PHONY: test smoke cache-smoke answer-smoke strategy-smoke fuzz-smoke serve-smoke chaos-smoke bench bench-json table1
 
 test:
 	$(PYTEST) -x -q
@@ -58,6 +60,17 @@ fuzz-smoke:
 serve-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
 	    benchmarks/serve_smoke.py
+
+# Chaos gate (seconds, not minutes): a fixed-seed window of
+# fault-injection cases — compile stalls, mid-compile kills, backend
+# errors, store/checkpoint write failures — against the full serving
+# stack.  Invariants: no response outlives its deadline (+epsilon), warm
+# traffic is never starved, every disturbance maps to a classified
+# error, and the service converges back to byte-identical answers once
+# the faults stop.  The nightly CI job runs the same command with a
+# date-derived seed and a larger case count.
+chaos-smoke:
+	$(REPRO) chaos --seed 0 --cases 6 --quiet
 
 bench:
 	$(PYTEST) -q benchmarks

@@ -33,6 +33,7 @@ convenience over the lifecycle.
 
 from __future__ import annotations
 
+import logging
 import os
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -51,6 +52,8 @@ from .dependencies.theory import OntologyTheory
 from .logic.terms import Constant
 from .queries.conjunctive_query import ConjunctiveQuery
 from .scheduling import SchedulingStrategy, create_strategy
+
+logger = logging.getLogger(__name__)
 
 
 class InconsistentTheoryError(RuntimeError):
@@ -251,6 +254,9 @@ class RewritingCacheInfo:
     persistent_hits: int = 0
     persistent_misses: int = 0
     persistent_size: int = 0
+    #: Store writes that failed (disk full, permissions) and degraded to
+    #: memory-only serving instead of losing the finished compile.
+    persistent_write_failures: int = 0
 
 
 class OBDASystem:
@@ -336,6 +342,7 @@ class OBDASystem:
         )
         self._cache_hits = 0
         self._cache_misses = 0
+        self._store_write_failures = 0
         if cache is not None and not isinstance(cache, RewritingStore):
             cache = RewritingStore(cache)
         self._store: RewritingStore | None = cache
@@ -531,7 +538,17 @@ class OBDASystem:
         sequential probe arriving after that write would have been.
         """
         if self._store is not None:
-            if self._store.put(query, self._fingerprint, result):
+            try:
+                persisted = self._store.put(query, self._fingerprint, result)
+            except OSError as error:
+                # A full or read-only disk must not lose a finished
+                # compile: serve from memory and keep going.
+                logger.warning(
+                    "rewriting store write failed (%s); serving from memory", error
+                )
+                self._store_write_failures += 1
+                persisted = True
+            if persisted:
                 result.statistics.persistent_cache_misses += 1
             else:
                 stored = self._store.get(
@@ -622,6 +639,7 @@ class OBDASystem:
             persistent_hits=store.statistics.hits if store is not None else 0,
             persistent_misses=store.statistics.misses if store is not None else 0,
             persistent_size=len(store) if store is not None else 0,
+            persistent_write_failures=self._store_write_failures,
         )
 
     def rewriting_statistics(self, query: ConjunctiveQuery) -> RewritingStatistics:

@@ -23,6 +23,7 @@ checkpointing leaves the previous checkpoint intact.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from dataclasses import asdict
 from pathlib import Path
@@ -41,6 +42,8 @@ from .serialization import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.rewriter import TGDRewriter
+
+logger = logging.getLogger(__name__)
 
 
 class FrontierCheckpoint:
@@ -70,6 +73,7 @@ class FrontierCheckpoint:
         self._path = Path(path)
         self._every = every
         self.saves = 0
+        self.save_failures = 0
         self.resumed_generation: int | None = None
 
     @property
@@ -104,11 +108,13 @@ class FrontierCheckpoint:
     def save(
         self, rewriter: "TGDRewriter", query: ConjunctiveQuery, state: KernelState
     ) -> bool:
-        """Atomically persist *state*; returns ``False`` if unserialisable.
+        """Atomically persist *state*; returns ``False`` if unsaveable.
 
         Queries holding non-scalar constants cannot round-trip through
         JSON exactly (the same restriction the rewriting store has); such
-        runs simply proceed uncheckpointed.
+        runs simply proceed uncheckpointed.  A filesystem failure (disk
+        full, permissions yanked mid-run) likewise degrades to ``False``
+        rather than aborting a compile whose in-memory progress is fine.
         """
         entries = list(state.store)
         positions = {id(entry): index for index, entry in enumerate(entries)}
@@ -131,10 +137,15 @@ class FrontierCheckpoint:
         except UnserializableQueryError:
             return False
         temporary = self._path.with_name(self._path.name + ".tmp")
-        temporary.parent.mkdir(parents=True, exist_ok=True)
-        with temporary.open("w", encoding="utf-8") as handle:
-            json.dump(payload, handle, separators=(",", ":"))
-        os.replace(temporary, self._path)
+        try:
+            temporary.parent.mkdir(parents=True, exist_ok=True)
+            with temporary.open("w", encoding="utf-8") as handle:
+                json.dump(payload, handle, separators=(",", ":"))
+            os.replace(temporary, self._path)
+        except OSError as error:
+            logger.warning("checkpoint save to %s failed: %s", self._path, error)
+            self.save_failures += 1
+            return False
         self.saves += 1
         return True
 
@@ -190,8 +201,12 @@ class FrontierCheckpoint:
         )
 
     def clear(self) -> None:
-        """Remove the checkpoint file (called when the run completes)."""
+        """Remove the checkpoint file (called when the run completes).
+
+        Tolerates any filesystem failure, like :meth:`save`: a compile
+        that finished must never be failed by its cleanup.
+        """
         try:
             self._path.unlink()
-        except FileNotFoundError:
+        except OSError:
             pass

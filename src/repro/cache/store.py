@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import re
 import threading
@@ -66,6 +67,8 @@ from .serialization import (
     result_from_json,
     result_to_json,
 )
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -144,6 +147,10 @@ class RewritingStore:
         self._lock = threading.RLock()
         self.statistics = CacheStatistics()
         self._needs_newline = False
+        # Byte length of a torn trailing record found during load; the
+        # next put() truncates it away (it must never become a trusted
+        # interior line once a newline lands after it).
+        self._torn_tail_bytes = 0
         self._max_entries = max_entries
         # Recency rank per digest: ``(persisted timestamp, sequence)``.
         # Unlogged entries carry timestamp 0.0 and rank by file position,
@@ -302,10 +309,20 @@ class RewritingStore:
                 # against the bound (and serve the stale record).
                 self._rewrite_locked()
             bucket.append(record)
+            if self._needs_newline and self._torn_tail_bytes:
+                # A previous process crashed mid-append: cut the torn
+                # bytes off (they can start like a valid record, so a
+                # newline after them would turn garbage into a trusted
+                # interior line on the next load).
+                size = self._path.stat().st_size
+                with self._path.open("rb+") as raw:
+                    raw.truncate(max(0, size - self._torn_tail_bytes))
+                self._torn_tail_bytes = 0
+                self._needs_newline = False
             with self._path.open("a", encoding="utf-8") as handle:
                 if self._needs_newline:
-                    # A previous process crashed mid-append: terminate its
-                    # torn line so only that line is lost, not this record.
+                    # The trailing line is complete, just unterminated:
+                    # end it so this record starts on a fresh line.
                     handle.write("\n")
                     self._needs_newline = False
                 handle.write(json.dumps(record, separators=(",", ":")) + "\n")
@@ -342,6 +359,11 @@ class RewritingStore:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         with self._lock:
             removed = self._evict_locked(max_entries)
+            if not removed and (self._needs_newline or self.statistics.skipped_records):
+                # Nothing evicted, but the file carries debris — a torn
+                # trailing record or skipped lines from a crashed append.
+                # Rewriting from the index repairs it for good.
+                self._rewrite_locked()
         self.statistics.evicted += removed
         return removed
 
@@ -393,6 +415,7 @@ class RewritingStore:
                         handle.write(json.dumps(record, separators=(",", ":")) + "\n")
         os.replace(temporary, self._path)
         self._needs_newline = False
+        self._torn_tail_bytes = 0
         self._file_records = len(self)
         self._ghost_digests.clear()
         self._rewrite_recency_locked()
@@ -508,6 +531,13 @@ class RewritingStore:
         (:meth:`_bucket`).  Lines that do not look like records written by
         this module fall back to a full parse here; unreadable or
         wrong-version lines are skipped and counted, never misread.
+
+        A file that does not end in a newline was torn by a crash
+        mid-append.  Its final line must not be trusted on prefix alone —
+        a truncated record still *starts* like a valid one — so it is
+        fully parsed here and skipped (with a log line) when incomplete;
+        the next :meth:`put` starts cleanly on a fresh line and
+        :meth:`compact` purges the torn bytes from disk.
         """
         if not self._path.exists():
             return
@@ -517,33 +547,51 @@ class RewritingStore:
                 handle.seek(-1, os.SEEK_END)
                 self._needs_newline = handle.read(1) != b"\n"
         with self._path.open("r", encoding="utf-8") as handle:
+            previous: str | None = None
             for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                match = self._RECORD_PREFIX.match(line)
-                if match is not None:
-                    if int(match.group(1)) != self.FORMAT_VERSION:
-                        self.statistics.skipped_records += 1
-                        continue
-                    self._index.setdefault(match.group(2), []).append(line)
-                    self._rank(match.group(2))
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    self.statistics.skipped_records += 1
-                    continue
-                if (
-                    not isinstance(record, dict)
-                    or record.get("format") != self.FORMAT_VERSION
-                    or "digest" not in record
-                    or "result" not in record
-                ):
-                    self.statistics.skipped_records += 1
-                    continue
-                self._index.setdefault(record["digest"], []).append(record)
-                self._rank(record["digest"])
+                if previous is not None:
+                    self._ingest_line(previous, suspect=False)
+                previous = line
+            if previous is not None:
+                self._ingest_line(previous, suspect=self._needs_newline)
+
+    def _ingest_line(self, line: str, suspect: bool) -> None:
+        """Index one JSON-lines record; *suspect* lines are torn-tail
+        candidates and must prove themselves by a full parse."""
+        raw_bytes = len(line.encode("utf-8"))
+        line = line.strip()
+        if not line:
+            return
+        match = self._RECORD_PREFIX.match(line)
+        if match is not None and not suspect:
+            if int(match.group(1)) != self.FORMAT_VERSION:
+                self.statistics.skipped_records += 1
+                return
+            self._index.setdefault(match.group(2), []).append(line)
+            self._rank(match.group(2))
+            return
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            self.statistics.skipped_records += 1
+            if suspect:
+                self._torn_tail_bytes = raw_bytes
+                logger.warning(
+                    "skipping torn trailing record in %s (crash mid-append); "
+                    "compact() will repair the file",
+                    self._path,
+                )
+            return
+        if (
+            not isinstance(record, dict)
+            or record.get("format") != self.FORMAT_VERSION
+            or "digest" not in record
+            or "result" not in record
+        ):
+            self.statistics.skipped_records += 1
+            return
+        self._index.setdefault(record["digest"], []).append(record)
+        self._rank(record["digest"])
 
     def _bucket(self, digest: str) -> list[dict]:
         """The fully parsed records of one bucket (parsing them on first use)."""

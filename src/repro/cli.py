@@ -48,7 +48,20 @@ Six small commands expose the library without writing Python:
     "NAME=WORKLOAD" ...`` registers tenants before the socket opens.
     With ``--cache DIR`` the service is restart-warm: rewritings are
     served from the persistent store and killed compiles resume from
-    frontier checkpoints.  See ``docs/SERVING.md``.
+    frontier checkpoints.  ``--compile-timeout`` / ``--answer-timeout``
+    set the per-phase request budgets (0 disables),
+    ``--max-inflight-compiles`` / ``--queue-depth`` the load-shedding
+    bounds and ``--breaker-threshold`` the per-query circuit breaker.
+    See ``docs/SERVING.md`` and ``docs/OPERATIONS.md``.
+
+``chaos [--seed N] [--cases K] [--replay FILE]``
+    Hold the serving tier's resilience contracts to seeded
+    fault-injection (:mod:`repro.serving.chaos`): each case replays a
+    generated workload against an app with injected executor stalls,
+    mid-compile kills, backend errors and cache write failures, and
+    asserts the invariants — deadlines honored, warm traffic never
+    starved, post-recovery answers byte-identical to the undisturbed
+    run.  Violations are written as replayable repro files.
 
 ``fuzz [--seed N] [--cases K] [--fragment F] [--shrink]``
     Generate seeded synthetic (theory, query, instance) triples per
@@ -517,7 +530,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     """Run the multi-tenant HTTP/JSON serving front end until interrupted."""
     import asyncio
 
-    from .serving import ServingApp, ServingServer
+    from .serving import ResilienceConfig, ServingApp, ServingServer
 
     preloads: list[tuple[str, str]] = []
     for spec in arguments.preload or []:
@@ -530,11 +543,24 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
             return 2
         preloads.append((name, workload))
 
+    resilience = ResilienceConfig(
+        compile_timeout=(
+            arguments.compile_timeout if arguments.compile_timeout > 0 else None
+        ),
+        answer_timeout=(
+            arguments.answer_timeout if arguments.answer_timeout > 0 else None
+        ),
+        max_inflight_compiles=arguments.max_inflight_compiles,
+        queue_depth=arguments.queue_depth,
+        breaker_threshold=arguments.breaker_threshold,
+    )
+
     async def run() -> int:
         app = ServingApp(
             cache=arguments.cache,
             max_tenants=arguments.max_tenants,
             backend=arguments.backend,
+            resilience=resilience,
         )
         for name, workload in preloads:
             response = await app.request(
@@ -568,6 +594,41 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
         return asyncio.run(run())
     except KeyboardInterrupt:
         return 0
+
+
+def _cmd_chaos(arguments: argparse.Namespace) -> int:
+    """Fault-injection gate: seeded chaos cases against the serving app."""
+    from .serving.chaos import ChaosHarness
+
+    harness = ChaosHarness(
+        seed=arguments.seed,
+        epsilon=arguments.epsilon,
+        repro_directory=Path(arguments.repro_dir),
+    )
+    if arguments.replay:
+        outcome = harness.replay(arguments.replay)
+        print(outcome.summary())
+        for violation in outcome.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 0 if outcome.ok else 1
+
+    def on_case(outcome) -> None:
+        if outcome.ok and arguments.quiet:
+            return
+        print(outcome.summary(), file=sys.stdout if outcome.ok else sys.stderr)
+        for violation in outcome.violations:
+            print(f"  {violation}", file=sys.stderr)
+
+    report = harness.run(arguments.cases, on_case=on_case)
+    print(report.summary())
+    if not report.ok:
+        print(
+            f"error: {len(report.violations)} invariant violations; "
+            f"repro files in {arguments.repro_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_cache_compact(arguments: argparse.Namespace) -> int:
@@ -792,7 +853,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--preload", nargs="+", metavar="NAME=WORKLOAD",
                        help="register tenants before the socket opens, e.g. "
                        "--preload acme=S beta=U")
+    serve.add_argument("--compile-timeout", type=float, default=30.0,
+                       metavar="SEC",
+                       help="per-request compile budget in seconds; a timed-out "
+                       "compile returns 504 with its progress checkpointed "
+                       "(0 disables; default 30)")
+    serve.add_argument("--answer-timeout", type=float, default=10.0,
+                       metavar="SEC",
+                       help="per-request execution budget in seconds "
+                       "(0 disables; default 10)")
+    serve.add_argument("--max-inflight-compiles", type=int, default=8,
+                       metavar="N",
+                       help="global bound on concurrently running compiles; "
+                       "cold requests beyond it are shed with 503")
+    serve.add_argument("--queue-depth", type=int, default=256, metavar="N",
+                       help="per-tenant bound on queued cold requests")
+    serve.add_argument("--breaker-threshold", type=int, default=3, metavar="N",
+                       help="consecutive compile failures before the per-query "
+                       "circuit breaker opens")
     serve.set_defaults(handler=_cmd_serve)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="seeded fault injection against the serving tier's "
+        "resilience invariants",
+    )
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed of the deterministic case stream")
+    chaos.add_argument("--cases", type=int, default=10,
+                       help="number of chaos cases to run")
+    chaos.add_argument("--epsilon", type=float, default=0.5, metavar="SEC",
+                       help="scheduling slack allowed beyond each request's "
+                       "deadline before it counts as a violation")
+    chaos.add_argument("--repro-dir", default="chaos-repros", metavar="DIR",
+                       help="directory failing cases are written to as "
+                       "replayable repro files")
+    chaos.add_argument("--replay", metavar="FILE",
+                       help="re-run the exact case recorded in a repro file")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="print only failures and the final summary")
+    chaos.set_defaults(handler=_cmd_chaos)
 
     cache = commands.add_parser(
         "cache", help="manage a persistent rewriting cache directory"

@@ -19,17 +19,50 @@ long-running asyncio HTTP/JSON service over the library-grade serving API
   :class:`ServingServer` speaks just enough HTTP/1.1 (keep-alive,
   Content-Length bodies) to put :class:`ServingApp` on a port, and
   :class:`ServingClient` is the matching minimal client used by the load
-  generator.
+  generator, with jittered-backoff retries for transient failures.
+* :mod:`repro.serving.resilience` — deadlines and cooperative compile
+  cancellation, cold-path load shedding, per-digest circuit breakers
+  (:class:`ResilienceConfig` carries the knobs).
+* :mod:`repro.serving.chaos` — the seeded fault-injection harness behind
+  ``repro chaos``: deterministic fault plans (stalls, kills, backend and
+  write failures) driven against the full serving stack, with invariant
+  checks for deadlines, warm-path latency and recovery byte-identity.
 
-See ``docs/SERVING.md`` for the endpoint contracts and semantics.
+See ``docs/SERVING.md`` for the endpoint contracts and semantics and
+``docs/OPERATIONS.md`` for the operational runbook.
 """
 
 from .app import ServingApp, ServingError, ServingResponse
+from .chaos import ChaosHarness, ChaosKill, ChaosReport, FaultPlan
 from .coalescing import SingleFlight
 from .http import ServingClient, ServingServer
-from .tenants import SharedArtifacts, Tenant, TenantRegistry
+from .resilience import (
+    CancelScope,
+    CircuitBreaker,
+    CircuitOpenError,
+    CompileGate,
+    CompileInterrupted,
+    Deadline,
+    InterruptibleStrategy,
+    OverloadedError,
+    ResilienceConfig,
+)
+from .tenants import SharedArtifacts, Tenant, TenantEpoch, TenantRegistry
 
 __all__ = [
+    "CancelScope",
+    "ChaosHarness",
+    "ChaosKill",
+    "ChaosReport",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "CompileGate",
+    "CompileInterrupted",
+    "Deadline",
+    "FaultPlan",
+    "InterruptibleStrategy",
+    "OverloadedError",
+    "ResilienceConfig",
     "ServingApp",
     "ServingClient",
     "ServingError",
@@ -38,5 +71,6 @@ __all__ = [
     "SharedArtifacts",
     "SingleFlight",
     "Tenant",
+    "TenantEpoch",
     "TenantRegistry",
 ]

@@ -29,19 +29,35 @@ Request lifecycle of ``/answer`` (the hot path):
 4. execute on the tenant's executor: plan cache + epoch-keyed answer
    cache make a warm execute two dictionary probes.
 
-Errors are structured: ``{"error": {"code": ..., "message": ...}}`` with
-a meaningful HTTP status (400 malformed, 404 unknown tenant/endpoint,
-405 wrong method, 409 duplicate tenant, 429 admission control, 500
-compile/execution failure).
+Errors are structured and *classified*:
+``{"error": {"code": ..., "message": ...}}`` with a meaningful HTTP
+status and a machine-readable code — 400 malformed (``bad-request`` /
+``bad-query`` / ...), 404 unknown tenant/endpoint, 405 wrong method,
+409 duplicate tenant, 429 admission control, 500 ``compile-failed`` /
+``internal``, 503 ``overloaded`` / ``circuit-open`` / ``backend-error``
+(retryable, carrying ``retry_after``), 504 ``timeout`` (the compile's
+progress is checkpointed; a retry resumes it).
+
+The resilience layer (:mod:`repro.serving.resilience`, PR 8) threads
+through every request: per-request deadlines (``compile_timeout`` /
+``answer_timeout``, tightened per request by an ``X-Deadline-Ms``
+header) enforced with ``asyncio.wait_for`` around the executor hops and
+cooperatively inside the engine, cold-path admission control
+(:class:`~repro.serving.resilience.CompileGate`), and a per-digest
+:class:`~repro.serving.resilience.CircuitBreaker`.  Warm answers never
+pass through the gate — overload sheds cold traffic only.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import re
+import sqlite3
 import time
 from dataclasses import dataclass
 
+from ..backends.base import BackendError
 from ..cache.serialization import (
     atom_from_json,
     query_from_json,
@@ -53,15 +69,29 @@ from ..logic.terms import Constant
 from ..queries.conjunctive_query import ConjunctiveQuery
 from ..queries.parser import QuerySyntaxError, parse_query
 from .coalescing import SingleFlight
+from .resilience import (
+    CancelScope,
+    CircuitBreaker,
+    CircuitOpenError,
+    CompileGate,
+    CompileInterrupted,
+    Deadline,
+    OverloadedError,
+    ResilienceConfig,
+)
 from .tenants import (
     DEFAULT_WARM_LIMIT,
     DuplicateTenantError,
     RegistryFullError,
     Tenant,
+    TenantEpoch,
     TenantRegistry,
     UnknownTenantError,
     compile_digest,
 )
+
+#: ``POST /tenants/{name}/theory`` — the one parameterised route.
+_TENANT_THEORY_ROUTE = re.compile(r"/tenants/([^/]+)/theory")
 
 
 @dataclass(frozen=True)
@@ -82,19 +112,31 @@ class ServingResponse:
 
 
 class ServingError(Exception):
-    """A structured endpoint failure: status + machine-readable code."""
+    """A structured endpoint failure: status + machine-readable code.
 
-    def __init__(self, status: int, code: str, message: str) -> None:
+    *retry_after* (seconds) marks retryable failures — shed, open
+    circuit, backend hiccup; it lands in the error body and the HTTP
+    layer mirrors it as a ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retry_after = retry_after
 
     def response(self) -> ServingResponse:
         """The error body every endpoint failure shares."""
-        return ServingResponse(
-            self.status,
-            {"error": {"code": self.code, "message": str(self)}},
-        )
+        error = {"code": self.code, "message": str(self)}
+        if self.retry_after is not None:
+            error["retry_after"] = round(self.retry_after, 3)
+        return ServingResponse(self.status, {"error": error})
 
 
 def encode_answers(tuples: frozenset[tuple]) -> list[list]:
@@ -141,15 +183,21 @@ class ServingApp:
         backend: str = "memory",
         warm_limit: int | None = DEFAULT_WARM_LIMIT,
         strategy_factory=None,
+        resilience: ResilienceConfig | None = None,
+        fault_plan=None,
     ) -> None:
+        self.config = resilience or ResilienceConfig()
         self.registry = TenantRegistry(
             cache_directory=cache,
             max_tenants=max_tenants,
             backend=backend,
             warm_limit=warm_limit,
             strategy_factory=strategy_factory,
+            fault_plan=fault_plan,
         )
         self.flights = SingleFlight()
+        self.gate = CompileGate(self.config)
+        self.breaker = CircuitBreaker(self.config)
         self._started = time.monotonic()
         self._request_counts: dict[str, int] = {}
         self._routes = {
@@ -166,19 +214,38 @@ class ServingApp:
     # -- the front door ----------------------------------------------------
 
     async def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
     ) -> ServingResponse:
-        """Route one request; never raises (failures become error bodies)."""
+        """Route one request; never raises (failures become error bodies).
+
+        *headers* carries transport metadata the handlers honor —
+        currently ``x-deadline-ms`` (lower-cased keys, as the HTTP layer
+        normalises them).
+        """
         method = method.upper()
         handler = self._routes.get((method, path))
         if handler is None:
-            if any(route_path == path for _, route_path in self._routes):
-                error = ServingError(
-                    405, "method-not-allowed", f"{method} is not valid for {path}"
+            match = _TENANT_THEORY_ROUTE.fullmatch(path)
+            if match is not None:
+                if method != "POST":
+                    return ServingError(
+                        405, "method-not-allowed", f"{method} is not valid for {path}"
+                    ).response()
+                handler = lambda payload, headers, name=match.group(1): (
+                    self._update_theory(name, payload, headers)
                 )
+            elif any(route_path == path for _, route_path in self._routes):
+                return ServingError(
+                    405, "method-not-allowed", f"{method} is not valid for {path}"
+                ).response()
             else:
-                error = ServingError(404, "unknown-endpoint", f"no endpoint {path}")
-            return error.response()
+                return ServingError(
+                    404, "unknown-endpoint", f"no endpoint {path}"
+                ).response()
         self._request_counts[path] = self._request_counts.get(path, 0) + 1
         if payload is None:
             payload = {}
@@ -187,7 +254,7 @@ class ServingApp:
                 400, "bad-request", "request body must be a JSON object"
             ).response()
         try:
-            return await handler(payload)
+            return await handler(payload, headers or {})
         except ServingError as error:
             return error.response()
         except UnknownTenantError as error:
@@ -198,18 +265,44 @@ class ServingApp:
             return ServingError(429, "max-tenants", str(error)).response()
         except QuerySyntaxError as error:
             return ServingError(400, "bad-query", str(error)).response()
+        except OverloadedError as error:
+            return ServingError(
+                503, "overloaded", str(error), retry_after=error.retry_after
+            ).response()
+        except CircuitOpenError as error:
+            return ServingError(
+                503, "circuit-open", str(error), retry_after=error.retry_after
+            ).response()
+        except (BackendError, sqlite3.Error) as error:
+            return ServingError(
+                503,
+                "backend-error",
+                f"{type(error).__name__}: {error}",
+                retry_after=self.config.shed_retry_after,
+            ).response()
+        except (asyncio.TimeoutError, CompileInterrupted) as error:
+            return ServingError(
+                504, "timeout", str(error) or "request budget exhausted"
+            ).response()
         except (KeyError, TypeError, ValueError) as error:
             return ServingError(400, "bad-request", str(error)).response()
-        except Exception as error:  # compile/execution failures
+        except Exception as error:  # truly unclassified failures
             return ServingError(
-                500, "internal-error", f"{type(error).__name__}: {error}"
+                500, "internal", f"{type(error).__name__}: {error}"
             ).response()
 
     async def aclose(self) -> None:
-        """Graceful shutdown: drain the executors, close systems and store."""
+        """Graceful shutdown: drain the executors, close systems and store.
+
+        In-flight compiles are interrupted *first* — they abort at their
+        next generation boundary with their frontier checkpoints already
+        on disk — so draining the executors is bounded by one generation,
+        not one compile, and the interrupted work resumes after restart.
+        """
         if self._closed:
             return
         self._closed = True
+        self.registry.interrupt_all()
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self.registry.close)
 
@@ -217,6 +310,7 @@ class ServingApp:
         """Synchronous shutdown for non-async callers."""
         if not self._closed:
             self._closed = True
+            self.registry.interrupt_all()
             self.registry.close()
 
     # -- payload decoding --------------------------------------------------
@@ -325,33 +419,94 @@ class ServingApp:
     # -- the compile path --------------------------------------------------
 
     async def _ensure_compiled(
-        self, tenant: Tenant, query: ConjunctiveQuery
+        self,
+        tenant: Tenant,
+        epoch: TenantEpoch,
+        query: ConjunctiveQuery,
+        deadline: Deadline,
     ) -> tuple[str, bool]:
         """Make sure *query*'s rewriting is in the shared artifact cache.
 
         Returns ``(source, coalesced)``.  Warm queries short-circuit on a
-        dictionary probe and never queue behind a running compile; cold
-        queries coalesce per compile digest, so a thundering herd runs
-        the engine exactly once.
+        dictionary probe and never queue behind a running compile — nor
+        behind the admission gate: overload sheds cold traffic only.
+        Cold queries run the resilience gauntlet:
+
+        1. **admission** — the gate bounds the tenant's cold queue and
+           (for flight leaders) the global in-flight compiles; full means
+           503 + ``Retry-After`` *now*, not a queue slot;
+        2. **circuit breaker** — leaders of a digest whose compiles fail
+           deterministically are rejected while the circuit is open;
+        3. **single flight** — the herd coalesces per compile digest;
+        4. **deadline** — the wait is bounded by the compile budget.  On
+           timeout the leader cancels the :class:`CancelScope`, the
+           engine aborts at its next generation boundary (checkpoint
+           already persisted) and every waiter gets a 504 whose retry
+           *resumes* the compile instead of restarting it.
         """
-        artifacts = tenant.artifacts
+        artifacts = epoch.artifacts
         if query in artifacts.rewriting_cache:
             artifacts.served_memory += 1
             return "memory", False
-        key = compile_digest(query, artifacts.fingerprint)
-        coalesced = self.flights.pending(key)
-        loop = asyncio.get_running_loop()
-        _, source = await self.flights.run(
-            key,
-            lambda: loop.run_in_executor(
-                artifacts.executor, artifacts.compile_blocking, query
-            ),
+        digest = compile_digest(query, artifacts.fingerprint)
+        leader = not self.flights.pending(digest)
+        self.gate.admit(tenant.name, leader)
+        budget = deadline.phase_budget(self.config.compile_timeout)
+        scope = CancelScope(
+            deadline=time.monotonic() + budget if budget is not None else None
         )
-        return source, coalesced
+        loop = asyncio.get_running_loop()
+
+        def thunk():
+            return loop.run_in_executor(
+                artifacts.executor,
+                lambda: artifacts.compile_blocking(query, scope),
+            )
+
+        try:
+            if leader:
+                self.breaker.check(digest)
+            # Synchronous join-or-start: no await separates the pending
+            # probe that decided `leader` from the flight creation, so
+            # the admission accounting above cannot be raced.
+            task, _ = self.flights.acquire(digest, thunk)
+            waiter = asyncio.shield(task)
+            if budget is not None:
+                _, source = await asyncio.wait_for(waiter, budget)
+            else:
+                _, source = await waiter
+        except asyncio.TimeoutError:
+            if leader:
+                scope.cancel()
+                self.breaker.record_interrupt(digest)
+            raise ServingError(
+                504,
+                "timeout",
+                f"compile did not finish within its {budget:.3f}s budget; "
+                "progress is checkpointed — a retry resumes it",
+            ) from None
+        except CompileInterrupted as error:
+            if leader:
+                self.breaker.record_interrupt(digest)
+            raise ServingError(504, "timeout", str(error)) from error
+        except (ServingError, CircuitOpenError, OverloadedError):
+            raise
+        except Exception as error:
+            if leader:
+                self.breaker.record_failure(digest, error)
+            raise ServingError(
+                500, "compile-failed", f"{type(error).__name__}: {error}"
+            ) from error
+        else:
+            if leader:
+                self.breaker.record_success(digest)
+            return source, not leader
+        finally:
+            self.gate.release(tenant.name, leader)
 
     # -- endpoint handlers -------------------------------------------------
 
-    async def _register(self, payload: dict) -> ServingResponse:
+    async def _register(self, payload: dict, headers: dict) -> ServingResponse:
         name = self._required(payload, "tenant")
         if not isinstance(name, str) or not name:
             raise ServingError(400, "bad-request", "'tenant' must be a non-empty string")
@@ -379,15 +534,52 @@ class ServingApp:
             },
         )
 
-    async def _prepare(self, payload: dict) -> ServingResponse:
+    async def _update_theory(
+        self, name: str, payload: dict, headers: dict
+    ) -> ServingResponse:
+        """``POST /tenants/{name}/theory`` — epoch a live tenant.
+
+        In-flight requests finish on the old artifact set; requests
+        arriving after this returns compile against the new fingerprint.
+        Facts and the database epoch counter survive.
+        """
+        self.registry.get(name)  # 404 before decoding the body
+        theory = self._decode_theory(payload, default_name=name)
+        loop = asyncio.get_running_loop()
+        tenant, changed, shared = await loop.run_in_executor(
+            None, lambda: self.registry.update_theory(name, theory)
+        )
+        return ServingResponse(
+            200,
+            {
+                "tenant": name,
+                "fingerprint": tenant.fingerprint,
+                "changed": changed,
+                "shared_artifacts": shared,
+                "theory_updates": tenant.theory_updates,
+                "tgds": len(theory.tgds),
+                "constraints": len(theory.negative_constraints),
+                "facts": len(tenant.system.database),
+            },
+        )
+
+    async def _prepare(self, payload: dict, headers: dict) -> ServingResponse:
         tenant = self._tenant(payload)
         query = self._decode_query(payload)
         started = time.perf_counter()
-        source, coalesced = await self._ensure_compiled(tenant, query)
-        loop = asyncio.get_running_loop()
-        prepared = await loop.run_in_executor(
-            tenant.executor, tenant.prepare_blocking, query
-        )
+        deadline = Deadline.from_header(headers)
+        epoch = tenant.retain_epoch()
+        try:
+            source, coalesced = await self._ensure_compiled(
+                tenant, epoch, query, deadline
+            )
+            loop = asyncio.get_running_loop()
+            prepared = await loop.run_in_executor(
+                tenant.executor,
+                lambda: tenant.prepare_blocking(query, epoch.system),
+            )
+        finally:
+            tenant.release_epoch(epoch)
         return ServingResponse(
             200,
             {
@@ -399,22 +591,41 @@ class ServingApp:
             },
         )
 
-    async def _answer(self, payload: dict) -> ServingResponse:
+    async def _answer(self, payload: dict, headers: dict) -> ServingResponse:
         tenant = self._tenant(payload)
         query = self._decode_query(payload)
         bindings = payload.get("bindings")
         if bindings is not None and not isinstance(bindings, dict):
             raise ServingError(400, "bad-bindings", "'bindings' must be an object")
         started = time.perf_counter()
-        source, coalesced = await self._ensure_compiled(tenant, query)
-        loop = asyncio.get_running_loop()
+        deadline = Deadline.from_header(headers)
+        epoch = tenant.retain_epoch()
         try:
-            tuples, cached = await loop.run_in_executor(
-                tenant.executor,
-                lambda: tenant.answer_blocking(query, bindings),
+            source, coalesced = await self._ensure_compiled(
+                tenant, epoch, query, deadline
             )
-        except ValueError as error:
-            raise ServingError(400, "bad-bindings", str(error)) from error
+            loop = asyncio.get_running_loop()
+            budget = deadline.phase_budget(self.config.answer_timeout)
+            execution = loop.run_in_executor(
+                tenant.executor,
+                lambda: tenant.answer_blocking(query, bindings, epoch.system),
+            )
+            try:
+                if budget is not None:
+                    tuples, cached = await asyncio.wait_for(execution, budget)
+                else:
+                    tuples, cached = await execution
+            except asyncio.TimeoutError:
+                raise ServingError(
+                    504,
+                    "timeout",
+                    f"answer did not finish within its {budget:.3f}s budget",
+                ) from None
+            except ValueError as error:
+                raise ServingError(400, "bad-bindings", str(error)) from error
+            epoch_counter = epoch.system.database.epoch
+        finally:
+            tenant.release_epoch(epoch)
         return ServingResponse(
             200,
             {
@@ -424,12 +635,12 @@ class ServingApp:
                 "source": source,
                 "coalesced": coalesced,
                 "answer_cached": cached,
-                "epoch": tenant.system.database.epoch,
+                "epoch": epoch_counter,
                 "elapsed_ms": (time.perf_counter() - started) * 1000.0,
             },
         )
 
-    async def _data(self, payload: dict) -> ServingResponse:
+    async def _data(self, payload: dict, headers: dict) -> ServingResponse:
         tenant = self._tenant(payload)
         added_facts = self._decode_facts(payload, "add")
         removed_facts = self._decode_facts(payload, "remove")
@@ -457,7 +668,7 @@ class ServingApp:
             },
         )
 
-    async def _invalidate(self, payload: dict) -> ServingResponse:
+    async def _invalidate(self, payload: dict, headers: dict) -> ServingResponse:
         tenant = self._tenant(payload)
         scope = payload.get("scope", "answers")
         loop = asyncio.get_running_loop()
@@ -480,7 +691,7 @@ class ServingApp:
             400, "bad-scope", f"scope must be 'answers' or 'tenant', got {scope!r}"
         )
 
-    async def _stats(self, payload: dict) -> ServingResponse:
+    async def _stats(self, payload: dict, headers: dict) -> ServingResponse:
         store = self.registry.store
         store_stats = None
         if store is not None:
@@ -510,12 +721,20 @@ class ServingApp:
                     "inflight": len(self.flights),
                 },
                 "store": store_stats,
+                "resilience": {
+                    "gate": self.gate.describe(),
+                    "breaker": self.breaker.describe(),
+                    "timeouts": {
+                        "compile": self.config.compile_timeout,
+                        "answer": self.config.answer_timeout,
+                    },
+                },
                 "requests": dict(sorted(self._request_counts.items())),
                 "max_tenants": self.registry.max_tenants,
             },
         )
 
-    async def _healthz(self, payload: dict) -> ServingResponse:
+    async def _healthz(self, payload: dict, headers: dict) -> ServingResponse:
         return ServingResponse(
             200, {"status": "ok", "tenants": len(self.registry)}
         )

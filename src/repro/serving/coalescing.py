@@ -42,6 +42,29 @@ class SingleFlight:
         """Whether a flight for *key* is currently in the air."""
         return key in self._inflight
 
+    def acquire(
+        self, key: Hashable, thunk: Callable[[], Awaitable[T]]
+    ) -> tuple[asyncio.Task, bool]:
+        """Join-or-start the flight for *key*; returns ``(task, leader?)``.
+
+        Synchronous — the pending probe and the task creation happen in
+        one event-loop tick, so a caller deciding leadership from
+        :meth:`pending` just before calling this cannot be raced by a
+        concurrent request (the serving app's admission control depends
+        on this: only true leaders consume global compile slots).
+        """
+        task = self._inflight.get(key)
+        if task is not None:
+            self.joined += 1
+            return task, False
+        self.leaders += 1
+        task = asyncio.ensure_future(thunk())
+        self._inflight[key] = task
+        task.add_done_callback(
+            lambda finished, key=key: self._forget(key, finished)
+        )
+        return task, True
+
     async def run(
         self, key: Hashable, thunk: Callable[[], Awaitable[T]]
     ) -> T:
@@ -52,19 +75,15 @@ class SingleFlight:
         the leader itself fails, every coalesced waiter sees the same
         exception.
         """
-        task = self._inflight.get(key)
-        if task is None:
-            self.leaders += 1
-            task = asyncio.ensure_future(thunk())
-            self._inflight[key] = task
-            task.add_done_callback(
-                lambda finished, key=key: self._forget(key, finished)
-            )
-        else:
-            self.joined += 1
+        task, _ = self.acquire(key, thunk)
         return await asyncio.shield(task)
 
     def _forget(self, key: Hashable, finished: asyncio.Task) -> None:
         """Drop a completed flight (only if it is still the current one)."""
         if self._inflight.get(key) is finished:
             del self._inflight[key]
+        # A flight whose waiters all timed out and left still resolves
+        # here; retrieve its exception so an abandoned failure doesn't
+        # surface as a "Task exception was never retrieved" warning.
+        if not finished.cancelled():
+            finished.exception()

@@ -10,7 +10,10 @@ reverse proxy.
 
 :class:`ServingClient` is the matching minimal client (one keep-alive
 connection, blocking-per-request semantics) used by the load benchmark
-and the socket-level tests.
+and the socket-level tests.  It retries connection failures and 503s
+with jittered exponential backoff (honoring ``Retry-After``) under a
+per-request retry budget, so transient resets and load shedding don't
+fail a benchmark run.
 
 Graceful shutdown: :meth:`ServingServer.stop` closes the listening
 socket, waits briefly for in-flight connection handlers, cancels any
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 
 from .app import ServingApp, ServingResponse
 
@@ -42,16 +46,26 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 def _encode_response(response: ServingResponse, keep_alive: bool) -> bytes:
     body = response.body()
     reason = _REASONS.get(response.status, "Unknown")
+    # Retryable structured errors carry their retry hint in the body;
+    # mirror it as the standard header so plain HTTP clients see it too.
+    retry_after = ""
+    error = response.payload.get("error")
+    if isinstance(error, dict) and "retry_after" in error:
+        retry_after = f"Retry-After: {max(0.0, float(error['retry_after'])):.3f}\r\n"
     head = (
         f"HTTP/1.1 {response.status} {reason}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{retry_after}"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
         f"\r\n"
     )
@@ -122,7 +136,7 @@ class ServingServer:
                     break
                 if request is None:
                     break
-                method, path, payload, keep_alive, parse_error = request
+                method, path, payload, request_headers, keep_alive, parse_error = request
                 if parse_error is not None:
                     response = ServingResponse(
                         parse_error[0],
@@ -130,7 +144,9 @@ class ServingServer:
                     )
                     keep_alive = False
                 else:
-                    response = await self.app.request(method, path, payload)
+                    response = await self.app.request(
+                        method, path, payload, headers=request_headers
+                    )
                 self.requests_served += 1
                 writer.write(_encode_response(response, keep_alive))
                 await writer.drain()
@@ -148,9 +164,11 @@ class ServingServer:
     async def _read_request(self, reader: asyncio.StreamReader):
         """Parse one request; ``None`` on clean EOF.
 
-        Returns ``(method, path, payload, keep_alive, parse_error)`` where
-        *parse_error* is ``None`` or ``(status, code, message)`` for
-        malformed input the app never sees.
+        Returns ``(method, path, payload, headers, keep_alive,
+        parse_error)`` where *headers* maps lower-cased names to values
+        (the app honors ``x-deadline-ms``) and *parse_error* is ``None``
+        or ``(status, code, message)`` for malformed input the app never
+        sees.
         """
         try:
             request_line = await reader.readline()
@@ -163,7 +181,7 @@ class ServingServer:
                 request_line.decode("ascii").strip().split(" ", 2)
             )
         except (UnicodeDecodeError, ValueError):
-            return "GET", "/", None, False, (400, "bad-request-line", "unreadable request line")
+            return "GET", "/", None, {}, False, (400, "bad-request-line", "unreadable request line")
         path = target.split("?", 1)[0]
 
         headers: dict[str, str] = {}
@@ -185,11 +203,11 @@ class ServingServer:
             try:
                 length = int(length_header)
             except ValueError:
-                return method, path, None, False, (
+                return method, path, None, headers, False, (
                     400, "bad-content-length", "Content-Length is not an integer"
                 )
             if length > MAX_BODY_BYTES:
-                return method, path, None, False, (
+                return method, path, None, headers, False, (
                     413, "payload-too-large",
                     f"request body exceeds {MAX_BODY_BYTES} bytes",
                 )
@@ -201,10 +219,10 @@ class ServingServer:
                 try:
                     payload = json.loads(body)
                 except json.JSONDecodeError as error:
-                    return method, path, None, keep_alive, (
+                    return method, path, None, headers, keep_alive, (
                         400, "bad-json", f"request body is not JSON: {error}"
                     )
-        return method, path, payload, keep_alive, None
+        return method, path, payload, headers, keep_alive, None
 
 
 class ServingClient:
@@ -213,11 +231,33 @@ class ServingClient:
     One TCP connection, one request in flight at a time.  Used by the
     load benchmark (many client instances = many concurrent connections)
     and the socket-level tests; not a general HTTP client.
+
+    Transient failures are retried under a budget of *retries* extra
+    attempts: connection errors reconnect and retry, 503 responses (load
+    shed, open circuit, backend hiccup — all marked retryable by the
+    server) are retried after the server's ``Retry-After`` hint capped at
+    *max_backoff*, or a jittered exponential backoff when the hint is
+    absent.  The jitter stream is seeded per client, so a seeded harness
+    (chaos, benchmarks) replays identical schedules.  ``retries=0``
+    restores the PR 7 fail-fast behaviour.
     """
 
-    def __init__(self, host: str, port: int):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        retries: int = 3,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+        seed: int = 0,
+    ):
         self.host = host
         self.port = port
+        self.retries = retries
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        self.retried = 0
+        self._jitter = random.Random(seed)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -227,19 +267,67 @@ class ServingClient:
                 self.host, self.port
             )
 
+    def _delay(self, attempt: int, retry_after: float | None) -> float:
+        """Backoff before retry *attempt*: server hint or jittered exp."""
+        if retry_after is not None:
+            return min(max(retry_after, 0.0), self.max_backoff)
+        delay = min(self.backoff * (2**attempt), self.max_backoff)
+        return delay * (0.5 + 0.5 * self._jitter.random())
+
     async def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
     ) -> ServingResponse:
-        """Send one request; returns the decoded :class:`ServingResponse`."""
+        """Send one request; returns the decoded :class:`ServingResponse`.
+
+        *headers* adds extra request headers (e.g. ``X-Deadline-Ms``).
+        Connection errors and 503s are retried per the client's budget;
+        other statuses — including 5xx that are not marked retryable —
+        are returned as-is.
+        """
+        attempt = 0
+        while True:
+            try:
+                response = await self._attempt(method, path, payload, headers)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                await self.aclose()
+                if attempt >= self.retries:
+                    raise
+                retry_after = None
+            else:
+                if response.status != 503 or attempt >= self.retries:
+                    return response
+                error = response.payload.get("error", {})
+                retry_after = (
+                    error.get("retry_after") if isinstance(error, dict) else None
+                )
+            self.retried += 1
+            await asyncio.sleep(self._delay(attempt, retry_after))
+            attempt += 1
+
+    async def _attempt(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        extra_headers: dict | None,
+    ) -> ServingResponse:
         await self._ensure_connected()
         body = b""
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"{method.upper()} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"\r\n"
         )
         self._writer.write(head.encode("ascii") + body)

@@ -24,6 +24,22 @@ loop, per-tenant state is mutated by one thread at a time, and
 thread-affine backends (SQLite connections) stay on the thread that
 created them.  A slow compile occupies only its artifact executor — warm
 answers keep flowing through the tenant executors.
+
+Two resilience mechanisms live at this layer (PR 8):
+
+* **Cooperative cancellation** — every artifact set's strategy is wrapped
+  in :class:`~repro.serving.resilience.InterruptibleStrategy`; the app
+  hands :meth:`SharedArtifacts.compile_blocking` a per-request
+  :class:`~repro.serving.resilience.CancelScope` so a timed-out compile
+  aborts at the next generation boundary *after* the kernel checkpointed
+  the previous one — the request 504s, the work is resumable.
+* **Epoched live theory updates** — :meth:`TenantRegistry.update_theory`
+  swaps a live tenant onto a new artifact set without downtime.  Requests
+  pin the :class:`TenantEpoch` (artifacts + execution system) they
+  started on; the swap retires the old epoch, which is closed only when
+  its in-flight refcount drains.  Artifact sets are refcounted the same
+  way (tenant memberships + pinned epochs), so the shared compile
+  executor survives exactly as long as someone can still reach it.
 """
 
 from __future__ import annotations
@@ -42,6 +58,8 @@ from ..cache.store import RewritingStore
 from ..database.instance import RelationalInstance
 from ..dependencies.theory import OntologyTheory
 from ..queries.conjunctive_query import ConjunctiveQuery
+from ..scheduling import create_strategy
+from .resilience import CancelScope, InterruptibleStrategy
 
 #: Subdirectory of the store directory holding per-compile frontier
 #: checkpoints (one file per (canonical key, fingerprint) digest).
@@ -96,14 +114,18 @@ class SharedArtifacts:
         checkpoint_directory: str | Path | None = None,
         strategy=None,
         warm_limit: int | None = DEFAULT_WARM_LIMIT,
+        fault_plan=None,
     ) -> None:
         self.theory = theory
         self.rewriting_cache: dict[ConjunctiveQuery, RewritingResult] = {}
+        # Every compile runs under the interruptible wrapper so deadlines,
+        # shutdown and chaos faults all share one generation-boundary seam.
+        self.strategy = InterruptibleStrategy(create_strategy(strategy))
         self.system = OBDASystem(
             theory,
             use_nc_pruning=bool(theory.negative_constraints),
             cache=store,
-            strategy=strategy,
+            strategy=self.strategy,
             rewriting_cache=self.rewriting_cache,
         )
         self.fingerprint = self.system.theory_fingerprint
@@ -118,6 +140,12 @@ class SharedArtifacts:
         self.compiles = 0
         self.served_memory = 0
         self.served_store = 0
+        self._fault_plan = fault_plan
+        # Lifetime: tenant memberships + pinned epochs, see retain/retire.
+        self._state_lock = threading.Lock()
+        self._refs = 0
+        self._retired = False
+        self._closed = False
         self.warmed = self._warm_from_store(store, warm_limit)
 
     def _warm_from_store(
@@ -162,7 +190,9 @@ class SharedArtifacts:
         digest = compile_digest(query, self.fingerprint)
         return FrontierCheckpoint(self._checkpoint_directory / f"{digest}.json")
 
-    def compile_blocking(self, query: ConjunctiveQuery) -> tuple[RewritingResult, str]:
+    def compile_blocking(
+        self, query: ConjunctiveQuery, scope: CancelScope | None = None
+    ) -> tuple[RewritingResult, str]:
         """Compile *query* through the shared layers; returns (result, source).
 
         Blocking — the serving app runs it on :attr:`executor`.  The lock
@@ -171,11 +201,29 @@ class SharedArtifacts:
         ``compile_traced`` are cheap, so holding the lock across them
         costs warm requests nothing (warm requests are answered from the
         tenant's prepared pool without ever calling this).
+
+        *scope* is the request's cancellation scope: the wrapped strategy
+        polls it between frontier generations, so an expired deadline
+        aborts the engine run right after a checkpoint — resumable, not
+        wasted.  One slot suffices because compiles per artifact set are
+        serialised by the lock.
         """
+        plan = self._fault_plan
+        digest = compile_digest(query, self.fingerprint)
         with self._compile_lock:
-            result, source = self.system.compile_traced(
-                query, checkpoint=self.checkpoint_for(query)
+            self.strategy.scope = scope
+            self.strategy.fault = (
+                plan.generation_fault(digest) if plan is not None else None
             )
+            try:
+                if plan is not None:
+                    plan.before_compile(digest)
+                result, source = self.system.compile_traced(
+                    query, checkpoint=self.checkpoint_for(query)
+                )
+            finally:
+                self.strategy.scope = None
+                self.strategy.fault = None
         if source == "engine":
             self.compiles += 1
         elif source == "store":
@@ -183,6 +231,44 @@ class SharedArtifacts:
         else:
             self.served_memory += 1
         return result, source
+
+    # -- lifetime ----------------------------------------------------------
+    #
+    # An artifact set stays alive while anyone can still reach it: each
+    # registered tenant holds one reference, and each request-pinned
+    # TenantEpoch holds one more.  ``retire`` (last tenant detached, e.g.
+    # after a live theory update) closes the set as soon as the last
+    # in-flight epoch drains — never under a request's feet.
+
+    def retain(self) -> None:
+        """Take one reference (tenant membership or pinned epoch)."""
+        with self._state_lock:
+            self._refs += 1
+
+    def release(self) -> None:
+        """Drop one reference; closes the set once retired and drained."""
+        with self._state_lock:
+            self._refs = max(0, self._refs - 1)
+            should_close = self._retired and self._refs == 0
+        if should_close:
+            self.close()
+
+    def retire(self) -> None:
+        """Mark the set obsolete; it closes when the refcount drains."""
+        with self._state_lock:
+            self._retired = True
+            should_close = self._refs == 0
+        if should_close:
+            self.close()
+
+    def interrupt(self) -> None:
+        """Abort the current and all future compiles (service shutdown).
+
+        The in-flight engine run stops at its next generation boundary —
+        after the kernel persisted the previous generation's checkpoint —
+        so shutdown never loses more than one generation of work.
+        """
+        self.strategy.shutdown()
 
     def describe(self) -> dict:
         """The stats-endpoint view of this artifact set."""
@@ -204,8 +290,33 @@ class SharedArtifacts:
 
     def close(self) -> None:
         """Release the compile executor and the compilation system."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
         self.executor.shutdown(wait=True)
         self.system.close()
+        self.strategy.close()
+
+
+class TenantEpoch:
+    """One tenant's view of the world between two theory updates.
+
+    Pins the pair a request must use together — the shared artifact set
+    it compiles against and the tenant-owned execution system it answers
+    on.  Requests :meth:`~Tenant.retain_epoch` at entry and release at
+    exit; a live theory update retires the old epoch, whose system is
+    closed (on the tenant's executor thread) only when the last in-flight
+    request lets go.  The epoch holds one reference on its artifact set
+    for its whole life, so retired artifacts drain the same way.
+    """
+
+    def __init__(self, artifacts: SharedArtifacts, system: OBDASystem) -> None:
+        self.artifacts = artifacts
+        self.system = system
+        self.refs = 0
+        self.retired = False
+        artifacts.retain()
 
 
 class Tenant:
@@ -224,17 +335,18 @@ class Tenant:
         name: str,
         artifacts: SharedArtifacts,
         backend: str = "memory",
+        fault_plan=None,
     ) -> None:
         self.name = name
-        self.artifacts = artifacts
         self.backend_name = backend
         self._lock = threading.RLock()
+        self._fault_plan = fault_plan
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"tenant-{name}"
         )
         # Built on the executor thread: thread-affine backends (SQLite
         # connections) must live on the thread that will run the plans.
-        self.system = self.executor.submit(
+        system = self.executor.submit(
             lambda: OBDASystem(
                 artifacts.theory,
                 database=RelationalInstance(),
@@ -243,8 +355,88 @@ class Tenant:
                 rewriting_cache=artifacts.rewriting_cache,
             )
         ).result()
+        self._epoch_lock = threading.Lock()
+        self._epoch = TenantEpoch(artifacts, system)
+        self._live_epochs: list[TenantEpoch] = [self._epoch]
+        self.theory_updates = 0
         self.answers_served = 0
         self.warmed_prepared = 0
+
+    @property
+    def artifacts(self) -> SharedArtifacts:
+        """The current epoch's shared artifact set."""
+        return self._epoch.artifacts
+
+    @property
+    def system(self) -> OBDASystem:
+        """The current epoch's execution system."""
+        return self._epoch.system
+
+    # -- epochs (live theory updates) --------------------------------------
+
+    def retain_epoch(self) -> TenantEpoch:
+        """Pin the current epoch for one request (release when done).
+
+        Everything the request touches afterwards — artifact cache,
+        compile executor, execution system — must come from the returned
+        epoch, so a concurrent theory update can never close state out
+        from under it.
+        """
+        with self._epoch_lock:
+            epoch = self._epoch
+            epoch.refs += 1
+            return epoch
+
+    def release_epoch(self, epoch: TenantEpoch) -> None:
+        """Unpin *epoch*; a retired epoch is closed once fully drained."""
+        with self._epoch_lock:
+            epoch.refs -= 1
+            drained = epoch.retired and epoch.refs == 0
+        if drained:
+            self._close_epoch(epoch)
+
+    def adopt(self, artifacts: SharedArtifacts) -> None:
+        """Swap this tenant onto *artifacts* (a live theory update).
+
+        The new execution system is built on the tenant's executor thread
+        over the *same* database instance — facts and the epoch counter
+        survive the update.  The old epoch keeps serving its in-flight
+        requests on the old artifacts and is closed when they drain; new
+        requests see the new epoch the moment the swap completes.
+        """
+        old_system = self._epoch.system
+        system = self.on_own_thread(
+            lambda: OBDASystem(
+                artifacts.theory,
+                database=old_system.database,
+                use_nc_pruning=bool(artifacts.theory.negative_constraints),
+                backend=self.backend_name,
+                rewriting_cache=artifacts.rewriting_cache,
+            )
+        )
+        fresh = TenantEpoch(artifacts, system)
+        with self._epoch_lock:
+            old = self._epoch
+            self._epoch = fresh
+            self._live_epochs.append(fresh)
+            old.retired = True
+            drained = old.refs == 0
+        self.theory_updates += 1
+        if drained:
+            self._close_epoch(old)
+
+    def _close_epoch(self, epoch: TenantEpoch) -> None:
+        """Close a drained epoch's system (on the tenant thread) and
+        release its artifact reference."""
+        with self._epoch_lock:
+            if epoch not in self._live_epochs:
+                return
+            self._live_epochs.remove(epoch)
+        try:
+            self.executor.submit(epoch.system.close).result()
+        except RuntimeError:
+            epoch.system.close()
+        epoch.artifacts.release()
 
     def on_own_thread(self, function, *args):
         """Run *function* on this tenant's executor thread, synchronously.
@@ -295,30 +487,35 @@ class Tenant:
         self.warmed_prepared += len(queries)
         return len(queries)
 
-    def prepare_blocking(self, query: ConjunctiveQuery):
+    def prepare_blocking(self, query: ConjunctiveQuery, system: OBDASystem | None = None):
         """Plan *query* on this tenant's backend; returns the prepared handle.
 
         Blocking — the serving app runs it on :attr:`executor` after the
         shared compile has happened, so this is a plan-cache probe or a
-        single backend planning pass, never an engine run.
+        single backend planning pass, never an engine run.  *system* pins
+        the request's epoch (defaults to the current one).
         """
         with self._lock:
-            return self.system.prepare(query)
+            return (system or self.system).prepare(query)
 
     def answer_blocking(
         self,
         query: ConjunctiveQuery,
         bindings: Mapping[object, object] | None = None,
+        system: OBDASystem | None = None,
     ) -> tuple[frozenset[tuple], bool]:
         """Execute *query*; returns ``(answer tuples, served-from-cache?)``.
 
         Blocking — the serving app runs it on :attr:`executor`.  The
         compile is expected to have happened through the shared artifacts
         already; this plans (once) and executes on the tenant's backend,
-        with answers cached per database epoch.
+        with answers cached per database epoch.  *system* pins the
+        request's epoch (defaults to the current one).
         """
+        if self._fault_plan is not None:
+            self._fault_plan.before_execute(self.name)
         with self._lock:
-            prepared = self.system.prepare(query)
+            prepared = (system or self.system).prepare(query)
             before = prepared.execution_cache_info().hits
             answers = prepared.execute(bindings)
             cached = prepared.execution_cache_info().hits > before
@@ -338,6 +535,7 @@ class Tenant:
             "backend": self.backend_name,
             "facts": len(self.system.database),
             "epoch": self.system.database.epoch,
+            "theory_updates": self.theory_updates,
             "answers_served": self.answers_served,
             "warmed_prepared": self.warmed_prepared,
             "prepared": {
@@ -350,15 +548,22 @@ class Tenant:
     def close(self) -> None:
         """Release the tenant executor and backend resources.
 
-        The system is closed *on* the executor thread first (SQLite
-        connections refuse cross-thread close), then the executor drains.
+        Every live epoch's system is closed *on* the executor thread
+        first (SQLite connections refuse cross-thread close), then the
+        executor drains; each epoch's artifact reference is released so
+        retired artifact sets can finally close too.
         """
-        try:
-            self.executor.submit(self.system.close).result()
-        except RuntimeError:
-            # Executor already shut down — nothing ran since, so closing
-            # from this thread is the best remaining option.
-            self.system.close()
+        with self._epoch_lock:
+            epochs = list(self._live_epochs)
+            self._live_epochs.clear()
+        for epoch in epochs:
+            try:
+                self.executor.submit(epoch.system.close).result()
+            except RuntimeError:
+                # Executor already shut down — nothing ran since, so
+                # closing from this thread is the best remaining option.
+                epoch.system.close()
+            epoch.artifacts.release()
         self.executor.shutdown(wait=True)
 
 
@@ -384,6 +589,10 @@ class TenantRegistry:
         Optional zero-argument callable producing the scheduling strategy
         for each artifact set's compile engine (tests inject failing
         strategies to simulate kills; the default is sequential).
+    fault_plan:
+        Optional chaos-harness fault plan (see
+        :mod:`repro.serving.chaos`), threaded into every artifact set
+        (compile stalls/kills) and tenant (backend faults).
     """
 
     def __init__(
@@ -393,6 +602,7 @@ class TenantRegistry:
         backend: str = "memory",
         warm_limit: int | None = DEFAULT_WARM_LIMIT,
         strategy_factory=None,
+        fault_plan=None,
     ) -> None:
         if max_tenants is not None and max_tenants < 1:
             raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
@@ -408,6 +618,10 @@ class TenantRegistry:
         self._default_backend = backend
         self._warm_limit = warm_limit
         self._strategy_factory = strategy_factory
+        self._fault_plan = fault_plan
+        # register/update/deregister may run on different pool threads
+        # (the app offloads them); serialise the registry mutations.
+        self._mutation_lock = threading.RLock()
         self._tenants: dict[str, Tenant] = {}
         self._artifacts: dict[str, SharedArtifacts] = {}
 
@@ -466,6 +680,17 @@ class TenantRegistry:
         registration never compiles anything, and any rewriting either
         tenant compiles afterwards is immediately warm for both.
         """
+        with self._mutation_lock:
+            return self._register_locked(name, theory, facts, backend, warm_prepared)
+
+    def _register_locked(
+        self,
+        name: str,
+        theory: OntologyTheory,
+        facts: Iterable[tuple[str, Sequence[object]]],
+        backend: str | None,
+        warm_prepared: bool,
+    ) -> tuple[Tenant, bool]:
         if name in self._tenants:
             raise DuplicateTenantError(f"tenant {name!r} is already registered")
         if self.max_tenants is not None and len(self._tenants) >= self.max_tenants:
@@ -473,33 +698,90 @@ class TenantRegistry:
                 f"tenant capacity reached ({self.max_tenants}); "
                 "deregister a tenant first"
             )
-        fingerprint = self.expected_fingerprint(theory)
-        artifacts = self._artifacts.get(fingerprint)
-        shared = artifacts is not None
-        if artifacts is None:
-            artifacts = SharedArtifacts(
-                theory,
-                store=self.store,
-                checkpoint_directory=(
-                    self._cache_directory / CHECKPOINT_DIRNAME
-                    if self._cache_directory is not None
-                    else None
-                ),
-                strategy=(
-                    self._strategy_factory() if self._strategy_factory else None
-                ),
-                warm_limit=self._warm_limit,
-            )
-            self._artifacts[artifacts.fingerprint] = artifacts
+        artifacts, shared = self._artifacts_for(theory)
         tenant = Tenant(
-            name, artifacts, backend=backend or self._default_backend
+            name,
+            artifacts,
+            backend=backend or self._default_backend,
+            fault_plan=self._fault_plan,
         )
         tenant.on_own_thread(tenant.add_facts, facts)
         if warm_prepared and artifacts.rewriting_cache:
             tenant.on_own_thread(tenant.warm_prepared_pool, self._warm_limit)
-        artifacts.tenant_names.add(name)
+        self._attach(artifacts, name)
         self._tenants[name] = tenant
         return tenant, shared
+
+    def _artifacts_for(self, theory: OntologyTheory) -> tuple[SharedArtifacts, bool]:
+        """Get or create the artifact set of *theory*'s fingerprint."""
+        fingerprint = self.expected_fingerprint(theory)
+        artifacts = self._artifacts.get(fingerprint)
+        if artifacts is not None:
+            return artifacts, True
+        artifacts = SharedArtifacts(
+            theory,
+            store=self.store,
+            checkpoint_directory=(
+                self._cache_directory / CHECKPOINT_DIRNAME
+                if self._cache_directory is not None
+                else None
+            ),
+            strategy=(
+                self._strategy_factory() if self._strategy_factory else None
+            ),
+            warm_limit=self._warm_limit,
+            fault_plan=self._fault_plan,
+        )
+        self._artifacts[artifacts.fingerprint] = artifacts
+        return artifacts, False
+
+    def _attach(self, artifacts: SharedArtifacts, name: str) -> None:
+        """Record *name*'s membership in *artifacts* (one reference)."""
+        artifacts.tenant_names.add(name)
+        artifacts.retain()
+
+    def _detach(self, artifacts: SharedArtifacts, name: str) -> None:
+        """Drop *name*'s membership; retire the set when the last is out.
+
+        Retiring drops the set from the fingerprint table immediately —
+        a re-registration of the same theory gets a fresh set — but the
+        retired set itself is only closed when its in-flight epoch
+        references drain.
+        """
+        artifacts.tenant_names.discard(name)
+        if not artifacts.tenant_names:
+            if self._artifacts.get(artifacts.fingerprint) is artifacts:
+                del self._artifacts[artifacts.fingerprint]
+            artifacts.release()
+            artifacts.retire()
+        else:
+            artifacts.release()
+
+    def update_theory(
+        self, name: str, theory: OntologyTheory
+    ) -> tuple[Tenant, bool, bool]:
+        """Swap a live tenant onto *theory* without dropping requests.
+
+        Returns ``(tenant, changed?, artifacts were shared?)``.  A theory
+        with the tenant's current fingerprint is a no-op.  Otherwise the
+        tenant is epoched onto the (new or existing) artifact set of the
+        new fingerprint: in-flight requests finish on the old epoch, new
+        requests compile against the new fingerprint, and the old epoch —
+        and its artifact set, when this was its last tenant — is released
+        once its refcount drains.  Facts and the database epoch counter
+        survive the update.
+        """
+        with self._mutation_lock:
+            tenant = self.get(name)
+            fingerprint = self.expected_fingerprint(theory)
+            if fingerprint == tenant.fingerprint:
+                return tenant, False, True
+            artifacts, shared = self._artifacts_for(theory)
+            old = tenant.artifacts
+            self._attach(artifacts, name)
+            tenant.adopt(artifacts)
+            self._detach(old, name)
+            return tenant, True, shared
 
     def deregister(self, name: str) -> None:
         """Remove a tenant, releasing its artifact set when last out.
@@ -508,21 +790,32 @@ class TenantRegistry:
         tenant remains; the persistent store survives regardless (that is
         the point of it).
         """
-        tenant = self.get(name)
-        del self._tenants[name]
-        artifacts = tenant.artifacts
-        artifacts.tenant_names.discard(name)
-        tenant.close()
-        if not artifacts.tenant_names:
-            del self._artifacts[artifacts.fingerprint]
-            artifacts.close()
+        with self._mutation_lock:
+            tenant = self.get(name)
+            del self._tenants[name]
+            artifacts = tenant.artifacts
+            tenant.close()
+            self._detach(artifacts, name)
+
+    def interrupt_all(self) -> None:
+        """Ask every artifact set to abort its compiles (shutdown path).
+
+        In-flight engine runs stop at their next generation boundary with
+        their checkpoints already persisted, so a service stopped under
+        load loses at most one generation per compile and resumes on
+        restart.
+        """
+        for artifacts in list(self._artifacts.values()):
+            artifacts.interrupt()
 
     def close(self) -> None:
         """Close every tenant, artifact set and the store."""
-        for name in list(self._tenants):
-            tenant = self._tenants.pop(name)
-            tenant.artifacts.tenant_names.discard(name)
-            tenant.close()
-        for artifacts in self._artifacts.values():
-            artifacts.close()
-        self._artifacts.clear()
+        with self._mutation_lock:
+            for name in list(self._tenants):
+                tenant = self._tenants.pop(name)
+                artifacts = tenant.artifacts
+                tenant.close()
+                self._detach(artifacts, name)
+            for artifacts in list(self._artifacts.values()):
+                artifacts.close()
+            self._artifacts.clear()

@@ -173,3 +173,38 @@ class TestCheckpointValidity:
         assert checkpoint.saves == 0
         assert not checkpoint.path.exists()
         assert len(result.ucq) >= 1
+
+
+class TestDegradedWrites:
+    """Filesystem failures degrade a checkpoint, never a compile (PR 8)."""
+
+    def _broken_path(self, tmp_path):
+        # A regular file where a directory is needed: mkdir/open/unlink
+        # under it all raise genuine OSErrors.
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("")
+        return blocker / "nested" / "frontier.json"
+
+    def test_unwritable_path_degrades_save_to_false(
+        self, tmp_path, workload, clean_result, caplog
+    ):
+        checkpoint = FrontierCheckpoint(self._broken_path(tmp_path))
+        engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+        with caplog.at_level("WARNING", logger="repro.cache.checkpoint"):
+            result = engine.rewrite(workload.query("q5"), checkpoint=checkpoint)
+        # The compile ran to the correct answer regardless...
+        assert result.ucq.queries == clean_result.ucq.queries
+        # ...with every save degraded (and counted), not raised.
+        assert checkpoint.saves == 0
+        assert checkpoint.save_failures >= 1
+        assert any(
+            "checkpoint save" in record.message for record in caplog.records
+        )
+
+    def test_load_over_an_unreadable_path_starts_fresh(self, tmp_path, workload):
+        checkpoint = FrontierCheckpoint(self._broken_path(tmp_path))
+        engine = TGDRewriter(workload.theory.tgds, use_elimination=True)
+        assert checkpoint.load(engine, workload.query("q5")) is None
+
+    def test_clear_tolerates_filesystem_failures(self, tmp_path):
+        FrontierCheckpoint(self._broken_path(tmp_path)).clear()

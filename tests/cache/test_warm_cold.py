@@ -149,3 +149,32 @@ class TestSharedStoreInstance:
         assert warm.statistics.persistent_cache_hits == 1
         assert store.statistics.hits == 1
         assert store.statistics.stores == 1
+
+
+class TestDegradedStoreWrites:
+    """A failed store write must never fail (or lose) a finished compile."""
+
+    def test_store_write_failure_degrades_to_memory_serving(self, tmp_path, caplog):
+        theory = stock_exchange_example.theory()
+        query = stock_exchange_example.running_query()
+        system = OBDASystem(theory, cache=tmp_path)
+
+        def refuse(*args, **kwargs):
+            raise OSError("disk full")
+
+        system._store.put = refuse
+        with caplog.at_level("WARNING", logger="repro.api"):
+            result = system.compile(query)
+        assert len(result.ucq) >= 1
+        assert any("store write failed" in r.message for r in caplog.records)
+        info = system.rewriting_cache_info()
+        assert info.persistent_write_failures == 1
+        # The in-process cache still serves the compile warm...
+        again = system.compile(query)
+        assert repr(again.ucq) == repr(result.ucq)
+        assert system.rewriting_cache_info().hits == 1
+        system.close()
+        # ...but nothing reached the (refusing) disk.
+        cold = OBDASystem(theory, cache=tmp_path)
+        assert cold.compile(query).statistics.persistent_cache_misses == 1
+        cold.close()

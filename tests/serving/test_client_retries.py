@@ -1,0 +1,120 @@
+"""ServingClient retry behaviour: 503s, Retry-After, seeded backoff.
+
+The client-side half of the resilience story: retryable 503s (shed,
+open circuit, backend hiccups) are retried under a budget, honoring the
+server's ``Retry-After`` hint, with a seeded jittered exponential
+backoff when the hint is absent — so a retry storm from N clients does
+not resynchronise into the thundering herd shedding exists to break.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serving import FaultPlan, ServingApp, ServingClient, ServingServer
+
+from .conftest import register, serve
+
+QUERY = {"tenant": "acme", "query": "q(A) :- Person(A)"}
+
+
+class TestRetrySchedule:
+    def test_retry_after_hint_wins_and_is_capped(self):
+        client = ServingClient("127.0.0.1", 1, backoff=0.05, max_backoff=0.2)
+        assert client._delay(0, retry_after=0.1) == 0.1
+        assert client._delay(5, retry_after=99.0) == 0.2  # capped
+        assert client._delay(0, retry_after=-1.0) == 0.0  # clamped
+
+    def test_jittered_backoff_doubles_and_is_seeded(self):
+        one = ServingClient("127.0.0.1", 1, backoff=0.05, max_backoff=10.0, seed=3)
+        two = ServingClient("127.0.0.1", 1, backoff=0.05, max_backoff=10.0, seed=3)
+        delays_one = [one._delay(attempt, None) for attempt in range(4)]
+        delays_two = [two._delay(attempt, None) for attempt in range(4)]
+        assert delays_one == delays_two  # same seed, same schedule
+        for attempt, delay in enumerate(delays_one):
+            # jitter keeps each delay within [0.5, 1.0] x the exp step
+            step = 0.05 * (2**attempt)
+            assert 0.5 * step <= delay <= step
+        different = ServingClient("127.0.0.1", 1, backoff=0.05, seed=4)
+        assert [different._delay(a, None) for a in range(4)] != delays_one
+
+
+class TestRetryIntegration:
+    def test_transient_503_is_retried_to_success(self):
+        async def body():
+            plan = FaultPlan(seed=0, backend_faults=1)
+            app = ServingApp(fault_plan=plan)
+            server = ServingServer(app)
+            await server.start()
+            client = ServingClient(
+                "127.0.0.1", server.port, retries=3, backoff=0.01
+            )
+            try:
+                await register(app, "acme")
+                plan.arm()
+                response = await client.request("POST", "/answer", QUERY)
+                assert response.status == 200, response.payload
+                assert client.retried >= 1
+            finally:
+                plan.disarm()
+                await client.aclose()
+                await server.stop()
+                await app.aclose()
+
+        serve(body)
+
+    def test_retry_honors_the_servers_retry_after_hint(self):
+        async def body():
+            from repro.serving.resilience import ResilienceConfig
+
+            plan = FaultPlan(seed=0, backend_faults=1)
+            app = ServingApp(
+                fault_plan=plan,
+                resilience=ResilienceConfig(shed_retry_after=0.15),
+            )
+            server = ServingServer(app)
+            await server.start()
+            client = ServingClient(
+                "127.0.0.1", server.port, retries=2, backoff=0.001
+            )
+            try:
+                await register(app, "acme")
+                warm = await client.request("POST", "/answer", QUERY)
+                assert warm.status == 200
+                plan.arm()
+                started = time.perf_counter()
+                response = await client.request("POST", "/answer", QUERY)
+                elapsed = time.perf_counter() - started
+                assert response.status == 200
+                # The one retry waited out the 0.15s Retry-After hint
+                # rather than its own ~1ms backoff.
+                assert elapsed >= 0.14, elapsed
+            finally:
+                plan.disarm()
+                await client.aclose()
+                await server.stop()
+                await app.aclose()
+
+        serve(body)
+
+    def test_retries_zero_fails_fast(self):
+        async def body():
+            plan = FaultPlan(seed=0, backend_faults=1)
+            app = ServingApp(fault_plan=plan)
+            server = ServingServer(app)
+            await server.start()
+            client = ServingClient("127.0.0.1", server.port, retries=0)
+            try:
+                await register(app, "acme")
+                plan.arm()
+                response = await client.request("POST", "/answer", QUERY)
+                assert response.status == 503
+                assert response.payload["error"]["code"] == "backend-error"
+                assert client.retried == 0
+            finally:
+                plan.disarm()
+                await client.aclose()
+                await server.stop()
+                await app.aclose()
+
+        serve(body)

@@ -130,7 +130,7 @@ class TestKillAndResume:
                 await register(app, "acme")
                 response = await app.request("POST", "/answer", QUERY)
                 assert response.status == 500
-                assert response.payload["error"]["code"] == "internal-error"
+                assert response.payload["error"]["code"] == "compile-failed"
                 assert "SimulatedKill" in response.payload["error"]["message"]
             finally:
                 await app.aclose()

@@ -495,3 +495,79 @@ class TestServeCommand:
     def test_unknown_backend_is_a_parser_error(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--backend", "postgres"])
+
+
+class TestResilienceFlags:
+    def test_parser_accepts_the_resilience_flags(self):
+        arguments = build_parser().parse_args(
+            [
+                "serve",
+                "--port", "0",
+                "--compile-timeout", "5.0",
+                "--answer-timeout", "2.0",
+                "--max-inflight-compiles", "4",
+                "--queue-depth", "32",
+                "--breaker-threshold", "2",
+            ]
+        )
+        assert arguments.compile_timeout == 5.0
+        assert arguments.answer_timeout == 2.0
+        assert arguments.max_inflight_compiles == 4
+        assert arguments.queue_depth == 32
+        assert arguments.breaker_threshold == 2
+
+    def test_resilience_defaults_match_the_config(self):
+        from repro.serving.resilience import ResilienceConfig
+
+        arguments = build_parser().parse_args(["serve", "--port", "0"])
+        defaults = ResilienceConfig()
+        assert arguments.compile_timeout == defaults.compile_timeout
+        assert arguments.answer_timeout == defaults.answer_timeout
+        assert arguments.max_inflight_compiles == defaults.max_inflight_compiles
+        assert arguments.queue_depth == defaults.queue_depth
+        assert arguments.breaker_threshold == defaults.breaker_threshold
+
+
+class TestChaosCommand:
+    def test_small_seeded_run_passes(self, tmp_path, capsys):
+        assert main(
+            ["chaos", "--seed", "11", "--cases", "1",
+             "--repro-dir", str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "chaos[0]" in output
+        assert "# chaos: 1 cases, 1 ok, 0 failed (seed 11, epsilon 0.5s)" in output
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_quiet_suppresses_passing_case_lines(self, tmp_path, capsys):
+        assert main(
+            ["chaos", "--seed", "11", "--cases", "1", "--quiet",
+             "--repro-dir", str(tmp_path)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "chaos[0]" not in output
+        assert "# chaos: 1 cases" in output
+
+    def test_replay_of_a_clean_repro_passes(self, tmp_path, capsys):
+        from repro.serving.chaos import CaseOutcome, write_chaos_repro
+
+        path = write_chaos_repro(
+            tmp_path / "case.json",
+            seed=11,
+            outcome=CaseOutcome(index=0, case_seed=0, fragment="linear", faults={}),
+        )
+        assert main(["chaos", "--replay", str(path)]) == 0
+        assert "chaos[0]" in capsys.readouterr().out
+
+    def test_replay_of_foreign_json_is_an_error(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "fuzz-repro"}')
+        with pytest.raises(ValueError):
+            main(["chaos", "--replay", str(path)])
+
+    def test_chaos_parser_defaults(self):
+        arguments = build_parser().parse_args(["chaos"])
+        assert arguments.seed == 0
+        assert arguments.cases == 10
+        assert arguments.epsilon == 0.5
+        assert arguments.repro_dir == "chaos-repros"
