@@ -8,7 +8,9 @@
 # triples through the chase/backend/determinism oracles); `make
 # serve-smoke` boots the HTTP serving front end on a real socket and
 # checks byte-identical answers, single-compile coalescing and warm
-# answer caching; `make chaos-smoke` runs a bounded seeded
+# answer caching; `make subscribe-smoke` drives the standing-query
+# lifecycle (subscribe, mutate, poll, verify the answer delta) over a
+# real socket; `make chaos-smoke` runs a bounded seeded
 # fault-injection pass against the serving stack (deadline, warm-path
 # and recovery invariants).
 
@@ -17,7 +19,7 @@ PYTEST  = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro
 CACHE_DIR ?= .cache-smoke
 
-.PHONY: test smoke cache-smoke answer-smoke strategy-smoke fuzz-smoke serve-smoke chaos-smoke bench bench-json table1
+.PHONY: test smoke cache-smoke answer-smoke strategy-smoke fuzz-smoke serve-smoke subscribe-smoke chaos-smoke bench bench-json table1
 
 test:
 	$(PYTEST) -x -q
@@ -60,6 +62,14 @@ fuzz-smoke:
 serve-smoke:
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
 	    benchmarks/serve_smoke.py
+
+# Standing-query gate: subscribe over a real socket, mutate the tenant's
+# facts, poll the cursor (query-string style) and require the returned
+# answer delta to compose — byte-identically — to a fresh /answer of the
+# same query; then unsubscribe and require stale polls to 404.
+subscribe-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
+	    benchmarks/subscribe_smoke.py
 
 # Chaos gate (seconds, not minutes): a fixed-seed window of
 # fault-injection cases — compile stalls, mid-compile kills, backend

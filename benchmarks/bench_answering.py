@@ -11,7 +11,12 @@ trajectory is tracked by artifacts, next to the compilation-side
 * the two invariants that make the numbers trustworthy: the in-memory
   and SQLite backends returned *identical* answer sets on every query
   (``agreement``), and every warm execute was served from the epoch-keyed
-  answer cache (``warm_all_cached``, counter-verified).
+  answer cache (``warm_all_cached``, counter-verified);
+* since schema 2, a ``maintenance`` section: per workload and per delta
+  fraction, how long delta-maintaining a standing query's answer set took
+  versus recomputing it from scratch, the crossover fraction where
+  recomputation starts winning, and the byte-level ``identical`` flag
+  (maintained set == recomputed set at every measured point).
 
 The ABoxes are the workloads' synthetic generators (deterministic per
 seed), sized by ``--facts-per-relation``.
@@ -38,7 +43,113 @@ from repro.evaluation import ANSWER_BACKENDS, AnsweringEvaluator  # noqa: E402
 from repro.workloads import get_workload  # noqa: E402
 
 WORKLOADS = ("V", "S", "U", "A", "P5")
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Mutation sizes, as fractions of the database, at which maintain and
+#: recompute are compared.  The two smallest are the subscription sweet
+#: spot; the largest sits past the typical crossover.
+DELTA_FRACTIONS = (0.001, 0.01, 0.05, 0.2)
+
+#: Timing repetitions per (workload, fraction) cell; minima are kept.
+MAINTENANCE_ROUNDS = 3
+
+
+def _mutate(database, rng, count: int) -> None:
+    """Apply *count* interleaved inserts/deletes to *database*."""
+    from repro.logic.atoms import Atom
+    from repro.logic.terms import Constant
+
+    predicates = sorted(database.predicates(), key=lambda p: (p.name, p.arity))
+    constants = sorted(database.constants(), key=repr)[:64]
+    facts = sorted(database.facts, key=repr)
+    for index in range(count):
+        if facts and rng.random() < 0.5:
+            database.remove(facts.pop(rng.randrange(len(facts))))
+        else:
+            predicate = rng.choice(predicates)
+            database.add(
+                Atom.of(
+                    predicate.name,
+                    *(rng.choice(constants) for _ in range(predicate.arity)),
+                )
+            )
+
+
+def measure_maintenance(seed: int, facts_per_relation: int) -> dict:
+    """Maintain-vs-recompute timings per workload and delta fraction.
+
+    For every Table 1 workload's first query a standing
+    :class:`~repro.incremental.maintain.MaintainedAnswerSet` is polled
+    after seeded mutation batches of increasing size; each poll is timed
+    against re-executing the full prepared plan.  ``crossover`` records
+    the smallest measured fraction at which recomputation was at least as
+    fast as maintenance (``None`` when maintenance won everywhere).
+    """
+    import random
+
+    from repro.api import OBDASystem
+
+    section: dict = {
+        "delta_fractions": list(DELTA_FRACTIONS),
+        "rounds": MAINTENANCE_ROUNDS,
+        "per_ontology": {},
+    }
+    identical = True
+    small_delta_win = False
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        system = OBDASystem(
+            workload.theory,
+            database=workload.abox(
+                seed=seed, facts_per_relation=facts_per_relation
+            ),
+            use_elimination=True,
+            use_nc_pruning=False,
+        )
+        database = system.database
+        query_name = workload.query_names[0]
+        prepared = system.prepare(workload.query(query_name))
+        prepared.poll()  # initial full computation, outside the timings
+        rng = random.Random(seed * 31 + 17)
+        deltas: dict = {}
+        crossover = None
+        for fraction in DELTA_FRACTIONS:
+            count = max(1, int(len(database) * fraction))
+            maintain = recompute = float("inf")
+            modes: list[str] = []
+            for _ in range(MAINTENANCE_ROUNDS):
+                _mutate(database, rng, count)
+                started = time.perf_counter()
+                delta = prepared.poll()
+                maintain = min(maintain, time.perf_counter() - started)
+                modes.append(delta.mode)
+                started = time.perf_counter()
+                recomputed = prepared.plan.execute(database)
+                recompute = min(recompute, time.perf_counter() - started)
+                identical = identical and (
+                    prepared.maintained_answers == recomputed
+                )
+            if fraction <= 0.01 and maintain < recompute:
+                small_delta_win = True
+            if crossover is None and recompute <= maintain:
+                crossover = fraction
+            deltas[str(fraction)] = {
+                "delta_facts": count,
+                "maintain_seconds": round(maintain, 6),
+                "recompute_seconds": round(recompute, 6),
+                "speedup": round(recompute / maintain, 2) if maintain else None,
+                "modes": sorted(set(modes)),
+            }
+        section["per_ontology"][name] = {
+            "facts": len(database),
+            "query": query_name,
+            "deltas": deltas,
+            "crossover": crossover,
+        }
+        system.close()
+    section["identical"] = identical
+    section["maintain_wins_small_delta"] = small_delta_win
+    return section
 
 
 def run(seed: int, facts_per_relation: int) -> dict:
@@ -89,6 +200,7 @@ def run(seed: int, facts_per_relation: int) -> dict:
         }
         evaluator.close()
     document["per_ontology"] = per_ontology
+    document["maintenance"] = measure_maintenance(seed, facts_per_relation)
     document["total_seconds"] = round(time.perf_counter() - started_all, 4)
     document["cold_execute_seconds"] = {
         backend: round(total, 4) for backend, total in totals.items()
@@ -122,11 +234,29 @@ def main(argv=None) -> int:
         + ", ".join(f"{b} {s}s" for b, s in executes.items())
         + f") -> {arguments.output}"
     )
+    maintenance = document["maintenance"]
+    crossovers = {
+        name: entry["crossover"]
+        for name, entry in maintenance["per_ontology"].items()
+    }
     print(
         f"backend agreement: {document['agreement']}; "
         f"warm executes cached: {document['warm_all_cached']}"
     )
-    return 0 if document["agreement"] and document["warm_all_cached"] else 1
+    print(
+        f"maintenance identical: {maintenance['identical']}; "
+        f"small-delta win: {maintenance['maintain_wins_small_delta']}; "
+        "crossover: "
+        + ", ".join(f"{name} {point}" for name, point in crossovers.items())
+    )
+    # Timing outcomes (speedups, crossover points) are recorded, not
+    # gated: only correctness invariants decide the exit code.
+    passed = (
+        document["agreement"]
+        and document["warm_all_cached"]
+        and maintenance["identical"]
+    )
+    return 0 if passed else 1
 
 
 if __name__ == "__main__":

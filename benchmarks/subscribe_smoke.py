@@ -1,0 +1,173 @@
+"""The ``make subscribe-smoke`` gate: standing queries work over a socket.
+
+Boots the serving stack on a real :class:`~repro.serving.http.ServingServer`
+port, registers a Table 1 workload tenant, and drives the full
+subscription lifecycle end to end:
+
+1. **subscribe** — ``POST /tenants/{name}/subscribe`` returns a cursor
+   plus the current answer set as the initial snapshot;
+2. **maintain** — after ``POST /data`` inserts and deletes, a
+   ``GET /tenants/{name}/changes?cursor=`` poll (cursor on the query
+   string, like a real client) returns exactly the rows that appeared
+   and disappeared, delta-maintained on the tenant's executor;
+3. **verify** — snapshot ∪ added − removed is byte-identical (canonical
+   JSON of ``encode_answers``) to a fresh ``/answer`` of the same query,
+   and a repeat poll is an empty noop;
+4. **unsubscribe** — the cursor dies and further polls 404.
+
+A second or two end to end, so it gates every CI run; the exhaustive
+endpoint matrix lives in ``tests/serving/test_subscriptions_endpoints.py``.
+
+The script is import-safe for test collectors; it only runs under
+``python benchmarks/subscribe_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.serving import ServingApp, ServingClient, ServingServer  # noqa: E402
+
+WORKLOAD = "S"
+#: ``Stock ⊑ FinantialInstrument`` and ``∃hasStock⁻ ⊑ Stock`` in the S
+#: TBox make this query's answers move under both fact lists below.
+QUERY = "q(A) :- FinantialInstrument(A)"
+FACTS = [
+    ["Stock", ["acme_stock"]],
+    ["Bond", ["acme_bond"]],
+    ["hasStock", ["ann", "xcorp_stock"]],
+]
+
+
+async def smoke() -> int:
+    failures = 0
+    app = ServingApp()
+    server = ServingServer(app)
+    await server.start()
+    client = ServingClient("127.0.0.1", server.port)
+    try:
+        response = await client.request(
+            "POST",
+            "/register-theory",
+            {"tenant": "smoke", "workload": WORKLOAD, "facts": FACTS},
+        )
+        if response.status != 201:
+            print(f"error: registration failed: {response.payload}", file=sys.stderr)
+            return 1
+
+        # 1. subscribe: cursor + full snapshot.
+        response = await client.request(
+            "POST", "/tenants/smoke/subscribe", {"query": QUERY}
+        )
+        if response.status != 201:
+            print(f"error: subscribe failed: {response.payload}", file=sys.stderr)
+            return 1
+        cursor = response.payload["cursor"]
+        snapshot = response.payload["answers"]
+        print(
+            f"subscribed {cursor} to {WORKLOAD}/{QUERY}: "
+            f"{response.payload['count']} answers in the snapshot"
+        )
+
+        # 2. mutate, then poll the delta with the cursor on the query string.
+        response = await client.request(
+            "POST",
+            "/data",
+            {
+                "tenant": "smoke",
+                "add": [["Stock", ["initech"]]],
+                "remove": [["Bond", ["acme_bond"]]],
+            },
+        )
+        if response.status != 200:
+            print(f"error: mutation failed: {response.payload}", file=sys.stderr)
+            return 1
+        response = await client.request(
+            "GET", f"/tenants/smoke/changes?cursor={cursor}"
+        )
+        if response.status != 200:
+            print(f"error: poll failed: {response.payload}", file=sys.stderr)
+            return 1
+        added, removed = response.payload["added"], response.payload["removed"]
+        mode = response.payload["mode"]
+        delta_ok = added == [["initech"]] and removed == [["acme_bond"]]
+        status = "ok" if delta_ok else "MISMATCH"
+        print(
+            f"poll after mutation: +{added} -{removed} (mode {mode}) — {status}"
+        )
+        if not delta_ok:
+            failures += 1
+
+        # 3. verify: snapshot ∪ added − removed == a fresh /answer, bytewise.
+        maintained = sorted(
+            [row for row in snapshot + added if row not in removed],
+            key=lambda row: json.dumps(row, sort_keys=True),
+        )
+        response = await client.request(
+            "POST", "/answer", {"tenant": "smoke", "query": QUERY}
+        )
+        direct = response.payload["answers"]
+        status = "ok" if json.dumps(maintained) == json.dumps(direct) else "MISMATCH"
+        print(
+            f"delta-composed answers byte-identical to /answer "
+            f"({len(direct)} rows) — {status}"
+        )
+        if status != "ok":
+            print(
+                f"  composed: {maintained}\n  answered: {direct}",
+                file=sys.stderr,
+            )
+            failures += 1
+        response = await client.request(
+            "GET", f"/tenants/smoke/changes?cursor={cursor}"
+        )
+        quiet = (
+            response.status == 200
+            and response.payload["added"] == []
+            and response.payload["removed"] == []
+        )
+        status = "ok" if quiet else "MISMATCH"
+        print(f"repeat poll is an empty noop — {status}")
+        if not quiet:
+            failures += 1
+
+        # 4. unsubscribe: the cursor dies.
+        response = await client.request(
+            "POST", "/tenants/smoke/unsubscribe", {"cursor": cursor}
+        )
+        dead = response.status == 200
+        response = await client.request(
+            "GET", f"/tenants/smoke/changes?cursor={cursor}"
+        )
+        dead = dead and response.status == 404
+        status = "ok" if dead else "MISMATCH"
+        print(f"unsubscribed; stale poll is 404 — {status}")
+        if not dead:
+            failures += 1
+    finally:
+        await client.aclose()
+        await server.stop()
+
+    if failures:
+        print(f"error: {failures} subscription smoke checks failed", file=sys.stderr)
+        return 1
+    print(
+        "# subscribe smoke: cursor lifecycle clean, deltas byte-identical "
+        "to full answering"
+    )
+    return 0
+
+
+def main() -> int:
+    return asyncio.run(smoke())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,6 +49,7 @@ from .database.instance import RelationalInstance
 from .database.schema import RelationalSchema
 from .database.sql import ucq_to_sql
 from .dependencies.theory import OntologyTheory
+from .incremental.maintain import AnswerDelta, MaintainedAnswerSet
 from .logic.terms import Constant
 from .queries.conjunctive_query import ConjunctiveQuery
 from .scheduling import SchedulingStrategy, create_strategy
@@ -115,6 +116,7 @@ class PreparedQuery:
         self._backend = backend
         self._plan = plan
         self._answers: dict[Hashable, frozenset[tuple]] = {}
+        self._maintained: MaintainedAnswerSet | None = None
         self._hits = 0
         self._misses = 0
 
@@ -211,9 +213,45 @@ class PreparedQuery:
                 normalized[constant] = replacement
         return normalized or None
 
+    # -- incremental maintenance -------------------------------------------
+
+    def maintainer(self) -> "MaintainedAnswerSet":
+        """The lazily created delta maintainer of this query's answer set.
+
+        Shared by every subscription on this prepared handle; full
+        (re-)executions run through the backend plan's per-disjunct path,
+        incremental steps evaluate pinned residual joins over the
+        instance.  Independent of the :meth:`execute` answer cache: the
+        two paths cross-check each other in the differential tests.
+        """
+        if self._maintained is None:
+            self._maintained = MaintainedAnswerSet(
+                self._rewriting.ucq, plan=self._plan
+            )
+        return self._maintained
+
+    def poll(self) -> "AnswerDelta":
+        """Bring the maintained answer set up to the current epoch.
+
+        Returns the :class:`~repro.incremental.maintain.AnswerDelta` since
+        the previous poll (the first poll reports the full answer set as
+        added).  Read the current set from :attr:`maintained_answers`.
+        """
+        return self.maintainer().refresh(self._system.database)
+
+    @property
+    def maintained_answers(self) -> frozenset[tuple]:
+        """The combined maintained answer set as of the last :meth:`poll`."""
+        return self.maintainer().tuples
+
     def invalidate(self) -> None:
-        """Drop all cached answer sets (e.g. after out-of-band data changes)."""
+        """Drop all cached answer sets (e.g. after out-of-band data changes).
+
+        Also discards the maintainer's state, so the next :meth:`poll`
+        recomputes from scratch instead of trusting the change log.
+        """
         self._answers.clear()
+        self._maintained = None
 
     def execution_cache_info(self) -> ExecutionCacheInfo:
         """Hit/miss counters of the per-epoch answer cache."""

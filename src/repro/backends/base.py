@@ -66,6 +66,36 @@ class ExecutionPlan(ABC):
     def description(self) -> str:
         """A human-readable account of the plan (SQL text, join order, ...)."""
 
+    @property
+    def disjunct_count(self) -> int | None:
+        """Number of individually executable disjuncts, or ``None``.
+
+        ``None`` means the plan is opaque — it can only execute the whole
+        union — and consumers needing per-disjunct answers (the
+        incremental maintainer's full-refresh path) must evaluate the
+        rewriting themselves.  Both shipped backends report a count.
+        """
+        return None
+
+    def execute_disjunct(
+        self,
+        database: "RelationalInstance",
+        index: int,
+        bindings: Mapping[Constant, Constant] | None = None,
+    ) -> frozenset[tuple]:
+        """Answers of disjunct *index* alone, as tuples of constants.
+
+        UCQ answering is a union over independent CQs, so a plan that can
+        execute one disjunct at a time supports per-disjunct consumers:
+        the incremental maintainer's support counts
+        (:mod:`repro.incremental.maintain`) and, eventually, sharded
+        scatter-gather answering.  The default raises — override together
+        with :attr:`disjunct_count`.
+        """
+        raise BackendError(
+            f"{type(self).__name__} does not support per-disjunct execution"
+        )
+
 
 class ExecutionBackend(ABC):
     """A pluggable engine that executes compiled rewritings.

@@ -66,6 +66,27 @@ class InMemoryPlan(ExecutionPlan):
         return frozenset(answers)
 
     @property
+    def disjunct_count(self) -> int:
+        return len(self._disjuncts)
+
+    def execute_disjunct(
+        self,
+        database: RelationalInstance,
+        index: int,
+        bindings: Mapping[Constant, Constant] | None = None,
+    ) -> frozenset[tuple]:
+        """Answers of disjunct *index* alone, with the same cached join order."""
+        ordered = self._ordered(database)[index]
+        _, answer_terms = self._disjuncts[index]
+        if bindings:
+            ordered = [atom.apply(bindings) for atom in ordered]
+            answer_terms = tuple(
+                term if is_variable(term) else bindings.get(term, term)
+                for term in answer_terms
+            )
+        return QueryEvaluator(database).answers_for_order(ordered, answer_terms)
+
+    @property
     def description(self) -> str:
         lines = []
         for index, (body, _) in enumerate(self._disjuncts):

@@ -108,12 +108,17 @@ class SQLitePlan(ExecutionPlan):
         referenced: frozenset[Predicate],
         arity: int,
         schema: RelationalSchema | None,
+        queries: Sequence = (),
     ) -> None:
         self._backend = backend
         self._statements = tuple(statements)
         self._referenced = referenced
         self._arity = arity
         self._schema = schema
+        # Per-disjunct execution: the member CQs, with their single-query
+        # SQL rendered lazily on first use (most plans never need it).
+        self._queries = tuple(queries)
+        self._disjunct_statements: dict[int, ParameterizedSQL] = {}
 
     @property
     def sql(self) -> str:
@@ -171,6 +176,49 @@ class SQLitePlan(ExecutionPlan):
             decoded = tuple(decode_value(value) for value in row)
             if any(is_null(term) for term in decoded):
                 continue  # nulls witness joins but never appear in answers
+            answers.add(decoded)
+        return frozenset(answers)
+
+    @property
+    def disjunct_count(self) -> int | None:
+        return len(self._queries) or None
+
+    def execute_disjunct(
+        self,
+        database: RelationalInstance,
+        index: int,
+        bindings: Mapping[Constant, Constant] | None = None,
+    ) -> frozenset[tuple]:
+        """Run one member CQ of the union on its own, as SQL."""
+        if not self._queries:
+            raise BackendError(
+                "this SQLitePlan was built without its member queries and "
+                "cannot execute single disjuncts"
+            )
+        statement = self._disjunct_statements.get(index)
+        if statement is None:
+            # Raises IndexError for out-of-range indexes, like a sequence.
+            query = self._queries[index]
+            statement = ucq_to_parameterized_sql([query], schema=self._schema)
+            self._disjunct_statements[index] = statement
+        connection = self._backend.ensure_ready(
+            database, self._referenced, self._schema
+        )
+        parameters = [
+            encode_term(bindings.get(constant, constant) if bindings else constant)
+            for constant in statement.parameters
+        ]
+        try:
+            rows = connection.execute(statement.sql, parameters).fetchall()
+        except sqlite3.Error as error:
+            raise BackendError(f"SQLite execution failed: {error}") from error
+        if self._arity == 0:
+            return frozenset({()}) if rows else frozenset()
+        answers: set[tuple] = set()
+        for row in rows:
+            decoded = tuple(decode_value(value) for value in row)
+            if any(is_null(term) for term in decoded):
+                continue
             answers.add(decoded)
         return frozenset(answers)
 
@@ -440,7 +488,7 @@ class SQLiteBackend(ExecutionBackend):
         referenced = frozenset(
             predicate for query in ucq for predicate in atoms_predicates(query.body)
         )
-        return SQLitePlan(self, statements, referenced, ucq.arity, schema)
+        return SQLitePlan(self, statements, referenced, ucq.arity, schema, queries)
 
     def _compound_select_limit(self) -> int:
         """Max disjuncts per statement (SQLITE_LIMIT_COMPOUND_SELECT)."""

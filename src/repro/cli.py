@@ -454,6 +454,7 @@ def _cmd_fuzz(arguments: argparse.Namespace) -> int:
         backends=tuple(arguments.backends),
         max_queries=arguments.max_queries,
         max_chase_atoms=arguments.max_chase_atoms,
+        mutation_steps=arguments.mutations,
     )
 
     if arguments.replay:
@@ -561,6 +562,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
             max_tenants=arguments.max_tenants,
             backend=arguments.backend,
             resilience=resilience,
+            change_log=arguments.change_log,
         )
         for name, workload in preloads:
             response = await app.request(
@@ -827,6 +829,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="distinct constants in the ABox domain")
     fuzz.add_argument("--max-queries", type=int, default=50_000,
                       help="rewriting budget; exceeding it skips the case")
+    fuzz.add_argument("--mutations", type=int, default=6, metavar="STEPS",
+                      help="per-case mutation-sequence length for the incremental-"
+                           "maintenance oracle (delta-maintained answers vs full "
+                           "re-execution after every insert/delete step; 0 disables)")
     fuzz.add_argument("--max-chase-atoms", type=int, default=20_000,
                       help="atom cap on the chase oracle (cap hit weakens "
                       "the check to chase ⊆ rewriting)")
@@ -868,6 +874,11 @@ def build_parser() -> argparse.ArgumentParser:
                        "cold requests beyond it are shed with 503")
     serve.add_argument("--queue-depth", type=int, default=256, metavar="N",
                        help="per-tenant bound on queued cold requests")
+    serve.add_argument("--change-log", type=int, default=None, metavar="N",
+                       help="per-tenant database change-log bound (entries kept "
+                            "for incremental answer maintenance; subscriptions "
+                            "fall back to full recomputation when a poll reaches "
+                            "further back; default 10000)")
     serve.add_argument("--breaker-threshold", type=int, default=3, metavar="N",
                        help="consecutive compile failures before the per-query "
                        "circuit breaker opens")

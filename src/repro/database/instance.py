@@ -39,15 +39,24 @@ class RelationalInstance:
     the log.
     """
 
-    #: Bound on the change log; one entry per genuine mutation.  Deltas
-    #: across more than this many epochs report as unavailable.
+    #: Default bound on the change log; one entry per genuine mutation.
+    #: Deltas across more than this many epochs report as unavailable.
+    #: Overridable per instance via the ``max_tracked_changes`` argument.
     MAX_TRACKED_CHANGES = 10_000
 
     def __init__(
         self,
         facts: Iterable[Atom] = (),
         schema: RelationalSchema | None = None,
+        max_tracked_changes: int | None = None,
     ) -> None:
+        if max_tracked_changes is None:
+            max_tracked_changes = self.MAX_TRACKED_CHANGES
+        if max_tracked_changes < 0:
+            raise ValueError(
+                f"max_tracked_changes must be >= 0, got {max_tracked_changes}"
+            )
+        self.max_tracked_changes = max_tracked_changes
         self._schema = schema
         self._facts: set[Atom] = set()
         self._by_predicate: dict[Predicate, set[Atom]] = defaultdict(set)
@@ -55,7 +64,7 @@ class RelationalInstance:
         self._epoch = 0
         # One (added?, fact) entry per epoch step, for epochs
         # (_change_floor, _epoch]; older entries are discarded.
-        self._changes: deque[tuple[bool, Atom]] = deque(maxlen=self.MAX_TRACKED_CHANGES)
+        self._changes: deque[tuple[bool, Atom]] = deque(maxlen=max_tracked_changes)
         self._change_floor = 0
         for fact in facts:
             self.add(fact)
@@ -75,7 +84,7 @@ class RelationalInstance:
 
     def _log_change(self, added: bool, fact: Atom) -> None:
         """Record one genuine mutation, advancing the floor on overflow."""
-        if len(self._changes) == self.MAX_TRACKED_CHANGES:
+        if len(self._changes) == self.max_tracked_changes:
             self._change_floor += 1
         self._changes.append((added, fact))
 

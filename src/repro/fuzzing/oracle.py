@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import random
 import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -39,8 +40,12 @@ from ..cache.serialization import UnserializableQueryError, result_to_json
 from ..cache.store import RewritingStore
 from ..chase.chase import chase
 from ..core.rewriter import RewritingBudgetExceeded, RewritingResult, TGDRewriter
+from ..database.evaluator import evaluate_ucq
+from ..database.instance import RelationalInstance
+from ..incremental import MaintainedAnswerSet
+from ..logic.atoms import Atom
 from ..logic.homomorphism import homomorphisms
-from ..logic.terms import is_constant
+from ..logic.terms import Constant, is_constant
 from ..queries.conjunctive_query import ConjunctiveQuery
 from ..queries.ucq import UnionOfConjunctiveQueries
 from ..scheduling import SequentialStrategy, create_strategy
@@ -59,7 +64,7 @@ DEFAULT_BACKENDS = ("memory", "sqlite")
 class OracleFailure:
     """One oracle's disagreement on one case."""
 
-    oracle: str  # "chase" | "backends" | "determinism"
+    oracle: str  # "chase" | "backends" | "determinism" | "maintenance"
     detail: str
 
     def __str__(self) -> str:  # pragma: no cover - trivial
@@ -185,6 +190,13 @@ class DifferentialOracle:
     rewriting_mutator:
         Optional fault-injection hook ``UCQ -> UCQ`` applied uniformly to
         every computed rewriting (see the module docstring).
+    mutation_steps:
+        Length of the seeded insert/delete mutation sequence the
+        incremental-maintenance oracle drives per case (0 disables it).
+        At every step the delta-maintained answer set — once over a
+        default change log and once over a 2-entry log that forces the
+        truncation fallback — must be byte-identical to full
+        re-execution of the same rewriting.
     """
 
     def __init__(
@@ -197,6 +209,7 @@ class DifferentialOracle:
             [UnionOfConjunctiveQueries], UnionOfConjunctiveQueries
         ]
         | None = None,
+        mutation_steps: int = 0,
     ) -> None:
         if not strategies:
             raise ValueError("the determinism oracle needs at least one strategy")
@@ -207,6 +220,7 @@ class DifferentialOracle:
         self._max_queries = max_queries
         self._max_chase_atoms = max_chase_atoms
         self._mutator = rewriting_mutator
+        self._mutation_steps = mutation_steps
 
     @property
     def strategies(self) -> tuple[str, ...]:
@@ -239,6 +253,8 @@ class DifferentialOracle:
             verdict.rewrite_answers = len(backend_answers)
             self._chase_oracle(verdict, backend_answers, case)
         self._determinism_oracle(verdict, reference, rules, case)
+        if self._mutation_steps > 0:
+            self._maintenance_oracle(verdict, reference.ucq, case)
         return verdict
 
     def check_many(self, cases: Sequence[GeneratedCase]) -> list[OracleVerdict]:
@@ -362,6 +378,104 @@ class DifferentialOracle:
                     )
                 )
         self._store_round_trip(verdict, reference, rules, case, expected)
+
+    def _maintenance_oracle(
+        self,
+        verdict: OracleVerdict,
+        ucq: UnionOfConjunctiveQueries,
+        case: GeneratedCase,
+    ) -> None:
+        """Delta-maintained answers == full re-execution, per mutation step.
+
+        Drives a seeded interleaved insert/delete sequence over a copy of
+        the case's instance.  Two maintainers track the same rewriting:
+        one over a default change log (exercising the semi-naive /
+        DRed incremental path) and one whose instance keeps *no* log
+        entries (so every genuine mutation exercises the truncation
+        fallback).  After every step both must be byte-identical — via
+        the serving tier's ``encode_answers`` — to a from-scratch
+        evaluation, and the reported delta must compose:
+        previous ∪ added − removed = current.
+        """
+        from ..serving.app import encode_answers
+
+        rng = random.Random(case.seed * 1_000_003 + self._mutation_steps)
+        tracked = RelationalInstance(facts=case.instance.facts)
+        truncated = RelationalInstance(
+            facts=case.instance.facts, max_tracked_changes=0
+        )
+        maintainers = (
+            ("tracked", tracked, MaintainedAnswerSet(ucq)),
+            ("truncated-log", truncated, MaintainedAnswerSet(ucq)),
+        )
+        predicates = sorted(
+            {fact.predicate for fact in case.instance.facts}
+            | {atom.predicate for query in ucq for atom in query.body},
+            key=lambda p: (p.name, p.arity),
+        )
+        constants = sorted(
+            case.instance.constants(), key=lambda c: repr(c.value)
+        ) or [Constant("m0")]
+        constants = constants + [Constant(f"m{i}") for i in range(3)]
+        for name, instance, maintainer in maintainers:
+            maintainer.refresh(instance)
+        for step in range(self._mutation_steps):
+            facts = sorted(tracked.facts, key=repr)
+            if facts and rng.random() < 0.4:
+                mutation = ("remove", rng.choice(facts))
+            else:
+                predicate = rng.choice(predicates)
+                mutation = (
+                    "add",
+                    Atom(
+                        predicate,
+                        tuple(
+                            rng.choice(constants) for _ in range(predicate.arity)
+                        ),
+                    ),
+                )
+            for name, instance, maintainer in maintainers:
+                kind, fact = mutation
+                if kind == "add":
+                    instance.add(fact)
+                else:
+                    instance.remove(fact)
+                previous = maintainer.tuples
+                delta = maintainer.refresh(instance)
+                maintained = maintainer.tuples
+                if (previous | delta.added) - delta.removed != maintained:
+                    verdict.failures.append(
+                        OracleFailure(
+                            "maintenance",
+                            f"step {step} ({name}): reported delta does not "
+                            f"compose to the maintained set (mode {delta.mode})",
+                        )
+                    )
+                    return
+                expected = evaluate_ucq(ucq, instance)
+                if json.dumps(encode_answers(maintained)) != json.dumps(
+                    encode_answers(expected)
+                ):
+                    verdict.failures.append(
+                        OracleFailure(
+                            "maintenance",
+                            f"step {step} ({name}, {kind} {fact}, mode "
+                            f"{delta.mode}): "
+                            + format_answer_diff(
+                                "maintained", maintained, "re-executed", expected
+                            ),
+                        )
+                    )
+                    return
+        counters = maintainers[1][2].counters
+        if counters.truncation_fallbacks == 0 and self._mutation_steps > 3:
+            verdict.failures.append(
+                OracleFailure(
+                    "maintenance",
+                    "the zero-entry change log never forced a truncation "
+                    "fallback — the fallback path went unexercised",
+                )
+            )
 
     def _store_round_trip(
         self,

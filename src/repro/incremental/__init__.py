@@ -1,0 +1,54 @@
+"""Incremental answer maintenance over the instance change log.
+
+Standing queries for the serving tier: a compiled UCQ rewriting is a
+non-recursive relational query, so its answer set can be *maintained*
+under single-tuple inserts and deletes instead of recomputed — semi-naive
+pinned deltas for inserts, DRed-style over-delete + rederive for deletes,
+support counts across disjuncts, and an unconditional fallback to full
+re-execution whenever the change log cannot vouch for the delta.
+
+Modules
+-------
+:mod:`~repro.incremental.relevance`
+    Body relation → disjuncts index routing each changed fact.
+:mod:`~repro.incremental.view`
+    The pre-deletion overlay view used by the delete pass.
+:mod:`~repro.incremental.maintain`
+    :class:`MaintainedAnswerSet` — the maintenance algorithm itself.
+:mod:`~repro.incremental.subscriptions`
+    Cursor bookkeeping for the serving tier's subscribe/poll surface.
+"""
+
+from .maintain import (
+    AnswerDelta,
+    MaintainedAnswerSet,
+    MaintenanceCounters,
+    derives,
+    net_changes,
+    pinned_answers,
+    unify_fact,
+)
+from .relevance import RelevanceIndex
+from .subscriptions import (
+    PollResult,
+    Subscription,
+    SubscriptionPool,
+    UnknownSubscriptionError,
+)
+from .view import OverlayInstance
+
+__all__ = [
+    "AnswerDelta",
+    "MaintainedAnswerSet",
+    "MaintenanceCounters",
+    "OverlayInstance",
+    "PollResult",
+    "RelevanceIndex",
+    "Subscription",
+    "SubscriptionPool",
+    "UnknownSubscriptionError",
+    "derives",
+    "net_changes",
+    "pinned_answers",
+    "unify_fact",
+]

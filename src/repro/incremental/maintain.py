@@ -1,0 +1,357 @@
+"""Delta maintenance of UCQ answer sets over the instance change log.
+
+The paper's pipeline compiles an ontological query *once* into a union of
+conjunctive queries; afterwards answering is pure relational evaluation.
+That makes standing queries cheap to maintain: UCQs are non-recursive, so
+the classic semi-naive / DRed machinery degenerates into two simple
+passes per changed fact.
+
+* **Insert.**  Any answer that is new at the current epoch must have a
+  derivation using at least one inserted fact.  For each inserted fact and
+  each disjunct whose body mentions its relation, we *pin* the fact into
+  every body atom it unifies with and evaluate the residual join over the
+  current instance (:func:`pinned_answers`).  The union of those pinned
+  evaluations is exactly the set of answers gaining a new derivation.
+
+* **Delete.**  Deletion-rewinding is DRed without the recursive rederive
+  loop: evaluating the same pinned joins over the *pre-deletion* view
+  (:class:`~repro.incremental.view.OverlayInstance` = current ∪ removed)
+  over-approximates the answers that lost a derivation; each over-deleted
+  tuple is then re-derived against the current instance and kept if any
+  derivation survives.
+
+Answers carry **support counts** — the number of disjuncts currently
+deriving them — so a tuple deleted from one disjunct does not drop an
+answer still derived by another.  A support transition ``0 → >0`` is an
+added answer, ``>0 → 0`` a removed one; that transition stream is the
+subscription delta surfaced by the serving tier.
+
+When :meth:`RelationalInstance.changes_since` returns ``None`` (the log
+was truncated) or the delta outweighs the data, the maintainer falls back
+to re-executing every disjunct from scratch — the same policy the SQLite
+incremental loader applies to its table snapshots.  Correctness never
+depends on the log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..database.evaluator import QueryEvaluator
+from ..database.instance import RelationalInstance
+from ..logic.atoms import Atom
+from ..logic.terms import Term, is_variable
+from ..queries.conjunctive_query import ConjunctiveQuery
+from ..queries.ucq import UnionOfConjunctiveQueries
+from .relevance import RelevanceIndex
+from .view import OverlayInstance
+
+
+def net_changes(
+    log: Iterable[tuple[bool, Atom]],
+) -> tuple[set[Atom], set[Atom]]:
+    """Collapse a change-log slice into net ``(added, removed)`` fact sets.
+
+    A fact removed and re-added (or vice versa) within the slice cancels
+    out; the result is exactly "present now but not at the base epoch"
+    and "present at the base epoch but not now".
+    """
+    added: set[Atom] = set()
+    removed: set[Atom] = set()
+    for was_added, fact in log:
+        if was_added:
+            if fact in removed:
+                removed.discard(fact)
+            else:
+                added.add(fact)
+        else:
+            if fact in added:
+                added.discard(fact)
+            else:
+                removed.add(fact)
+    return added, removed
+
+
+def unify_fact(atom: Atom, fact: Atom) -> dict[Term, Term] | None:
+    """Most general substitution mapping *atom* onto the ground *fact*.
+
+    Returns ``None`` when they do not unify (constant mismatch, or one
+    variable would need two distinct values).
+    """
+    if atom.predicate != fact.predicate:
+        return None
+    substitution: dict[Term, Term] = {}
+    for term, value in zip(atom.terms, fact.terms):
+        if is_variable(term):
+            bound = substitution.get(term)
+            if bound is None:
+                substitution[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return substitution
+
+
+def pinned_answers(
+    body: Sequence[Atom],
+    answer_terms: Sequence[Term],
+    fact: Atom,
+    view,
+) -> frozenset[tuple]:
+    """Answers of one disjunct that have a derivation mapping a body atom to *fact*.
+
+    For every body atom unifiable with *fact*, the unifier is applied to
+    the whole body and the residual join evaluated over *view* (any object
+    with ``relation``/``matching``).  The union over the pinning choices is
+    the complete set of answers with at least one derivation through the
+    fact — the delta rule of semi-naive evaluation, specialised to a
+    single changed tuple.
+    """
+    evaluator = QueryEvaluator(view)
+    answers: set[tuple] = set()
+    for atom in body:
+        substitution = unify_fact(atom, fact)
+        if substitution is None:
+            continue
+        pinned_body = [a.apply(substitution) for a in body]
+        pinned_answer_terms = tuple(
+            substitution.get(term, term) if is_variable(term) else term
+            for term in answer_terms
+        )
+        answers |= evaluator.answers_for_order(
+            evaluator.join_order(pinned_body), pinned_answer_terms
+        )
+    return frozenset(answers)
+
+
+def derives(
+    body: Sequence[Atom],
+    answer_terms: Sequence[Term],
+    answer: tuple,
+    view,
+) -> bool:
+    """``True`` iff the disjunct still derives *answer* over *view*.
+
+    Binds the answer terms to the tuple's values and checks satisfiability
+    of the residual Boolean query (with early exit).  This is the rederive
+    step of DRed, trivial here because UCQs are non-recursive.
+    """
+    substitution: dict[Term, Term] = {}
+    for term, value in zip(answer_terms, answer):
+        if is_variable(term):
+            bound = substitution.get(term)
+            if bound is None:
+                substitution[term] = value
+            elif bound != value:
+                return False
+        elif term != value:
+            return False
+    bound_body = tuple(atom.apply(substitution) for atom in body)
+    return QueryEvaluator(view).entails(ConjunctiveQuery(bound_body, ()))
+
+
+@dataclass(frozen=True)
+class AnswerDelta:
+    """The answer-set delta produced by one :meth:`MaintainedAnswerSet.refresh`.
+
+    ``mode`` records how the refresh was computed: ``"full"`` (initial
+    computation or fallback re-execution), ``"incremental"`` (change-log
+    replay) or ``"noop"`` (epoch unchanged).  Regardless of mode, *added*
+    and *removed* describe the combined answer set's transition since the
+    previous refresh.
+    """
+
+    epoch: int
+    added: frozenset[tuple]
+    removed: frozenset[tuple]
+    mode: str
+
+    @property
+    def empty(self) -> bool:
+        """``True`` iff the answer set did not change."""
+        return not self.added and not self.removed
+
+
+@dataclass
+class MaintenanceCounters:
+    """Observability counters of one maintained answer set."""
+
+    full_refreshes: int = 0
+    incremental_refreshes: int = 0
+    noop_refreshes: int = 0
+    truncation_fallbacks: int = 0
+    oversize_fallbacks: int = 0
+    facts_applied: int = 0
+    disjuncts_reevaluated: int = 0
+    disjuncts_skipped: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
+
+
+class MaintainedAnswerSet:
+    """A UCQ answer set kept current against a mutating instance.
+
+    Owns per-disjunct answer sets plus the combined support counts, and
+    exposes one operation — :meth:`refresh` — that brings the state up to
+    the instance's current epoch and reports the combined answer delta.
+    The optional *plan* is used for full (re-)executions so they run on
+    the prepared backend's per-disjunct path
+    (:meth:`repro.backends.base.ExecutionPlan.execute_disjunct`);
+    incremental steps always evaluate pinned residual joins directly over
+    the instance, which is the source of truth for every backend.
+    """
+
+    def __init__(
+        self,
+        ucq: UnionOfConjunctiveQueries | Iterable[ConjunctiveQuery],
+        plan=None,
+    ) -> None:
+        queries = tuple(ucq)
+        self._disjuncts: tuple[tuple[tuple[Atom, ...], tuple[Term, ...]], ...] = tuple(
+            (query.body, query.answer_terms) for query in queries
+        )
+        self._queries = queries
+        self._relevance = RelevanceIndex(queries)
+        self._plan = plan
+        self._per_disjunct: list[set[tuple]] = [set() for _ in queries]
+        self._support: dict[tuple, int] = {}
+        self._epoch: int | None = None
+        # Strong reference, for identity only: the owning PreparedQuery's
+        # system keeps the database alive anyway, and an `is` check can
+        # never confuse two instances the way a recycled id() could.
+        self._instance: RelationalInstance | None = None
+        self.counters = MaintenanceCounters()
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def relevance(self) -> RelevanceIndex:
+        """The body-relation → disjuncts index driving the delta routing."""
+        return self._relevance
+
+    @property
+    def epoch(self) -> int | None:
+        """The instance epoch of the last refresh (``None`` before the first)."""
+        return self._epoch
+
+    @property
+    def tuples(self) -> frozenset[tuple]:
+        """The combined (support > 0) answer set as of the last refresh."""
+        return frozenset(self._support)
+
+    def support(self, answer: tuple) -> int:
+        """Number of disjuncts currently deriving *answer*."""
+        return self._support.get(answer, 0)
+
+    def describe(self) -> dict:
+        """Counters + sizes, for stats endpoints."""
+        return {
+            "answers": len(self._support),
+            "disjuncts": len(self._disjuncts),
+            "epoch": self._epoch,
+            **self.counters.as_dict(),
+        }
+
+    # -- refresh ---------------------------------------------------------------
+
+    def refresh(self, database: RelationalInstance) -> AnswerDelta:
+        """Bring the answer set up to *database*'s epoch; report the delta."""
+        if self._epoch is None or self._instance is not database:
+            return self._full_refresh(database)
+        if database.epoch == self._epoch:
+            self.counters.noop_refreshes += 1
+            return AnswerDelta(self._epoch, frozenset(), frozenset(), "noop")
+        log = database.changes_since(self._epoch)
+        if log is None:
+            # Log truncated: treat as "everything may have changed", never
+            # as an error — the same contract the SQLite loader follows.
+            self.counters.truncation_fallbacks += 1
+            return self._full_refresh(database)
+        if len(log) > len(database):
+            self.counters.oversize_fallbacks += 1
+            return self._full_refresh(database)
+        return self._incremental_refresh(database, log)
+
+    def _execute_disjunct(
+        self, database: RelationalInstance, index: int
+    ) -> frozenset[tuple]:
+        if self._plan is not None and getattr(self._plan, "disjunct_count", None):
+            return self._plan.execute_disjunct(database, index)
+        body, answer_terms = self._disjuncts[index]
+        evaluator = QueryEvaluator(database)
+        return evaluator.answers_for_order(evaluator.join_order(body), answer_terms)
+
+    def _full_refresh(self, database: RelationalInstance) -> AnswerDelta:
+        before = frozenset(self._support)
+        self._per_disjunct = [
+            set(self._execute_disjunct(database, index))
+            for index in range(len(self._disjuncts))
+        ]
+        support: dict[tuple, int] = {}
+        for answers in self._per_disjunct:
+            for answer in answers:
+                support[answer] = support.get(answer, 0) + 1
+        self._support = support
+        self._epoch = database.epoch
+        self._instance = database
+        self.counters.full_refreshes += 1
+        self.counters.disjuncts_reevaluated += len(self._disjuncts)
+        after = frozenset(support)
+        return AnswerDelta(database.epoch, after - before, before - after, "full")
+
+    def _add(self, index: int, answer: tuple) -> None:
+        answers = self._per_disjunct[index]
+        if answer not in answers:
+            answers.add(answer)
+            self._support[answer] = self._support.get(answer, 0) + 1
+
+    def _discard(self, index: int, answer: tuple) -> None:
+        answers = self._per_disjunct[index]
+        if answer in answers:
+            answers.discard(answer)
+            remaining = self._support[answer] - 1
+            if remaining:
+                self._support[answer] = remaining
+            else:
+                del self._support[answer]
+
+    def _incremental_refresh(
+        self, database: RelationalInstance, log: list[tuple[bool, Atom]]
+    ) -> AnswerDelta:
+        added, removed = net_changes(log)
+        before = frozenset(self._support)
+        affected = self._relevance.affected(
+            {fact.predicate for fact in added} | {fact.predicate for fact in removed}
+        )
+        self.counters.incremental_refreshes += 1
+        self.counters.facts_applied += len(added) + len(removed)
+        self.counters.disjuncts_reevaluated += len(affected)
+        self.counters.disjuncts_skipped += len(self._disjuncts) - len(affected)
+        base_view = OverlayInstance(database, removed) if removed else None
+        for index in affected:
+            body, answer_terms = self._disjuncts[index]
+            body_predicates = {atom.predicate for atom in body}
+            relevant_removed = [f for f in removed if f.predicate in body_predicates]
+            if relevant_removed:
+                # DRed over-delete: every answer with some derivation
+                # through a removed fact, computed over the pre-deletion
+                # view so joins against other removed facts still count.
+                overdeleted: set[tuple] = set()
+                for fact in relevant_removed:
+                    overdeleted |= pinned_answers(body, answer_terms, fact, base_view)
+                lost = overdeleted & self._per_disjunct[index]
+                for answer in lost:
+                    self._discard(index, answer)
+                    if derives(body, answer_terms, answer, database):
+                        self._add(index, answer)
+            for fact in added:
+                if fact.predicate not in body_predicates:
+                    continue
+                for answer in pinned_answers(body, answer_terms, fact, database):
+                    self._add(index, answer)
+        self._epoch = database.epoch
+        after = frozenset(self._support)
+        return AnswerDelta(database.epoch, after - before, before - after, "incremental")

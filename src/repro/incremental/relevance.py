@@ -1,0 +1,64 @@
+"""Relevance index of a UCQ rewriting: body relation → disjuncts.
+
+Delta maintenance (:mod:`repro.incremental.maintain`) starts from one
+observation: an inserted or deleted fact of relation ``r`` can only change
+the answers of disjuncts whose body *mentions* ``r``.  A perfect rewriting
+routinely has hundreds of disjuncts over a handful of relations each, so a
+single-tuple delta typically touches a small fraction of the union.  The
+index below is built once per rewriting and maps every body predicate to
+the (ordered) disjunct indices that mention it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from ..logic.atoms import Predicate
+from ..queries.conjunctive_query import ConjunctiveQuery
+
+
+class RelevanceIndex:
+    """Maps each body predicate to the disjuncts whose body mentions it."""
+
+    def __init__(self, disjuncts: Iterable[ConjunctiveQuery]) -> None:
+        by_predicate: dict[Predicate, list[int]] = defaultdict(list)
+        count = 0
+        for index, query in enumerate(disjuncts):
+            count += 1
+            for predicate in sorted(
+                {atom.predicate for atom in query.body},
+                key=lambda p: (p.name, p.arity),
+            ):
+                by_predicate[predicate].append(index)
+        self._by_predicate: dict[Predicate, tuple[int, ...]] = {
+            predicate: tuple(indices) for predicate, indices in by_predicate.items()
+        }
+        self._disjunct_count = count
+
+    @property
+    def disjunct_count(self) -> int:
+        """Number of disjuncts the index was built over."""
+        return self._disjunct_count
+
+    @property
+    def predicates(self) -> frozenset[Predicate]:
+        """All predicates mentioned by some disjunct body."""
+        return frozenset(self._by_predicate)
+
+    def disjuncts_for(self, predicate: Predicate) -> tuple[int, ...]:
+        """Indices of the disjuncts whose body mentions *predicate*."""
+        return self._by_predicate.get(predicate, ())
+
+    def affected(self, predicates: Iterable[Predicate]) -> tuple[int, ...]:
+        """Sorted union of the disjuncts touched by any of *predicates*."""
+        touched: set[int] = set()
+        for predicate in predicates:
+            touched.update(self._by_predicate.get(predicate, ()))
+        return tuple(sorted(touched))
+
+    def __repr__(self) -> str:
+        return (
+            f"RelevanceIndex({self._disjunct_count} disjuncts, "
+            f"{len(self._by_predicate)} predicates)"
+        )

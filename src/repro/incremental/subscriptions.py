@@ -1,0 +1,131 @@
+"""Standing-query subscriptions over maintained answer sets.
+
+A subscription is a cursor onto one ontological query's answer set: the
+subscriber receives the full set once (at subscribe time) and from then on
+only the *answer delta* — rows added and rows removed — accumulated since
+its previous poll.  The pool stores, per cursor, the original query and
+the snapshot last delivered; polling re-resolves the query against the
+owning tenant's (possibly updated) :class:`~repro.api.OBDASystem`, asks
+the prepared handle's :class:`~repro.incremental.maintain.MaintainedAnswerSet`
+to refresh, and diffs against the snapshot.  Keeping the *query* rather
+than a prepared handle means subscriptions survive live theory updates:
+the next poll simply prepares against the new artifacts, the maintainer
+performs a full refresh, and the subscriber receives the (byte-identical
+to re-execution) delta between the old and new rewritings' answers.
+
+Thread model: mutating operations run on the owning tenant's executor
+thread, but the serving front end reads cursors from the event loop, so
+the pool guards its table with a lock of its own.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..queries.conjunctive_query import ConjunctiveQuery
+
+
+class UnknownSubscriptionError(KeyError):
+    """Raised when a cursor does not name a live subscription."""
+
+
+@dataclass
+class Subscription:
+    """One cursor: the subscribed query plus the snapshot last delivered."""
+
+    cursor: str
+    query: ConjunctiveQuery
+    delivered: frozenset = frozenset()
+    epoch: int | None = None
+    polls: int = 0
+
+
+@dataclass(frozen=True)
+class PollResult:
+    """What one poll of a subscription delivers."""
+
+    cursor: str
+    epoch: int
+    added: frozenset
+    removed: frozenset
+    #: How the underlying maintainer refreshed: ``"incremental"``,
+    #: ``"full"`` or ``"noop"``.
+    mode: str
+    answers: int
+    polls: int
+
+
+class SubscriptionPool:
+    """The per-tenant table of live subscriptions."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._subscriptions: dict[str, Subscription] = {}
+        self._next = 1
+        self._total_polls = 0
+
+    def subscribe(self, query: ConjunctiveQuery) -> Subscription:
+        """Register *query*; returns the new (empty-snapshot) subscription."""
+        with self._lock:
+            cursor = f"sub-{self._next:06d}"
+            self._next += 1
+            subscription = Subscription(cursor=cursor, query=query)
+            self._subscriptions[cursor] = subscription
+            return subscription
+
+    def get(self, cursor: str) -> Subscription:
+        """The live subscription named by *cursor* (raises if unknown)."""
+        with self._lock:
+            try:
+                return self._subscriptions[cursor]
+            except KeyError:
+                raise UnknownSubscriptionError(cursor) from None
+
+    def query_for(self, cursor: str) -> ConjunctiveQuery:
+        """The query *cursor* subscribes to (raises if unknown)."""
+        return self.get(cursor).query
+
+    def unsubscribe(self, cursor: str) -> None:
+        """Drop the subscription (raises if unknown)."""
+        with self._lock:
+            if self._subscriptions.pop(cursor, None) is None:
+                raise UnknownSubscriptionError(cursor)
+
+    def deliver(
+        self, cursor: str, current: frozenset, epoch: int, mode: str
+    ) -> PollResult:
+        """Record a delivery of *current* and return the per-cursor delta."""
+        with self._lock:
+            try:
+                subscription = self._subscriptions[cursor]
+            except KeyError:
+                raise UnknownSubscriptionError(cursor) from None
+            added = current - subscription.delivered
+            removed = subscription.delivered - current
+            subscription.delivered = current
+            subscription.epoch = epoch
+            subscription.polls += 1
+            self._total_polls += 1
+            return PollResult(
+                cursor=cursor,
+                epoch=epoch,
+                added=added,
+                removed=removed,
+                mode=mode,
+                answers=len(current),
+                polls=subscription.polls,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._subscriptions)
+
+    def describe(self) -> dict:
+        """Sizes and counters, for the tenant's stats block."""
+        with self._lock:
+            return {
+                "active": len(self._subscriptions),
+                "created": self._next - 1,
+                "polls": self._total_polls,
+            }

@@ -1,0 +1,60 @@
+"""A read-only overlay view used by the deletion half of maintenance.
+
+DRed-style deletion must over-approximate the answers lost to a batch of
+removed facts by evaluating pinned disjuncts over the *pre-deletion* state
+— the current database plus the facts that just disappeared.  Materialising
+that state would copy the instance; instead :class:`OverlayInstance`
+presents ``base ∪ extra`` through exactly the two methods the query
+evaluator consumes (:meth:`relation` and :meth:`matching`), delegating to
+the live instance's indexes and scanning the (small) overlay linearly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from ..logic.atoms import Atom, Predicate
+from ..logic.terms import Term
+
+
+class OverlayInstance:
+    """``base ∪ extra`` exposed through the :class:`QueryEvaluator` protocol.
+
+    Only :meth:`relation` and :meth:`matching` are provided — they are the
+    whole surface :class:`repro.database.evaluator.QueryEvaluator` touches
+    (``join_order`` sizes relations, ``_search`` probes indexes).  The
+    overlay is expected to be small (a net deletion batch), so membership
+    filtering over it is a linear scan per probe.
+    """
+
+    def __init__(self, base, extra: Iterable[Atom]) -> None:
+        self._base = base
+        self._extra: dict[Predicate, tuple[Atom, ...]] = {}
+        grouped: dict[Predicate, list[Atom]] = defaultdict(list)
+        for fact in extra:
+            grouped[fact.predicate].append(fact)
+        self._extra = {predicate: tuple(facts) for predicate, facts in grouped.items()}
+
+    def relation(self, predicate: Predicate) -> frozenset[Atom]:
+        """All atoms of *predicate* in the overlaid view."""
+        extra = self._extra.get(predicate)
+        base = self._base.relation(predicate)
+        if not extra:
+            return base
+        return base | frozenset(extra)
+
+    def matching(self, predicate: Predicate, bound: dict[int, Term]) -> frozenset[Atom]:
+        """Atoms of *predicate* agreeing with the bound (1-based) positions."""
+        result = self._base.matching(predicate, bound)
+        extra = self._extra.get(predicate)
+        if not extra:
+            return result
+        matched = [
+            fact
+            for fact in extra
+            if all(fact[position] == value for position, value in bound.items())
+        ]
+        if not matched:
+            return result
+        return result | frozenset(matched)

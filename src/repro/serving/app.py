@@ -65,6 +65,7 @@ from ..cache.serialization import (
 )
 from ..dependencies.constraints import NegativeConstraint
 from ..dependencies.theory import OntologyTheory
+from ..incremental.subscriptions import UnknownSubscriptionError
 from ..logic.terms import Constant
 from ..queries.conjunctive_query import ConjunctiveQuery
 from ..queries.parser import QuerySyntaxError, parse_query
@@ -90,7 +91,9 @@ from .tenants import (
     compile_digest,
 )
 
-#: ``POST /tenants/{name}/theory`` — the one parameterised route.
+#: ``POST /tenants/{name}/theory`` — the first parameterised route
+#: (kept as a module name for backward compatibility; the app now routes
+#: every ``/tenants/{name}/...`` endpoint through ``_tenant_routes``).
 _TENANT_THEORY_ROUTE = re.compile(r"/tenants/([^/]+)/theory")
 
 
@@ -185,6 +188,7 @@ class ServingApp:
         strategy_factory=None,
         resilience: ResilienceConfig | None = None,
         fault_plan=None,
+        change_log: int | None = None,
     ) -> None:
         self.config = resilience or ResilienceConfig()
         self.registry = TenantRegistry(
@@ -194,6 +198,7 @@ class ServingApp:
             warm_limit=warm_limit,
             strategy_factory=strategy_factory,
             fault_plan=fault_plan,
+            max_tracked_changes=change_log,
         )
         self.flights = SingleFlight()
         self.gate = CompileGate(self.config)
@@ -209,6 +214,19 @@ class ServingApp:
             ("GET", "/stats"): self._stats,
             ("GET", "/healthz"): self._healthz,
         }
+        # Parameterised per-tenant routes: (pattern, method, handler).
+        # Handlers take (name, payload, headers).
+        self._tenant_routes = (
+            (_TENANT_THEORY_ROUTE, "POST", self._update_theory),
+            (re.compile(r"/tenants/([^/]+)/subscribe"), "POST", self._subscribe),
+            (re.compile(r"/tenants/([^/]+)/changes"), "GET", self._changes),
+            (re.compile(r"/tenants/([^/]+)/unsubscribe"), "POST", self._unsubscribe),
+            (
+                re.compile(r"/tenants/([^/]+)/prepare-batch"),
+                "POST",
+                self._prepare_batch,
+            ),
+        )
         self._closed = False
 
     # -- the front door ----------------------------------------------------
@@ -229,20 +247,26 @@ class ServingApp:
         method = method.upper()
         handler = self._routes.get((method, path))
         if handler is None:
-            match = _TENANT_THEORY_ROUTE.fullmatch(path)
-            if match is not None:
-                if method != "POST":
+            for pattern, route_method, tenant_handler in self._tenant_routes:
+                match = pattern.fullmatch(path)
+                if match is None:
+                    continue
+                if method != route_method:
                     return ServingError(
                         405, "method-not-allowed", f"{method} is not valid for {path}"
                     ).response()
-                handler = lambda payload, headers, name=match.group(1): (
-                    self._update_theory(name, payload, headers)
+                handler = (
+                    lambda payload,
+                    headers,
+                    name=match.group(1),
+                    bound=tenant_handler: bound(name, payload, headers)
                 )
-            elif any(route_path == path for _, route_path in self._routes):
-                return ServingError(
-                    405, "method-not-allowed", f"{method} is not valid for {path}"
-                ).response()
+                break
             else:
+                if any(route_path == path for _, route_path in self._routes):
+                    return ServingError(
+                        405, "method-not-allowed", f"{method} is not valid for {path}"
+                    ).response()
                 return ServingError(
                     404, "unknown-endpoint", f"no endpoint {path}"
                 ).response()
@@ -259,6 +283,10 @@ class ServingApp:
             return error.response()
         except UnknownTenantError as error:
             return ServingError(404, "unknown-tenant", str(error)).response()
+        except UnknownSubscriptionError as error:
+            return ServingError(
+                404, "unknown-cursor", f"no subscription {error.args[0]!r}"
+            ).response()
         except DuplicateTenantError as error:
             return ServingError(409, "duplicate-tenant", str(error)).response()
         except RegistryFullError as error:
@@ -589,6 +617,183 @@ class ServingApp:
                 "cqs": len(prepared.rewriting.ucq),
                 "elapsed_ms": (time.perf_counter() - started) * 1000.0,
             },
+        )
+
+    async def _prepare_batch(
+        self, name: str, payload: dict, headers: dict
+    ) -> ServingResponse:
+        """``POST /tenants/{name}/prepare-batch`` — bulk plan warming.
+
+        Each query's compile runs through the same single-flight /
+        admission-control path as a single ``/prepare`` (a concurrent
+        identical batch coalesces per digest); backend planning of the
+        whole batch then happens in one hop on the tenant executor via
+        ``prepare_many``.
+        """
+        tenant = self.registry.get(name)
+        raw = self._required(payload, "queries")
+        if not isinstance(raw, list) or not raw:
+            raise ServingError(
+                400, "bad-request", "'queries' must be a non-empty list"
+            )
+        queries = [
+            self._decode_query(item if isinstance(item, dict) else {"query": item})
+            for item in raw
+        ]
+        started = time.perf_counter()
+        deadline = Deadline.from_header(headers)
+        epoch = tenant.retain_epoch()
+        try:
+            results = []
+            for query in queries:
+                source, coalesced = await self._ensure_compiled(
+                    tenant, epoch, query, deadline
+                )
+                results.append({"source": source, "coalesced": coalesced})
+            loop = asyncio.get_running_loop()
+            prepared = await loop.run_in_executor(
+                tenant.executor,
+                lambda: tenant.prepare_batch_blocking(queries, epoch.system),
+            )
+        finally:
+            tenant.release_epoch(epoch)
+        for entry, handle in zip(results, prepared):
+            entry["cqs"] = len(handle.rewriting.ucq)
+        return ServingResponse(
+            200,
+            {
+                "tenant": tenant.name,
+                "prepared": len(prepared),
+                "results": results,
+                "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+            },
+        )
+
+    async def _subscribe(
+        self, name: str, payload: dict, headers: dict
+    ) -> ServingResponse:
+        """``POST /tenants/{name}/subscribe`` — open a standing-query cursor.
+
+        Returns the cursor plus the current answer set as the initial
+        snapshot; subsequent ``GET /tenants/{name}/changes?cursor=``
+        polls return only the delta accumulated since the last delivery.
+        """
+        tenant = self.registry.get(name)
+        query = self._decode_query(payload)
+        started = time.perf_counter()
+        deadline = Deadline.from_header(headers)
+        epoch = tenant.retain_epoch()
+        try:
+            source, coalesced = await self._ensure_compiled(
+                tenant, epoch, query, deadline
+            )
+            loop = asyncio.get_running_loop()
+            budget = deadline.phase_budget(self.config.answer_timeout)
+            work = loop.run_in_executor(
+                tenant.executor,
+                lambda: tenant.subscribe_blocking(query, epoch.system),
+            )
+            try:
+                if budget is not None:
+                    subscription, answers, epoch_counter, mode = await asyncio.wait_for(
+                        work, budget
+                    )
+                else:
+                    subscription, answers, epoch_counter, mode = await work
+            except asyncio.TimeoutError:
+                raise ServingError(
+                    504,
+                    "timeout",
+                    f"subscribe did not finish within its {budget:.3f}s budget",
+                ) from None
+        finally:
+            tenant.release_epoch(epoch)
+        return ServingResponse(
+            201,
+            {
+                "tenant": tenant.name,
+                "cursor": subscription.cursor,
+                "answers": encode_answers(answers),
+                "count": len(answers),
+                "epoch": epoch_counter,
+                "mode": mode,
+                "source": source,
+                "coalesced": coalesced,
+                "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+            },
+        )
+
+    async def _changes(
+        self, name: str, payload: dict, headers: dict
+    ) -> ServingResponse:
+        """``GET /tenants/{name}/changes?cursor=`` — poll a cursor's delta.
+
+        The answer set is delta-maintained on the tenant's executor
+        thread (semi-naive inserts, DRed deletes, full-refresh fallback
+        when the change log was truncated); the response carries the rows
+        added and removed since the cursor's previous delivery, in the
+        same deterministic ``encode_answers`` ordering as ``/answer``.
+        """
+        tenant = self.registry.get(name)
+        cursor = self._required(payload, "cursor")
+        if not isinstance(cursor, str):
+            raise ServingError(400, "bad-request", "'cursor' must be a string")
+        query = tenant.subscriptions.query_for(cursor)
+        started = time.perf_counter()
+        deadline = Deadline.from_header(headers)
+        epoch = tenant.retain_epoch()
+        try:
+            source, coalesced = await self._ensure_compiled(
+                tenant, epoch, query, deadline
+            )
+            loop = asyncio.get_running_loop()
+            budget = deadline.phase_budget(self.config.answer_timeout)
+            work = loop.run_in_executor(
+                tenant.executor,
+                lambda: tenant.changes_blocking(cursor, epoch.system),
+            )
+            try:
+                if budget is not None:
+                    poll = await asyncio.wait_for(work, budget)
+                else:
+                    poll = await work
+            except asyncio.TimeoutError:
+                raise ServingError(
+                    504,
+                    "timeout",
+                    f"poll did not finish within its {budget:.3f}s budget",
+                ) from None
+        finally:
+            tenant.release_epoch(epoch)
+        return ServingResponse(
+            200,
+            {
+                "tenant": tenant.name,
+                "cursor": poll.cursor,
+                "added": encode_answers(poll.added),
+                "removed": encode_answers(poll.removed),
+                "count": poll.answers,
+                "epoch": poll.epoch,
+                "mode": poll.mode,
+                "polls": poll.polls,
+                "source": source,
+                "coalesced": coalesced,
+                "elapsed_ms": (time.perf_counter() - started) * 1000.0,
+            },
+        )
+
+    async def _unsubscribe(
+        self, name: str, payload: dict, headers: dict
+    ) -> ServingResponse:
+        """``POST /tenants/{name}/unsubscribe`` — drop a cursor."""
+        tenant = self.registry.get(name)
+        cursor = self._required(payload, "cursor")
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            tenant.executor, lambda: tenant.unsubscribe_blocking(cursor)
+        )
+        return ServingResponse(
+            200, {"tenant": tenant.name, "cursor": cursor, "unsubscribed": True}
         )
 
     async def _answer(self, payload: dict, headers: dict) -> ServingResponse:

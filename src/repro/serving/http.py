@@ -26,6 +26,7 @@ from __future__ import annotations
 import asyncio
 import json
 import random
+from urllib.parse import parse_qsl
 
 from .app import ServingApp, ServingResponse
 
@@ -182,7 +183,14 @@ class ServingServer:
             )
         except (UnicodeDecodeError, ValueError):
             return "GET", "/", None, {}, False, (400, "bad-request-line", "unreadable request line")
-        path = target.split("?", 1)[0]
+        path, _, query_string = target.partition("?")
+        # Query parameters (``GET /tenants/x/changes?cursor=sub-1``) merge
+        # into the payload below; an explicit JSON body wins on conflicts.
+        params = (
+            dict(parse_qsl(query_string, keep_blank_values=True))
+            if query_string
+            else None
+        )
 
         headers: dict[str, str] = {}
         while True:
@@ -222,6 +230,11 @@ class ServingServer:
                     return method, path, None, headers, keep_alive, (
                         400, "bad-json", f"request body is not JSON: {error}"
                     )
+        if params:
+            if payload is None:
+                payload = params
+            elif isinstance(payload, dict):
+                payload = {**params, **payload}
         return method, path, payload, headers, keep_alive, None
 
 

@@ -57,6 +57,7 @@ from ..cache.serialization import query_from_json, result_from_json
 from ..cache.store import RewritingStore
 from ..database.instance import RelationalInstance
 from ..dependencies.theory import OntologyTheory
+from ..incremental.subscriptions import PollResult, Subscription, SubscriptionPool
 from ..queries.conjunctive_query import ConjunctiveQuery
 from ..scheduling import create_strategy
 from .resilience import CancelScope, InterruptibleStrategy
@@ -336,6 +337,7 @@ class Tenant:
         artifacts: SharedArtifacts,
         backend: str = "memory",
         fault_plan=None,
+        max_tracked_changes: int | None = None,
     ) -> None:
         self.name = name
         self.backend_name = backend
@@ -349,7 +351,9 @@ class Tenant:
         system = self.executor.submit(
             lambda: OBDASystem(
                 artifacts.theory,
-                database=RelationalInstance(),
+                database=RelationalInstance(
+                    max_tracked_changes=max_tracked_changes
+                ),
                 use_nc_pruning=bool(artifacts.theory.negative_constraints),
                 backend=backend,
                 rewriting_cache=artifacts.rewriting_cache,
@@ -358,6 +362,9 @@ class Tenant:
         self._epoch_lock = threading.Lock()
         self._epoch = TenantEpoch(artifacts, system)
         self._live_epochs: list[TenantEpoch] = [self._epoch]
+        # Standing-query cursors; survives theory updates because it keys
+        # on the query, not on any epoch's prepared handle.
+        self.subscriptions = SubscriptionPool()
         self.theory_updates = 0
         self.answers_served = 0
         self.warmed_prepared = 0
@@ -522,6 +529,68 @@ class Tenant:
             self.answers_served += 1
             return answers.tuples, cached
 
+    def prepare_batch_blocking(
+        self,
+        queries: Sequence[ConjunctiveQuery],
+        system: OBDASystem | None = None,
+    ) -> list:
+        """Plan a whole batch on this tenant's backend via ``prepare_many``.
+
+        Blocking — the serving app runs it on :attr:`executor` after every
+        compile has gone through the shared single-flight path, so the
+        batch is pure cache absorption plus backend planning.
+        """
+        with self._lock:
+            return (system or self.system).prepare_many(queries)
+
+    # -- standing queries ---------------------------------------------------
+
+    def subscribe_blocking(
+        self,
+        query: ConjunctiveQuery,
+        system: OBDASystem | None = None,
+    ) -> tuple[Subscription, frozenset[tuple], int, str]:
+        """Open a cursor on *query*'s answer set; returns the initial snapshot.
+
+        Blocking — runs on :attr:`executor`.  The subscription's snapshot
+        starts at the current answer set, so the first poll only reports
+        changes made after subscribing.  Returns ``(subscription,
+        answers, epoch, refresh mode)``.
+        """
+        with self._lock:
+            prepared = (system or self.system).prepare(query)
+            delta = prepared.poll()
+            current = prepared.maintained_answers
+            subscription = self.subscriptions.subscribe(query)
+            subscription.delivered = current
+            subscription.epoch = delta.epoch
+            return subscription, current, delta.epoch, delta.mode
+
+    def changes_blocking(
+        self,
+        cursor: str,
+        system: OBDASystem | None = None,
+    ) -> PollResult:
+        """Poll the cursor: maintain the answer set, diff against the snapshot.
+
+        Blocking — runs on :attr:`executor`.  The query is re-prepared
+        against the pinned epoch's system, so a subscription opened before
+        a live theory update keeps polling correctly afterwards (the
+        maintainer of the new epoch full-refreshes once, and the cursor's
+        delta covers the rewriting change exactly).
+        """
+        query = self.subscriptions.query_for(cursor)
+        with self._lock:
+            prepared = (system or self.system).prepare(query)
+            delta = prepared.poll()
+            return self.subscriptions.deliver(
+                cursor, prepared.maintained_answers, delta.epoch, delta.mode
+            )
+
+    def unsubscribe_blocking(self, cursor: str) -> None:
+        """Drop the cursor (raises ``UnknownSubscriptionError`` if absent)."""
+        self.subscriptions.unsubscribe(cursor)
+
     def invalidate_answers(self) -> int:
         """Drop every prepared query's cached answer sets; returns the count."""
         with self._lock:
@@ -538,6 +607,7 @@ class Tenant:
             "theory_updates": self.theory_updates,
             "answers_served": self.answers_served,
             "warmed_prepared": self.warmed_prepared,
+            "subscriptions": self.subscriptions.describe(),
             "prepared": {
                 "size": prepared.size,
                 "hits": prepared.hits,
@@ -603,6 +673,7 @@ class TenantRegistry:
         warm_limit: int | None = DEFAULT_WARM_LIMIT,
         strategy_factory=None,
         fault_plan=None,
+        max_tracked_changes: int | None = None,
     ) -> None:
         if max_tenants is not None and max_tenants < 1:
             raise ValueError(f"max_tenants must be >= 1, got {max_tenants}")
@@ -619,6 +690,9 @@ class TenantRegistry:
         self._warm_limit = warm_limit
         self._strategy_factory = strategy_factory
         self._fault_plan = fault_plan
+        #: Per-tenant change-log bound (``repro serve --change-log``);
+        #: ``None`` keeps :data:`RelationalInstance.MAX_TRACKED_CHANGES`.
+        self._max_tracked_changes = max_tracked_changes
         # register/update/deregister may run on different pool threads
         # (the app offloads them); serialise the registry mutations.
         self._mutation_lock = threading.RLock()
@@ -704,6 +778,7 @@ class TenantRegistry:
             artifacts,
             backend=backend or self._default_backend,
             fault_plan=self._fault_plan,
+            max_tracked_changes=self._max_tracked_changes,
         )
         tenant.on_own_thread(tenant.add_facts, facts)
         if warm_prepared and artifacts.rewriting_cache:

@@ -91,16 +91,17 @@ class TestIncrementalLoading:
         assert backend.full_loads == 2
         assert backend.incremental_loads == 0
 
-    def test_truncated_change_log_falls_back_to_full_reload(
-        self, system, monkeypatch
-    ):
+    def test_truncated_change_log_falls_back_to_full_reload(self, system):
+        from collections import deque
+
         _answers(system)
         backend = system.backend_for("sqlite")
-        monkeypatch.setattr(RelationalInstance, "MAX_TRACKED_CHANGES", 2)
         database = system.database
-        # A fresh deque bound is only picked up by new appends; rebuild the
-        # log small so it overflows past the loaded epoch.
-        database._changes.clear()
+        # Shrink the live instance's log to 2 entries (the capacity is a
+        # constructor parameter, fixed per instance) so it overflows past
+        # the loaded epoch.
+        database.max_tracked_changes = 2
+        database._changes = deque(maxlen=2)
         database._change_floor = database.epoch
         for index in range(5):
             system.add_fact("person", [f"late{index}"])

@@ -174,3 +174,48 @@ class TestChangeLog:
         # The most recent window is still replayable.
         recent = instance.changes_since(instance.epoch - 3)
         assert recent is not None and len(recent) == 3
+
+    def test_log_capacity_is_a_constructor_parameter(self):
+        instance = RelationalInstance(max_tracked_changes=2)
+        assert instance.max_tracked_changes == 2
+        instance.add(Atom.of("r", a))
+        epoch = instance.epoch
+        instance.add(Atom.of("r", b))
+        instance.add(Atom.of("r", c))
+        assert instance.changes_since(epoch) == [
+            (True, Atom.of("r", b)),
+            (True, Atom.of("r", c)),
+        ]
+        instance.add_tuple("r", ("d",))
+        assert instance.changes_since(epoch) is None
+
+    def test_default_capacity_is_the_class_attribute(self):
+        assert RelationalInstance().max_tracked_changes == (
+            RelationalInstance.MAX_TRACKED_CHANGES
+        )
+
+    def test_negative_capacity_is_rejected(self):
+        with pytest.raises(ValueError):
+            RelationalInstance(max_tracked_changes=-1)
+
+    def test_truncation_boundary_is_exact(self):
+        # Regression: the oldest epoch whose delta is still replayable is
+        # exactly `epoch - capacity`; one step earlier must report None,
+        # never a silently short delta.
+        instance = RelationalInstance(max_tracked_changes=3)
+        for index in range(6):
+            instance.add_tuple("r", (f"v{index}",))
+        floor = instance.epoch - 3
+        at_floor = instance.changes_since(floor)
+        assert at_floor is not None and len(at_floor) == 3
+        assert instance.changes_since(floor - 1) is None
+        # And the current epoch is always an empty (non-None) delta.
+        assert instance.changes_since(instance.epoch) == []
+
+    def test_zero_capacity_keeps_no_log(self):
+        instance = RelationalInstance(max_tracked_changes=0)
+        instance.add(Atom.of("r", a))
+        epoch = instance.epoch
+        instance.add(Atom.of("r", b))
+        assert instance.changes_since(epoch) is None
+        assert instance.changes_since(instance.epoch) == []

@@ -1,0 +1,318 @@
+"""Unit tests for delta maintenance of UCQ answer sets.
+
+Covers the building blocks (relevance index, overlay view, net-change
+collapse, pinning, rederivation) and the :class:`MaintainedAnswerSet`
+refresh modes: initial full computation, incremental insert/delete
+maintenance with support counting, and every fallback (truncated log,
+oversize delta, instance swap, noop).
+"""
+
+import pytest
+
+from repro.database.evaluator import evaluate_ucq
+from repro.database.instance import RelationalInstance
+from repro.incremental import (
+    MaintainedAnswerSet,
+    OverlayInstance,
+    RelevanceIndex,
+    derives,
+    net_changes,
+    pinned_answers,
+    unify_fact,
+)
+from repro.logic.atoms import Atom, Predicate
+from repro.logic.terms import Constant, Variable
+
+X, Y = Variable("X"), Variable("Y")
+a, b, c = Constant("a"), Constant("b"), Constant("c")
+
+
+def cq(body, answer_terms):
+    from repro.queries.conjunctive_query import ConjunctiveQuery
+
+    return ConjunctiveQuery(body, answer_terms)
+
+
+#: q(X) :- person(X)  ∪  q(X) :- employee(X)  — overlapping disjuncts so
+#: support counting matters.
+PERSON = cq([Atom.of("person", X)], (X,))
+EMPLOYEE = cq([Atom.of("employee", X)], (X,))
+#: join disjunct: q(X) :- works(X, Y), dept(Y)
+WORKS_IN_DEPT = cq([Atom.of("works", X, Y), Atom.of("dept", Y)], (X,))
+
+
+class TestRelevanceIndex:
+    def test_routes_predicates_to_mentioning_disjuncts(self):
+        index = RelevanceIndex((PERSON, EMPLOYEE, WORKS_IN_DEPT))
+        assert index.disjunct_count == 3
+        assert index.disjuncts_for(Predicate("person", 1)) == (0,)
+        assert index.disjuncts_for(Predicate("employee", 1)) == (1,)
+        assert index.disjuncts_for(Predicate("works", 2)) == (2,)
+        assert index.disjuncts_for(Predicate("dept", 1)) == (2,)
+
+    def test_unknown_predicate_affects_nothing(self):
+        index = RelevanceIndex((PERSON,))
+        assert index.disjuncts_for(Predicate("other", 1)) == ()
+        assert index.affected({Predicate("other", 1)}) == ()
+
+    def test_affected_is_the_sorted_union(self):
+        index = RelevanceIndex((PERSON, EMPLOYEE, WORKS_IN_DEPT))
+        affected = index.affected(
+            {Predicate("dept", 1), Predicate("person", 1)}
+        )
+        assert affected == (0, 2)
+
+
+class TestOverlayInstance:
+    def test_relation_is_the_union(self):
+        base = RelationalInstance()
+        base.add(Atom.of("p", a))
+        view = OverlayInstance(base, [Atom.of("p", b), Atom.of("q", c)])
+        assert view.relation(Predicate("p", 1)) == frozenset(
+            {Atom.of("p", a), Atom.of("p", b)}
+        )
+        assert view.relation(Predicate("q", 1)) == frozenset({Atom.of("q", c)})
+
+    def test_matching_filters_extras_positionally(self):
+        base = RelationalInstance()
+        base.add(Atom.of("r", a, b))
+        view = OverlayInstance(base, [Atom.of("r", a, c), Atom.of("r", b, c)])
+        matched = view.matching(Predicate("r", 2), {1: a})
+        assert matched == frozenset({Atom.of("r", a, b), Atom.of("r", a, c)})
+
+
+class TestNetChanges:
+    def test_insert_then_delete_cancels(self):
+        fact = Atom.of("p", a)
+        assert net_changes([(True, fact), (False, fact)]) == (set(), set())
+
+    def test_delete_then_reinsert_cancels(self):
+        fact = Atom.of("p", a)
+        assert net_changes([(False, fact), (True, fact)]) == (set(), set())
+
+    def test_net_sets_are_disjoint(self):
+        added, removed = net_changes(
+            [(True, Atom.of("p", a)), (False, Atom.of("p", b))]
+        )
+        assert added == {Atom.of("p", a)}
+        assert removed == {Atom.of("p", b)}
+
+
+class TestUnifyFact:
+    def test_binds_variables(self):
+        assert unify_fact(Atom.of("r", X, Y), Atom.of("r", a, b)) == {X: a, Y: b}
+
+    def test_repeated_variable_must_agree(self):
+        assert unify_fact(Atom.of("r", X, X), Atom.of("r", a, a)) == {X: a}
+        assert unify_fact(Atom.of("r", X, X), Atom.of("r", a, b)) is None
+
+    def test_constant_mismatch(self):
+        assert unify_fact(Atom.of("r", a), Atom.of("r", b)) is None
+        assert unify_fact(Atom.of("r", a), Atom.of("s", a)) is None
+
+
+class TestPinnedAnswers:
+    def test_residual_join_over_the_view(self):
+        instance = RelationalInstance()
+        instance.add(Atom.of("works", a, b))
+        instance.add(Atom.of("works", c, b))
+        instance.add(Atom.of("dept", b))
+        body, answer_terms = WORKS_IN_DEPT.body, WORKS_IN_DEPT.answer_terms
+        # Pinning the dept fact recovers every worker joined through it.
+        assert pinned_answers(body, answer_terms, Atom.of("dept", b), instance) == {
+            (a,),
+            (c,),
+        }
+        # Pinning one works fact yields only that worker.
+        assert pinned_answers(
+            body, answer_terms, Atom.of("works", a, b), instance
+        ) == {(a,)}
+
+    def test_irrelevant_fact_pins_nothing(self):
+        instance = RelationalInstance()
+        instance.add(Atom.of("works", a, b))
+        body, answer_terms = WORKS_IN_DEPT.body, WORKS_IN_DEPT.answer_terms
+        assert pinned_answers(body, answer_terms, Atom.of("other", a), instance) == frozenset()
+
+
+class TestDerives:
+    def test_rederivation_check(self):
+        instance = RelationalInstance()
+        instance.add(Atom.of("works", a, b))
+        instance.add(Atom.of("dept", b))
+        body, answer_terms = WORKS_IN_DEPT.body, WORKS_IN_DEPT.answer_terms
+        assert derives(body, answer_terms, (a,), instance)
+        assert not derives(body, answer_terms, (c,), instance)
+
+
+class TestMaintainedAnswerSet:
+    def make(self, *facts, **instance_kwargs):
+        instance = RelationalInstance(**instance_kwargs)
+        for fact in facts:
+            instance.add(fact)
+        maintained = MaintainedAnswerSet((PERSON, EMPLOYEE))
+        return instance, maintained
+
+    def test_initial_refresh_is_full(self):
+        instance, maintained = self.make(Atom.of("person", a))
+        delta = maintained.refresh(instance)
+        assert delta.mode == "full"
+        assert delta.added == {(a,)} and not delta.removed
+        assert maintained.tuples == {(a,)}
+        assert maintained.epoch == instance.epoch
+
+    def test_insert_is_maintained_incrementally(self):
+        instance, maintained = self.make(Atom.of("person", a))
+        maintained.refresh(instance)
+        instance.add(Atom.of("employee", b))
+        delta = maintained.refresh(instance)
+        assert delta.mode == "incremental"
+        assert delta.added == {(b,)} and not delta.removed
+        assert maintained.tuples == {(a,), (b,)}
+
+    def test_delete_is_maintained_incrementally(self):
+        instance, maintained = self.make(Atom.of("person", a), Atom.of("person", b))
+        maintained.refresh(instance)
+        instance.remove(Atom.of("person", b))
+        delta = maintained.refresh(instance)
+        assert delta.mode == "incremental"
+        assert delta.removed == {(b,)} and not delta.added
+        assert maintained.tuples == {(a,)}
+
+    def test_support_counts_survive_single_disjunct_deletion(self):
+        # a is both a person and an employee: losing one derivation must
+        # not drop the answer.
+        instance, maintained = self.make(
+            Atom.of("person", a), Atom.of("employee", a)
+        )
+        maintained.refresh(instance)
+        assert maintained.support((a,)) == 2
+        instance.remove(Atom.of("employee", a))
+        delta = maintained.refresh(instance)
+        assert delta.empty
+        assert maintained.support((a,)) == 1
+        assert maintained.tuples == {(a,)}
+        instance.remove(Atom.of("person", a))
+        delta = maintained.refresh(instance)
+        assert delta.removed == {(a,)}
+        assert maintained.support((a,)) == 0
+
+    def test_join_disjunct_delete_rederives_survivors(self):
+        instance = RelationalInstance()
+        for fact in (
+            Atom.of("works", a, b),
+            Atom.of("works", a, c),
+            Atom.of("dept", b),
+            Atom.of("dept", c),
+        ):
+            instance.add(fact)
+        maintained = MaintainedAnswerSet((WORKS_IN_DEPT,))
+        maintained.refresh(instance)
+        assert maintained.tuples == {(a,)}
+        # Losing dept(b) over-deletes (a,), but works(a,c) ∧ dept(c)
+        # rederives it — DRed's second pass.
+        instance.remove(Atom.of("dept", b))
+        delta = maintained.refresh(instance)
+        assert delta.empty
+        assert maintained.tuples == {(a,)}
+        instance.remove(Atom.of("dept", c))
+        delta = maintained.refresh(instance)
+        assert delta.removed == {(a,)}
+
+    def test_noop_when_epoch_unchanged(self):
+        instance, maintained = self.make(Atom.of("person", a))
+        maintained.refresh(instance)
+        delta = maintained.refresh(instance)
+        assert delta.mode == "noop" and delta.empty
+        assert maintained.counters.noop_refreshes == 1
+
+    def test_truncated_log_falls_back_to_full(self):
+        instance, maintained = self.make(
+            Atom.of("person", a), max_tracked_changes=2
+        )
+        maintained.refresh(instance)
+        for index in range(5):
+            instance.add(Atom.of("person", Constant(f"p{index}")))
+        assert instance.changes_since(maintained.epoch) is None
+        delta = maintained.refresh(instance)
+        assert delta.mode == "full"
+        assert maintained.counters.truncation_fallbacks == 1
+        assert maintained.tuples == evaluate_ucq((PERSON, EMPLOYEE), instance)
+
+    def test_oversize_delta_falls_back_to_full(self):
+        instance, maintained = self.make(Atom.of("person", a))
+        maintained.refresh(instance)
+        # Churn 3 facts in and out: the 6-entry log outweighs the
+        # 1-fact database, so replaying it is a loss.
+        for value in (b, c, Constant("d")):
+            instance.add(Atom.of("person", value))
+        for value in (b, c, Constant("d")):
+            instance.remove(Atom.of("person", value))
+        delta = maintained.refresh(instance)
+        assert delta.mode == "full" and delta.empty
+        assert maintained.counters.oversize_fallbacks == 1
+
+    def test_instance_swap_forces_full_refresh(self):
+        first, maintained = self.make(Atom.of("person", a))
+        maintained.refresh(first)
+        second = RelationalInstance()
+        second.add(Atom.of("employee", b))
+        delta = maintained.refresh(second)
+        assert delta.mode == "full"
+        assert delta.added == {(b,)} and delta.removed == {(a,)}
+
+    def test_describe_reports_counters(self):
+        instance, maintained = self.make(Atom.of("person", a))
+        maintained.refresh(instance)
+        instance.add(Atom.of("person", b))
+        maintained.refresh(instance)
+        report = maintained.describe()
+        assert report["answers"] == 2
+        assert report["disjuncts"] == 2
+        assert report["full_refreshes"] == 1
+        assert report["incremental_refreshes"] == 1
+        # The employee disjunct was skipped by the relevance index.
+        assert report["disjuncts_skipped"] == 1
+
+
+class TestPreparedQueryMaintenance:
+    @pytest.mark.parametrize("backend", ("memory", "sqlite"))
+    def test_poll_tracks_mutations(self, backend):
+        from repro.api import OBDASystem
+        from repro.dependencies.tgd import tgd
+        from repro.dependencies.theory import OntologyTheory
+
+        theory = OntologyTheory(
+            tgds=[tgd(Atom.of("employee", X), Atom.of("person", X))],
+            name="maintain",
+        )
+        system = OBDASystem(theory)
+        system.add_facts([("person", ("ann",)), ("employee", ("bob",))])
+        prepared = system.prepare(cq([Atom.of("person", X)], (X,)), backend)
+        delta = prepared.poll()
+        assert delta.mode == "full"
+        assert prepared.maintained_answers == {
+            (Constant("ann"),),
+            (Constant("bob"),),
+        }
+        system.add_fact("employee", ("carol",))
+        delta = prepared.poll()
+        assert delta.mode == "incremental"
+        assert delta.added == {(Constant("carol"),)}
+        # The maintained set matches a from-scratch execution exactly.
+        assert prepared.maintained_answers == prepared.execute().tuples
+        system.close()
+
+    def test_invalidate_resets_the_maintainer(self):
+        from repro.api import OBDASystem
+        from repro.dependencies.theory import OntologyTheory
+
+        system = OBDASystem(OntologyTheory(tgds=[], name="reset"))
+        system.add_fact("person", ("ann",))
+        prepared = system.prepare(cq([Atom.of("person", X)], (X,)))
+        maintainer = prepared.maintainer()
+        prepared.poll()
+        prepared.invalidate()
+        assert prepared.maintainer() is not maintainer
+        assert prepared.poll().mode == "full"
+        system.close()

@@ -1,0 +1,74 @@
+"""Subscription-pool semantics: cursors, per-cursor deltas, lifecycle."""
+
+import pytest
+
+from repro.incremental import (
+    SubscriptionPool,
+    UnknownSubscriptionError,
+)
+from repro.logic.atoms import Atom
+from repro.logic.terms import Variable
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+X = Variable("X")
+QUERY = ConjunctiveQuery([Atom.of("person", X)], (X,))
+
+
+class TestSubscriptionLifecycle:
+    def test_cursors_are_unique_and_stable(self):
+        pool = SubscriptionPool()
+        first = pool.subscribe(QUERY)
+        second = pool.subscribe(QUERY)
+        assert first.cursor != second.cursor
+        assert pool.get(first.cursor) is first
+        assert pool.query_for(second.cursor) == QUERY
+        assert len(pool) == 2
+
+    def test_unsubscribe_drops_the_cursor(self):
+        pool = SubscriptionPool()
+        subscription = pool.subscribe(QUERY)
+        pool.unsubscribe(subscription.cursor)
+        assert len(pool) == 0
+        with pytest.raises(UnknownSubscriptionError):
+            pool.get(subscription.cursor)
+        with pytest.raises(UnknownSubscriptionError):
+            pool.unsubscribe(subscription.cursor)
+
+    def test_unknown_cursor_raises(self):
+        pool = SubscriptionPool()
+        with pytest.raises(UnknownSubscriptionError):
+            pool.query_for("sub-999999")
+        with pytest.raises(UnknownSubscriptionError):
+            pool.deliver("sub-999999", frozenset(), 0, "noop")
+
+
+class TestDelivery:
+    def test_delta_is_relative_to_the_last_delivery(self):
+        pool = SubscriptionPool()
+        subscription = pool.subscribe(QUERY)
+        first = pool.deliver(subscription.cursor, frozenset({("a",)}), 1, "full")
+        assert first.added == {("a",)} and not first.removed
+        assert first.polls == 1
+        second = pool.deliver(
+            subscription.cursor, frozenset({("b",)}), 2, "incremental"
+        )
+        assert second.added == {("b",)}
+        assert second.removed == {("a",)}
+        assert second.epoch == 2 and second.mode == "incremental"
+        assert second.answers == 1 and second.polls == 2
+
+    def test_cursors_track_deliveries_independently(self):
+        pool = SubscriptionPool()
+        ahead = pool.subscribe(QUERY)
+        behind = pool.subscribe(QUERY)
+        pool.deliver(ahead.cursor, frozenset({("a",)}), 1, "full")
+        # The slow subscriber still sees the full delta on its first poll.
+        result = pool.deliver(behind.cursor, frozenset({("a",), ("b",)}), 2, "full")
+        assert result.added == {("a",), ("b",)}
+
+    def test_describe_counts_created_and_polls(self):
+        pool = SubscriptionPool()
+        subscription = pool.subscribe(QUERY)
+        pool.deliver(subscription.cursor, frozenset(), 0, "noop")
+        pool.unsubscribe(subscription.cursor)
+        assert pool.describe() == {"active": 0, "created": 1, "polls": 1}
