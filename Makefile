@@ -12,14 +12,16 @@
 # lifecycle (subscribe, mutate, poll, verify the answer delta) over a
 # real socket; `make chaos-smoke` runs a bounded seeded
 # fault-injection pass against the serving stack (deadline, warm-path
-# and recovery invariants).
+# and recovery invariants); `make perf-smoke` pins the hot-path floor
+# (auto-strategy rewritings byte-identical to sequential on the running
+# example, flat canonical-key kernel never slower than the reference).
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m pytest
 REPRO   = PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) -m repro
 CACHE_DIR ?= .cache-smoke
 
-.PHONY: test smoke cache-smoke answer-smoke strategy-smoke fuzz-smoke serve-smoke subscribe-smoke chaos-smoke bench bench-json table1
+.PHONY: test smoke cache-smoke answer-smoke strategy-smoke fuzz-smoke serve-smoke subscribe-smoke chaos-smoke perf-smoke bench bench-json table1
 
 test:
 	$(PYTEST) -x -q
@@ -82,6 +84,17 @@ subscribe-smoke:
 chaos-smoke:
 	$(REPRO) chaos --seed 0 --cases 6 --quiet
 
+# Perf gate (seconds, not minutes): strategy="auto" must produce
+# byte-identical rewritings to the sequential baseline on the paper's
+# running example, and the tuple-encoded canonical-key kernel must not be
+# slower than the object-walking reference it replaced.  The exhaustive
+# hot-path benchmark (all Table 1 workloads + generated triples,
+# homomorphism and MGU paths, the autotuner epsilon invariant) is
+# benchmarks/bench_hotpaths.py under `make bench-json`.
+perf-smoke:
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
+	    benchmarks/perf_smoke.py
+
 bench:
 	$(PYTEST) -q benchmarks
 
@@ -98,6 +111,8 @@ bench-json:
 	    benchmarks/bench_scaling.py --output BENCH_scaling.json
 	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
 	    benchmarks/bench_serving.py --output BENCH_serving.json
+	PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} $(PYTHON) \
+	    benchmarks/bench_hotpaths.py --output BENCH_hotpaths.json
 
 table1:
 	$(REPRO) table1

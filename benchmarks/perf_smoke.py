@@ -1,0 +1,128 @@
+"""The ``make perf-smoke`` gate: the hot-path rewrite must never regress.
+
+Two hard checks, both on the paper's running example (StockExchange,
+Section 2), cheap enough to gate every CI run:
+
+1. **Autotuner byte-identity** — compiling the running query and every
+   Figure 1 query under ``strategy="auto"`` must produce exactly the
+   rewriting the sequential baseline produces: same sizes, same
+   canonical keys, same members in the same order.
+2. **Flat-kernel speedup floor** — WL canonical-key computation via the
+   tuple-encoded kernel (:func:`repro.logic.canonical.canonical_fingerprint`)
+   must not be slower than the object-walking reference on the harvested
+   rewriting corpus (best-of-5 timing; floor 1.0×).
+
+The exhaustive version of both checks — all five Table 1 ontologies,
+generated fuzzing triples, homomorphism and MGU paths, the epsilon
+invariant — lives in ``benchmarks/bench_hotpaths.py`` (``make bench-json``).
+
+The script is import-safe for test collectors; it only runs under
+``python benchmarks/perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.core.rewriter import TGDRewriter  # noqa: E402
+from repro.logic.canonical import (  # noqa: E402
+    canonical_fingerprint,
+    canonical_fingerprint_reference,
+)
+from repro.workloads.stock_exchange_example import (  # noqa: E402
+    figure1_queries,
+    running_query,
+    theory,
+)
+
+REPEATS = 5
+SPEEDUP_FLOOR = 1.0
+
+
+def _best_of(function, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main() -> int:
+    example = theory()
+    queries = {"running": running_query()}
+    queries.update(
+        {f"figure1-q{i}": query for i, query in enumerate(figure1_queries())}
+    )
+    failures = 0
+    corpus = []
+    sequential = TGDRewriter(example.tgds)
+    auto = TGDRewriter(example.tgds, strategy="auto")
+    for name, query in queries.items():
+        reference = sequential.rewrite(query)
+        candidate = auto.rewrite(query)
+        corpus.extend(reference.ucq)
+        size_ok = len(candidate.ucq) == len(reference.ucq)
+        keys_ok = [m.canonical_key for m in candidate.ucq] == [
+            m.canonical_key for m in reference.ucq
+        ]
+        members_ok = candidate.ucq.queries == reference.ucq.queries
+        status = "ok" if (size_ok and keys_ok and members_ok) else "MISMATCH"
+        print(
+            f"stock-exchange/{name}: sequential {len(reference.ucq)} CQs, "
+            f"auto {len(candidate.ucq)} CQs — {status}"
+        )
+        if status != "ok":
+            failures += 1
+    auto.strategy.close()
+    if failures:
+        print(
+            f"error: {failures} queries diverged between sequential and "
+            "auto scheduling",
+            file=sys.stderr,
+        )
+        return 1
+
+    flat_keys = [canonical_fingerprint(query) for query in corpus]
+    reference_keys = [canonical_fingerprint_reference(query) for query in corpus]
+    if flat_keys != reference_keys:
+        print(
+            "error: flat canonical keys diverge from the reference "
+            "implementation",
+            file=sys.stderr,
+        )
+        return 1
+    reference_seconds = _best_of(
+        lambda: [canonical_fingerprint_reference(query) for query in corpus]
+    )
+    flat_seconds = _best_of(
+        lambda: [canonical_fingerprint(query) for query in corpus]
+    )
+    speedup = reference_seconds / flat_seconds if flat_seconds > 0 else float("inf")
+    print(
+        f"canonical keys: {len(corpus)} CQs, reference "
+        f"{reference_seconds:.4f}s -> flat {flat_seconds:.4f}s "
+        f"(speedup {speedup:.2f}x)"
+    )
+    if speedup < SPEEDUP_FLOOR:
+        print(
+            f"error: flat canonical-key kernel slower than reference "
+            f"({speedup:.2f}x < {SPEEDUP_FLOOR}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "# perf smoke: auto byte-identical with sequential; flat canonical "
+        f"kernel {speedup:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -147,6 +147,15 @@ class PreparedQuery:
         """The SQL text the plan executes, for SQL-speaking backends."""
         return getattr(self._plan, "sql", None)
 
+    def explain(self) -> str:
+        """The cost-aware plan for the system's current database state.
+
+        Delegates to :meth:`ExecutionPlan.explain`: chosen join order per
+        disjunct, disjunct execution order and the estimated cardinalities
+        behind both (``repro answer --explain`` prints this).
+        """
+        return self._plan.explain(self._system.database)
+
     @property
     def bindable_constants(self) -> frozenset[Constant]:
         """Query constants that :meth:`execute` may rebind.
@@ -617,6 +626,8 @@ class OBDASystem:
         queries: Iterable[ConjunctiveQuery],
         workers: int | None = None,
         strategy: str | SchedulingStrategy | None = None,
+        checkpoint_dir: "str | os.PathLike | None" = None,
+        checkpoint_every: int = 1,
     ) -> list[RewritingResult]:
         """Compile a batch of queries through the shared cache layers.
 
@@ -638,15 +649,70 @@ class OBDASystem:
         under every worker count and strategy.  After the call,
         :attr:`last_batch_statistics` holds the merged per-workload
         totals.
+
+        ``checkpoint_dir`` makes the batch resumable: each cold query
+        runs under its own frontier checkpoint (saved every
+        ``checkpoint_every`` generations) and a
+        :class:`~repro.cache.checkpoint.BatchCheckpoint` manifest tracks
+        which members completed, so a killed batch rerun redoes only the
+        interrupted member's remaining generations (completed members are
+        served from the caches or the persistent store).  Checkpointed
+        batches run member-by-member in the parent process — *strategy*
+        still applies intra-query, but *workers* does not fan members out.
         """
         from .parallel import compile_workloads, resolve_workers
 
         queries = list(queries)
+        if checkpoint_dir is not None and queries:
+            return self._compile_many_checkpointed(
+                queries, strategy, checkpoint_dir, checkpoint_every
+            )
         if (resolve_workers(workers) == 1 and strategy is None) or not queries:
             results = [self.compile(query) for query in queries]
             self._record_batch_statistics(results)
             return results
         return compile_workloads([(self, queries)], workers=workers, strategy=strategy)[0]
+
+    def _compile_many_checkpointed(
+        self,
+        queries: "list[ConjunctiveQuery]",
+        strategy: "str | SchedulingStrategy | None",
+        checkpoint_dir: "str | os.PathLike",
+        checkpoint_every: int,
+    ) -> list[RewritingResult]:
+        """The resumable member-by-member path of :meth:`compile_many`."""
+        from .cache.checkpoint import BatchCheckpoint
+
+        batch = BatchCheckpoint(checkpoint_dir, every=checkpoint_every)
+        batch.begin(self._fingerprint, queries)
+        run_strategy = create_strategy(strategy) if strategy is not None else None
+        results = []
+        try:
+            for query in queries:
+                served = self._serve_from_caches(query)
+                if served is not None:
+                    results.append(served[0])
+                    batch.mark_completed(query)
+                    continue
+                checkpoint = batch.checkpoint_for(query)
+                if run_strategy is not None:
+                    result = self._rewriter.rewrite(
+                        query, strategy=run_strategy, checkpoint=checkpoint
+                    )
+                else:
+                    result = self._rewriter.rewrite(query, checkpoint=checkpoint)
+                results.append(self._absorb_fresh_result(query, result))
+                batch.mark_completed(
+                    query, resumed_generation=checkpoint.resumed_generation
+                )
+        finally:
+            if run_strategy is not None and not isinstance(
+                strategy, SchedulingStrategy
+            ):
+                run_strategy.close()
+        batch.finish()
+        self._record_batch_statistics(results)
+        return results
 
     def _record_batch_statistics(self, results: Sequence[RewritingResult]) -> None:
         """Fold a batch's per-result statistics into merged workload totals.

@@ -66,6 +66,18 @@ class ExecutionPlan(ABC):
     def description(self) -> str:
         """A human-readable account of the plan (SQL text, join order, ...)."""
 
+    def explain(self, database: "RelationalInstance") -> str:
+        """The plan as it would run on *database*: orders and cost estimates.
+
+        Unlike :attr:`description` (static, database-independent) the
+        explanation reflects the cost-aware choices the backend makes for
+        the current database state — chosen join order per disjunct,
+        disjunct execution order, estimated cardinalities.  The default
+        falls back to the static description for backends without a
+        planner.
+        """
+        return self.description
+
     @property
     def disjunct_count(self) -> int | None:
         """Number of individually executable disjuncts, or ``None``.

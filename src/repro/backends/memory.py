@@ -2,13 +2,14 @@
 
 Wraps :class:`repro.database.evaluator.QueryEvaluator` behind the
 :class:`~repro.backends.base.ExecutionBackend` protocol.  What ``prepare``
-buys over calling the evaluator directly is a *reusable join order*: the
-greedy most-selective-first ordering of each disjunct's body is computed
-once per database epoch and replayed for every execution at that epoch
-(join orders depend on relation sizes, so they are refreshed when the data
-changes).  Constant bindings are applied atom-wise to the ordered body, so
-a rebound execution reuses the same order — binding changes which facts
-match, not the join structure.
+buys over calling the evaluator directly is a *reusable plan*: the
+cost-aware join order of each disjunct's body and the cheapest-first
+execution order over the disjuncts (:mod:`repro.database.planning`) are
+computed once per database epoch and replayed for every execution at that
+epoch (both depend on relation statistics, so they are refreshed when the
+data changes).  Constant bindings are applied atom-wise to the ordered
+body, so a rebound execution reuses the same order — binding changes which
+facts match, not the join structure.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from typing import Hashable, Mapping
 
 from ..database.evaluator import QueryEvaluator
 from ..database.instance import RelationalInstance
+from ..database.planning import CardinalityEstimator, JoinPlan
 from ..database.schema import RelationalSchema
 from ..logic.atoms import Atom
 from ..logic.terms import Constant, Term, is_variable
@@ -25,37 +27,43 @@ from .base import ExecutionBackend, ExecutionPlan
 
 
 class InMemoryPlan(ExecutionPlan):
-    """Per-disjunct bodies and answer terms, with join orders cached by epoch."""
+    """Per-disjunct bodies and answer terms, with plans cached by epoch."""
 
     def __init__(self, ucq: UnionOfConjunctiveQueries) -> None:
         self._disjuncts: tuple[tuple[tuple[Atom, ...], tuple[Term, ...]], ...] = tuple(
             (query.body, query.answer_terms) for query in ucq
         )
-        # Join orders of the most recent epoch only: plans serve one
-        # database at a time, and older epochs can never come back.
+        # Plans of the most recent epoch only: plans serve one database at
+        # a time, and older epochs can never come back.
         self._order_key: Hashable | None = None
-        self._orders: list[list[Atom]] = []
+        self._plans: tuple[JoinPlan, ...] = ()
+        #: Disjunct execution order, cheapest estimated cost first.
+        self._disjunct_order: tuple[int, ...] = ()
 
-    def _ordered(self, database: RelationalInstance) -> list[list[Atom]]:
+    def _plan(self, database: RelationalInstance) -> tuple[JoinPlan, ...]:
         key = (id(database), database.epoch)
         if key != self._order_key:
-            evaluator = QueryEvaluator(database)
-            self._orders = [
-                evaluator.join_order(body) for body, _ in self._disjuncts
-            ]
+            estimator = CardinalityEstimator(database)
+            self._disjunct_order, self._plans = estimator.order_disjuncts(
+                [body for body, _ in self._disjuncts]
+            )
             self._order_key = key
-        return self._orders
+        return self._plans
 
     def execute(
         self,
         database: RelationalInstance,
         bindings: Mapping[Constant, Constant] | None = None,
     ) -> frozenset[tuple]:
+        plans = self._plan(database)
         evaluator = QueryEvaluator(database)
         answers: set[tuple] = set()
-        for ordered, (_, answer_terms) in zip(
-            self._ordered(database), self._disjuncts
-        ):
+        # Cheapest-first over the union: the answer set is order
+        # independent, but small disjuncts populate the answer set (and
+        # the caller's caches) before the expensive ones run.
+        for index in self._disjunct_order:
+            ordered: list[Atom] | tuple[Atom, ...] = plans[index].order
+            _, answer_terms = self._disjuncts[index]
             if bindings:
                 ordered = [atom.apply(bindings) for atom in ordered]
                 answer_terms = tuple(
@@ -75,8 +83,14 @@ class InMemoryPlan(ExecutionPlan):
         index: int,
         bindings: Mapping[Constant, Constant] | None = None,
     ) -> frozenset[tuple]:
-        """Answers of disjunct *index* alone, with the same cached join order."""
-        ordered = self._ordered(database)[index]
+        """Answers of disjunct *index* alone, with the same cached join order.
+
+        *index* is the disjunct's **original** position in the rewriting —
+        the cheapest-first execution order is internal to :meth:`execute`,
+        so per-disjunct consumers (the incremental maintainer's support
+        counts) keep stable indexes.
+        """
+        ordered: list[Atom] | tuple[Atom, ...] = self._plan(database)[index].order
         _, answer_terms = self._disjuncts[index]
         if bindings:
             ordered = [atom.apply(bindings) for atom in ordered]
@@ -92,6 +106,28 @@ class InMemoryPlan(ExecutionPlan):
         for index, (body, _) in enumerate(self._disjuncts):
             order = " -> ".join(atom.name for atom in body)
             lines.append(f"disjunct {index}: index nested-loop over {order}")
+        return "\n".join(lines)
+
+    def explain(self, database: RelationalInstance) -> str:
+        plans = self._plan(database)
+        lines = [
+            "backend: memory (index nested-loop)",
+            f"disjunct order (cheapest estimated cost first): "
+            f"{list(self._disjunct_order)}",
+        ]
+        for index in self._disjunct_order:
+            plan = plans[index]
+            order = " -> ".join(atom.name for atom in plan.order) or "<empty body>"
+            lines.append(
+                f"disjunct {index}: cost ~{plan.cost:.1f} rows; join {order}"
+            )
+            for atom, rows, cumulative in zip(
+                plan.order, plan.step_rows, plan.cumulative_rows
+            ):
+                lines.append(
+                    f"  {atom!r}: ~{rows:.1f} matching rows, "
+                    f"~{cumulative:.1f} cumulative"
+                )
         return "\n".join(lines)
 
 

@@ -45,6 +45,7 @@ import weakref
 from typing import Hashable, Mapping, Sequence
 
 from ..database.instance import RelationalInstance
+from ..database.planning import CardinalityEstimator
 from ..database.schema import RelationalSchema
 from ..database.sql import ParameterizedSQL, ucq_to_parameterized_sql
 from ..logic.atoms import Predicate, atoms_predicates
@@ -119,6 +120,12 @@ class SQLitePlan(ExecutionPlan):
         # SQL rendered lazily on first use (most plans never need it).
         self._queries = tuple(queries)
         self._disjunct_statements: dict[int, ParameterizedSQL] = {}
+        # Cost-ordered statements for the current database epoch (only
+        # rendered when the cheapest-first order differs from the
+        # rewriting's own order).
+        self._ordered_key: object = None
+        self._ordered_statements: tuple[ParameterizedSQL, ...] = ()
+        self._last_order: tuple[int, ...] | None = None
 
     @property
     def sql(self) -> str:
@@ -147,16 +154,55 @@ class SQLitePlan(ExecutionPlan):
     def description(self) -> str:
         return self.sql
 
+    def _execution_statements(
+        self, database: RelationalInstance
+    ) -> tuple[ParameterizedSQL, ...]:
+        """The statements to run, cheapest disjunct first where possible.
+
+        In snapshot mode the :class:`RelationalInstance` *is* the data, so
+        its statistics order the member CQs by estimated cost and the SQL
+        is re-rendered in that order (cached per epoch).  Attached mode
+        executes external tables the instance knows nothing about, so the
+        pre-rendered statements run as-is.  Either way the answer set is
+        identical — UNION results are deduplicated in Python.
+        """
+        if self._backend.attached or len(self._queries) <= 1:
+            self._last_order = None
+            return self._statements
+        key = (id(database), database.epoch)
+        if key == self._ordered_key:
+            return self._ordered_statements
+        estimator = CardinalityEstimator(database)
+        order, _ = estimator.order_disjuncts(
+            [query.body for query in self._queries]
+        )
+        self._last_order = order
+        if order == tuple(range(len(order))):
+            statements = self._statements
+        else:
+            reordered = [self._queries[index] for index in order]
+            limit = self._backend._compound_select_limit()
+            statements = tuple(
+                ucq_to_parameterized_sql(
+                    reordered[start : start + limit], schema=self._schema
+                )
+                for start in range(0, len(reordered), limit)
+            )
+        self._ordered_key = key
+        self._ordered_statements = statements
+        return statements
+
     def execute(
         self,
         database: RelationalInstance,
         bindings: Mapping[Constant, Constant] | None = None,
     ) -> frozenset[tuple]:
+        statements = self._execution_statements(database)
         connection = self._backend.ensure_ready(
             database, self._referenced, self._schema
         )
         rows: list = []
-        for statement in self._statements:
+        for statement in statements:
             parameters = [
                 encode_term(
                     bindings.get(constant, constant) if bindings else constant
@@ -222,6 +268,33 @@ class SQLitePlan(ExecutionPlan):
             answers.add(decoded)
         return frozenset(answers)
 
+    def explain(self, database: RelationalInstance) -> str:
+        lines = ["backend: sqlite"]
+        if self._backend.attached:
+            lines.append(
+                "attached mode: executing external tables; instance "
+                "statistics do not apply, disjuncts run in rewriting order"
+            )
+        elif len(self._queries) <= 1:
+            lines.append("single disjunct: nothing to reorder")
+        else:
+            estimator = CardinalityEstimator(database)
+            order, plans = estimator.order_disjuncts(
+                [query.body for query in self._queries]
+            )
+            lines.append(
+                f"disjunct order (cheapest estimated cost first): {list(order)}"
+            )
+            for index in order:
+                plan = plans[index]
+                join = " -> ".join(atom.name for atom in plan.order) or "<empty body>"
+                lines.append(
+                    f"disjunct {index}: cost ~{plan.cost:.1f} rows; join {join}"
+                )
+        lines.append("sql:")
+        lines.append(self.sql)
+        return "\n".join(lines)
+
 
 class SQLiteBackend(ExecutionBackend):
     """Executes rewritings on SQLite (stdlib ``sqlite3``).
@@ -269,6 +342,11 @@ class SQLiteBackend(ExecutionBackend):
         self.incremental_loads = 0
 
     # -- connection and loading -------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        """``True`` when executing against an external file (attach mode)."""
+        return self._attach
 
     @property
     def connection(self) -> sqlite3.Connection:

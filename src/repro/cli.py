@@ -238,6 +238,8 @@ def _cmd_compile(arguments: argparse.Namespace) -> int:
         [query for _, query in named],
         workers=arguments.workers,
         strategy=arguments.strategy,
+        checkpoint_dir=arguments.checkpoint_dir,
+        checkpoint_every=arguments.checkpoint_every,
     )
     total_seconds = 0.0
     seen: set[int] = set()
@@ -407,6 +409,9 @@ def _cmd_answer(arguments: argparse.Namespace) -> int:
             if arguments.show and backend == backends[0]:
                 for row in sorted(map(repr, evaluator.answers(name, backend)))[: arguments.show]:
                     print(f"    {row}")
+            if arguments.explain:
+                for line in prepared.explain().splitlines():
+                    print(f"    {line}")
         if len(backends) > 1 and not evaluator.agree(name):
             from .fuzzing.oracle import format_answer_diff
 
@@ -726,6 +731,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="intra-query scheduling: split each query's "
                           "frontier across the pool instead of one query per "
                           "task (same stored bytes either way)")
+    compile_.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                          help="make the batch resumable: per-query frontier "
+                          "checkpoints plus a manifest in DIR, so a killed "
+                          "compile rerun redoes only the interrupted query's "
+                          "remaining generations")
+    compile_.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                          help="checkpoint cadence in frontier generations "
+                          "(default 1)")
     compile_.add_argument("--stats", action="store_true",
                           help="print workload totals, persistent-store counters "
                           "and the theory fingerprint")
@@ -781,6 +794,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--sql", action="store_true",
         help="also print the SQL each query executes on the sqlite backend",
     )
+    answer.add_argument(
+        "--explain", action="store_true",
+        help="print each backend's cost-aware plan: join order per "
+        "disjunct, disjunct execution order, estimated cardinalities",
+    )
     answer.set_defaults(handler=_cmd_answer)
 
     fuzz = commands.add_parser(
@@ -803,10 +821,10 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay", metavar="FILE",
                       help="re-run one repro file instead of generating cases")
     fuzz.add_argument("--strategies", nargs="+", metavar="S",
-                      default=["sequential", "threaded"],
+                      default=["sequential", "threaded", "auto"],
                       choices=list(_strategy_choices()),
                       help="scheduling strategies the determinism oracle "
-                      "compares (default: sequential threaded)")
+                      "compares (default: sequential threaded auto)")
     fuzz.add_argument("--backends", nargs="+", metavar="B",
                       default=["memory", "sqlite"],
                       choices=["memory", "sqlite"],

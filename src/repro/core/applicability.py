@@ -101,6 +101,20 @@ class RuleIndex:
         entries.sort(key=lambda entry: entry[0])
         return [rule for _, rule in entries]
 
+    def fan_out(self, query: ConjunctiveQuery) -> int:
+        """How many rule applications *query* can trigger per rewriting step.
+
+        The count of ``(body predicate, rule)`` pairs with matching head
+        predicate — the work one frontier member represents, which the
+        ``auto`` scheduling strategy uses to size a generation's CPU cost
+        without expanding anything.
+        """
+        by_head = self._by_head
+        return sum(
+            len(by_head.get(predicate, ()))
+            for predicate in atoms_predicates(query.body)
+        )
+
 
 class RenameApartCache:
     """A per-rule pool of variable-refreshed TGD copies, minted deterministically.

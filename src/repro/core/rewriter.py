@@ -406,6 +406,7 @@ class TGDRewriter:
         # The kernel loop: drain a generation, expand it through the
         # strategy, merge in frontier order — the single point where
         # candidates are interned, labelled and scheduled.
+        scheduling.begin_run(self, query, state.frontier.generation)
         while state.frontier:
             batch = state.frontier.take_generation()
             for expansion in scheduling.expand_generation(self, batch):

@@ -3,8 +3,9 @@
 This is the "database side" of OBDA: once a query has been compiled into a
 UCQ rewriting, the rewriting is a plain relational query and can be executed
 directly on the database, with no further reasoning.  The evaluator performs
-an index nested-loop join driven by a greedy join ordering (most selective
-atom first), using the per-(position, value) indexes of
+an index nested-loop join driven by a cost-aware greedy join ordering
+(fewest estimated rows first, see :mod:`repro.database.planning`), using
+the per-(position, value) indexes of
 :class:`repro.database.instance.RelationalInstance`.
 
 Answers follow the paper's semantics: the answer to a CQ of arity *n* over an
@@ -23,6 +24,7 @@ from ..logic.terms import Term, is_constant, is_variable
 from ..queries.conjunctive_query import ConjunctiveQuery
 from ..queries.ucq import UnionOfConjunctiveQueries
 from .instance import RelationalInstance
+from .planning import CardinalityEstimator
 
 
 class QueryEvaluator:
@@ -94,28 +96,16 @@ class QueryEvaluator:
         yield from self._search(atoms, 0, {})
 
     def join_order(self, body: Sequence[Atom]) -> list[Atom]:
-        """Greedy join ordering: start selective, then follow join variables."""
-        remaining = list(body)
-        if not remaining:
-            return []
-        ordered: list[Atom] = []
-        bound_variables: set[Term] = set()
+        """Cost-aware greedy join ordering (fewest estimated rows first).
 
-        def cost(atom: Atom) -> tuple[int, int]:
-            relation_size = len(self._instance.relation(atom.predicate))
-            bound_terms = sum(
-                1
-                for t in atom.terms
-                if is_constant(t) or t in bound_variables
-            )
-            return (-bound_terms, relation_size)
-
-        while remaining:
-            best = min(remaining, key=cost)
-            remaining.remove(best)
-            ordered.append(best)
-            bound_variables.update(t for t in best.terms if is_variable(t))
-        return ordered
+        Delegates to :meth:`repro.database.planning.CardinalityEstimator.
+        plan_body`, which estimates each candidate's output from the
+        instance's relation sizes and per-position distinct counts; the
+        previous structural heuristic (bound terms, relation size)
+        survives as the tie-break.  The order affects evaluation cost
+        only, never the answer set.
+        """
+        return list(CardinalityEstimator(self._instance).plan_body(body).order)
 
     def _search(
         self, atoms: list[Atom], index: int, binding: dict[Term, Term]

@@ -66,6 +66,9 @@ class RelationalInstance:
         # (_change_floor, _epoch]; older entries are discarded.
         self._changes: deque[tuple[bool, Atom]] = deque(maxlen=max_tracked_changes)
         self._change_floor = 0
+        # Per-relation distinct-value counts for the cost-aware planner,
+        # computed lazily and valid for one epoch: (epoch, counts) entries.
+        self._cardinality_cache: dict[Predicate, tuple[int, tuple[int, ...]]] = {}
         for fact in facts:
             self.add(fact)
 
@@ -179,6 +182,30 @@ class RelationalInstance:
     def relation_by_name(self, name: str, arity: int) -> frozenset[Atom]:
         """All atoms of the predicate ``name/arity``."""
         return self.relation(Predicate(name, arity))
+
+    def relation_size(self, predicate: Predicate) -> int:
+        """Number of stored atoms of *predicate* (no copy, unlike :meth:`relation`)."""
+        return len(self._by_predicate.get(predicate, ()))
+
+    def position_cardinalities(self, predicate: Predicate) -> tuple[int, ...]:
+        """Distinct values stored at each position of *predicate* (0-based tuple).
+
+        The statistic behind the cost-aware planner's selectivity
+        estimates (:mod:`repro.database.planning`): a relation of size
+        ``N`` probed with a bound value at position ``i`` is expected to
+        yield ``N / cardinalities[i]`` rows.  Counts are computed lazily
+        and cached until the next genuine mutation (epoch bump).
+        """
+        cached = self._cardinality_cache.get(predicate)
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        facts = self._by_predicate.get(predicate, ())
+        counts = tuple(
+            len({fact.terms[position] for fact in facts})
+            for position in range(predicate.arity)
+        )
+        self._cardinality_cache[predicate] = (self._epoch, counts)
+        return counts
 
     def matching(self, predicate: Predicate, bound: dict[int, Term]) -> frozenset[Atom]:
         """Atoms of *predicate* agreeing with the bound (1-based) positions.

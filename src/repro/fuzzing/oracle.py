@@ -54,7 +54,9 @@ from .generator import GeneratedCase
 #: Strategies the determinism oracle compares by default.  ``chunked`` is
 #: correct too but spawns a process pool per case; opt in via the
 #: constructor (or ``repro fuzz --strategies``) when the cost is wanted.
-DEFAULT_STRATEGIES = ("sequential", "threaded")
+#: ``auto`` rides along so the tuner's per-generation choices are fuzzed
+#: against the sequential baseline on every case.
+DEFAULT_STRATEGIES = ("sequential", "threaded", "auto")
 
 #: Backends the agreement oracle compares by default.
 DEFAULT_BACKENDS = ("memory", "sqlite")

@@ -21,11 +21,14 @@ from ..logic.terms import Term
 class OverlayInstance:
     """``base ∪ extra`` exposed through the :class:`QueryEvaluator` protocol.
 
-    Only :meth:`relation` and :meth:`matching` are provided — they are the
-    whole surface :class:`repro.database.evaluator.QueryEvaluator` touches
-    (``join_order`` sizes relations, ``_search`` probes indexes).  The
-    overlay is expected to be small (a net deletion batch), so membership
-    filtering over it is a linear scan per probe.
+    Only :meth:`relation`, :meth:`matching` and the planner statistics
+    (:meth:`relation_size`, :meth:`position_cardinalities`) are provided —
+    they are the whole surface
+    :class:`repro.database.evaluator.QueryEvaluator` touches
+    (``join_order`` estimates selectivities, ``_search`` probes indexes).
+    The overlay is expected to be small (a net deletion batch), so
+    membership filtering over it is a linear scan per probe and the
+    statistics are recomputed per call rather than epoch-cached.
     """
 
     def __init__(self, base, extra: Iterable[Atom]) -> None:
@@ -43,6 +46,18 @@ class OverlayInstance:
         if not extra:
             return base
         return base | frozenset(extra)
+
+    def relation_size(self, predicate: Predicate) -> int:
+        """Number of atoms of *predicate* in the overlaid view."""
+        return len(self.relation(predicate))
+
+    def position_cardinalities(self, predicate: Predicate) -> tuple[int, ...]:
+        """Distinct values at each position of *predicate*, overlay included."""
+        facts = self.relation(predicate)
+        return tuple(
+            len({fact.terms[position] for fact in facts})
+            for position in range(predicate.arity)
+        )
 
     def matching(self, predicate: Predicate, bound: dict[int, Term]) -> frozenset[Atom]:
         """Atoms of *predicate* agreeing with the bound (1-based) positions."""

@@ -8,7 +8,7 @@ nodes of the dependency graph used by query elimination (Section 6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .terms import Constant, Null, Term, Variable, is_constant, is_variable
@@ -16,10 +16,26 @@ from .terms import Constant, Null, Term, Variable, is_constant, is_variable
 
 @dataclass(frozen=True, slots=True)
 class Predicate:
-    """A relation symbol with a fixed arity."""
+    """A relation symbol with a fixed arity.
+
+    Like the term classes, predicates and atoms cache their hash at
+    construction (they key every candidate index and atom set of the hot
+    loops) and pickle by reconstruction because the cached value is
+    process-local.
+    """
 
     name: str
     arity: int
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.name, self.arity)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Predicate, (self.name, self.arity))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"{self.name}/{self.arity}"
@@ -56,6 +72,7 @@ class Atom:
 
     predicate: Predicate
     terms: tuple[Term, ...]
+    _hash: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.terms) != self.predicate.arity:
@@ -63,6 +80,24 @@ class Atom:
                 f"{self.predicate!r} expects {self.predicate.arity} terms, "
                 f"got {len(self.terms)}"
             )
+        object.__setattr__(self, "_hash", hash((self.predicate, self.terms)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is Atom:
+            return (
+                self._hash == other._hash
+                and self.predicate == other.predicate
+                and self.terms == other.terms
+            )
+        return NotImplemented
+
+    def __reduce__(self):
+        return (Atom, (self.predicate, self.terms))
 
     # -- constructors ------------------------------------------------------
 

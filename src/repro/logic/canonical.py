@@ -64,6 +64,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from .atoms import Atom
+from .flat import encode_query, refine_colors
 from .terms import Term, Variable, is_variable
 
 #: A canonical key: ``("cq", body size, head labels, body atom labels)``.
@@ -180,7 +181,19 @@ def refine_variable_colors(query) -> dict[Variable, int]:
     variant bijection; variables sharing a colour are structurally symmetric
     as far as colour refinement can see.  The loop runs until the colour
     partition stops splitting (at most ``|vars|`` rounds).
+
+    Runs on the tuple-encoded kernel of :mod:`repro.logic.flat`; the
+    object-walking original is kept as
+    :func:`refine_variable_colors_reference` and the two are held equal by
+    ``tests/logic/test_flat_agreement.py``.
     """
+    flat = encode_query(query)
+    colors = refine_colors(flat)
+    return dict(zip(flat.variables, colors))
+
+
+def refine_variable_colors_reference(query) -> dict[Variable, int]:
+    """Object-based reference implementation of :func:`refine_variable_colors`."""
     variables, colors, _, templates = _prepare(query)
     if not variables:
         return {}
@@ -194,7 +207,72 @@ def canonical_fingerprint(query) -> CanonicalFingerprint:
     which makes the key a complete invariant: any query with an equal key
     *and* an exact colouring of its own is a variant of *query*.  With a
     non-exact colouring, equal keys still require a confirmation check.
+
+    Runs on the tuple-encoded kernel of :mod:`repro.logic.flat` and emits
+    keys byte-identical to :func:`canonical_fingerprint_reference` (flat
+    predicate ids are monotone in ``(name, arity)``, so every sort and
+    dense rank agrees with the reference; the final key is assembled from
+    the real predicate keys and ``repr``-based constant labels).
     """
+    flat = encode_query(query)
+    colors = refine_colors(flat)
+    exact = len(set(colors)) == len(flat.variables)
+
+    constant_terms = flat.constant_terms
+    sorted_atoms = sorted(
+        (
+            predicate_id,
+            tuple(
+                [
+                    (True, colors[code]) if code >= 0 else (False, code)
+                    for code in codes
+                ]
+            ),
+        )
+        for predicate_id, codes in set(flat.templates)
+    )
+
+    # De Bruijn-style pass: replace colours by consecutive indices in order
+    # of first occurrence — head positions first, then the sorted body.
+    # Constant labels are cached per ground code (a constant can occur many
+    # times); variable labels are cached per colour.
+    debruijn: dict[int, int] = {}
+    labels: dict[int, str] = {}
+
+    def label(is_var: bool, payload: int) -> str:
+        if not is_var:
+            cached = labels.get(payload)
+            if cached is None:
+                cached = f"c:{constant_terms[-1 - payload]!r}"
+                labels[payload] = cached
+            return cached
+        index = debruijn.get(payload)
+        if index is None:
+            index = len(debruijn)
+            debruijn[payload] = index
+        return f"?{index}"
+
+    head_key = tuple(
+        [
+            label(True, colors[code]) if code >= 0 else label(False, code)
+            for code in flat.head_codes
+        ]
+    )
+    predicate_keys = flat.predicate_keys
+    body_key = tuple(
+        [
+            (
+                *predicate_keys[predicate_id],
+                tuple([label(is_var, payload) for is_var, payload in entries]),
+            )
+            for predicate_id, entries in sorted_atoms
+        ]
+    )
+    return (("cq", len(body_key), head_key, body_key), exact)
+
+
+def canonical_fingerprint_reference(query) -> CanonicalFingerprint:
+    """Object-based reference implementation of :func:`canonical_fingerprint`."""
     variables, colors, constant_ids, templates = _prepare(query)
     if variables:
         colors = _refine(variables, colors, templates)

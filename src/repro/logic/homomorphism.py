@@ -25,8 +25,9 @@ from collections import defaultdict
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from .atoms import Atom
+from .flat import FlatTarget, search_homomorphisms
 from .substitution import Substitution
-from .terms import Term, is_constant, is_variable
+from .terms import Constant, Term, is_constant, is_variable
 
 
 def _candidate_index(target: Iterable[Atom]) -> dict[object, list[Atom]]:
@@ -67,6 +68,7 @@ def homomorphisms(
     partial: Mapping[Term, Term] | None = None,
     frozen: Iterable[Term] = (),
     index: Mapping[object, Sequence[Atom]] | None = None,
+    flat_target: FlatTarget | None = None,
 ) -> Iterator[Substitution]:
     """Enumerate all homomorphisms from *source* into *target*.
 
@@ -89,6 +91,17 @@ def homomorphisms(
         caller probes the same target many times — subsumption removal
         does, quadratically — passing the index skips rebuilding it per
         call; *target* itself is then ignored.
+    flat_target:
+        Optional pre-built :class:`repro.logic.flat.FlatTarget` encoding of
+        *index* — the second half of the repeated-probe fast path: the
+        target side is interned once and every probe runs allocation-free.
+        Must encode the same atoms as *index*.
+
+    The inner search runs on the tuple-encoded kernel of
+    :func:`repro.logic.flat.search_homomorphisms`; the object-walking
+    original is kept as :func:`homomorphisms_reference` and the two are
+    held to identical enumerations (same mappings, same order) by
+    ``tests/logic/test_flat_agreement.py``.
     """
     if index is None:
         index = _candidate_index(target)
@@ -102,7 +115,52 @@ def homomorphisms(
 
     source_atoms = list(source)
     # Most-constrained-first ordering: fewer candidate target atoms first,
-    # more constants/bound terms first.
+    # more constants/bound terms first.  Key values (and hence the stable
+    # sort order) are identical to the reference's lambda; the decorated
+    # sort just computes each key once with fewer frames — and an atom
+    # with *no* candidate target atoms proves there is no homomorphism at
+    # all, so the search (and the flat encoding) is skipped outright; the
+    # reference reaches the same empty enumeration by searching.
+    index_get = index.get
+    constant_type = Constant
+    if source_atoms:
+        decorated = []
+        for atom in source_atoms:
+            candidates = index_get(atom.predicate)
+            if not candidates:
+                return
+            anchored = 0
+            for term in atom.terms:
+                if type(term) is constant_type or term in base:
+                    anchored -= 1
+            decorated.append((len(candidates), anchored))
+        if len(source_atoms) > 1:
+            order = sorted(range(len(source_atoms)), key=decorated.__getitem__)
+            source_atoms = [source_atoms[position] for position in order]
+
+    for mapping in search_homomorphisms(source_atoms, index, base, target=flat_target):
+        yield Substitution(mapping)
+
+
+def homomorphisms_reference(
+    source: Sequence[Atom],
+    target: Iterable[Atom],
+    partial: Mapping[Term, Term] | None = None,
+    frozen: Iterable[Term] = (),
+    index: Mapping[object, Sequence[Atom]] | None = None,
+) -> Iterator[Substitution]:
+    """Object-based reference implementation of :func:`homomorphisms`."""
+    if index is None:
+        index = _candidate_index(target)
+    frozen_set = set(frozen)
+    base: dict[Term, Term] = dict(partial) if partial else {}
+    for term in frozen_set:
+        existing = base.get(term)
+        if existing is not None and existing != term:
+            return
+        base[term] = term
+
+    source_atoms = list(source)
     source_atoms.sort(key=lambda a: (len(index.get(a.predicate, ())), -sum(
         1 for t in a.terms if is_constant(t) or t in base)))
 
@@ -131,9 +189,17 @@ def find_homomorphism(
     partial: Mapping[Term, Term] | None = None,
     frozen: Iterable[Term] = (),
     index: Mapping[object, Sequence[Atom]] | None = None,
+    flat_target: FlatTarget | None = None,
 ) -> Substitution | None:
     """Return one homomorphism from *source* into *target*, or ``None``."""
-    for hom in homomorphisms(source, target, partial=partial, frozen=frozen, index=index):
+    for hom in homomorphisms(
+        source,
+        target,
+        partial=partial,
+        frozen=frozen,
+        index=index,
+        flat_target=flat_target,
+    ):
         return hom
     return None
 

@@ -10,12 +10,20 @@ The paper (Section 3.1) distinguishes three pairwise-disjoint sets of symbols:
 
 Terms are immutable and hashable so they can be used freely as dictionary keys
 and members of frozensets.  Equality is structural (same kind, same name).
+
+Terms live in every hot dictionary of the engine (substitution application,
+unification, canonical-key refinement, homomorphism search), so each class
+precomputes its hash once at construction instead of rebuilding a field
+tuple per lookup.  The cached value is process-local (string hashing is
+salted per process), so the classes pickle by reconstruction — ``__reduce__``
+re-runs ``__init__`` on the receiving side — rather than by shipping the
+cached slot to another process where it would be wrong.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Union
 
 
@@ -24,6 +32,16 @@ class Variable:
     """A first-order variable, e.g. ``X`` in ``p(X, Y)``."""
 
     name: str
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("var", self.name)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"?{self.name}"
@@ -41,6 +59,16 @@ class Constant:
     """
 
     value: object
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("const", self.value)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Constant, (self.value,))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"Const({self.value!r})"
@@ -60,6 +88,16 @@ class Null:
     """
 
     label: int
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(("null", self.label)))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __reduce__(self):
+        return (Null, (self.label,))
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"Null({self.label})"

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import AbstractSet, Iterable, Sequence
 
 from .atoms import Atom
+from .flat import flat_mgu
 from .substitution import Substitution
 from .terms import Term, is_constant, is_null, is_variable
 
@@ -86,7 +87,16 @@ def mgu(atoms: Sequence[Atom]) -> Substitution | None:
     Returns ``None`` if the atoms do not unify (different predicates, clashing
     constants, ...).  For a singleton or empty sequence the identity
     substitution is returned, matching the paper's convention.
+
+    Runs on the packed union-find of :func:`repro.logic.flat.flat_mgu`;
+    the term-dict original is kept as :func:`mgu_reference` and the two
+    are held equal by ``tests/logic/test_flat_agreement.py``.
     """
+    return flat_mgu(atoms)
+
+
+def mgu_reference(atoms: Sequence[Atom]) -> Substitution | None:
+    """Object-based reference implementation of :func:`mgu`."""
     atoms = list(atoms)
     if len(atoms) <= 1:
         return Substitution()
@@ -215,6 +225,7 @@ __all__ = [
     "UnificationMemo",
     "atom_sequence_profile",
     "mgu",
+    "mgu_reference",
     "unifiable",
     "unify_atoms",
     "unify_terms",

@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..logic.atoms import Atom, Predicate
+from ..logic.flat import FlatTarget
 from ..logic.homomorphism import find_homomorphism, has_homomorphism
 from ..logic.substitution import Substitution
 from ..logic.terms import Term, is_constant
@@ -80,6 +81,7 @@ class ContainmentIndex:
         "atoms_by_predicate",
         "argument_signatures",
         "predicate_set",
+        "flat_target",
     )
 
     def __init__(self, query: ConjunctiveQuery) -> None:
@@ -104,6 +106,11 @@ class ContainmentIndex:
         }
         self.argument_signatures = signatures
         self.predicate_set: frozenset[Predicate] = frozenset(self.atoms_by_predicate)
+        # Interned once with the rest of the index: subsumption removal
+        # probes this target quadratically often, and the flat search
+        # reuses the encoding on every probe (it is frozen, so sharing is
+        # safe even across threads).
+        self.flat_target = FlatTarget(self.atoms_by_predicate)
 
     # -- the necessary-condition pre-filter --------------------------------
 
@@ -217,6 +224,7 @@ def containment_mapping(
         index.frozen_body,
         partial=partial,
         index=index.atoms_by_predicate,
+        flat_target=index.flat_target,
     )
     if hom is None:
         return None

@@ -20,6 +20,10 @@ free choice — that choice is a :class:`SchedulingStrategy`:
   built from the rewriter's pickled specification.  This is the strategy
   :func:`repro.parallel.compile_workloads` reuses to split one slow
   query's frontier across workers instead of idling behind it.
+* :class:`AutoStrategy` — pick one of the above per generation from
+  observable telemetry (worker count, frontier width, rule fan-out,
+  generation depth), holding the invariant that it never loses to
+  sequential by more than a fixed epsilon while producing the same bytes.
 
 Every strategy must yield expansions **in batch order** — the merge point
 replays them in that order, which (together with the determinism of the
@@ -32,6 +36,7 @@ from __future__ import annotations
 
 import math
 import os
+import sys
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
@@ -43,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core.rewriter import TGDRewriter
 
 __all__ = [
+    "AutoStrategy",
     "ChunkedProcessStrategy",
     "SchedulingStrategy",
     "SequentialStrategy",
@@ -79,7 +85,8 @@ class SchedulingStrategy(ABC):
     merge point stays single-threaded in the caller.
     """
 
-    #: Registry name (``"sequential"``, ``"threaded"``, ``"chunked"``).
+    #: Registry name (``"sequential"``, ``"threaded"``, ``"chunked"``,
+    #: ``"auto"``).
     name: str = "?"
 
     @abstractmethod
@@ -87,6 +94,18 @@ class SchedulingStrategy(ABC):
         self, engine: "TGDRewriter", batch: Sequence[ConjunctiveQuery]
     ) -> Iterable[Expansion]:
         """Expansions of *batch*, in batch order."""
+
+    def begin_run(
+        self, engine: "TGDRewriter", query: ConjunctiveQuery, generation: int = 0
+    ) -> None:
+        """Hook called once per :meth:`TGDRewriter.rewrite`, before the kernel loop.
+
+        *generation* is the frontier generation the run starts from (non-zero
+        when resuming a checkpoint).  The default does nothing; adaptive
+        strategies use it to observe per-query telemetry (rule fan-out,
+        resume depth) before the first batch arrives.  Wrappers must forward
+        the call to their inner strategy.
+        """
 
     def close(self) -> None:
         """Release pools or other resources; the default holds none."""
@@ -280,10 +299,115 @@ class ChunkedProcessStrategy(SchedulingStrategy):
             self._bound_specification = None
 
 
+class AutoStrategy(SchedulingStrategy):
+    """Pick sequential/threaded/chunked per generation from observable telemetry.
+
+    The inputs are facts the kernel already has in hand — no trial runs, no
+    timing feedback loops, so the choice (and therefore the byte-identical
+    output guarantee) is deterministic for a given machine shape:
+
+    * **workers** — the usable-CPU count (affinity-aware).  With one worker
+      no parallel strategy can win, so auto degenerates to sequential.
+    * **frontier width** — ``len(batch)``.  Generations below
+      :attr:`SMALL_GENERATION` cannot amortise any dispatch overhead.
+    * **rule fan-out** — :meth:`repro.core.applicability.RuleIndex.fan_out`
+      of the query being rewritten, captured by :meth:`begin_run`: how many
+      rule applications a frontier query can trigger, i.e. how much CPU one
+      batch member represents.
+    * **generation depth** — deep generations mean the run survived the
+      early narrow frontier; combined with width it gates the expensive
+      process pool, whose spin-up only pays off on wide, busy frontiers
+      (``width × fan-out`` ≥ :attr:`CHUNK_WORK_THRESHOLD`).
+
+    The hard invariant — auto never loses to sequential by more than
+    :attr:`EPSILON` — holds by construction on the common shapes: every
+    guard falls through to :class:`SequentialStrategy` (zero added overhead
+    beyond one integer comparison per generation), threads are only used on
+    GIL-free builds where they can actually win, and processes only when a
+    generation carries enough work to cover the pool.  ``make perf-smoke``
+    and ``benchmarks/bench_hotpaths.py`` measure the invariant rather than
+    trusting it.
+
+    :attr:`decisions` counts how many generations each inner strategy
+    served, for telemetry and tests.
+    """
+
+    name = "auto"
+
+    #: Auto may not lose to sequential by more than this fraction.
+    EPSILON = 0.15
+    #: Generations narrower than this always run sequentially.
+    SMALL_GENERATION = 8
+    #: Minimum ``width × fan-out`` before the process pool is worth it.
+    CHUNK_WORK_THRESHOLD = 4096
+
+    def __init__(self, workers: int | None = None) -> None:
+        self._workers = resolve_workers(workers)
+        self._sequential = SequentialStrategy()
+        self._threaded: ThreadedStrategy | None = None
+        self._chunked: ChunkedProcessStrategy | None = None
+        self._fan_out = 0
+        self._generation = 0
+        self.decisions: dict[str, int] = {"sequential": 0, "threaded": 0, "chunked": 0}
+
+    @property
+    def workers(self) -> int:
+        """Usable worker count the tuner plans against."""
+        return self._workers
+
+    def begin_run(
+        self, engine: "TGDRewriter", query: ConjunctiveQuery, generation: int = 0
+    ) -> None:
+        self._fan_out = engine.rule_index.fan_out(query)
+        self._generation = generation
+
+    def _choose(self, width: int) -> SchedulingStrategy:
+        if self._workers <= 1 or width < self.SMALL_GENERATION:
+            return self._sequential
+        if width * max(1, self._fan_out) >= self.CHUNK_WORK_THRESHOLD:
+            if self._chunked is None:
+                self._chunked = ChunkedProcessStrategy(self._workers)
+            return self._chunked
+        if not _gil_enabled():
+            # Threads share the engine's warm memo layers at zero pickling
+            # cost, but under the GIL they cannot beat sequential on pure
+            # CPU expansion — so they are reserved for free-threaded builds.
+            if self._threaded is None:
+                self._threaded = ThreadedStrategy(self._workers)
+            return self._threaded
+        return self._sequential
+
+    def expand_generation(
+        self, engine: "TGDRewriter", batch: Sequence[ConjunctiveQuery]
+    ) -> Iterable[Expansion]:
+        inner = self._choose(len(batch))
+        self.decisions[inner.name] += 1
+        self._generation += 1
+        return inner.expand_generation(engine, batch)
+
+    def close(self) -> None:
+        self._sequential.close()
+        if self._threaded is not None:
+            self._threaded.close()
+            self._threaded = None
+        if self._chunked is not None:
+            self._chunked.close()
+            self._chunked = None
+
+
+def _gil_enabled() -> bool:
+    """``True`` on interpreters where the GIL serialises pure-Python CPU work."""
+    try:
+        return sys._is_gil_enabled()
+    except AttributeError:  # pragma: no cover - pre-3.13 interpreters
+        return True
+
+
 _STRATEGIES: dict[str, type[SchedulingStrategy]] = {
     SequentialStrategy.name: SequentialStrategy,
     ThreadedStrategy.name: ThreadedStrategy,
     ChunkedProcessStrategy.name: ChunkedProcessStrategy,
+    AutoStrategy.name: AutoStrategy,
 }
 
 
@@ -300,9 +424,9 @@ def create_strategy(
 
     ``None`` and ``"sequential"`` build the default sequential strategy;
     other names build their registered class with *workers* (threads for
-    ``"threaded"``, processes for ``"chunked"``).  Instances pass through
-    unchanged (and *workers* is ignored — the instance was already
-    configured).
+    ``"threaded"``, processes for ``"chunked"``, the planning budget for
+    ``"auto"``).  Instances pass through unchanged (and *workers* is
+    ignored — the instance was already configured).
     """
     if isinstance(strategy, SchedulingStrategy):
         return strategy

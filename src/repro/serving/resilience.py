@@ -209,6 +209,9 @@ class InterruptibleStrategy(SchedulingStrategy):
         """Abort any current and future runs (service shutdown)."""
         self._shutdown.set()
 
+    def begin_run(self, engine, query, generation=0):
+        self._inner.begin_run(engine, query, generation)
+
     def expand_generation(self, engine, batch):
         if self._shutdown.is_set():
             raise CompileInterrupted("serving tier is shutting down")

@@ -121,6 +121,11 @@ class SharedArtifacts:
         self.rewriting_cache: dict[ConjunctiveQuery, RewritingResult] = {}
         # Every compile runs under the interruptible wrapper so deadlines,
         # shutdown and chaos faults all share one generation-boundary seam.
+        # The serving tier defaults to the autotuner: per-query telemetry
+        # picks the scheduling, and the choice degrades to sequential on
+        # one-CPU deployments (same bytes either way).
+        if strategy is None:
+            strategy = "auto"
         self.strategy = InterruptibleStrategy(create_strategy(strategy))
         self.system = OBDASystem(
             theory,

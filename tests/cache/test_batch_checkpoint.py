@@ -1,0 +1,196 @@
+"""Batch resume manifests: kill a multi-query compile, redo only the tail."""
+
+import json
+
+import pytest
+
+from repro.api import OBDASystem
+from repro.cache.checkpoint import BatchCheckpoint
+from repro.scheduling import SequentialStrategy
+from repro.workloads import get_workload
+
+from .test_checkpoint import KillingStrategy, SimulatedKill
+
+
+@pytest.fixture()
+def workload():
+    return get_workload("A")
+
+
+@pytest.fixture()
+def queries(workload):
+    return [workload.query("q1"), workload.query("q5")]
+
+
+def _manifest(batch: BatchCheckpoint) -> dict:
+    return json.loads(batch.manifest_path.read_text(encoding="utf-8"))
+
+
+class CountingStrategy(SequentialStrategy):
+    """Counts frontier generations, to aim the kill inside the second member."""
+
+    def __init__(self) -> None:
+        self.generations = 0
+
+    def expand_generation(self, engine, batch):
+        self.generations += 1
+        return super().expand_generation(engine, batch)
+
+
+def _generations_for(workload, query) -> int:
+    strategy = CountingStrategy()
+    OBDASystem(workload.theory).compile_many([query], strategy=strategy)
+    return strategy.generations
+
+
+class TestManifest:
+    def test_begin_writes_one_entry_per_position(self, tmp_path, queries):
+        batch = BatchCheckpoint(tmp_path)
+        resumed = batch.begin("fp", queries)
+        assert resumed == frozenset()
+        payload = _manifest(batch)
+        assert payload["format"] == BatchCheckpoint.FORMAT_VERSION
+        assert payload["fingerprint"] == "fp"
+        assert [entry["completed"] for entry in payload["entries"]] == [
+            False,
+            False,
+        ]
+
+    def test_completed_flags_survive_a_rerun(self, tmp_path, queries):
+        first = BatchCheckpoint(tmp_path)
+        first.begin("fp", queries)
+        first.mark_completed(queries[0])
+        rerun = BatchCheckpoint(tmp_path)
+        resumed = rerun.begin("fp", queries)
+        assert resumed == frozenset({BatchCheckpoint.digest("fp", queries[0])})
+
+    def test_foreign_fingerprint_discards_the_manifest(self, tmp_path, queries):
+        first = BatchCheckpoint(tmp_path)
+        first.begin("fp", queries)
+        first.mark_completed(queries[0])
+        rerun = BatchCheckpoint(tmp_path)
+        assert rerun.begin("other-fp", queries) == frozenset()
+
+    def test_different_query_set_discards_the_manifest(self, tmp_path, queries):
+        first = BatchCheckpoint(tmp_path)
+        first.begin("fp", queries)
+        first.mark_completed(queries[0])
+        rerun = BatchCheckpoint(tmp_path)
+        assert rerun.begin("fp", queries[:1]) == frozenset()
+
+    def test_corrupt_manifest_starts_fresh(self, tmp_path, queries):
+        batch = BatchCheckpoint(tmp_path)
+        batch.begin("fp", queries)
+        batch.manifest_path.write_text("not json", encoding="utf-8")
+        assert BatchCheckpoint(tmp_path).begin("fp", queries) == frozenset()
+
+    def test_finish_only_removes_a_complete_manifest(self, tmp_path, queries):
+        batch = BatchCheckpoint(tmp_path)
+        batch.begin("fp", queries)
+        batch.mark_completed(queries[0])
+        batch.finish()
+        assert batch.manifest_path.exists()
+        batch.mark_completed(queries[1], resumed_generation=2)
+        payload = _manifest(batch)
+        assert payload["entries"][1]["resumed_generation"] == 2
+        batch.finish()
+        assert not batch.manifest_path.exists()
+
+    def test_duplicate_queries_complete_together(self, tmp_path, queries):
+        # Duplicates share a digest (and a frontier checkpoint): finishing
+        # the digest must finish every batch position, or the manifest
+        # would never be considered complete.
+        batch = BatchCheckpoint(tmp_path)
+        batch.begin("fp", [queries[0], queries[0]])
+        batch.mark_completed(queries[0])
+        assert [entry["completed"] for entry in _manifest(batch)["entries"]] == [
+            True,
+            True,
+        ]
+        batch.finish()
+        assert not batch.manifest_path.exists()
+
+    def test_checkpoint_for_requires_begin(self, tmp_path, queries):
+        with pytest.raises(RuntimeError):
+            BatchCheckpoint(tmp_path).checkpoint_for(queries[0])
+
+    def test_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            BatchCheckpoint(tmp_path, every=0)
+
+
+class TestKilledBatchResume:
+    def _clean_results(self, workload, queries):
+        system = OBDASystem(workload.theory)
+        return system.compile_many(queries)
+
+    def test_rerun_redoes_only_the_interrupted_member(
+        self, tmp_path, workload, queries
+    ):
+        reference = self._clean_results(workload, queries)
+        directory = tmp_path / "batch"
+        # Let the first member (q1) complete, then die inside q5.
+        generations_for_q1 = _generations_for(workload, queries[0])
+        killed_system = OBDASystem(workload.theory)
+        with pytest.raises(SimulatedKill):
+            killed_system.compile_many(
+                queries,
+                strategy=KillingStrategy(generations_for_q1 + 1),
+                checkpoint_dir=directory,
+            )
+        manifest = json.loads(
+            (directory / BatchCheckpoint.MANIFEST_NAME).read_text(
+                encoding="utf-8"
+            )
+        )
+        assert [entry["completed"] for entry in manifest["entries"]] == [
+            True,
+            False,
+        ]
+        # The in-flight member left its frontier checkpoint behind.
+        assert list(directory.glob("*.ckpt.json"))
+
+        resumed = killed_system.compile_many(
+            queries, strategy=SequentialStrategy(), checkpoint_dir=directory
+        )
+        assert [list(result.ucq) for result in resumed] == [
+            list(result.ucq) for result in reference
+        ]
+        # A finished batch cleans up after itself: no manifest, no
+        # leftover frontier checkpoints.
+        assert not (directory / BatchCheckpoint.MANIFEST_NAME).exists()
+        assert not list(directory.glob("*.ckpt.json"))
+
+    def test_fresh_process_resumes_through_the_store(
+        self, tmp_path, workload, queries
+    ):
+        reference = self._clean_results(workload, queries)
+        directory = tmp_path / "batch"
+        store = tmp_path / "store"
+        generations_for_q1 = _generations_for(workload, queries[0])
+        with pytest.raises(SimulatedKill):
+            OBDASystem(workload.theory, cache=store).compile_many(
+                queries,
+                strategy=KillingStrategy(generations_for_q1 + 1),
+                checkpoint_dir=directory,
+            )
+        # A brand-new system (same theory, same store) — the completed
+        # member is served from the persistent store, the interrupted one
+        # resumes from its frontier checkpoint.
+        fresh = OBDASystem(workload.theory, cache=store)
+        resumed = fresh.compile_many(queries, checkpoint_dir=directory)
+        assert [list(result.ucq) for result in resumed] == [
+            list(result.ucq) for result in reference
+        ]
+        assert fresh.rewriting_cache_info().persistent_hits >= 1
+        assert not (directory / BatchCheckpoint.MANIFEST_NAME).exists()
+
+    def test_clean_batch_leaves_no_residue(self, tmp_path, workload, queries):
+        directory = tmp_path / "batch"
+        system = OBDASystem(workload.theory)
+        results = system.compile_many(queries, checkpoint_dir=directory)
+        assert [len(result.ucq) for result in results] == [
+            len(result.ucq) for result in self._clean_results(workload, queries)
+        ]
+        assert not (directory / BatchCheckpoint.MANIFEST_NAME).exists()
+        assert not list(directory.glob("*.ckpt.json"))

@@ -1,0 +1,156 @@
+"""Cost-aware planning: estimates, join order, disjunct order, explain."""
+
+from repro.api import OBDASystem
+from repro.database.evaluator import QueryEvaluator, evaluate
+from repro.database.instance import RelationalInstance, database_from_tuples
+from repro.database.planning import CardinalityEstimator, JoinPlan
+from repro.logic.atoms import Atom
+from repro.logic.terms import Constant, Variable
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.workloads.stock_exchange_example import (
+    running_query,
+    sample_database,
+    theory,
+)
+
+A, B, C = Variable("A"), Variable("B"), Variable("C")
+
+
+def _skewed_database() -> RelationalInstance:
+    """``big`` has 6 rows over 3 distinct subjects; ``tiny`` has one row."""
+    return database_from_tuples(
+        [
+            ("big", ("s1", "o1")),
+            ("big", ("s1", "o2")),
+            ("big", ("s2", "o1")),
+            ("big", ("s2", "o3")),
+            ("big", ("s3", "o2")),
+            ("big", ("s3", "o4")),
+            ("tiny", ("s2",)),
+        ]
+    )
+
+
+class TestEstimates:
+    def test_unbound_atom_estimates_the_relation_size(self):
+        estimator = CardinalityEstimator(_skewed_database())
+        assert estimator.estimate_rows(Atom.of("big", A, B), set()) == 6.0
+
+    def test_bound_position_divides_by_distinct_count(self):
+        estimator = CardinalityEstimator(_skewed_database())
+        # 6 rows / 3 distinct subjects.
+        assert estimator.estimate_rows(Atom.of("big", A, B), {A}) == 2.0
+        constant = Atom.of("big", Constant("s1"), B)
+        assert estimator.estimate_rows(constant, set()) == 2.0
+
+    def test_empty_relation_estimates_zero(self):
+        estimator = CardinalityEstimator(_skewed_database())
+        assert estimator.estimate_rows(Atom.of("ghost", A), set()) == 0.0
+
+    def test_statistics_follow_the_epoch(self):
+        database = _skewed_database()
+        estimator = CardinalityEstimator(database)
+        assert estimator.estimate_rows(Atom.of("tiny", A), set()) == 1.0
+        database.add(Atom.of("tiny", Constant("s9")))
+        assert estimator.estimate_rows(Atom.of("tiny", A), set()) == 2.0
+
+
+class TestJoinOrder:
+    def test_selective_atom_joins_first(self):
+        plan = CardinalityEstimator(_skewed_database()).plan_body(
+            [Atom.of("big", A, B), Atom.of("tiny", A)]
+        )
+        assert plan.order[0].predicate.name == "tiny"
+        # After binding A, big is filtered to 6/3 = 2 expected rows.
+        assert plan.step_rows == (1.0, 2.0)
+        assert plan.cumulative_rows == (1.0, 2.0)
+        assert plan.cost == 3.0
+
+    def test_empty_body_plans_to_nothing(self):
+        plan = CardinalityEstimator(_skewed_database()).plan_body([])
+        assert plan == JoinPlan((), (), (), 0.0)
+
+    def test_plan_is_deterministic_under_ties(self):
+        database = database_from_tuples(
+            [("r", ("a", "b")), ("s", ("a", "b"))]
+        )
+        body = [Atom.of("s", A, B), Atom.of("r", A, B)]
+        estimator = CardinalityEstimator(database)
+        first = estimator.plan_body(body)
+        assert first == estimator.plan_body(body)
+        # Equal cost estimates fall back to the original body position.
+        assert [atom.predicate.name for atom in first.order] == ["s", "r"]
+
+    def test_evaluator_join_order_is_the_planned_order(self):
+        database = _skewed_database()
+        body = (Atom.of("big", A, B), Atom.of("tiny", A))
+        planned = CardinalityEstimator(database).plan_body(body).order
+        assert tuple(QueryEvaluator(database).join_order(body)) == planned
+
+    def test_ordering_never_changes_answers(self):
+        database = _skewed_database()
+        query = ConjunctiveQuery(
+            [Atom.of("big", A, B), Atom.of("tiny", A)], (A, B)
+        )
+        assert evaluate(query, database) == {
+            (Constant("s2"), Constant("o1")),
+            (Constant("s2"), Constant("o3")),
+        }
+
+
+class TestDisjunctOrder:
+    def test_cheapest_disjunct_runs_first(self):
+        estimator = CardinalityEstimator(_skewed_database())
+        bodies = [
+            [Atom.of("big", A, B), Atom.of("big", B, C)],
+            [Atom.of("tiny", A)],
+        ]
+        order, plans = estimator.order_disjuncts(bodies)
+        assert order == (1, 0)
+        # Plans stay indexed by the original disjunct position.
+        assert plans[1].order[0].predicate.name == "tiny"
+        assert plans[0].cost > plans[1].cost
+
+    def test_equal_costs_keep_original_order(self):
+        estimator = CardinalityEstimator(_skewed_database())
+        bodies = [[Atom.of("tiny", A)], [Atom.of("tiny", B)]]
+        order, _ = estimator.order_disjuncts(bodies)
+        assert order == (0, 1)
+
+
+class TestExplain:
+    def _prepared(self, backend):
+        system = OBDASystem(
+            theory(), database=sample_database(), backend=backend
+        )
+        return system.prepare(running_query())
+
+    def test_memory_explain_reports_costs_and_order(self):
+        text = self._prepared("memory").explain()
+        assert "backend: memory" in text
+        assert "disjunct order" in text
+        assert "cost ~" in text
+        assert "matching rows" in text
+
+    def test_sqlite_explain_reports_costs_and_sql(self):
+        text = self._prepared("sqlite").explain()
+        assert "backend: sqlite" in text
+        assert "disjunct order" in text
+        assert "sql:" in text
+
+    def test_explain_reflects_database_growth(self):
+        system = OBDASystem(theory(), database=sample_database())
+        prepared = system.prepare(running_query())
+        before = prepared.explain()
+        # Skew a relation the plan actually scans so the estimates move.
+        for index in range(8):
+            system.database.add(
+                Atom.of(
+                    "stock_portf",
+                    Constant(f"comp{index}"),
+                    Constant("stk"),
+                    Constant("qty"),
+                )
+            )
+        after = prepared.explain()
+        assert before != after

@@ -141,7 +141,7 @@ class TestStrategyEquivalence:
 
 class TestStrategyRegistry:
     def test_registered_names(self):
-        assert set(strategy_names()) == {"sequential", "threaded", "chunked"}
+        assert set(strategy_names()) == {"sequential", "threaded", "chunked", "auto"}
 
     def test_create_strategy_resolves_names(self):
         assert isinstance(create_strategy(None), SequentialStrategy)

@@ -571,3 +571,63 @@ class TestChaosCommand:
         assert arguments.cases == 10
         assert arguments.epsilon == 0.5
         assert arguments.repro_dir == "chaos-repros"
+
+
+class TestAnswerExplain:
+    def test_explain_prints_the_cost_ordered_plan(self, capsys):
+        assert main(
+            ["answer", "--workload", "S", "--query", "q1", "--explain"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "backend: memory" in output
+        assert "disjunct order (cheapest estimated cost first)" in output
+        assert "cost ~" in output
+
+    def test_explain_covers_both_backends(self, capsys):
+        assert main(
+            [
+                "answer",
+                "--workload",
+                "S",
+                "--query",
+                "q1",
+                "--backend",
+                "both",
+                "--explain",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "backend: memory" in output
+        assert "backend: sqlite" in output
+        assert "sql:" in output
+
+    def test_explain_parser_default_is_off(self):
+        arguments = build_parser().parse_args(["answer", "--workload", "S"])
+        assert arguments.explain is False
+
+
+class TestCompileCheckpointFlags:
+    def test_checkpointed_compile_cleans_its_directory(self, tmp_path, capsys):
+        directory = tmp_path / "batch"
+        assert main(
+            [
+                "compile",
+                "--workload",
+                "S",
+                "--checkpoint-dir",
+                str(directory),
+                "--checkpoint-every",
+                "2",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "# compiled" in output
+        # The batch completed, so the manifest and the per-query frontier
+        # checkpoints were all cleared.
+        assert not (directory / "manifest.json").exists()
+        assert not list(directory.glob("*.ckpt.json"))
+
+    def test_checkpoint_parser_defaults(self):
+        arguments = build_parser().parse_args(["compile", "--workload", "S"])
+        assert arguments.checkpoint_dir is None
+        assert arguments.checkpoint_every == 1
